@@ -1,0 +1,217 @@
+(** Command-line interface for AutoType.
+
+    - [autotype synth --query "credit card" --examples ex.txt]
+      synthesizes type-detection functions from a keyword and a file of
+      positive examples (one per line);
+    - [autotype synth --type credit-card] uses a benchmark type's
+      generated examples instead;
+    - [autotype validate --type credit-card VALUE ...] checks values
+      with the synthesized top-1 function;
+    - [autotype detect --column file.txt] reads one column of values and
+      reports which benchmark types match;
+    - [autotype types] lists the 112-type benchmark registry;
+    - [autotype transforms --type credit-card] prints harvested semantic
+      transformations. *)
+
+open Cmdliner
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line ->
+      let line = String.trim line in
+      go (if line = "" then acc else line :: acc)
+    | exception End_of_file -> close_in ic; List.rev acc
+  in
+  go []
+
+let positives_for ~type_id ~examples_file ~query =
+  match (examples_file, type_id) with
+  | Some path, _ -> Ok (read_lines path, Option.value query ~default:"data value")
+  | None, Some id ->
+    (match Semtypes.Registry.find id with
+     | Some ty ->
+       Ok
+         ( Semtypes.Registry.positive_examples ~n:20 ~seed:11 ty,
+           Option.value query ~default:ty.Semtypes.Registry.name )
+     | None -> Error (Printf.sprintf "unknown benchmark type %S" id))
+  | None, None -> Error "provide --examples FILE or --type ID"
+
+let synthesize_outcome ~type_id ~examples_file ~query =
+  match positives_for ~type_id ~examples_file ~query with
+  | Error e -> Error e
+  | Ok (positives, q) ->
+    if positives = [] then Error "no positive examples"
+    else
+      Ok
+        (Autotype_core.Pipeline.synthesize ~index:(Corpus.search_index ())
+           ~query:q ~positives ())
+
+(* ------------------------------- synth ----------------------------- *)
+
+let type_arg =
+  Arg.(value & opt (some string) None
+       & info [ "t"; "type" ] ~docv:"ID" ~doc:"Benchmark type id (see $(b,types)).")
+
+let examples_arg =
+  Arg.(value & opt (some file) None
+       & info [ "e"; "examples" ] ~docv:"FILE"
+           ~doc:"File with positive examples, one per line.")
+
+let query_arg =
+  Arg.(value & opt (some string) None
+       & info [ "q"; "query" ] ~docv:"KEYWORD" ~doc:"Search keyword for the type.")
+
+let top_arg =
+  Arg.(value & opt int 5 & info [ "top" ] ~docv:"N" ~doc:"Show the top N functions.")
+
+let synth_cmd =
+  let run type_id examples_file query top =
+    match synthesize_outcome ~type_id ~examples_file ~query with
+    | Error e -> prerr_endline e; 1
+    | Ok outcome ->
+      Printf.printf "searched %d repositories, %d candidate functions\n"
+        outcome.Autotype_core.Pipeline.repos_searched
+        outcome.Autotype_core.Pipeline.candidates_tried;
+      (match outcome.Autotype_core.Pipeline.strategy_used with
+       | Some s ->
+         Printf.printf "negatives: mutation strategy %s\n"
+           (Autotype_core.Negative.strategy_to_string s)
+       | None -> print_endline "negatives: no strategy separated P from N");
+      List.iteri
+        (fun i (r : Autotype_core.Ranking.ranked) ->
+          if i < top then begin
+            Printf.printf "%d. %s\n" (i + 1)
+              (Repolib.Candidate.describe
+                 r.Autotype_core.Ranking.traced.Autotype_core.Ranking.candidate);
+            Printf.printf "   DNF: %s\n"
+              (Autotype_core.Dnf.to_string r.Autotype_core.Ranking.dnf)
+          end)
+        outcome.Autotype_core.Pipeline.ranked;
+      0
+  in
+  Cmd.v (Cmd.info "synth" ~doc:"Synthesize type-detection functions")
+    Term.(const run $ type_arg $ examples_arg $ query_arg $ top_arg)
+
+(* ------------------------------ validate --------------------------- *)
+
+let values_arg =
+  Arg.(value & pos_all string [] & info [] ~docv:"VALUE")
+
+let validate_cmd =
+  let run type_id examples_file query values =
+    match synthesize_outcome ~type_id ~examples_file ~query with
+    | Error e -> prerr_endline e; 1
+    | Ok outcome ->
+      (match Autotype_core.Pipeline.best outcome with
+       | None -> prerr_endline "no function synthesized"; 1
+       | Some syn ->
+         Printf.printf "using %s\n"
+           (Repolib.Candidate.describe syn.Autotype_core.Synthesis.candidate);
+         List.iter
+           (fun v ->
+             Printf.printf "%-30s %s\n" v
+               (if Autotype_core.Synthesis.validate syn v then "VALID"
+                else "invalid"))
+           values;
+         0)
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Validate values with a synthesized function")
+    Term.(const run $ type_arg $ examples_arg $ query_arg $ values_arg)
+
+(* ------------------------------- detect ---------------------------- *)
+
+let column_arg =
+  Arg.(required & opt (some file) None
+       & info [ "column" ] ~docv:"FILE" ~doc:"File with one column value per line.")
+
+let detect_cmd =
+  let run column =
+    let values = read_lines column in
+    if values = [] then begin prerr_endline "empty column"; 1 end
+    else begin
+      Printf.printf "column of %d values; scanning %d popular types...\n"
+        (List.length values)
+        (List.length Semtypes.Registry.popular);
+      let hits =
+        List.filter_map
+          (fun (ty : Semtypes.Registry.t) ->
+            let det = Tablecorpus.Detect.dnf_detector ty in
+            let frac =
+              Tablecorpus.Detect.fraction_accepted
+                det.Tablecorpus.Detect.accepts values
+            in
+            if frac > Tablecorpus.Detect.detection_threshold then
+              Some (ty.Semtypes.Registry.id, frac)
+            else None)
+          Semtypes.Registry.popular
+      in
+      (match hits with
+       | [] -> print_endline "no rich semantic type detected"
+       | hits ->
+         List.iter
+           (fun (id, frac) ->
+             Printf.printf "detected type %s (%.0f%% of values pass)\n" id
+               (100.0 *. frac))
+           hits);
+      0
+    end
+  in
+  Cmd.v (Cmd.info "detect" ~doc:"Detect the semantic type of a column")
+    Term.(const run $ column_arg)
+
+(* -------------------------------- types ---------------------------- *)
+
+let types_cmd =
+  let run () =
+    List.iter
+      (fun (t : Semtypes.Registry.t) ->
+        Printf.printf "%-18s %-42s %-14s %s%s\n" t.Semtypes.Registry.id
+          t.Semtypes.Registry.name t.Semtypes.Registry.domain
+          (Semtypes.Registry.coverage_to_string t.Semtypes.Registry.coverage)
+          (if t.Semtypes.Registry.popular then "  [popular]" else ""))
+      Semtypes.Registry.all_types;
+    let covered, no_code, other, complex = Semtypes.Registry.coverage_counts () in
+    Printf.printf
+      "\n%d types: %d covered, %d no-code, %d other-language, %d complex-invocation\n"
+      Semtypes.Registry.count covered no_code other complex;
+    0
+  in
+  Cmd.v (Cmd.info "types" ~doc:"List the 112-type benchmark registry")
+    Term.(const run $ const ())
+
+(* ------------------------------ transforms ------------------------- *)
+
+let transforms_cmd =
+  let run type_id =
+    match type_id with
+    | None -> prerr_endline "--type required"; 1
+    | Some id ->
+      (match Semtypes.Registry.find id with
+       | None -> Printf.eprintf "unknown type %s\n" id; 1
+       | Some ty ->
+         (match Eval.Experiments.transformations_for ty with
+          | None -> print_endline "no function found"; 1
+          | Some (func, positives, ts) ->
+            Printf.printf "from %s\n" func;
+            let table = Autotype_core.Transform.to_table positives ts in
+            List.iter
+              (fun row -> print_endline (String.concat " | " row))
+              table;
+            0))
+  in
+  Cmd.v
+    (Cmd.info "transforms" ~doc:"Show semantic transformations for a type")
+    Term.(const run $ type_arg)
+
+let main_cmd =
+  let info =
+    Cmd.info "autotype" ~version:"1.0.0"
+      ~doc:"Synthesize type-detection logic from open-source code"
+  in
+  Cmd.group info
+    [ synth_cmd; validate_cmd; detect_cmd; types_cmd; transforms_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/new_type.ml: Autotype_core Corpus List Printf Repolib Semtypes String

@@ -1,0 +1,1 @@
+examples/new_type.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Autotype_core Corpus List Printf Repolib

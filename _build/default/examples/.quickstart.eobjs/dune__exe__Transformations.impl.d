@@ -1,0 +1,1 @@
+examples/transformations.ml: Autotype_core Eval List Printf Semtypes String

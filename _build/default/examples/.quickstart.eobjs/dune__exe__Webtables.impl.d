@@ -1,0 +1,1 @@
+examples/webtables.ml: List Printf Semtypes String Tablecorpus

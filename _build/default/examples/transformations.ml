@@ -1,0 +1,47 @@
+(** Example: semantic transformations (Section 7.1, Figure 4, Table 3).
+
+    Once a type is detected, the intermediate variables of the relevant
+    functions become candidate transformations — card brand from a
+    credit-card number, state from an address, components from a date.
+
+    Run with:  dune exec examples/transformations.exe *)
+
+let show type_id =
+  let ty = Semtypes.Registry.find_exn type_id in
+  let positives = Semtypes.Registry.positive_examples ~n:5 ~seed:77 ty in
+  Printf.printf "\n## %s\n" ty.Semtypes.Registry.name;
+  match Eval.Experiments.transformations_for ~positives ty with
+  | None -> print_endline "(no function found)"
+  | Some (func, positives, transformations) ->
+    Printf.printf "from %s\n" func;
+    let table = Autotype_core.Transform.to_table positives transformations in
+    (match table with
+     | header :: rows ->
+       let widths =
+         List.mapi
+           (fun i h ->
+             List.fold_left
+               (fun acc row ->
+                 max acc (String.length (List.nth row i)))
+               (String.length h) rows)
+           header
+       in
+       let print_row cells =
+         List.iter2
+           (fun w c ->
+             let c =
+               if String.length c > 24 then String.sub c 0 24 ^ "…" else c
+             in
+             Printf.printf "%-*s  " (min w 25) c)
+           widths cells;
+         print_newline ()
+       in
+       print_row header;
+       List.iter print_row rows
+     | [] -> ())
+
+let () =
+  print_endline "AutoType semantic transformations";
+  print_endline "---------------------------------";
+  List.iter show
+    [ "credit-card"; "datetime"; "address"; "url"; "chemical-formula" ]

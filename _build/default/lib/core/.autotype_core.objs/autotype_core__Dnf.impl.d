@@ -1,0 +1,1 @@
+lib/core/dnf.ml: Array Bitset Feature Hashtbl List String

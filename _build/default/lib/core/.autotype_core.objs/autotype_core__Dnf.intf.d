@@ -1,0 +1,1 @@
+lib/core/dnf.mli: Bitset Feature

@@ -1,0 +1,1 @@
+lib/core/feature.ml: List Minilang Printf Set Trace

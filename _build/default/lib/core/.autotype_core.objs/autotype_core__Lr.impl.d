@@ -1,0 +1,1 @@
+lib/core/lr.ml: Array Feature List

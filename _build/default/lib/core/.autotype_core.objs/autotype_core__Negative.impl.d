@@ -1,0 +1,1 @@
+lib/core/negative.ml: Char Fun Hashtbl List Random String

@@ -1,0 +1,1 @@
+lib/core/negative.mli: Random

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Dnf List Negative Ranking Repolib Synthesis

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Dnf Negative Ranking Repolib Synthesis

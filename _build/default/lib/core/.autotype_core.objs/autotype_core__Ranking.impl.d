@@ -1,0 +1,1 @@
+lib/core/ranking.ml: Dnf Feature Hashtbl List Lr Minilang Option Repolib String

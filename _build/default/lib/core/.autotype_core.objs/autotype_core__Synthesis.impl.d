@@ -1,0 +1,1 @@
+lib/core/synthesis.ml: Dnf Feature List Minilang Repolib

@@ -1,0 +1,1 @@
+lib/core/transform.ml: Hashtbl List Minilang Option Repolib String

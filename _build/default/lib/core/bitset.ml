@@ -1,0 +1,65 @@
+(** Compact fixed-width bitsets used to represent example coverage. *)
+
+type t = { width : int; bits : Bytes.t }
+
+let create width = { width; bits = Bytes.make ((width + 7) / 8) '\000' }
+
+let copy t = { t with bits = Bytes.copy t.bits }
+
+let set t i =
+  let b = Bytes.get_uint8 t.bits (i / 8) in
+  Bytes.set_uint8 t.bits (i / 8) (b lor (1 lsl (i mod 8)))
+
+let mem t i = Bytes.get_uint8 t.bits (i / 8) land (1 lsl (i mod 8)) <> 0
+
+let count t =
+  let n = ref 0 in
+  for i = 0 to Bytes.length t.bits - 1 do
+    let b = ref (Bytes.get_uint8 t.bits i) in
+    while !b <> 0 do
+      n := !n + (!b land 1);
+      b := !b lsr 1
+    done
+  done;
+  !n
+
+let inter a b =
+  let r = create a.width in
+  for i = 0 to Bytes.length r.bits - 1 do
+    Bytes.set_uint8 r.bits i
+      (Bytes.get_uint8 a.bits i land Bytes.get_uint8 b.bits i)
+  done;
+  r
+
+let union a b =
+  let r = create a.width in
+  for i = 0 to Bytes.length r.bits - 1 do
+    Bytes.set_uint8 r.bits i
+      (Bytes.get_uint8 a.bits i lor Bytes.get_uint8 b.bits i)
+  done;
+  r
+
+let union_into ~into a =
+  for i = 0 to Bytes.length into.bits - 1 do
+    Bytes.set_uint8 into.bits i
+      (Bytes.get_uint8 into.bits i lor Bytes.get_uint8 a.bits i)
+  done
+
+let is_empty t = count t = 0
+
+let equal a b = Bytes.equal a.bits b.bits
+
+(** Count of elements in [a] that are not in [b]. *)
+let count_diff a b =
+  let n = ref 0 in
+  for i = 0 to Bytes.length a.bits - 1 do
+    let v = Bytes.get_uint8 a.bits i land lnot (Bytes.get_uint8 b.bits i) land 0xff in
+    let b = ref v in
+    while !b <> 0 do
+      n := !n + (!b land 1);
+      b := !b lsr 1
+    done
+  done;
+  !n
+
+let to_key t = Bytes.to_string t.bits

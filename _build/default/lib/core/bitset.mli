@@ -1,0 +1,22 @@
+(** Compact fixed-width bitsets representing example coverage. *)
+
+type t
+
+val create : int -> t
+(** [create width] is the empty set over [0 .. width-1]. *)
+
+val copy : t -> t
+val set : t -> int -> unit
+val mem : t -> int -> bool
+val count : t -> int
+val inter : t -> t -> t
+val union : t -> t -> t
+val union_into : into:t -> t -> unit
+val is_empty : t -> bool
+val equal : t -> t -> bool
+
+val count_diff : t -> t -> int
+(** [count_diff a b] is [|a \ b|]. *)
+
+val to_key : t -> string
+(** Stable hashable key for grouping identical coverages. *)

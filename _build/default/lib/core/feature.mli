@@ -1,0 +1,25 @@
+(** Featurization of execution traces (Section 5.2 of the paper):
+    branches as [bᵢ == True/False] literals, returns abstracted to
+    boolean / zero / None classes, exceptions as literals.  Set-based,
+    per the paper's choice. *)
+
+type literal =
+  | Branch_is of Minilang.Trace.site * bool
+  | Return_is of Minilang.Trace.site * Minilang.Trace.ret_abstract
+  | Raised of string  (** uncaught exception kind *)
+
+val literal_to_string : literal -> string
+val compare_literal : literal -> literal -> int
+
+module Literal_set : Set.S with type elt = literal
+
+type mode = [ `All | `Returns_only ]
+(** [`All]: branches + returns + exceptions + the black-box output
+    literal (DNF-S feature space).  [`Returns_only]: the RET baseline —
+    the function is a black box, only its final output value and
+    uncaught exceptions are observable. *)
+
+val blackbox_site : Minilang.Trace.site
+(** The site-less pseudo-location of the black-box output literal. *)
+
+val featurize : ?mode:mode -> Minilang.Trace.t -> Literal_set.t

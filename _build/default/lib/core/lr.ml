@@ -1,0 +1,80 @@
+(** Logistic-regression baseline (Section 8.1, method LR).
+
+    Uses exactly the same binary trace features as DNF-S, trains a
+    per-function classifier with gradient descent, and scores the
+    function by how well the model separates the positive from the
+    generated negative examples (balanced accuracy), mirroring
+    "rank functions based on regression scores".  No regularization is
+    applied, as discussed in Appendix K. *)
+
+type model = {
+  features : Feature.literal array;
+  weights : float array;  (** last slot is the bias *)
+}
+
+let sigmoid z = 1.0 /. (1.0 +. exp (-.z))
+
+let vectorize features (trace : Feature.Literal_set.t) : float array =
+  Array.map
+    (fun lit -> if Feature.Literal_set.mem lit trace then 1.0 else 0.0)
+    features
+
+let predict model trace =
+  let x = vectorize model.features trace in
+  let n = Array.length x in
+  let z = ref model.weights.(n) in
+  for i = 0 to n - 1 do
+    z := !z +. (model.weights.(i) *. x.(i))
+  done;
+  sigmoid !z
+
+let train ?(epochs = 150) ?(lr = 0.5)
+    ~(positives : Feature.Literal_set.t list)
+    ~(negatives : Feature.Literal_set.t list) () : model =
+  let all_literals =
+    List.fold_left
+      (fun acc t -> Feature.Literal_set.union acc t)
+      Feature.Literal_set.empty (positives @ negatives)
+  in
+  let features = Array.of_list (Feature.Literal_set.elements all_literals) in
+  let nf = Array.length features in
+  let weights = Array.make (nf + 1) 0.0 in
+  let model = { features; weights } in
+  let data =
+    List.map (fun t -> (vectorize features t, 1.0)) positives
+    @ List.map (fun t -> (vectorize features t, 0.0)) negatives
+  in
+  let n_data = float_of_int (List.length data) in
+  for _ = 1 to epochs do
+    let grad = Array.make (nf + 1) 0.0 in
+    List.iter
+      (fun (x, y) ->
+        let z = ref weights.(nf) in
+        for i = 0 to nf - 1 do
+          z := !z +. (weights.(i) *. x.(i))
+        done;
+        let err = sigmoid !z -. y in
+        for i = 0 to nf - 1 do
+          grad.(i) <- grad.(i) +. (err *. x.(i))
+        done;
+        grad.(nf) <- grad.(nf) +. err)
+      data;
+    for i = 0 to nf do
+      weights.(i) <- weights.(i) -. (lr *. grad.(i) /. n_data)
+    done
+  done;
+  model
+
+(** Balanced accuracy of the trained model on its training data — the
+    regression score used to rank functions. *)
+let separation_score model ~positives ~negatives =
+  let frac pred examples =
+    match examples with
+    | [] -> 0.0
+    | _ ->
+      float_of_int (List.length (List.filter pred examples))
+      /. float_of_int (List.length examples)
+  in
+  let tpr = frac (fun t -> predict model t >= 0.5) positives in
+  let tnr = frac (fun t -> predict model t < 0.5) negatives in
+  (tpr +. tnr) /. 2.0

@@ -1,0 +1,26 @@
+(** Logistic-regression baseline (Section 8.1, method LR; Appendix K):
+    the same binary trace features as DNF-S, trained per function with
+    unregularized gradient descent. *)
+
+type model
+
+val vectorize : Feature.literal array -> Feature.Literal_set.t -> float array
+
+val predict : model -> Feature.Literal_set.t -> float
+(** Probability that a trace is of a positive example. *)
+
+val train :
+  ?epochs:int ->
+  ?lr:float ->
+  positives:Feature.Literal_set.t list ->
+  negatives:Feature.Literal_set.t list ->
+  unit ->
+  model
+
+val separation_score :
+  model ->
+  positives:Feature.Literal_set.t list ->
+  negatives:Feature.Literal_set.t list ->
+  float
+(** Balanced accuracy on the training data — the regression score used
+    to rank functions. *)

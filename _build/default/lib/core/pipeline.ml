@@ -1,0 +1,143 @@
+(** The end-to-end AutoType pipeline (Figure 6):
+
+    keyword + positive examples
+      → code search (Section 4.1)
+      → candidate-function analysis (Section 4.2)
+      → dynamic negative generation, trying S1 then S2 then S3
+        (Section 6, Algorithm 2)
+      → Best-k-Concise-DNF-Cover ranking (Section 5.2)
+      → synthesized validation functions (Section 5.3). *)
+
+type config = {
+  k : int;  (** clause-length cap (k-conciseness); paper uses 3 *)
+  theta : float;  (** negative-coverage budget; paper uses 0.3 *)
+  top_repos : int;  (** repositories fetched per engine; paper uses 40 *)
+  neg_per_positive : int;
+  mutation_p : float;
+  found_fraction : float;
+      (** minimum fraction of P a DNF must cover for the function to
+          count as "found" in Algorithm 2's non-empty test *)
+  seed : int;
+}
+
+let default_config =
+  {
+    k = 3;
+    theta = 0.3;
+    top_repos = 40;
+    neg_per_positive = 8;
+    mutation_p = 0.25;
+    found_fraction = 0.85;
+    seed = 17;
+  }
+
+type outcome = {
+  query : string;
+  positives : string list;
+  strategy_used : Negative.strategy option;
+      (** which mutation level finally produced informative negatives *)
+  negatives : string list;
+  ranked : Ranking.ranked list;  (** DNF-S order *)
+  traceds : Ranking.traced list;
+      (** raw traces of every candidate against the final negative set;
+          reusable by other ranking methods without re-execution *)
+  candidates_tried : int;
+  repos_searched : int;
+}
+
+(** Search + static analysis + executability probing: everything up to
+    (but excluding) example-driven ranking. *)
+let gather_candidates ~(index : Repolib.Search.index) ~(config : config)
+    ~query ~probe () : Repolib.Candidate.t list * int =
+  let repos = Repolib.Search.search index ~k:config.top_repos query in
+  let candidates =
+    List.concat_map Repolib.Analyzer.candidates_of_repo repos
+    |> List.filter (fun c -> Repolib.Driver.executable c ~probe)
+  in
+  (candidates, List.length repos)
+
+let found_enough config (dnf : Dnf.result) =
+  dnf.Dnf.clauses <> []
+  && float_of_int dnf.Dnf.cov_p
+     >= config.found_fraction *. float_of_int (max 1 dnf.Dnf.n_pos)
+
+(** Run the full pipeline.  [negatives_override] forces a fixed negative
+    set (used by the Figure 10(c) ablations); otherwise Algorithm 2's
+    S1→S2→S3 escalation is applied. *)
+let synthesize ?(config = default_config) ?negatives_override
+    ~(index : Repolib.Search.index) ~query ~(positives : string list) () :
+    outcome =
+  match positives with
+  | [] ->
+    { query; positives; strategy_used = None; negatives = []; ranked = [];
+      traceds = []; candidates_tried = 0; repos_searched = 0 }
+  | probe :: _ ->
+    let candidates, repos_searched =
+      gather_candidates ~index ~config ~query ~probe ()
+    in
+    let trace_with negatives =
+      List.map
+        (fun c -> Ranking.trace_candidate c ~positives ~negatives)
+        candidates
+    in
+    let rank traceds =
+      Ranking.rank_one ~k:config.k ~theta:config.theta Ranking.DNF_S ~query
+        traceds
+    in
+    let finish strategy_used negatives traceds ranked =
+      {
+        query;
+        positives;
+        strategy_used;
+        negatives;
+        ranked;
+        traceds;
+        candidates_tried = List.length candidates;
+        repos_searched;
+      }
+    in
+    (match negatives_override with
+     | Some negatives ->
+       let traceds = trace_with negatives in
+       finish None negatives traceds (rank traceds)
+     | None ->
+       (* Algorithm 2: escalate S1 → S2 → S3 until some function can
+          tell P and N apart. *)
+       let rec try_strategies = function
+         | [] ->
+           (* No strategy produced informative negatives; report the
+              last attempt (S3) with whatever ranking it gave. *)
+           let negatives =
+             Negative.generate ~per_positive:config.neg_per_positive
+               ~p:config.mutation_p ~seed:config.seed Negative.S3 positives
+           in
+           let traceds = trace_with negatives in
+           finish None negatives traceds (rank traceds)
+         | s :: rest ->
+           let negatives =
+             Negative.generate ~per_positive:config.neg_per_positive
+               ~p:config.mutation_p ~seed:config.seed s positives
+           in
+           let traceds = trace_with negatives in
+           let ranked = rank traceds in
+           let informative =
+             List.exists (fun r -> found_enough config r.Ranking.dnf) ranked
+           in
+           if informative then
+             finish (Some s) negatives traceds
+               (List.filter (fun r -> found_enough config r.Ranking.dnf) ranked)
+           else try_strategies rest
+       in
+       try_strategies [ Negative.S1; Negative.S2; Negative.S3 ])
+
+(** Top-ranked synthesized validation function, if any. *)
+let best (o : outcome) : Synthesis.t option =
+  match o.ranked with
+  | [] -> None
+  | r :: _ -> Some (Synthesis.make r.Ranking.traced.Ranking.candidate r.Ranking.dnf)
+
+(** All synthesized functions in rank order. *)
+let synthesized (o : outcome) : Synthesis.t list =
+  List.map
+    (fun r -> Synthesis.make r.Ranking.traced.Ranking.candidate r.Ranking.dnf)
+    o.ranked

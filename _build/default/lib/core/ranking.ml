@@ -1,0 +1,143 @@
+(** Function ranking (Section 5.2) and the compared methods of
+    Section 8.1: DNF-S (ours), DNF-C, RET, KW and LR. *)
+
+type method_ = DNF_S | DNF_C | RET | KW | LR
+
+let method_to_string = function
+  | DNF_S -> "DNF-S"
+  | DNF_C -> "DNF-C"
+  | RET -> "RET"
+  | KW -> "KW"
+  | LR -> "LR"
+
+let all_methods = [ DNF_S; KW; RET; LR; DNF_C ]
+
+(** A candidate together with the raw traces of running it on every
+    positive and negative example.  Running is by far the dominant cost,
+    so traces are shared across all ranking methods. *)
+type traced = {
+  candidate : Repolib.Candidate.t;
+  pos_raw : Minilang.Trace.t list;
+  neg_raw : Minilang.Trace.t list;
+  steps : int;  (** interpreter steps across all runs, for Figure 14 *)
+}
+
+let run_examples ?config (c : Repolib.Candidate.t) (examples : string list) :
+    Minilang.Trace.t list * int =
+  let steps = ref 0 in
+  let traces =
+    List.map
+      (fun e ->
+        let r = Repolib.Driver.run_safe ?config c e in
+        steps := !steps + r.Minilang.Interp.steps_used;
+        r.Minilang.Interp.trace)
+      examples
+  in
+  (traces, !steps)
+
+let trace_candidate ?config (c : Repolib.Candidate.t) ~positives ~negatives :
+    traced =
+  let pos_raw, s1 = run_examples ?config c positives in
+  let neg_raw, s2 = run_examples ?config c negatives in
+  { candidate = c; pos_raw; neg_raw; steps = s1 + s2 }
+
+let featurized ?(mode = `All) (t : traced) :
+    Feature.Literal_set.t list * Feature.Literal_set.t list =
+  ( List.map (Feature.featurize ~mode) t.pos_raw,
+    List.map (Feature.featurize ~mode) t.neg_raw )
+
+type ranked = {
+  traced : traced;
+  dnf : Dnf.result;
+  score : float;  (** method-specific score; higher ranks first *)
+}
+
+(* DNF-based ranking: CovP primary, CovN as tie-breaker (Section 5.2,
+   "Ranking-by-DNF"). *)
+let dnf_score (r : Dnf.result) =
+  let n_neg = max 1 r.n_neg in
+  float_of_int r.cov_p -. (float_of_int r.cov_n /. float_of_int (n_neg + 1))
+
+let rank_one ?(k = 3) ?(theta = 0.3) (method_ : method_) ~query
+    (traceds : traced list) : ranked list =
+  let with_dnf mode compute =
+    List.map
+      (fun t ->
+        let pos, neg = featurized ~mode t in
+        let inst = Dnf.make_instance ~positives:pos ~negatives:neg in
+        let dnf = compute inst in
+        { traced = t; dnf; score = dnf_score dnf })
+      traceds
+  in
+  let ranked =
+    match method_ with
+    | DNF_S -> with_dnf `All (Dnf.best_k_concise ~k ~theta)
+    | DNF_C -> with_dnf `All (Dnf.best_complete ~theta)
+    | RET -> with_dnf `Returns_only (Dnf.best_k_concise ~k ~theta)
+    | LR ->
+      List.map
+        (fun t ->
+          let pos, neg = featurized ~mode:`All t in
+          let model = Lr.train ~positives:pos ~negatives:neg () in
+          let score = Lr.separation_score model ~positives:pos ~negatives:neg in
+          (* The DNF is still computed so users get an explanation and a
+             synthesizable artifact; only the ranking score differs. *)
+          let inst = Dnf.make_instance ~positives:pos ~negatives:neg in
+          { traced = t; dnf = Dnf.best_k_concise ~k ~theta inst; score })
+        traceds
+    | KW ->
+      (* TF-IDF keyword match over function "documents" (name, enclosing
+         repository name/description, file path). *)
+      let docs =
+        List.map
+          (fun t ->
+            let c = t.candidate in
+            Repolib.Search.tokenize c.Repolib.Candidate.doc_text
+            @ Repolib.Search.tokenize c.Repolib.Candidate.file
+            @ Repolib.Search.tokenize c.Repolib.Candidate.repo.Repolib.Repo.repo_name
+            @ Repolib.Search.tokenize
+                c.Repolib.Candidate.repo.Repolib.Repo.description)
+          traceds
+      in
+      let df = Hashtbl.create 64 in
+      List.iter
+        (fun doc ->
+          List.sort_uniq String.compare doc
+          |> List.iter (fun tok ->
+                 Hashtbl.replace df tok
+                   (1 + Option.value ~default:0 (Hashtbl.find_opt df tok))))
+        docs;
+      let n_docs = List.length docs in
+      let qtoks = Repolib.Search.tokenize query in
+      List.map2
+        (fun t doc ->
+          let score =
+            List.fold_left
+              (fun acc q ->
+                let tf = List.length (List.filter (String.equal q) doc) in
+                if tf = 0 then acc
+                else
+                  let dfq = Option.value ~default:0 (Hashtbl.find_opt df q) in
+                  acc
+                  +. (1.0 +. log (float_of_int tf))
+                     *. (log (float_of_int (n_docs + 1) /. float_of_int (dfq + 1))
+                        +. 1.0))
+              0.0 qtoks
+          in
+          let pos, neg = featurized ~mode:`All t in
+          let inst = Dnf.make_instance ~positives:pos ~negatives:neg in
+          { traced = t; dnf = Dnf.best_k_concise ~k ~theta inst; score })
+        traceds docs
+  in
+  (* Ties are broken by a deterministic hash of the candidate id, not by
+     input (search) order — a tied DNF score genuinely means the method
+     cannot distinguish the functions. *)
+  let tie_key r =
+    Hashtbl.hash (Repolib.Candidate.id r.traced.candidate)
+  in
+  List.stable_sort
+    (fun a b ->
+      match compare b.score a.score with
+      | 0 -> compare (tie_key a) (tie_key b)
+      | c -> c)
+    ranked

@@ -1,0 +1,52 @@
+(** Function ranking (Section 5.2) and the five compared methods of
+    Section 8.1. *)
+
+type method_ =
+  | DNF_S  (** Best-k-Concise-DNF-Cover, the paper's approach *)
+  | DNF_C  (** full-path DNF (Definition 3) *)
+  | RET  (** black-box: output values only *)
+  | KW  (** TF-IDF keyword match against function "documents" *)
+  | LR  (** per-function logistic regression on the same features *)
+
+val method_to_string : method_ -> string
+val all_methods : method_ list
+
+type traced = {
+  candidate : Repolib.Candidate.t;
+  pos_raw : Minilang.Trace.t list;
+  neg_raw : Minilang.Trace.t list;
+  steps : int;  (** interpreter steps across all runs (Figure 14) *)
+}
+
+val run_examples :
+  ?config:Minilang.Interp.config ->
+  Repolib.Candidate.t -> string list -> Minilang.Trace.t list * int
+
+val trace_candidate :
+  ?config:Minilang.Interp.config ->
+  Repolib.Candidate.t ->
+  positives:string list ->
+  negatives:string list ->
+  traced
+(** Execute the candidate on every example once; by far the dominant
+    cost, so traces are shared across all ranking methods. *)
+
+val featurized :
+  ?mode:Feature.mode ->
+  traced ->
+  Feature.Literal_set.t list * Feature.Literal_set.t list
+
+type ranked = {
+  traced : traced;
+  dnf : Dnf.result;
+  score : float;  (** method-specific; higher ranks first *)
+}
+
+val dnf_score : Dnf.result -> float
+(** CovP primary, CovN as tie-breaker ("Ranking-by-DNF"). *)
+
+val rank_one :
+  ?k:int -> ?theta:float -> method_ -> query:string -> traced list ->
+  ranked list
+(** Rank all candidates under one method.  Exact score ties are broken
+    by a deterministic hash of the candidate id, not input order. *)

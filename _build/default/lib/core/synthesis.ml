@@ -1,0 +1,41 @@
+(** Synthesizing the boolean validation function from a selected DNF
+    (Section 5.3, Algorithm 3, Appendix G).
+
+    The concise DNF is first extended to DNF-E by replacing each literal
+    with the conjunction of its whole identical-coverage group — this
+    restricts future inputs to take exactly the same sub-path rather
+    than merely hitting one literal on it.  Validation of a new string
+    [s] then runs the function, featurizes the trace T(s), and accepts
+    iff ∧T(s) → DNF-E. *)
+
+type t = {
+  candidate : Repolib.Candidate.t;
+  dnf : Dnf.result;
+  explanation : string;  (** the concise DNF shown to users *)
+}
+
+let make candidate (dnf : Dnf.result) : t =
+  { candidate; dnf; explanation = Dnf.to_string dnf }
+
+(** The synthesized [bool F'(s)] of Algorithm 3. *)
+let validate (t : t) (input : string) : bool =
+  let result = Repolib.Driver.run_safe t.candidate input in
+  let trace = Feature.featurize result.Minilang.Interp.trace in
+  Dnf.satisfies t.dnf.Dnf.expanded trace
+
+(** Validate against the concise (un-extended) DNF — used by the
+    ablation bench to quantify what DNF-E buys. *)
+let validate_concise (t : t) (input : string) : bool =
+  let result = Repolib.Driver.run_safe t.candidate input in
+  let trace = Feature.featurize result.Minilang.Interp.trace in
+  Dnf.satisfies t.dnf.Dnf.clauses trace
+
+(** Column-level type detection (Section 9.1): a column is predicted to
+    be of the type if more than [threshold] of its values pass the
+    synthesized function. *)
+let detect_column ?(threshold = 0.8) (t : t) (values : string list) : bool =
+  match values with
+  | [] -> false
+  | _ ->
+    let n_pass = List.length (List.filter (validate t) values) in
+    float_of_int n_pass > threshold *. float_of_int (List.length values)

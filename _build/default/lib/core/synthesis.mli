@@ -1,0 +1,21 @@
+(** Synthesized boolean validation functions (Section 5.3, Algorithm 3):
+    run the selected candidate on a new input, featurize its trace, and
+    accept iff the trace satisfies the extended DNF-E. *)
+
+type t = {
+  candidate : Repolib.Candidate.t;
+  dnf : Dnf.result;
+  explanation : string;  (** the concise DNF shown to users *)
+}
+
+val make : Repolib.Candidate.t -> Dnf.result -> t
+
+val validate : t -> string -> bool
+(** The synthesized [bool F'(s)] — checks against DNF-E. *)
+
+val validate_concise : t -> string -> bool
+(** Check against the un-extended concise DNF (ablation only). *)
+
+val detect_column : ?threshold:float -> t -> string list -> bool
+(** Column-level detection (Section 9.1): true when more than
+    [threshold] (default 0.8) of the values pass. *)

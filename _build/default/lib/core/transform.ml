@@ -1,0 +1,81 @@
+(** Harvesting semantic transformations (Section 7.1, Appendix B).
+
+    When relevant functions process values of a type, their intermediate
+    variables often hold useful derived values (card brand, date
+    components, …).  We re-run the candidate on the positive examples
+    with assignment recording enabled, collect the final value of every
+    assigned variable/attribute per example, and filter out columns of
+    low entropy, identity copies of the input, and loop counters. *)
+
+type transformation = {
+  variable : string;  (** source variable or "self.attr" *)
+  values : (string * string) list;  (** input example -> derived value *)
+}
+
+let distinct_count values =
+  List.sort_uniq String.compare (List.map snd values) |> List.length
+
+let harvest ?(max_assign_per_run = 6) (c : Repolib.Candidate.t)
+    ~(positives : string list) : transformation list =
+  (* var -> (example, final value) in example order *)
+  let final : (string, (string * string) list) Hashtbl.t = Hashtbl.create 32 in
+  let assign_counts : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  let n_runs = List.length positives in
+  List.iter
+    (fun example ->
+      let result = Repolib.Driver.run_safe ~record_assigns:true c example in
+      let last : (string, string) Hashtbl.t = Hashtbl.create 16 in
+      List.iter
+        (function
+          | Minilang.Trace.Assign (_, name, value) ->
+            Hashtbl.replace last name value;
+            Hashtbl.replace assign_counts name
+              (1 + Option.value ~default:0 (Hashtbl.find_opt assign_counts name))
+          | Minilang.Trace.Branch _ | Minilang.Trace.Return _
+          | Minilang.Trace.Exception _ -> ())
+        result.Minilang.Interp.trace;
+      Hashtbl.iter
+        (fun name value ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt final name) in
+          Hashtbl.replace final name ((example, value) :: prev))
+        last)
+    positives;
+  Hashtbl.fold
+    (fun variable values acc ->
+      let values = List.rev values in
+      let avg_assigns =
+        float_of_int (Option.value ~default:0 (Hashtbl.find_opt assign_counts variable))
+        /. float_of_int (max 1 n_runs)
+      in
+      let is_loop_counter =
+        avg_assigns > float_of_int max_assign_per_run
+        || String.length variable <= 1  (* i, n, ch-style iteration vars *)
+      in
+      let low_entropy = distinct_count values < 2 in
+      let identity = List.for_all (fun (e, v) -> e = v) values in
+      let mostly_defined =
+        List.length values * 2 >= n_runs  (* present in ≥ half the runs *)
+      in
+      if is_loop_counter || low_entropy || identity || not mostly_defined then
+        acc
+      else { variable; values } :: acc)
+    final []
+  |> List.sort (fun a b -> compare a.variable b.variable)
+
+(** Render transformations as the tabular form of Figure 6 (bottom). *)
+let to_table (positives : string list) (ts : transformation list) :
+    string list list =
+  let header = "input" :: List.map (fun t -> t.variable) ts in
+  let rows =
+    List.map
+      (fun e ->
+        e
+        :: List.map
+             (fun t ->
+               match List.assoc_opt e t.values with
+               | Some v -> v
+               | None -> "-")
+             ts)
+      positives
+  in
+  header :: rows

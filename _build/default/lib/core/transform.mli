@@ -1,0 +1,18 @@
+(** Harvesting semantic transformations (Section 7.1, Appendix B):
+    re-run a relevant function on the positives with assignment
+    recording, keep the final value of each variable/attribute, filter
+    low-entropy, identity and loop-counter columns. *)
+
+type transformation = {
+  variable : string;  (** source variable name or "self.attr" *)
+  values : (string * string) list;  (** input example → derived value *)
+}
+
+val harvest :
+  ?max_assign_per_run:int ->
+  Repolib.Candidate.t ->
+  positives:string list ->
+  transformation list
+
+val to_table : string list -> transformation list -> string list list
+(** Tabular form (header row first), as in Figure 6's bottom panel. *)

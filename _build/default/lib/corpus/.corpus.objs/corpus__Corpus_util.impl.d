@@ -1,0 +1,1 @@
+lib/corpus/corpus_util.ml: Printf Repolib

@@ -1,0 +1,1 @@
+lib/corpus/distractors.ml: Corpus_util Repolib

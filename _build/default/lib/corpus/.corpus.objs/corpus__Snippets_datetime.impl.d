@@ -1,0 +1,1 @@
+lib/corpus/snippets_datetime.ml: Corpus_util Repolib

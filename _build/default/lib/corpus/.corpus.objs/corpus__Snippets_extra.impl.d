@@ -1,0 +1,1 @@
+lib/corpus/snippets_extra.ml: Corpus_util Repolib

@@ -1,0 +1,1 @@
+lib/corpus/snippets_finance.ml: Corpus_util Repolib

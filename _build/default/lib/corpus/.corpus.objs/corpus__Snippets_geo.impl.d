@@ -1,0 +1,1 @@
+lib/corpus/snippets_geo.ml: Corpus_util Repolib

@@ -1,0 +1,1 @@
+lib/corpus/snippets_misc.ml: Corpus_util Repolib

@@ -1,0 +1,1 @@
+lib/corpus/snippets_net.ml: Corpus_util Repolib

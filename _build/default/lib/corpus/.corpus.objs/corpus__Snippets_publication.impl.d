@@ -1,0 +1,1 @@
+lib/corpus/snippets_publication.ml: Corpus_util Repolib

@@ -1,0 +1,1 @@
+lib/corpus/snippets_science.ml: Corpus_util Repolib

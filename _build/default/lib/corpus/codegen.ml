@@ -1,0 +1,434 @@
+(** Spec-driven corpus generation.
+
+    Real GitHub hosts many near-duplicate implementations of the same
+    validator — ports of python-stdnum, regex one-liners in Gists,
+    "awesome validation" collections.  Rather than copy-pasting dozens
+    of MiniScript files, this module renders them from specs, with
+    style variation (plain function vs. raising parser vs. script
+    snippet) driven by a hash of the type id.  This reproduces the
+    corpus property behind Figure 9: popular types accumulate several
+    independent relevant functions. *)
+
+let file = Corpus_util.file
+
+(* ------------------------------------------------------------------ *)
+(* Regex one-liner validators                                          *)
+(* ------------------------------------------------------------------ *)
+
+type regex_spec = {
+  type_id : string;
+  fname : string;
+  pattern : string;
+  strip_chars : string;  (** characters removed before matching *)
+  upper : bool;
+}
+
+let rx ?(strip = "") ?(upper = false) type_id fname pattern =
+  { type_id; fname; pattern; strip_chars = strip; upper }
+
+let regex_specs =
+  [
+    rx ~strip:" -" "credit-card" "re_credit_card"
+      "^(4[0-9]{12}([0-9]{3})?|5[1-5][0-9]{14}|3[47][0-9]{13}|6011[0-9]{12})$";
+    rx "email" "re_email" "^[a-zA-Z0-9._%+-]+@[a-zA-Z0-9-]+(\\.[a-zA-Z0-9-]+)*\\.[a-zA-Z]{2,}$";
+    rx "ipv4" "re_ipv4"
+      "^(25[0-5]|2[0-4][0-9]|1[0-9][0-9]|[1-9]?[0-9])(\\.(25[0-5]|2[0-4][0-9]|1[0-9][0-9]|[1-9]?[0-9])){3}$";
+    rx "us-zipcode" "re_zipcode" "^[0-9]{5}(-[0-9]{4})?$";
+    rx "phone" "re_phone"
+      "^(\\+1 )?(\\([0-9]{3}\\) ?|[0-9]{3}[-. ]?)[0-9]{3}[-. ]?[0-9]{4}$";
+    rx "url" "re_url" "^(http|https|ftp)://[a-zA-Z0-9.-]+\\.[a-zA-Z]{2,}(:[0-9]+)?(/[^ ]*)?$";
+    rx ~strip:"- " "isbn" "re_isbn13" "^(978|979)[0-9]{10}$";
+    rx ~strip:"-" "issn" "re_issn" "^[0-9]{7}[0-9Xx]$";
+    rx "ssn" "re_ssn" "^[0-9]{3}-[0-9]{2}-[0-9]{4}$";
+    rx "mac-address" "re_mac" "^([0-9a-fA-F]{2}[:-]){5}[0-9a-fA-F]{2}$";
+    rx "md5" "re_md5" "^[0-9a-fA-F]{32}$";
+    rx "guid" "re_guid"
+      "^[0-9a-fA-F]{8}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{12}$";
+    rx "hex-color" "re_hexcolor" "^#([0-9a-fA-F]{6}|[0-9a-fA-F]{3})$";
+    rx ~upper:true "uk-postcode" "re_uk_postcode"
+      "^[A-Z]{1,2}[0-9][A-Z0-9]? [0-9][A-Z]{2}$";
+    rx "ein" "re_ein" "^[0-9]{2}-[0-9]{7}$";
+    rx "snpid" "re_rsid" "^rs[0-9]{3,9}$";
+    rx "ensembl-gene" "re_ensembl" "^ENSG[0-9]{11}$";
+    rx "hcpcs" "re_hcpcs" "^[A-Z][0-9]{4}$";
+    rx "atc-code" "re_atc" "^[A-Z][0-9]{2}[A-Z]{2}[0-9]{2}$";
+    rx "fda-ndc" "re_ndc" "^[0-9]{5}-[0-9]{4}-[0-9]{2}$";
+    rx "oid" "re_oid" "^[0-2](\\.[0-9]+)+$";
+    rx "unix-time" "re_epoch" "^1[0-9]{9}$";
+    rx ~upper:true "isin" "re_isin" "^[A-Z]{2}[A-Z0-9]{9}[0-9]$";
+    rx ~upper:true "vin" "re_vin" "^[A-HJ-NPR-Z0-9]{17}$";
+    rx "doi" "re_doi" "^10\\.[0-9]{4,}/[^ ]+$";
+    rx "orcid" "re_orcid" "^[0-9]{4}-[0-9]{4}-[0-9]{4}-[0-9]{3}[0-9X]$";
+    rx "bitcoin-address" "re_btc" "^[13][1-9A-HJ-NP-Za-km-z]{25,34}$";
+    rx "msisdn" "re_msisdn" "^\\+?[1-9][0-9]{9,14}$";
+    rx "imei" "re_imei" "^[0-9]{15}$";
+    rx "pubchem" "re_cid" "^(CID:)?[0-9]{2,9}$";
+  ]
+
+let render_regex_fn (s : regex_spec) : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "def %s(value):\n" s.fname);
+  Buffer.add_string buf "    value = value.strip()\n";
+  String.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf "    value = value.replace(%C, \"\")\n" c))
+    s.strip_chars;
+  if s.upper then Buffer.add_string buf "    value = value.upper()\n";
+  Buffer.add_string buf
+    (Printf.sprintf "    if re.match(\"%s\", value):\n" s.pattern);
+  Buffer.add_string buf "        return True\n    return False\n";
+  Buffer.contents buf
+
+(** One big "awesome validators" collection repo, like the community
+    regex collections on GitHub. *)
+let regex_collection : Repolib.Repo.t =
+  let source =
+    "import re\n\n"
+    ^ String.concat "\n" (List.map render_regex_fn regex_specs)
+  in
+  let names =
+    regex_specs
+    |> List.map (fun s -> s.type_id)
+    |> List.sort_uniq String.compare
+    |> List.filter_map (fun id ->
+           Option.map (fun (t : Semtypes.Registry.t) -> t.name)
+             (Semtypes.Registry.find id))
+  in
+  Repolib.Repo.make "awesome-data/regex-validators"
+    ("Community collection of regex validators for common data formats: "
+    ^ String.concat ", " names)
+    ~readme:
+      "One regular expression per format. Contributions welcome. \
+       Formats covered include credit card, email address, IPv4, \
+       zipcode, phone number, url, ISBN, ISSN, SSN, MAC address, MD5, \
+       GUID, hex color, UK postal code, ISIN, VIN, DOI, ORCID, bitcoin \
+       address, IMEI and more."
+    ~stars:1530
+    ~truth:(List.map (fun s -> (s.fname, [ s.type_id ])) regex_specs)
+    [ file "validators/regexes.py" source ]
+
+(* ------------------------------------------------------------------ *)
+(* Per-type gist one-liners for the long tail                          *)
+(* ------------------------------------------------------------------ *)
+
+let gist_specs =
+  [
+    rx "uniprot" "uniprot_ok" "^[OPQ][0-9][A-Z0-9]{3}[0-9]([A-Z0-9]{4})?$";
+    rx "lsid" "lsid_ok" "^urn:lsid:[a-z0-9.-]+:[a-z0-9]+:[0-9]+$";
+    rx "icd10" "icd10_ok" "^[A-Z][0-9]{2}(\\.[A-Z0-9]{1,4})?$";
+    rx ~upper:true "ca-postcode" "ca_postal_ok" "^[A-Z][0-9][A-Z] [0-9][A-Z][0-9]$";
+    rx "http-status" "status_ok" "^[1-5][0-9]{2}$";
+    rx "aba-routing" "aba_format_ok" "^[0-9]{9}$";
+    rx ~upper:true "sedol" "sedol_format_ok" "^[B-DF-HJ-NP-TV-Z0-9]{6}[0-9]$";
+    rx ~upper:true "cusip" "cusip_format_ok" "^[A-Z0-9]{8}[0-9]$";
+    rx "ean" "ean13_format_ok" "^[0-9]{13}$";
+    rx "gtin" "gtin_format_ok" "^[0-9]{14}$";
+    rx ~upper:true "swift-code" "bic_format_ok" "^[A-Z]{4}[A-Z]{2}[A-Z0-9]{2}([A-Z0-9]{3})?$";
+    rx "nhs-number" "nhs_format_ok" "^[0-9]{10}$";
+    rx "cas-number" "cas_format_ok" "^[0-9]{2,7}-[0-9]{2}-[0-9]$";
+    rx "bibcode" "bibcode_format_ok" "^(18|19|20)[0-9]{2}[A-Za-z.&]{5}[0-9.]{9}[A-Z]$";
+    rx "isrc" "isrc_format_ok" "^[A-Z]{2}[A-Z0-9]{3}[0-9]{7}$";
+    rx "mgrs" "mgrs_format_ok" "^[1-9][0-9]?[C-X][A-Z]{2}([0-9][0-9])+$";
+    rx "stock-ticker" "ticker_format_ok" "^[A-Z]{1,5}(\\.[A-Z])?$";
+    rx "airport-code" "iata_format_ok" "^[A-Z]{3}$";
+    rx "country-code" "iso2_format_ok" "^[A-Z]{2}$";
+    rx "us-state" "state_format_ok" "^[A-Z]{2}$";
+    rx "imo-number" "imo_format_ok" "^(IMO )?[0-9]{7}$";
+    rx ~upper:true "iso6346" "container_format_ok" "^[A-Z]{3}[UJZ][0-9]{7}$";
+    rx "inchi" "inchi_format_ok" "^InChI=1S/.+$";
+    rx ~upper:true "lei" "lei_format_ok" "^[A-Z0-9]{18}[0-9]{2}$";
+    rx "cn-resident-id" "cnid_format_ok" "^[0-9]{17}[0-9X]$";
+    rx "dea-number" "dea_format_ok" "^[A-Z][A-Z9][0-9]{7}$";
+    rx "longlat" "latlon_format_ok"
+      "^-?[0-9]{1,2}\\.[0-9]+, ?-?[0-9]{1,3}\\.[0-9]+$";
+    rx "utm" "utm_format_ok" "^[1-9][0-9]?[C-X] [0-9]{5,7} [0-9]{6,8}$";
+  ]
+
+let gist_repo_of_spec ?style (s : regex_spec) : Repolib.Repo.t =
+  let type_name =
+    match Semtypes.Registry.find s.type_id with
+    | Some t -> t.Semtypes.Registry.name
+    | None -> s.type_id
+  in
+  (* Style variation: plain return, raising parser, or match-length
+     reporter; default keyed on the type id. *)
+  let style =
+    match style with
+    | Some st -> st
+    | None -> Hashtbl.hash s.type_id mod 3
+  in
+  let body =
+    match style with
+    | 0 -> "import re\n\n" ^ render_regex_fn s
+    | 1 ->
+      Printf.sprintf
+        "import re\n\n\
+         def %s(value):\n\
+         \    value = value.strip()\n\
+         %s%s\
+         \    if not re.match(\"%s\", value):\n\
+         \        raise ValueError(\"not a valid %s\")\n\
+         \    return value\n"
+        s.fname
+        (String.concat ""
+           (List.map
+              (fun c -> Printf.sprintf "    value = value.replace(%C, \"\")\n" c)
+              (List.init (String.length s.strip_chars) (String.get s.strip_chars))))
+        (if s.upper then "    value = value.upper()\n" else "")
+        s.pattern type_name
+    | _ ->
+      Printf.sprintf
+        "import re\n\n\
+         def %s(value):\n\
+         \    value = value.strip()\n\
+         %s\
+         \    m = re.match(\"%s\", value)\n\
+         \    if m:\n\
+         \        return len(value)\n\
+         \    return 0\n"
+        s.fname
+        (if s.upper then "    value = value.upper()\n" else "")
+        s.pattern
+  in
+  let owner =
+    match style with 0 -> "gist" | 1 -> "snippets" | _ -> "codebits"
+  in
+  Repolib.Repo.make
+    (Printf.sprintf "%s/%s-check" owner s.type_id)
+    (Printf.sprintf "%s: quick %s check" owner type_name)
+    ~stars:(1 + (Hashtbl.hash s.fname mod 40))
+    ~truth:[ (s.fname, [ s.type_id ]) ]
+    [ file (Printf.sprintf "%s/%s.py" owner s.fname) body ]
+
+(* Three independently-styled snippets per type, for every regex spec:
+   the redundancy real code hosting exhibits (Figure 9's multiple
+   relevant functions per type).  Types appearing in both spec lists
+   get gists from each; function names never collide. *)
+let gist_repos =
+  let seen = Hashtbl.create 64 in
+  List.concat_map
+    (fun s ->
+      if Hashtbl.mem seen s.type_id then []
+      else begin
+        Hashtbl.add seen s.type_id ();
+        [ gist_repo_of_spec ~style:0 s; gist_repo_of_spec ~style:1 s;
+          gist_repo_of_spec ~style:2 s ]
+      end)
+    (gist_specs @ regex_specs)
+
+(* ------------------------------------------------------------------ *)
+(* Forks of popular repositories                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** GitHub is full of forks: same code under another owner.  Forks carry
+    the same intent labels and rank independently, multiplying the
+    relevant-function counts for popular types exactly as the paper
+    observes. *)
+let fork ~owner (repo : Repolib.Repo.t) : Repolib.Repo.t =
+  let base =
+    match String.index_opt repo.Repolib.Repo.repo_name '/' with
+    | Some i ->
+      String.sub repo.Repolib.Repo.repo_name (i + 1)
+        (String.length repo.Repolib.Repo.repo_name - i - 1)
+    | None -> repo.Repolib.Repo.repo_name
+  in
+  (* Fork files get distinct paths so trace sites do not collide. *)
+  let files =
+    List.map
+      (fun (f : Repolib.Repo.file) ->
+        { f with Repolib.Repo.path = owner ^ "-" ^ f.Repolib.Repo.path })
+      repo.Repolib.Repo.files
+  in
+  (* Script-level truth labels embed the file path; rename those too. *)
+  let truth =
+    List.map
+      (fun (fname, types) ->
+        let fname =
+          if String.length fname > 8 && String.sub fname 0 8 = "<script:" then
+            "<script:" ^ owner ^ "-"
+            ^ String.sub fname 8 (String.length fname - 8)
+          else fname
+        in
+        (fname, types))
+      repo.Repolib.Repo.truth
+  in
+  Repolib.Repo.make
+    (owner ^ "/" ^ base)
+    (repo.Repolib.Repo.description ^ " (fork)")
+    ~readme:repo.Repolib.Repo.readme
+    ~stars:(max 1 (repo.Repolib.Repo.stars / 4))
+    ~truth files
+
+let forked_repos =
+  [
+    fork ~owner:"fork-jlee" Snippets_finance.cardcheck;
+    fork ~owner:"fork-mchan" Snippets_finance.cardcheck;
+    fork ~owner:"fork-avasquez" Snippets_finance.py_payments;
+    fork ~owner:"fork-tnguyen" Snippets_finance.iban_tools;
+    fork ~owner:"fork-rkumar" Snippets_finance.securities;
+    fork ~owner:"fork-bwhite" Snippets_finance.barcode_lib;
+    fork ~owner:"fork-osmith" Snippets_finance.moneyfmt;
+    fork ~owner:"fork-pgarcia" Snippets_finance.tickerdb;
+    fork ~owner:"fork-dmartin" Snippets_finance.swift_bic;
+    fork ~owner:"fork-hzhang" Snippets_publication.isbn_tools;
+    fork ~owner:"fork-kito" Snippets_publication.isbn_tools;
+    fork ~owner:"fork-lrossi" Snippets_publication.issn_lib;
+    fork ~owner:"fork-speters" Snippets_publication.orcid_lib;
+    fork ~owner:"fork-jmoore" Snippets_net.netaddr;
+    fork ~owner:"fork-wklein" Snippets_net.netaddr;
+    fork ~owner:"fork-fcosta" Snippets_net.email_lib;
+    fork ~owner:"fork-enovak" Snippets_net.urltools;
+    fork ~owner:"fork-mjones" Snippets_net.macaddr;
+    fork ~owner:"fork-ryilmaz" Snippets_datetime.dateparse;
+    fork ~owner:"fork-cdubois" Snippets_datetime.dateparse;
+    fork ~owner:"fork-tsilva" Snippets_geo.phone_us_lib;
+    fork ~owner:"fork-npatel" Snippets_geo.address_parse;
+    fork ~owner:"fork-gmuller" Snippets_geo.zipdb;
+    fork ~owner:"fork-iwong" Snippets_geo.country_db;
+    fork ~owner:"fork-vpopov" Snippets_geo.airport_db;
+    fork ~owner:"fork-asato" Snippets_misc.vin_decoder;
+    fork ~owner:"fork-lbrown" Snippets_misc.colorconv;
+    fork ~owner:"fork-mrivera" Snippets_misc.roman_lib;
+    fork ~owner:"fork-kowens" Snippets_misc.markup;
+    fork ~owner:"fork-dcohen" Snippets_science.chemtools;
+    fork ~owner:"fork-rfischer" Snippets_science.bioseq;
+    fork ~owner:"fork-yliu" Snippets_science.medcodes;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* A python-stdnum-style port: many checksum validators in one repo    *)
+(* ------------------------------------------------------------------ *)
+
+let render_gs1_fn fname len =
+  Printf.sprintf
+    {|def %s(number):
+    number = number.replace(" ", "").replace("-", "")
+    if len(number) != %d:
+        return False
+    if not number.isdigit():
+        return False
+    total = 0
+    weight = 3
+    i = len(number) - 2
+    while i >= 0:
+        total = total + (ord(number[i]) - 48) * weight
+        if weight == 3:
+            weight = 1
+        else:
+            weight = 3
+        i = i - 1
+    return (10 - total %% 10) %% 10 == ord(number[%d]) - 48
+|}
+    fname len (len - 1)
+
+let render_luhn_fn fname min_len max_len =
+  Printf.sprintf
+    {|def %s(number):
+    number = number.replace(" ", "").replace("-", "")
+    if len(number) < %d or len(number) > %d:
+        return False
+    if not number.isdigit():
+        return False
+    total = 0
+    parity = len(number) %% 2
+    i = 0
+    while i < len(number):
+        d = ord(number[i]) - 48
+        if i %% 2 == parity:
+            d = d * 2
+            if d > 9:
+                d = d - 9
+        total = total + d
+        i = i + 1
+    return total %% 10 == 0
+|}
+    fname min_len max_len
+
+let stdnum_port : Repolib.Repo.t =
+  let source =
+    String.concat "\n"
+      [
+        render_luhn_fn "luhn_valid" 8 19;
+        render_luhn_fn "validate_card_number" 13 19;
+        render_luhn_fn "validate_imei_number" 15 15;
+        render_gs1_fn "validate_ean13_number" 13;
+        render_gs1_fn "validate_ean8_number" 8;
+        render_gs1_fn "validate_upca_number" 12;
+        render_gs1_fn "validate_gln_number" 13;
+        render_gs1_fn "validate_gtin14_number" 14;
+      ]
+  in
+  Repolib.Repo.make "stdnum-ports/py-stdnum-lite"
+    "Port of the stdnum checksum validators: luhn, credit card, IMEI, \
+     EAN barcode, UPC, GLN, GTIN"
+    ~readme:
+      "A lightweight port of the standard-numbers library. Provides \
+       checksum validation for payment card numbers (credit card), \
+       device identifiers (IMEI) and GS1 codes (EAN, UPC, GLN, GTIN)."
+    ~stars:640
+    ~truth:
+      [ ("luhn_valid", [ "credit-card"; "imei" ]);
+        ("validate_card_number", [ "credit-card" ]);
+        ("validate_imei_number", [ "imei" ]);
+        ("validate_ean13_number", [ "ean" ]);
+        ("validate_ean8_number", [ "ean" ]);
+        ("validate_upca_number", [ "upc" ]);
+        ("validate_gln_number", [ "gln" ]);
+        ("validate_gtin14_number", [ "gtin" ]) ]
+    [ file "stdnum/checksums.py" source ]
+
+(* ------------------------------------------------------------------ *)
+(* Swift-language filler repositories                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** On GitHub, the query "SWIFT" is swamped by Swift-programming-language
+    repositories (Appendix J).  Reproducing that requires volume: dozens
+    of swift-language repos, each carrying only an incidental Python
+    helper script. *)
+let swift_filler_repos =
+  let topics =
+    [ "optionals"; "generics"; "protocols"; "closures"; "enums"; "structs";
+      "extensions"; "actors"; "concurrency"; "combine"; "swiftui"; "uikit";
+      "codable"; "property-wrappers"; "result-builders"; "macros";
+      "error-handling"; "collections"; "strings"; "pattern-matching";
+      "memory-management"; "interop"; "testing"; "packages"; "playgrounds";
+      "animations"; "networking"; "json-parsing"; "core-data"; "widgets";
+      "notifications"; "accessibility"; "localization"; "performance";
+      "debugging"; "scripting"; "cli-apps"; "server-side"; "vapor";
+      "metal"; "arkit"; "mapkit"; "healthkit"; "watchos"; "tvos" ]
+  in
+  List.mapi
+    (fun i topic ->
+      Repolib.Repo.make
+        (Printf.sprintf "swiftdev%02d/swift-%s" i topic)
+        (Printf.sprintf "swift %s: learn swift %s by example in swift" topic
+           topic)
+        ~readme:
+          (Printf.sprintf
+             "swift %s examples for the swift programming language. swift \
+              tutorial chapters covering %s with swift playground code. \
+              swift swift."
+             topic topic)
+        ~stars:(100 + ((i * 37) mod 900))
+        ~truth:[]
+        [
+          Corpus_util.file
+            (Printf.sprintf "swift-%s/gen_toc.py" topic)
+            (Printf.sprintf
+               {|def toc_entry_%02d(title):
+    out = ""
+    for ch in title.lower():
+        if ch.isalnum():
+            out = out + ch
+        elif ch == " ":
+            out = out + "-"
+    return out
+|}
+               i);
+        ])
+    topics
+
+let repos =
+  (regex_collection :: stdnum_port :: gist_repos)
+  @ forked_repos @ swift_filler_repos

@@ -1,0 +1,51 @@
+(** The assembled simulated open-source ecosystem. *)
+
+(* Most substantial repositories also carry a generic helpers file, as
+   real projects do; see Corpus_util.with_utils. *)
+let add_generic_helpers (repos : Repolib.Repo.t list) : Repolib.Repo.t list =
+  List.map
+    (fun (r : Repolib.Repo.t) ->
+      (* Gists and single-snippet repos stay bare. *)
+      if r.Repolib.Repo.stars >= 60 then
+        let prefix =
+          String.map
+            (fun c -> if c = '/' || c = '-' then '_' else c)
+            r.Repolib.Repo.repo_name
+        in
+        Corpus_util.with_utils prefix r
+      else r)
+    repos
+
+let all_repos : Repolib.Repo.t list =
+  add_generic_helpers
+    (Snippets_finance.repos @ Snippets_net.repos @ Snippets_datetime.repos
+    @ Snippets_geo.repos @ Snippets_publication.repos @ Snippets_science.repos
+    @ Snippets_misc.repos @ Snippets_extra.repos @ Distractors.repos
+    @ Codegen.repos)
+
+(* The search index over the whole store, built once. *)
+let index = lazy (Repolib.Search.build_index all_repos)
+
+let search_index () = Lazy.force index
+
+(** Every repository must parse: enforced by tests and asserted here at
+    first use so corpus regressions fail loudly. *)
+let parse_failures () =
+  List.filter_map
+    (fun (r : Repolib.Repo.t) ->
+      match Repolib.Repo.parse_all r with
+      | Ok _ -> None
+      | Error msg -> Some (r.Repolib.Repo.repo_name, msg))
+    all_repos
+
+(** All candidates a full corpus scan yields (used by coverage stats). *)
+let all_candidates () =
+  List.concat_map Repolib.Analyzer.candidates_of_repo all_repos
+
+(** Ground-truth relevant functions for a benchmark type across the
+    whole corpus: the paper's intention score I(F) support. *)
+let intended_candidates type_id =
+  all_candidates ()
+  |> List.filter (fun (c : Repolib.Candidate.t) ->
+         Repolib.Repo.intends c.Repolib.Candidate.repo
+           ~func_name:c.Repolib.Candidate.func_name ~type_id)

@@ -1,0 +1,44 @@
+(** Shared helpers for corpus construction. *)
+
+let file path source : Repolib.Repo.file = { Repolib.Repo.path; source }
+
+(** A generic helpers file, of the kind most real repositories carry
+    alongside their topical code.  These functions accept broad classes
+    of input (any int, any string), which is precisely what defeats the
+    random-negative baseline of Figure 10(c): against random strings
+    they separate P from N just as well as the true validators.  The
+    [prefix] keeps definition names unique per repository. *)
+let utils_file prefix =
+  file
+    (prefix ^ "/util_helpers.py")
+    (Printf.sprintf
+       {|# shared helpers
+def %s_parse_num(s):
+    s = s.strip()
+    return int(s.replace(" ", "").replace("-", "").replace(".", ""))
+
+def %s_clean_text(s):
+    out = ""
+    for ch in s:
+        if ch.isalnum() or ch == " ":
+            out = out + ch
+    return out
+
+def %s_count_digits(s):
+    n = 0
+    for ch in s:
+        if ch.isdigit():
+            n = n + 1
+    return n
+
+def %s_check_safe_input(s):
+    for ch in s:
+        if not ch.isalnum() and ch not in " .,-:/@()'+_$#":
+            raise ValueError("unexpected character in input")
+    return s
+|}
+       prefix prefix prefix prefix)
+
+(** Attach the generic helpers file to a repository. *)
+let with_utils prefix (repo : Repolib.Repo.t) : Repolib.Repo.t =
+  { repo with Repolib.Repo.files = repo.Repolib.Repo.files @ [ utils_file prefix ] }

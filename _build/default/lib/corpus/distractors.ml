@@ -1,0 +1,297 @@
+(** Distractor repositories: executable code that is *not* about any
+    benchmark type, or that collides with type keywords.
+
+    These make the ranking problem real: a generic [int(s)] wrapper
+    accepts every digit string (the paper's Fint discussion in
+    Section 6), the "swift" programming-language repos hijack the SWIFT
+    keyword (Appendix J), and string utilities execute happily on any
+    input while revealing nothing. *)
+
+let file = Corpus_util.file
+
+let strutils =
+  Repolib.Repo.make "pyutils/strutils"
+    "Assorted string helpers: reverse, vowels, palindromes, slugs"
+    ~stars:95
+    ~truth:[]
+    [
+      file "strutils/basic.py"
+        {|def reverse_string(s):
+    out = ""
+    i = len(s) - 1
+    while i >= 0:
+        out = out + s[i]
+        i = i - 1
+    return out
+
+def count_vowels(s):
+    count = 0
+    for ch in s.lower():
+        if ch in "aeiou":
+            count = count + 1
+    return count
+
+def is_palindrome(s):
+    s = s.lower().replace(" ", "")
+    return s == reverse_string(s)
+
+def slugify(s):
+    out = ""
+    for ch in s.lower():
+        if ch.isalnum():
+            out = out + ch
+        elif ch == " " or ch == "-" or ch == "_":
+            out = out + "-"
+    return out
+|};
+    ]
+
+let mathkit =
+  Repolib.Repo.make "pyutils/mathkit"
+    "Number parsing and small math utilities"
+    ~stars:61
+    ~truth:[]
+    [
+      file "mathkit/numbers.py"
+        {|def parse_int_safe(s):
+    # generic int parser: accepts any integer-looking string
+    return int(s.strip())
+
+def parse_number(s):
+    s = s.strip()
+    try:
+        return int(s)
+    except ValueError:
+        return float(s)
+
+def is_even_number(s):
+    n = int(s)
+    return n % 2 == 0
+
+def digit_sum(s):
+    total = 0
+    for ch in s:
+        if ch.isdigit():
+            total = total + ord(ch) - 48
+    return total
+|};
+    ]
+
+let swift_lang =
+  Repolib.Repo.make "swift-community/swift-examples"
+    "Example programs for the Swift programming language"
+    ~readme:
+      "Learn Swift by example: optionals, generics, protocols. This \
+       repository collects swift code snippets for beginners. swift \
+       swift swift."
+    ~stars:2100
+    ~truth:[]
+    [
+      file "tools/build_helper.py"
+        {|def count_swift_lines(source):
+    # count non-empty lines of a swift source file passed as a string
+    count = 0
+    for line in source.split("\n"):
+        if line.strip() != "":
+            count = count + 1
+    return count
+
+def module_name(source):
+    for line in source.split("\n"):
+        line = line.strip()
+        if line[:7] == "import ":
+            return line[7:]
+    return "main"
+|};
+    ]
+
+let swift_lang_tutorial =
+  Repolib.Repo.make "learn-swift/swift-tutorial"
+    "A swift tutorial: swift language basics and swift playground setup"
+    ~readme:"swift tutorial for ios developers. chapters on swift syntax."
+    ~stars:860
+    ~truth:[]
+    [
+      file "scripts/toc.py"
+        {|def chapter_slug(title):
+    out = ""
+    for ch in title.lower():
+        if ch.isalnum():
+            out = out + ch
+        elif ch == " ":
+            out = out + "-"
+    if out == "":
+        raise ValueError("empty title")
+    return out
+|};
+    ]
+
+let csv_tools =
+  Repolib.Repo.make "datatools/csv-peek"
+    "Inspect delimited text: guess separators, count columns"
+    ~stars:44
+    ~truth:[]
+    [
+      file "csvpeek/sniff.py"
+        {|def guess_separator(line):
+    best = ","
+    best_count = line.count(",")
+    for sep in [";", "\t", "|"]:
+        c = line.count(sep)
+        if c > best_count:
+            best = sep
+            best_count = c
+    return best
+
+def column_count(line):
+    sep = guess_separator(line)
+    return len(line.split(sep))
+|};
+    ]
+
+let temp_conv =
+  Repolib.Repo.make "iot/temperature-convert"
+    "Temperature unit conversions for sensor data"
+    ~stars:12
+    ~truth:[]
+    [
+      file "temp/convert.py"
+        {|def f_to_c(reading):
+    value = float(reading)
+    return (value - 32.0) * 5.0 / 9.0
+
+def c_to_f(reading):
+    value = float(reading)
+    return value * 9.0 / 5.0 + 32.0
+|};
+    ]
+
+let word_stats =
+  Repolib.Repo.make "nlp/word-stats"
+    "Word counting and text statistics"
+    ~stars:33
+    ~truth:[]
+    [
+      file "wordstats/stats.py"
+        {|def word_count(text):
+    words = 0
+    for w in text.split(" "):
+        if w != "":
+            words = words + 1
+    return words
+
+def average_word_length(text):
+    total = 0
+    words = 0
+    for w in text.split(" "):
+        if w != "":
+            words = words + 1
+            total = total + len(w)
+    if words == 0:
+        raise ValueError("no words")
+    return total / words
+|};
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* The four complex-invocation repositories (Section 8.2.2): relevant  *)
+(* code exists, but using it requires chained calls like               *)
+(*   a = foo1(); b = foo2(a); c = foo3(b, s)                           *)
+(* which the analyzer (like the paper's) does not support.             *)
+(* ------------------------------------------------------------------ *)
+
+let sql_parser =
+  Repolib.Repo.make "dbtools/sql-parser"
+    "SQL statement parser with dialect configuration"
+    ~readme:"Parse SQL statements. Build a dialect, then a parser, then parse."
+    ~stars:720
+    ~truth:[ ("parse_with", [ "sql" ]) ]
+    [
+      file "sqlparser/parser.py"
+        {|def make_dialect():
+    return {"keywords": ["SELECT", "INSERT", "UPDATE", "DELETE", "FROM",
+                         "WHERE", "SET", "VALUES", "INTO"]}
+
+def make_parser(dialect):
+    return {"dialect": dialect, "strict": True}
+
+def parse_with(parser, statement):
+    # requires: parser = make_parser(make_dialect())
+    keywords = parser["dialect"]["keywords"]
+    first = statement.strip().split(" ")[0].upper()
+    if first not in keywords:
+        raise ValueError("not a SQL statement")
+    return {"verb": first}
+|};
+    ]
+
+let taf_decoder =
+  Repolib.Repo.make "aviation/taf-decoder"
+    "Aviation TAF forecast decoding (needs station registry handle)"
+    ~stars:88
+    ~truth:[ ("decode_taf", [ "taf" ]) ]
+    [
+      file "taf/decode.py"
+        {|def load_stations():
+    return {"KSEA": "Seattle", "KLAX": "Los Angeles", "KJFK": "New York"}
+
+def make_decoder(stations):
+    return {"stations": stations}
+
+def decode_taf(decoder, report):
+    # requires: decoder = make_decoder(load_stations())
+    if report[:4] != "TAF ":
+        raise ValueError("not a TAF report")
+    return {"station": report[4:8]}
+|};
+    ]
+
+let isni_registry =
+  Repolib.Repo.make "identifiers/isni-client"
+    "ISNI name identifier client (session + resolver + verify)"
+    ~stars:35
+    ~truth:[ ("verify_isni", [ "isni" ]) ]
+    [
+      file "isni/client.py"
+        {|def open_session():
+    return {"endpoint": "isni.example.org"}
+
+def make_resolver(session):
+    return {"session": session}
+
+def verify_isni(resolver, isni):
+    # requires: resolver = make_resolver(open_session())
+    compact = isni.replace(" ", "")
+    if len(compact) != 16:
+        raise ValueError("wrong length")
+    return True
+|};
+    ]
+
+let ric_feed =
+  Repolib.Repo.make "marketdata/ric-feed"
+    "Reuters instrument code feed client (handle + auth + query)"
+    ~stars:52
+    ~truth:[ ("query_ric", [ "reuters-ric" ]) ]
+    [
+      file "ric/feed.py"
+        {|def connect():
+    return {"host": "feed.example.com"}
+
+def authenticate(conn):
+    return {"conn": conn, "token": "abc123"}
+
+def query_ric(session, ric):
+    # requires: session = authenticate(connect())
+    dot = ric.find(".")
+    if dot <= 0:
+        raise ValueError("RIC must contain an exchange suffix")
+    return {"base": ric[:dot], "exchange": ric[dot + 1:]}
+|};
+    ]
+
+let repos =
+  [
+    strutils; mathkit; swift_lang; swift_lang_tutorial; csv_tools;
+    temp_conv; word_stats; sql_parser; taf_decoder; isni_registry; ric_feed;
+  ]

@@ -1,0 +1,185 @@
+(** Hand-written "mined" repositories for date/time types — the
+    paper's canonical example of *implicit* validation: code written to
+    parse dates into components rejects invalid dates as a side effect
+    ("Sep" is a month, "Abc" is not). *)
+
+let file = Corpus_util.file
+
+let dateparse =
+  Repolib.Repo.make "timekit/dateparse"
+    "Parse date strings into year, month and day components"
+    ~readme:
+      "Supports ISO dates (2017-01-31), US dates (01/31/2017) and \
+       textual dates (Jan 01, 2017). Validates month lengths and leap \
+       years while parsing."
+    ~stars:602
+    ~truth:
+      [ ("parse_iso_date", [ "datetime" ]);
+        ("parse_us_date", [ "datetime" ]);
+        ("parse_textual_date", [ "datetime" ]);
+        ("parse_any_date", [ "datetime" ]) ]
+    [
+      file "dateparse/common.py"
+        {|DAYS_IN_MONTH = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31]
+
+def is_leap(year):
+    if year % 400 == 0:
+        return True
+    if year % 100 == 0:
+        return False
+    return year % 4 == 0
+
+def check_ymd(year, month, day):
+    if year < 1000 or year > 2999:
+        raise ValueError("year out of range")
+    if month < 1 or month > 12:
+        raise ValueError("month out of range")
+    limit = DAYS_IN_MONTH[month - 1]
+    if month == 2 and is_leap(year):
+        limit = 29
+    if day < 1 or day > limit:
+        raise ValueError("day out of range")
+    return [year, month, day]
+|};
+      file "dateparse/iso.py"
+        {|def parse_iso_date(text):
+    text = text.strip()
+    sep = "-"
+    if "/" in text and "-" not in text:
+        sep = "/"
+    parts = text.split(sep)
+    if len(parts) != 3:
+        raise ValueError("expected year-month-day")
+    y = parts[0]
+    m = parts[1]
+    d = parts[2]
+    if len(y) != 4:
+        raise ValueError("year must be 4 digits")
+    year = int(y)
+    month = int(m)
+    day = int(d)
+    return check_ymd(year, month, day)
+|};
+      file "dateparse/us.py"
+        {|def parse_us_date(text):
+    parts = text.strip().split("/")
+    if len(parts) != 3:
+        raise ValueError("expected month/day/year")
+    month = int(parts[0])
+    day = int(parts[1])
+    y = parts[2]
+    if len(y) != 4 and len(y) != 2:
+        raise ValueError("year must be 2 or 4 digits")
+    year = int(y)
+    if year < 100:
+        year = 2000 + year
+    return check_ymd(year, month, day)
+|};
+      file "dateparse/textual.py"
+        {|MONTHS = {"jan": 1, "feb": 2, "mar": 3, "apr": 4, "may": 5, "jun": 6,
+          "jul": 7, "aug": 8, "sep": 9, "oct": 10, "nov": 11, "dec": 12,
+          "january": 1, "february": 2, "march": 3, "april": 4, "june": 6,
+          "july": 7, "august": 8, "september": 9, "october": 10,
+          "november": 11, "december": 12}
+
+def parse_textual_date(text):
+    cleaned = text.replace(",", " ").lower()
+    tokens = []
+    for t in cleaned.split(" "):
+        if t != "":
+            tokens.append(t)
+    if len(tokens) != 3:
+        raise ValueError("expected month day year")
+    month_name = tokens[0]
+    day_tok = tokens[1]
+    if month_name not in MONTHS:
+        # also accept "15 Sep 2011" ordering
+        month_name = tokens[1]
+        day_tok = tokens[0]
+        if month_name not in MONTHS:
+            raise ValueError("unknown month name")
+    month = MONTHS[month_name]
+    day = int(day_tok)
+    year = int(tokens[2])
+    return check_ymd(year, month, day)
+|};
+      file "dateparse/any.py"
+        {|def parse_any_date(text):
+    text = text.strip()
+    # split off a trailing HH:MM[:SS] time if present
+    space = text.rfind(" ")
+    if space > 0 and ":" in text[space + 1:]:
+        clock = text[space + 1:]
+        pieces = clock.split(":")
+        if len(pieces) < 2 or len(pieces) > 3:
+            raise ValueError("bad time")
+        hour = int(pieces[0])
+        minute = int(pieces[1])
+        if hour > 23 or minute > 59:
+            raise ValueError("time out of range")
+        text = text[:space]
+    digits = 0
+    for ch in text:
+        if ch.isdigit():
+            digits = digits + 1
+    if "/" in text and digits >= 5:
+        try:
+            return parse_us_date(text)
+        except ValueError:
+            return parse_iso_date(text)
+    if "-" in text:
+        return parse_iso_date(text)
+    return parse_textual_date(text)
+|};
+    ]
+
+let epoch_tools =
+  Repolib.Repo.make "timekit/epoch-tools"
+    "UNIX epoch timestamp conversion helpers"
+    ~stars:71
+    ~truth:[ ("from_unix", [ "unix-time" ]) ]
+    [
+      file "epoch/convert.py"
+        {|def from_unix(ts):
+    ts = ts.strip()
+    if not ts.isdigit():
+        raise ValueError("timestamp must be numeric")
+    if len(ts) == 13:
+        # milliseconds
+        ts = ts[:10]
+    if len(ts) != 10:
+        raise ValueError("expected a 10 digit epoch")
+    seconds = int(ts)
+    if seconds < 100000000:
+        raise ValueError("timestamp too old")
+    days = seconds // 86400
+    year = 1970 + days // 365
+    return year
+|};
+    ]
+
+let clock_gist =
+  Repolib.Repo.make "gist/hhmmss-check"
+    "gist: validate HH:MM:SS clock strings"
+    ~stars:6
+    ~truth:[ ("valid_clock", [ "datetime" ]) ]
+    [
+      file "gist/clock.py"
+        {|def valid_clock(t):
+    parts = t.split(":")
+    if len(parts) < 2 or len(parts) > 3:
+        return False
+    for p in parts:
+        if not p.isdigit():
+            return False
+    h = int(parts[0])
+    m = int(parts[1])
+    if h > 23 or m > 59:
+        return False
+    if len(parts) == 3 and int(parts[2]) > 59:
+        return False
+    return True
+|};
+    ]
+
+let repos = [ dateparse; epoch_tools; clock_gist ]

@@ -1,0 +1,534 @@
+(** A second wave of independent implementations for the popular types:
+    alternative algorithms and code styles for types that, on real code
+    hosting, accumulate many implementations (Figure 9's long tail). *)
+
+let file = Corpus_util.file
+
+(* Luhn via the doubled-digit lookup table — a genuinely different
+   implementation style from the arithmetic versions. *)
+let card_table =
+  Repolib.Repo.make "paykit/luhn-table"
+    "Credit card checksum via precomputed doubling table"
+    ~stars:88
+    ~truth:[ ("card_ok", [ "credit-card" ]) ]
+    [
+      file "luhntable/check.py"
+        {|DOUBLED = [0, 2, 4, 6, 8, 1, 3, 5, 7, 9]
+
+def card_ok(number):
+    number = number.replace(" ", "").replace("-", "")
+    if len(number) < 13 or len(number) > 19:
+        return False
+    total = 0
+    odd = True
+    i = len(number) - 1
+    while i >= 0:
+        d = ord(number[i]) - 48
+        if d < 0 or d > 9:
+            return False
+        if odd:
+            total = total + d
+        else:
+            total = total + DOUBLED[d]
+        odd = not odd
+        i = i - 1
+    return total % 10 == 0
+|};
+    ]
+
+(* A recursive date parser with per-component validators. *)
+let dateutil_like =
+  Repolib.Repo.make "timekit/dateutil-lite"
+    "Flexible date parsing: component validators and format guessing"
+    ~readme:
+      "A lightweight port of the dateutil parser idea: try each known \
+       format and validate components while assembling the result."
+    ~stars:820
+    ~truth:
+      [ ("Dateparse.parse", [ "datetime" ]); ("guess_format", [ "datetime" ]) ]
+    [
+      file "dateutil/parser.py"
+        {|MONTH_NAMES = ["jan", "feb", "mar", "apr", "may", "jun", "jul",
+               "aug", "sep", "oct", "nov", "dec"]
+
+def month_number(token):
+    token = token.lower()[:3]
+    i = 0
+    while i < 12:
+        if MONTH_NAMES[i] == token:
+            return i + 1
+        i = i + 1
+    return 0
+
+def days_in(year, month):
+    if month == 2:
+        if year % 4 == 0 and (year % 100 != 0 or year % 400 == 0):
+            return 29
+        return 28
+    if month in [4, 6, 9, 11]:
+        return 30
+    return 31
+
+def guess_format(text):
+    text = text.strip()
+    if "-" in text:
+        return "iso"
+    if "/" in text:
+        return "us"
+    return "textual"
+
+class Dateparse:
+    def __init__(self):
+        self.year = 0
+        self.month = 0
+        self.day = 0
+
+    def parse(self, text):
+        text = text.strip()
+        space = text.rfind(" ")
+        if space > 0 and ":" in text[space + 1:]:
+            text = text[:space]
+        kind = guess_format(text)
+        if kind == "iso":
+            parts = text.split("-")
+            if len(parts) != 3:
+                raise ValueError("iso needs 3 parts")
+            self.year = int(parts[0])
+            self.month = int(parts[1])
+            self.day = int(parts[2])
+        elif kind == "us":
+            parts = text.split("/")
+            if len(parts) != 3:
+                raise ValueError("us needs 3 parts")
+            self.month = int(parts[0])
+            self.day = int(parts[1])
+            self.year = int(parts[2])
+            if self.year < 100:
+                self.year = self.year + 2000
+        else:
+            cleaned = text.replace(",", " ")
+            tokens = []
+            for t in cleaned.split(" "):
+                if t != "":
+                    tokens.append(t)
+            if len(tokens) != 3:
+                raise ValueError("textual needs month day year")
+            m = month_number(tokens[0])
+            d = tokens[1]
+            if m == 0:
+                m = month_number(tokens[1])
+                d = tokens[0]
+            if m == 0:
+                raise ValueError("no month name")
+            self.month = m
+            self.day = int(d)
+            self.year = int(tokens[2])
+        if self.year < 1000 or self.year > 2999:
+            raise ValueError("year out of range")
+        if self.month < 1 or self.month > 12:
+            raise ValueError("month out of range")
+        if self.day < 1 or self.day > days_in(self.year, self.month):
+            raise ValueError("day out of range")
+        return self
+|};
+    ]
+
+(* An email checker in the raising-parser style with MX-table lookup. *)
+let email_mx =
+  Repolib.Repo.make "mailkit/mx-verify"
+    "Email verification with a TLD allowlist, as mail relays do"
+    ~stars:149
+    ~truth:[ ("relay_accepts", [ "email" ]) ]
+    [
+      file "mxverify/relay.py"
+        {|TLDS = ["com", "org", "net", "edu", "io", "gov", "de", "uk", "fr",
+        "jp", "ca", "au", "us", "ch", "nl", "se", "es", "it"]
+
+def relay_accepts(address):
+    address = address.strip()
+    at = address.find("@")
+    if at <= 0:
+        raise ValueError("missing local part")
+    local = address[:at]
+    domain = address[at + 1:]
+    for ch in local:
+        if not ch.isalnum() and ch not in "._%+-":
+            raise ValueError("bad character in local part")
+    labels = domain.split(".")
+    if len(labels) < 2:
+        raise ValueError("domain needs a dot")
+    for label in labels:
+        if label == "":
+            raise ValueError("empty domain label")
+        if not label.replace("-", "").isalnum():
+            raise ValueError("bad domain label")
+    tld = labels[len(labels) - 1].lower()
+    if tld not in TLDS:
+        raise ValueError("unknown TLD")
+    return domain
+|};
+    ]
+
+(* IPv4 via pure-integer bit manipulation: another distinct style. *)
+let ip_bits =
+  Repolib.Repo.make "netops/ip-bits"
+    "IPv4 to 32-bit integer conversion and subnet math"
+    ~stars:175
+    ~truth:
+      [ ("ip_to_u32", [ "ipv4" ]); ("same_subnet", [ "ipv4" ]) ]
+    [
+      file "ipbits/convert.py"
+        {|def ip_to_u32(addr):
+    value = 0
+    count = 0
+    for part in addr.split("."):
+        if not part.isdigit():
+            raise ValueError("octet not numeric")
+        octet = int(part)
+        if octet > 255:
+            raise ValueError("octet too large")
+        value = (value << 8) | octet
+        count = count + 1
+    if count != 4:
+        raise ValueError("need exactly 4 octets")
+    return value
+
+def same_subnet(a, b):
+    return ip_to_u32(a) >> 8 == ip_to_u32(b) >> 8
+|};
+    ]
+
+(* A URL splitter in the tuple-returning style. *)
+let url_tuple =
+  Repolib.Repo.make "webkit/urlsplit"
+    "Split URLs into (scheme, host, path) tuples"
+    ~stars:67
+    ~truth:[ ("urlsplit3", [ "url" ]) ]
+    [
+      file "urlsplit/split.py"
+        {|def urlsplit3(url):
+    url = url.strip()
+    sep = url.find("://")
+    if sep < 0:
+        raise ValueError("no scheme")
+    scheme = url[:sep].lower()
+    if scheme not in ["http", "https", "ftp"]:
+        raise ValueError("bad scheme")
+    rest = url[sep + 3:]
+    slash = rest.find("/")
+    if slash < 0:
+        host = rest
+        path = "/"
+    else:
+        host = rest[:slash]
+        path = rest[slash:]
+    if "." not in host or host == "":
+        raise ValueError("bad host")
+    return (scheme, host, path)
+|};
+    ]
+
+(* Zipcode with embedded range table per state: a richer variant. *)
+let zip_ranges =
+  Repolib.Repo.make "geodata/zip-ranges"
+    "US zipcode to state using numeric prefix ranges"
+    ~stars:94
+    ~truth:[ ("state_for_zip", [ "us-zipcode" ]) ]
+    [
+      file "zipranges/state.py"
+        {|RANGES = [[1, 2, "MA"], [28, 29, "SC"], [30, 31, "GA"],
+          [32, 34, "FL"], [43, 45, "OH"], [46, 47, "IN"],
+          [48, 49, "MI"], [60, 62, "IL"], [63, 65, "MO"],
+          [75, 79, "TX"], [80, 81, "CO"], [85, 86, "AZ"],
+          [90, 96, "CA"], [97, 97, "OR"], [98, 99, "WA"],
+          [10, 14, "NY"], [15, 19, "PA"], [20, 20, "DC"],
+          [21, 21, "MD"], [22, 24, "VA"], [27, 27, "NC"],
+          [35, 36, "AL"], [37, 38, "TN"], [39, 39, "MS"],
+          [40, 42, "KY"], [50, 52, "IA"], [53, 54, "WI"],
+          [55, 56, "MN"], [57, 57, "SD"], [58, 58, "ND"],
+          [59, 59, "MT"], [66, 67, "KS"], [68, 69, "NE"],
+          [70, 71, "LA"], [72, 72, "AR"], [73, 74, "OK"],
+          [82, 83, "WY"], [84, 84, "UT"], [87, 88, "NM"],
+          [89, 89, "NV"], [3, 3, "NH"], [4, 4, "ME"],
+          [5, 5, "VT"], [6, 6, "CT"], [7, 8, "NJ"], [25, 26, "WV"]]
+
+def state_for_zip(code):
+    code = code.strip()
+    if "-" in code:
+        dash = code.find("-")
+        plus4 = code[dash + 1:]
+        if len(plus4) != 4 or not plus4.isdigit():
+            raise ValueError("bad plus-4")
+        code = code[:dash]
+    if len(code) != 5 or not code.isdigit():
+        raise ValueError("zip is 5 digits")
+    prefix = int(code[:2])
+    for entry in RANGES:
+        if prefix >= entry[0] and prefix <= entry[1]:
+            return entry[2]
+    raise KeyError("unassigned prefix")
+|};
+    ]
+
+(* IBAN with country-specific BBAN shape checks: richer than mod-97 only. *)
+let iban_strict =
+  Repolib.Repo.make "bankkit/iban-strict"
+    "Strict IBAN checks: length, mod-97 and numeric-only BBAN countries"
+    ~stars:103
+    ~truth:[ ("strict_iban", [ "iban" ]) ]
+    [
+      file "ibanstrict/check.py"
+        {|LENGTHS = {"DE": 22, "GB": 22, "FR": 27, "ES": 24, "IT": 27,
+           "NL": 18, "BE": 16, "CH": 21, "AT": 20, "PT": 25,
+           "SE": 24, "NO": 15, "DK": 18, "FI": 18, "PL": 28,
+           "IE": 22, "LU": 20}
+NUMERIC_BBAN = ["DE", "AT", "BE", "ES", "PT", "SE", "NO", "DK", "FI",
+                "PL", "LU"]
+
+def strict_iban(iban):
+    iban = iban.replace(" ", "").upper()
+    country = iban[:2]
+    if country not in LENGTHS:
+        return False
+    if len(iban) != LENGTHS[country]:
+        return False
+    if not iban[2:4].isdigit():
+        return False
+    if country in NUMERIC_BBAN and not iban[4:].isdigit():
+        return False
+    rem = 0
+    for ch in iban[4:] + iban[:4]:
+        if ch.isdigit():
+            rem = (rem * 10 + ord(ch) - 48) % 97
+        elif ch.isupper():
+            rem = (rem * 100 + ord(ch) - 55) % 97
+        else:
+            return False
+    return rem == 1
+|};
+    ]
+
+(* VIN year decoding: intends VINs, with the check digit verified through
+   a helper shared at module level. *)
+let vin_year =
+  Repolib.Repo.make "autoparts/vin-year"
+    "Model year decoding from VIN position 10"
+    ~stars:41
+    ~truth:[ ("model_year", [ "vin" ]) ]
+    [
+      file "vinyear/year.py"
+        {|YEAR_CODES = "ABCDEFGHJKLMNPRSTVWXY123456789"
+TRANS = {"A": 1, "B": 2, "C": 3, "D": 4, "E": 5, "F": 6, "G": 7,
+         "H": 8, "J": 1, "K": 2, "L": 3, "M": 4, "N": 5, "P": 7,
+         "R": 9, "S": 2, "T": 3, "U": 4, "V": 5, "W": 6, "X": 7,
+         "Y": 8, "Z": 9}
+WTS = [8, 7, 6, 5, 4, 3, 2, 10, 0, 9, 8, 7, 6, 5, 4, 3, 2]
+
+def model_year(vin):
+    vin = vin.strip().upper()
+    if len(vin) != 17:
+        raise ValueError("need 17 characters")
+    total = 0
+    i = 0
+    while i < 17:
+        ch = vin[i]
+        if ch.isdigit():
+            v = ord(ch) - 48
+        elif ch in TRANS:
+            v = TRANS[ch]
+        else:
+            raise ValueError("illegal VIN character")
+        if i != 8:
+            total = total + v * WTS[i]
+        i = i + 1
+    rem = total % 11
+    expected = "X"
+    if rem < 10:
+        expected = str(rem)
+    if vin[8] != expected:
+        raise ValueError("check digit mismatch")
+    code = vin[9]
+    if code not in YEAR_CODES:
+        raise ValueError("bad year code")
+    base = YEAR_CODES.find(code)
+    return 1980 + base
+|};
+    ]
+
+(* Currency normalizer that converts symbols to ISO codes. *)
+let currency_norm =
+  Repolib.Repo.make "fintools/price-normalize"
+    "Normalize displayed prices to (code, cents) pairs"
+    ~stars:52
+    ~truth:[ ("normalize_price", [ "currency" ]) ]
+    [
+      file "pricenorm/norm.py"
+        {|CODES = ["USD", "EUR", "GBP", "JPY", "CHF", "CAD", "AUD", "CNY"]
+
+def normalize_price(text):
+    text = text.strip()
+    code = ""
+    if text[0] == "$":
+        code = "USD"
+        text = text[1:]
+    elif text[:3] in CODES:
+        code = text[:3]
+        text = text[3:].strip()
+    elif text[len(text) - 3:] in CODES:
+        code = text[len(text) - 3:]
+        text = text[:len(text) - 3].strip()
+    else:
+        raise ValueError("no currency marker")
+    whole = text.replace(",", "")
+    cents = 0
+    dot = whole.find(".")
+    if dot >= 0:
+        frac = whole[dot + 1:]
+        if len(frac) > 2 or not frac.isdigit():
+            raise ValueError("bad cents")
+        cents = int(frac)
+        if len(frac) == 1:
+            cents = cents * 10
+        whole = whole[:dot]
+    if not whole.isdigit():
+        raise ValueError("bad amount")
+    return [code, int(whole) * 100 + cents]
+|};
+    ]
+
+(* Country alpha-2 <-> alpha-3 mapping. *)
+let country_a3 =
+  Repolib.Repo.make "geodata/country-alpha3"
+    "ISO 3166 alpha-2 to alpha-3 country code conversion"
+    ~stars:59
+    ~truth:[ ("to_alpha3", [ "country-code" ]) ]
+    [
+      file "alpha3/convert.py"
+        {|ALPHA3 = {"US": "USA", "GB": "GBR", "DE": "DEU", "FR": "FRA",
+          "IT": "ITA", "ES": "ESP", "NL": "NLD", "BE": "BEL",
+          "CH": "CHE", "AT": "AUT", "SE": "SWE", "NO": "NOR",
+          "DK": "DNK", "FI": "FIN", "PL": "POL", "IE": "IRL",
+          "PT": "PRT", "GR": "GRC", "CZ": "CZE", "HU": "HUN",
+          "RO": "ROU", "BG": "BGR", "HR": "HRV", "SK": "SVK",
+          "CA": "CAN", "MX": "MEX", "BR": "BRA", "AR": "ARG",
+          "CL": "CHL", "CO": "COL", "PE": "PER", "JP": "JPN",
+          "CN": "CHN", "KR": "KOR", "IN": "IND", "AU": "AUS",
+          "NZ": "NZL", "SG": "SGP", "HK": "HKG", "TW": "TWN",
+          "TH": "THA", "MY": "MYS", "ID": "IDN", "PH": "PHL",
+          "VN": "VNM", "RU": "RUS", "TR": "TUR", "ZA": "ZAF",
+          "EG": "EGY", "NG": "NGA", "KE": "KEN", "IL": "ISR",
+          "SA": "SAU", "AE": "ARE", "QA": "QAT"}
+
+def to_alpha3(code):
+    code = code.strip().upper()
+    if code not in ALPHA3:
+        raise KeyError("unknown alpha-2 code")
+    return ALPHA3[code]
+|};
+    ]
+
+(* IPv6 expansion to full 8-group form. *)
+let ipv6_expand =
+  Repolib.Repo.make "netkit/ipv6-expand"
+    "Expand compressed IPv6 addresses to canonical form"
+    ~stars:77
+    ~truth:[ ("expand_ipv6", [ "ipv6" ]) ]
+    [
+      file "ipv6expand/expand.py"
+        {|def expand_ipv6(addr):
+    addr = addr.strip().lower()
+    if addr.count("::") > 1:
+        raise ValueError("multiple :: not allowed")
+    if "::" in addr:
+        gap = addr.find("::")
+        left = addr[:gap]
+        right = addr[gap + 2:]
+        lg = []
+        if left != "":
+            lg = left.split(":")
+        rg = []
+        if right != "":
+            rg = right.split(":")
+        missing = 8 - len(lg) - len(rg)
+        if missing < 1:
+            raise ValueError("too many groups")
+        groups = lg + ["0"] * missing + rg
+    else:
+        groups = addr.split(":")
+    if len(groups) != 8:
+        raise ValueError("need 8 groups")
+    out = []
+    for group in groups:
+        if len(group) < 1 or len(group) > 4:
+            raise ValueError("bad group length")
+        for ch in group:
+            if ch not in "0123456789abcdef":
+                raise ValueError("bad hex digit")
+        out.append(group.zfill(4))
+    return ":".join(out)
+|};
+    ]
+
+(* Airport distance lookup: another lookup-style function for IATA. *)
+let airport_tz =
+  Repolib.Repo.make "aviation/airport-timezones"
+    "IATA airport code to timezone offset lookup"
+    ~stars:36
+    ~truth:[ ("tz_offset", [ "airport-code" ]) ]
+    [
+      file "airporttz/tz.py"
+        {|OFFSETS = {"SEA": -8, "SFO": -8, "LAX": -8, "JFK": -5, "ORD": -6,
+           "ATL": -5, "DFW": -6, "DEN": -7, "PHX": -7, "IAH": -6,
+           "MIA": -5, "BOS": -5, "LGA": -5, "EWR": -5, "MSP": -6,
+           "DTW": -5, "PHL": -5, "CLT": -5, "LAS": -8, "MCO": -5,
+           "SLC": -7, "BWI": -5, "DCA": -5, "IAD": -5, "SAN": -8,
+           "TPA": -5, "PDX": -8, "STL": -6, "MDW": -6, "HNL": -10,
+           "LHR": 0, "CDG": 1, "FRA": 1, "AMS": 1, "MAD": 1,
+           "FCO": 1, "ZRH": 1, "VIE": 1, "CPH": 1, "ARN": 1,
+           "NRT": 9, "HND": 9, "ICN": 9, "PEK": 8, "PVG": 8,
+           "HKG": 8, "SIN": 8, "BKK": 7, "SYD": 10, "MEL": 10,
+           "YYZ": -5, "YVR": -8, "GRU": -3, "MEX": -6, "DXB": 4,
+           "DOH": 3, "IST": 3, "SVO": 3, "DEL": 5, "BOM": 5}
+
+def tz_offset(code):
+    code = code.strip().upper()
+    if len(code) != 3 or not code.isalpha():
+        raise ValueError("IATA codes are 3 letters")
+    if code not in OFFSETS:
+        raise KeyError("unknown airport")
+    return OFFSETS[code]
+|};
+    ]
+
+(* Stock ticker exchange suffix handling. *)
+let ticker_exchange =
+  Repolib.Repo.make "marketdata/ticker-exchange"
+    "Parse ticker symbols with class and exchange suffixes"
+    ~stars:28
+    ~truth:[ ("parse_symbol", [ "stock-ticker" ]) ]
+    [
+      file "tickerx/parse.py"
+        {|def parse_symbol(symbol):
+    symbol = symbol.strip()
+    base = symbol
+    suffix = ""
+    dot = symbol.find(".")
+    if dot >= 0:
+        base = symbol[:dot]
+        suffix = symbol[dot + 1:]
+        if len(suffix) != 1 or not suffix.isupper():
+            raise ValueError("bad class suffix")
+    if len(base) < 1 or len(base) > 5:
+        raise ValueError("symbol length")
+    if not base.isupper() or not base.isalpha():
+        raise ValueError("symbols are uppercase letters")
+    return {"base": base, "class": suffix}
+|};
+    ]
+
+let repos =
+  [
+    card_table; dateutil_like; email_mx; ip_bits; url_tuple; zip_ranges;
+    iban_strict; vin_year; currency_norm; country_a3; ipv6_expand;
+    airport_tz; ticker_exchange;
+  ]

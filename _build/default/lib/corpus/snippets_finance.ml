@@ -1,0 +1,713 @@
+(** Hand-written "mined" repositories for financial data types.
+
+    These mirror the kind of code AutoType finds on GitHub: validators,
+    parsers that build internal representations (implicitly validating),
+    converters, class-based card readers, and Gist-style scripts with
+    hard-coded inputs.  Some are deliberately imperfect, reproducing the
+    false-positive sources of Section 9.2 (e.g. a UPC checksum that
+    skips the length check). *)
+
+let file = Corpus_util.file
+
+(* ------------------------------------------------------------------ *)
+(* Credit cards                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let cardcheck =
+  Repolib.Repo.make "mpaz/cardcheck"
+    "Credit card number validation with Luhn checksum and brand detection"
+    ~readme:
+      "cardcheck validates credit card numbers using the Luhn algorithm \
+       and detects the card brand (Visa, Mastercard, Amex, Discover)."
+    ~stars:412
+    ~truth:
+      [ ("luhn_checksum", [ "credit-card" ]);
+        ("is_valid_card", [ "credit-card" ]);
+        ("card_brand", [ "credit-card" ]) ]
+    [
+      file "cardcheck/luhn.py"
+        {|# Luhn mod-10 checksum used by payment card numbers.
+def luhn_checksum(number):
+    total = 0
+    parity = len(number) % 2
+    i = 0
+    while i < len(number):
+        d = ord(number[i]) - 48
+        if d < 0 or d > 9:
+            raise ValueError
+        if i % 2 == parity:
+            d = d * 2
+            if d > 9:
+                d = d - 9
+        total = total + d
+        i = i + 1
+    return total % 10
+
+def is_valid_card(number):
+    number = number.replace(" ", "")
+    number = number.replace("-", "")
+    n = len(number)
+    if n < 13 or n > 19:
+        return False
+    if luhn_checksum(number) != 0:
+        return False
+    return True
+|};
+      file "cardcheck/brand.py"
+        {|# Detect the issuing brand from the IIN prefix.
+def card_brand(number):
+    number = number.replace(" ", "")
+    if not number.isdigit():
+        raise ValueError("card number must be digits")
+    prefix2 = int(number[:2])
+    brand = None
+    if number[0] == "4":
+        brand = "Visa"
+    elif prefix2 >= 51 and prefix2 <= 55:
+        brand = "Mastercard"
+    elif prefix2 == 34 or prefix2 == 37:
+        brand = "Amex"
+    elif number[:4] == "6011":
+        brand = "Discover"
+    if brand is None:
+        raise ValueError("unknown issuer")
+    return brand
+|};
+    ]
+
+let py_payments =
+  Repolib.Repo.make "finlib/py-payments"
+    "Payment processing helpers: credit card parsing and masking"
+    ~readme:
+      "Parse credit card numbers into issuer, bank and account parts. \
+       Includes a CreditCard class for use in checkout flows."
+    ~stars:178
+    ~truth:
+      [ ("CreditCard.read_from_number", [ "credit-card" ]);
+        ("mask_card", [ "credit-card" ]) ]
+    [
+      file "pypayments/card.py"
+        {|class CreditCard:
+    def __init__(self):
+        self.card_brand = ""
+        self.issuer_bank = ""
+        self.cardnumber = ""
+
+    def read_from_number(self, s):
+        # Mirrors the paper's Listing 1: no raises after the prefix
+        # parse; invalid numbers simply take different branches and the
+        # object is returned either way.
+        s = s.replace(" ", "").replace("-", "")
+        num = int(s[:4])
+        # Visa starts with 4
+        if num // 1000 == 4:
+            self.card_brand = "Visa"
+        elif num // 100 >= 50 and num // 100 <= 55:
+            self.card_brand = "Mastercard"
+        elif num // 100 == 34 or num // 100 == 37:
+            self.card_brand = "Amex"
+        elif num == 6011:
+            self.card_brand = "Discover"
+        self.issuer_bank = s[:6]
+        # next, validate the credit-card checksum
+        temp_sum = 0
+        alt = False
+        i = len(s) - 1
+        while i >= 0:
+            d = ord(s[i]) - 48
+            if d >= 0 and d <= 9:
+                if alt:
+                    d = d * 2
+                    if d > 9:
+                        d = d - 9
+                temp_sum = temp_sum + d
+            else:
+                temp_sum = temp_sum + 1
+            alt = not alt
+            i = i - 1
+        if temp_sum % 10 == 0:
+            self.cardnumber = s
+        return self
+
+def mask_card(s):
+    s = s.replace(" ", "")
+    if len(s) < 13:
+        raise ValueError("too short")
+    if not s.isdigit():
+        raise ValueError("not digits")
+    return "****" + s[len(s) - 4:]
+|};
+    ]
+
+let luhn_gist =
+  Repolib.Repo.make "gist/ajk-luhn-snippet"
+    "gist: quick luhn check for a card number"
+    ~readme:"A little script I use to sanity check credit card numbers."
+    ~stars:9
+    ~truth:[ ("<script:gist/luhn_check.py#card_number>", [ "credit-card" ]) ]
+    [
+      file "gist/luhn_check.py"
+        {|card_number = "4111111111111111"
+digits = card_number.replace(" ", "")
+total = 0
+flip = False
+i = len(digits) - 1
+while i >= 0:
+    d = int(digits[i])
+    if flip:
+        d = d * 2
+        if d > 9:
+            d = d - 9
+    total = total + d
+    flip = not flip
+    i = i - 1
+if total % 10 == 0:
+    print("VALID")
+else:
+    print("INVALID: luhn checksum mismatch")
+|};
+    ]
+
+(* Trifacta-style naive prefix matcher: intends credit cards but never
+   validates the checksum (a weaker, regex-like implementation). *)
+let naive_card =
+  Repolib.Repo.make "webforms/input-validators"
+    "Form field validators for sign-up pages: cards, phones, zips"
+    ~stars:55
+    ~truth:
+      [ ("looks_like_card", [ "credit-card" ]);
+        ("validate_zip_field", [ "us-zipcode" ]) ]
+    [
+      file "validators/fields.py"
+        {|import re
+
+def looks_like_card(value):
+    value = value.replace(" ", "")
+    # NOTE: prefix + length only, no checksum (fast path for UI hints)
+    if re.match("^4[0-9]{15}$", value):
+        return True
+    if re.match("^5[1-5][0-9]{14}$", value):
+        return True
+    if re.match("^3[47][0-9]{13}$", value):
+        return True
+    if re.match("^6011[0-9]{12}$", value):
+        return True
+    return False
+
+def validate_zip_field(value):
+    if re.match("^[0-9]{5}$", value):
+        return True
+    if re.match("^[0-9]{5}-[0-9]{4}$", value):
+        return True
+    return False
+|};
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* IBAN                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let iban_tools =
+  Repolib.Repo.make "bankkit/iban-tools"
+    "IBAN parsing and validation (ISO 13616), mod-97 check"
+    ~readme:
+      "Validate International Bank Account Numbers and extract the \
+       country code, check digits and BBAN."
+    ~stars:231
+    ~truth:
+      [ ("validate_iban", [ "iban" ]); ("IbanParser.parse", [ "iban" ]) ]
+    [
+      file "ibantools/validate.py"
+        {|IBAN_LENGTHS = {"DE": 22, "GB": 22, "FR": 27, "ES": 24, "IT": 27,
+                "NL": 18, "BE": 16, "CH": 21, "AT": 20, "PT": 25,
+                "SE": 24, "NO": 15, "DK": 18, "FI": 18, "PL": 28,
+                "IE": 22, "LU": 20}
+
+def char_value(c):
+    if c.isdigit():
+        return ord(c) - 48
+    return ord(c) - 55
+
+def validate_iban(iban):
+    iban = iban.replace(" ", "").upper()
+    if len(iban) < 15:
+        return False
+    country = iban[:2]
+    if country not in IBAN_LENGTHS:
+        return False
+    if IBAN_LENGTHS[country] != len(iban):
+        return False
+    rearranged = iban[4:] + iban[:4]
+    remainder = 0
+    for ch in rearranged:
+        v = char_value(ch)
+        if v < 0 or v > 35:
+            return False
+        if v >= 10:
+            remainder = (remainder * 100 + v) % 97
+        else:
+            remainder = (remainder * 10 + v) % 97
+    return remainder == 1
+|};
+      file "ibantools/parser.py"
+        {|class IbanParser:
+    def __init__(self):
+        self.country = ""
+        self.check_digits = ""
+        self.bban = ""
+
+    def parse(self, iban):
+        iban = iban.replace(" ", "").upper()
+        if len(iban) < 15 or len(iban) > 34:
+            raise ValueError("bad IBAN length")
+        for ch in iban:
+            if not ch.isalnum():
+                raise ValueError("bad IBAN character")
+        self.country = iban[:2]
+        if not self.country.isalpha():
+            raise ValueError("country code must be letters")
+        self.check_digits = iban[2:4]
+        if not self.check_digits.isdigit():
+            raise ValueError("check digits must be numeric")
+        self.bban = iban[4:]
+        # mod 97 verification
+        moved = self.bban + self.country + self.check_digits
+        rem = 0
+        for ch in moved:
+            if ch.isdigit():
+                rem = (rem * 10 + ord(ch) - 48) % 97
+            else:
+                rem = (rem * 100 + ord(ch) - 55) % 97
+        if rem != 1:
+            raise ValueError("IBAN checksum failed")
+        return self
+|};
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* ISIN / CUSIP / SEDOL / ABA: securities identifiers                  *)
+(* ------------------------------------------------------------------ *)
+
+let securities =
+  Repolib.Repo.make "quantdesk/securities-ids"
+    "Identifiers for securities: ISIN, CUSIP, SEDOL validation"
+    ~readme:
+      "Validation routines for international securities identification \
+       numbers (ISIN), CUSIP and SEDOL codes, with their checksums."
+    ~stars:146
+    ~truth:
+      [ ("is_valid_isin", [ "isin" ]);
+        ("check_cusip", [ "cusip" ]);
+        ("check_sedol", [ "sedol" ]) ]
+    [
+      file "secids/isin.py"
+        {|def is_valid_isin(isin):
+    if len(isin) != 12:
+        return False
+    country = isin[:2]
+    if not country.isalpha():
+        return False
+    if not country.isupper():
+        return False
+    if not isin[11].isdigit():
+        return False
+    # expand letters to two-digit values, then run Luhn
+    expanded = ""
+    for ch in isin:
+        if ch.isdigit():
+            expanded = expanded + ch
+        elif ch.isupper():
+            expanded = expanded + str(ord(ch) - 55)
+        else:
+            return False
+    total = 0
+    flip = False
+    i = len(expanded) - 1
+    while i >= 0:
+        d = int(expanded[i])
+        if flip:
+            d = d * 2
+            if d > 9:
+                d = d - 9
+        total = total + d
+        flip = not flip
+        i = i - 1
+    return total % 10 == 0
+|};
+      file "secids/cusip.py"
+        {|def cusip_char(c):
+    if c.isdigit():
+        return ord(c) - 48
+    if c.isupper():
+        return ord(c) - 55
+    if c == "*":
+        return 36
+    if c == "@":
+        return 37
+    if c == "#":
+        return 38
+    return -1
+
+def check_cusip(cusip):
+    if len(cusip) != 9:
+        return False
+    total = 0
+    i = 0
+    while i < 8:
+        v = cusip_char(cusip[i])
+        if v < 0:
+            return False
+        if i % 2 == 1:
+            v = v * 2
+        total = total + v // 10 + v % 10
+        i = i + 1
+    if not cusip[8].isdigit():
+        return False
+    return (10 - total % 10) % 10 == int(cusip[8])
+|};
+      file "secids/sedol.py"
+        {|SEDOL_WEIGHTS = [1, 3, 1, 7, 3, 9, 1]
+
+def check_sedol(sedol):
+    if len(sedol) != 7:
+        return False
+    total = 0
+    i = 0
+    while i < 7:
+        c = sedol[i]
+        if c.isdigit():
+            v = ord(c) - 48
+        elif c.isupper():
+            if c in "AEIOU":
+                return False
+            v = ord(c) - 55
+        else:
+            return False
+        total = total + v * SEDOL_WEIGHTS[i]
+        i = i + 1
+    return total % 10 == 0
+|};
+    ]
+
+let bankutils =
+  Repolib.Repo.make "usbanking/routing-check"
+    "ABA routing transit number utilities for US banks"
+    ~stars:77
+    ~truth:
+      [ ("valid_routing_number", [ "aba-routing" ]);
+        ("routing_district", [ "aba-routing" ]) ]
+    [
+      file "routing/aba.py"
+        {|def valid_routing_number(rtn):
+    if len(rtn) != 9:
+        return False
+    if not rtn.isdigit():
+        return False
+    weights = [3, 7, 1, 3, 7, 1, 3, 7, 1]
+    total = 0
+    i = 0
+    while i < 9:
+        total = total + weights[i] * (ord(rtn[i]) - 48)
+        i = i + 1
+    return total % 10 == 0
+
+def routing_district(rtn):
+    if not valid_routing_number(rtn):
+        raise ValueError("invalid routing number")
+    district = int(rtn[:2])
+    if district <= 12:
+        kind = "Federal Reserve Bank"
+    elif district <= 32:
+        kind = "Thrift institution"
+    elif district <= 72:
+        kind = "Electronic transaction"
+    else:
+        kind = "Traveler's cheque"
+    return kind
+|};
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Barcodes: EAN / UPC / GTIN                                          *)
+(* ------------------------------------------------------------------ *)
+
+let barcode_lib =
+  Repolib.Repo.make "retailtech/barcodes"
+    "Barcode checksum library: EAN-13, EAN-8, UPC-A, GTIN-14"
+    ~readme:
+      "GS1 mod-10 check digit computation and validation for all common \
+       retail barcode symbologies."
+    ~stars:324
+    ~truth:
+      [ ("gs1_check_digit", [ "ean"; "upc"; "gtin"; "gln" ]);
+        ("validate_ean13", [ "ean" ]);
+        ("validate_upc", [ "upc" ]);
+        ("validate_gtin", [ "gtin" ]) ]
+    [
+      file "barcodes/gs1.py"
+        {|def gs1_check_digit(body):
+    total = 0
+    weight = 3
+    i = len(body) - 1
+    while i >= 0:
+        d = ord(body[i]) - 48
+        if d < 0 or d > 9:
+            raise ValueError("barcode must be numeric")
+        total = total + d * weight
+        if weight == 3:
+            weight = 1
+        else:
+            weight = 3
+        i = i - 1
+    return (10 - total % 10) % 10
+
+def validate_ean13(code):
+    if len(code) != 13:
+        return False
+    if not code.isdigit():
+        return False
+    return gs1_check_digit(code[:12]) == int(code[12])
+
+def validate_upc(code):
+    if len(code) != 12:
+        return False
+    if not code.isdigit():
+        return False
+    return gs1_check_digit(code[:11]) == int(code[11])
+
+def validate_gtin(code):
+    if len(code) != 14:
+        return False
+    if not code.isdigit():
+        return False
+    return gs1_check_digit(code[:13]) == int(code[13])
+|};
+    ]
+
+(* The imperfect UPC validator of Section 9.2: checksum without a length
+   check, so ISBN-13 columns also pass (same GS1 algorithm). *)
+let upc_quick =
+  Repolib.Repo.make "gist/upc-quick-check"
+    "gist: UPC barcode check digit verify"
+    ~stars:4
+    ~truth:[ ("upc_ok", [ "upc" ]) ]
+    [
+      file "gist/upc_quick.py"
+        {|def upc_ok(code):
+    # checksum only -- assumes caller already knows it is a UPC
+    code = code.strip()
+    total = 0
+    weight = 3
+    i = len(code) - 2
+    while i >= 0:
+        total = total + (ord(code[i]) - 48) * weight
+        if weight == 3:
+            weight = 1
+        else:
+            weight = 3
+        i = i - 1
+    check = (10 - total % 10) % 10
+    last = ord(code[len(code) - 1]) - 48
+    if last < 0 or last > 9:
+        raise ValueError
+    return check == last
+|};
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Currency, tickers, SWIFT, bitcoin                                   *)
+(* ------------------------------------------------------------------ *)
+
+let moneyfmt =
+  Repolib.Repo.make "fintools/moneyfmt"
+    "Parse and format currency amounts: $1,234.56, EUR 12.00"
+    ~stars:88
+    ~truth:
+      [ ("parse_amount", [ "currency" ]); ("currency_of", [ "currency" ]) ]
+    [
+      file "moneyfmt/parse.py"
+        {|SYMBOLS = {"$": "USD"}
+CODES = ["USD", "EUR", "GBP", "JPY", "CHF", "CAD", "AUD", "CNY"]
+
+def currency_of(text):
+    text = text.strip()
+    if text[0] == "$":
+        return "USD"
+    head = text[:3]
+    if head in CODES:
+        return head
+    tail = text[len(text) - 3:]
+    if tail in CODES:
+        return tail
+    raise ValueError("no currency marker")
+
+def parse_amount(text):
+    text = text.strip()
+    code = currency_of(text)
+    digits = ""
+    seen_dot = 0
+    for ch in text:
+        if ch.isdigit():
+            digits = digits + ch
+        elif ch == ".":
+            seen_dot = seen_dot + 1
+            digits = digits + ch
+        elif ch == ",":
+            pass
+        elif ch.isalpha() or ch == "$" or ch == " ":
+            pass
+        else:
+            raise ValueError("bad character in amount")
+    if seen_dot > 1:
+        raise ValueError("too many decimal points")
+    if len(digits) == 0:
+        raise ValueError("no digits")
+    value = float(digits)
+    return [code, value]
+|};
+    ]
+
+let tickerdb =
+  Repolib.Repo.make "marketdata/tickerdb"
+    "Stock ticker symbol lookup with company names and exchange info"
+    ~stars:134
+    ~truth:
+      [ ("lookup_ticker", [ "stock-ticker" ]);
+        ("is_ticker_format", [ "stock-ticker" ]) ]
+    [
+      file "tickerdb/lookup.py"
+        {|KNOWN = {"AAPL": "Apple Inc", "MSFT": "Microsoft", "GOOG": "Alphabet",
+         "AMZN": "Amazon", "TSLA": "Tesla", "IBM": "IBM", "GE": "General Electric",
+         "F": "Ford", "T": "AT&T", "KO": "Coca-Cola", "JPM": "JPMorgan",
+         "BAC": "Bank of America", "WMT": "Walmart", "XOM": "Exxon",
+         "CVX": "Chevron", "PFE": "Pfizer", "MRK": "Merck", "INTC": "Intel",
+         "CSCO": "Cisco", "ORCL": "Oracle", "NKE": "Nike", "DIS": "Disney",
+         "V": "Visa", "MA": "Mastercard", "BRK.A": "Berkshire", "BRK.B": "Berkshire"}
+
+def lookup_ticker(symbol):
+    symbol = symbol.strip()
+    if symbol not in KNOWN:
+        raise KeyError("unknown ticker")
+    company = KNOWN[symbol]
+    return company
+
+def is_ticker_format(symbol):
+    base = symbol
+    if "." in symbol:
+        dot = symbol.find(".")
+        base = symbol[:dot]
+        suffix = symbol[dot + 1:]
+        if len(suffix) != 1:
+            return False
+        if not suffix.isupper():
+            return False
+    if len(base) < 1 or len(base) > 5:
+        return False
+    if not base.isalpha():
+        return False
+    if not base.isupper():
+        return False
+    return True
+|};
+    ]
+
+let swift_bic =
+  Repolib.Repo.make "payments-eu/swift-bic"
+    "SWIFT BIC code validation for international payment messages"
+    ~readme:
+      "Validate SWIFT/BIC codes (ISO 9362) used to route interbank \
+       messages: bank code, country, location and branch."
+    ~stars:96
+    ~truth:[ ("parse_bic", [ "swift-code" ]) ]
+    [
+      file "swiftbic/bic.py"
+        {|COUNTRIES = ["US", "GB", "DE", "FR", "IT", "ES", "NL", "BE", "CH",
+             "AT", "SE", "NO", "DK", "FI", "PL", "IE", "PT", "GR",
+             "CZ", "HU", "RO", "BG", "HR", "SK", "CA", "MX", "BR",
+             "AR", "CL", "CO", "PE", "JP", "CN", "KR", "IN", "AU",
+             "NZ", "SG", "HK", "TW", "TH", "MY", "ID", "PH", "VN",
+             "RU", "TR", "ZA", "EG", "NG", "KE", "IL", "SA", "AE", "QA"]
+
+def parse_bic(bic):
+    bic = bic.strip().upper()
+    if len(bic) != 8 and len(bic) != 11:
+        raise ValueError("BIC must be 8 or 11 characters")
+    bank = bic[:4]
+    if not bank.isalpha():
+        raise ValueError("bank code must be letters")
+    country = bic[4:6]
+    if country not in COUNTRIES:
+        raise ValueError("unknown country code")
+    location = bic[6:8]
+    if not location.isalnum():
+        raise ValueError("bad location code")
+    branch = bic[8:]
+    if len(branch) > 0 and not branch.isalnum():
+        raise ValueError("bad branch code")
+    return {"bank": bank, "country": country, "location": location}
+|};
+    ]
+
+let btc_tools =
+  Repolib.Repo.make "cryptoutils/btc-address"
+    "Bitcoin address format checks (base58, P2PKH/P2SH prefixes)"
+    ~stars:203
+    ~truth:[ ("check_address_format", [ "bitcoin-address" ]) ]
+    [
+      file "btc/address.py"
+        {|BASE58 = "123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz"
+
+def check_address_format(addr):
+    if len(addr) < 26 or len(addr) > 35:
+        return False
+    first = addr[0]
+    if first != "1" and first != "3":
+        return False
+    for ch in addr:
+        if ch not in BASE58:
+            return False
+    return True
+|};
+    ]
+
+let asin_gist =
+  Repolib.Repo.make "gist/amazon-asin"
+    "gist: extract and check amazon ASIN book identifiers"
+    ~stars:12
+    ~truth:[ ("check_asin", [ "asin"; "isbn" ]) ]
+      (* older ASINs are ISBN-10s; the function genuinely processes both *)
+    [
+      file "gist/asin.py"
+        {|def check_asin(asin):
+    asin = asin.strip().upper()
+    if len(asin) != 10:
+        return False
+    if asin[:2] == "B0":
+        if not asin.isalnum():
+            return False
+        return True
+    # older ASINs are ISBN-10s
+    total = 0
+    i = 0
+    while i < 9:
+        if not asin[i].isdigit():
+            return False
+        total = total + (10 - i) * (ord(asin[i]) - 48)
+        i = i + 1
+    last = asin[9]
+    if last == "X":
+        total = total + 10
+    elif last.isdigit():
+        total = total + ord(last) - 48
+    else:
+        return False
+    return total % 11 == 0
+|};
+    ]
+
+let repos =
+  [
+    cardcheck; py_payments; luhn_gist; naive_card; iban_tools; securities;
+    bankutils; barcode_lib; upc_quick; moneyfmt; tickerdb; swift_bic;
+    btc_tools; asin_gist;
+  ]

@@ -1,0 +1,535 @@
+(** Hand-written "mined" repositories for geographic and personal types:
+    addresses, zipcodes, postcodes, coordinates, countries, states,
+    airports, phone numbers, person names, SSNs. *)
+
+let file = Corpus_util.file
+
+let zipdb =
+  Repolib.Repo.make "geodata/zipdb"
+    "US zipcode lookup: city, state and coordinates"
+    ~readme:
+      "Resolve a US zipcode to its city and state using an embedded \
+       prefix table; supports ZIP+4."
+    ~stars:156
+    ~truth:
+      [ ("zip_to_state", [ "us-zipcode" ]); ("check_zip", [ "us-zipcode" ]) ]
+    [
+      file "zipdb/lookup.py"
+        {|PREFIX_STATE = {"0": "MA", "1": "NY", "2": "DC", "3": "FL", "4": "MI",
+                "5": "IA", "6": "IL", "7": "TX", "8": "CO", "9": "CA"}
+
+def check_zip(code):
+    code = code.strip()
+    main = code
+    if "-" in code:
+        dash = code.find("-")
+        main = code[:dash]
+        plus4 = code[dash + 1:]
+        if len(plus4) != 4 or not plus4.isdigit():
+            raise ValueError("bad ZIP+4 extension")
+    if len(main) != 5:
+        raise ValueError("zipcode must be 5 digits")
+    if not main.isdigit():
+        raise ValueError("zipcode must be numeric")
+    return main
+
+def zip_to_state(code):
+    main = check_zip(code)
+    return PREFIX_STATE[main[0]]
+|};
+    ]
+
+let uk_post =
+  Repolib.Repo.make "geodata/uk-postcodes"
+    "UK postcode validation: outward and inward code structure"
+    ~stars:92
+    ~truth:[ ("valid_postcode", [ "uk-postcode" ]) ]
+    [
+      file "ukpost/check.py"
+        {|def valid_postcode(code):
+    code = code.strip().upper()
+    parts = code.split(" ")
+    if len(parts) != 2:
+        return False
+    outward = parts[0]
+    inward = parts[1]
+    if len(outward) < 2 or len(outward) > 4:
+        return False
+    if not outward[0].isalpha():
+        return False
+    has_digit = False
+    for ch in outward:
+        if ch.isdigit():
+            has_digit = True
+        elif not ch.isalpha():
+            return False
+    if not has_digit:
+        return False
+    if len(inward) != 3:
+        return False
+    if not inward[0].isdigit():
+        return False
+    if not inward[1].isalpha() or not inward[2].isalpha():
+        return False
+    return True
+|};
+    ]
+
+let ca_post =
+  Repolib.Repo.make "geodata/ca-postal"
+    "Canadian postal code format check (A1A 1A1)"
+    ~stars:33
+    ~truth:[ ("valid_ca_postal", [ "ca-postcode" ]) ]
+    [
+      file "capost/check.py"
+        {|def valid_ca_postal(code):
+    code = code.strip().upper()
+    if len(code) != 7:
+        return False
+    if code[3] != " ":
+        return False
+    pattern = "ADADAD"
+    compact = code[:3] + code[4:]
+    i = 0
+    while i < 6:
+        ch = compact[i]
+        if pattern[i] == "A":
+            if not ch.isalpha():
+                return False
+        else:
+            if not ch.isdigit():
+                return False
+        i = i + 1
+    return True
+|};
+    ]
+
+let address_parse =
+  Repolib.Repo.make "geocode/address-parser"
+    "US street address parsing: number, street, city, state, zip"
+    ~readme:
+      "Split a one-line mailing address into components and validate the \
+       state abbreviation and zipcode against reference data."
+    ~stars:274
+    ~truth:
+      [ ("AddressParser.parse", [ "address" ]);
+        ("state_of_address", [ "address" ]) ]
+    [
+      file "addrparse/parser.py"
+        {|STATES = ["AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA",
+          "HI", "ID", "IL", "IN", "IA", "KS", "KY", "LA", "ME", "MD",
+          "MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ",
+          "NM", "NY", "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC",
+          "SD", "TN", "TX", "UT", "VT", "VA", "WA", "WV", "WI", "WY", "DC"]
+SUFFIXES = ["St", "St.", "Street", "Ave", "Ave.", "Avenue", "Rd", "Rd.",
+            "Road", "Blvd", "Blvd.", "Boulevard", "Dr", "Dr.", "Drive",
+            "Ln", "Ln.", "Lane", "Way", "Ct", "Ct.", "Court", "Pl",
+            "Pl.", "Place"]
+
+class AddressParser:
+    def __init__(self):
+        self.number = ""
+        self.street = ""
+        self.city = ""
+        self.state = ""
+        self.zipcode = ""
+
+    def parse(self, line):
+        comma = line.find(",")
+        if comma < 0:
+            raise ValueError("expected comma between street and city")
+        street_part = line[:comma].strip()
+        rest = line[comma + 1:].strip()
+        words = []
+        for w in street_part.split(" "):
+            if w != "":
+                words.append(w)
+        if len(words) < 3:
+            raise ValueError("street part too short")
+        if not words[0].isdigit():
+            raise ValueError("house number must be numeric")
+        self.number = words[0]
+        suffix_ok = False
+        for w in words[1:]:
+            if w in SUFFIXES:
+                suffix_ok = True
+        if not suffix_ok:
+            raise ValueError("no street suffix found")
+        self.street = " ".join(words[1:])
+        tail = []
+        for w in rest.split(" "):
+            if w != "":
+                tail.append(w)
+        if len(tail) < 2:
+            raise ValueError("missing city or state")
+        last = tail[len(tail) - 1]
+        if last.isdigit() or "-" in last:
+            self.zipcode = last
+            if len(self.zipcode) < 5:
+                raise ValueError("bad zipcode")
+            tail = tail[:len(tail) - 1]
+        if len(tail) < 2:
+            raise ValueError("missing city or state")
+        self.state = tail[len(tail) - 1]
+        if self.state not in STATES:
+            raise ValueError("unknown state abbreviation")
+        self.city = " ".join(tail[:len(tail) - 1])
+        return self
+
+def state_of_address(line):
+    p = AddressParser()
+    p.parse(line)
+    return p.state
+|};
+    ]
+
+let geo_coords =
+  Repolib.Repo.make "geocode/coord-convert"
+    "Coordinate conversions: long/lat, UTM zones, MGRS grid references"
+    ~stars:188
+    ~truth:
+      [ ("check_lat_lon", [ "longlat" ]);
+        ("parse_utm", [ "utm" ]);
+        ("parse_mgrs", [ "mgrs" ]) ]
+    [
+      file "coords/latlon.py"
+        {|def check_lat_lon(lat, lon):
+    latv = float(lat)
+    lonv = float(lon)
+    if latv < -90.0 or latv > 90.0:
+        raise ValueError("latitude out of range")
+    if lonv < -180.0 or lonv > 180.0:
+        raise ValueError("longitude out of range")
+    return [latv, lonv]
+|};
+      file "coords/utm.py"
+        {|BANDS = "CDEFGHJKLMNPQRSTUVWX"
+
+def parse_utm(text):
+    tokens = []
+    for t in text.strip().split(" "):
+        if t != "":
+            tokens.append(t)
+    if len(tokens) != 3:
+        raise ValueError("expected zone easting northing")
+    zone = tokens[0]
+    band = zone[len(zone) - 1]
+    if band not in BANDS:
+        raise ValueError("bad latitude band")
+    num = zone[:len(zone) - 1]
+    if not num.isdigit():
+        raise ValueError("zone number must be numeric")
+    z = int(num)
+    if z < 1 or z > 60:
+        raise ValueError("zone out of range")
+    easting = tokens[1]
+    northing = tokens[2]
+    if not easting.isdigit() or not northing.isdigit():
+        raise ValueError("coordinates must be numeric")
+    if len(easting) < 5 or len(easting) > 7:
+        raise ValueError("bad easting length")
+    if len(northing) < 6 or len(northing) > 8:
+        raise ValueError("bad northing length")
+    return [z, band, int(easting), int(northing)]
+|};
+      file "coords/mgrs.py"
+        {|BANDS2 = "CDEFGHJKLMNPQRSTUVWX"
+
+def parse_mgrs(ref):
+    ref = ref.strip().upper()
+    if len(ref) < 7:
+        raise ValueError("too short")
+    zlen = 1
+    if ref[1].isdigit():
+        zlen = 2
+    zone = int(ref[:zlen])
+    if zone < 1 or zone > 60:
+        raise ValueError("zone out of range")
+    band = ref[zlen]
+    if band not in BANDS2:
+        raise ValueError("bad band letter")
+    sq = ref[zlen + 1:zlen + 3]
+    if not sq.isalpha():
+        raise ValueError("bad 100km square")
+    digits = ref[zlen + 3:]
+    if not digits.isdigit():
+        raise ValueError("grid digits expected")
+    if len(digits) % 2 != 0:
+        raise ValueError("easting and northing must have equal length")
+    if len(digits) > 10:
+        raise ValueError("too much precision")
+    return [zone, band, sq, digits]
+|};
+    ]
+
+let country_db =
+  Repolib.Repo.make "geodata/country-codes"
+    "ISO 3166 country codes and names lookup"
+    ~stars:240
+    ~truth:
+      [ ("country_info", [ "country-code" ]);
+        ("iso2_of", [ "country-code" ]) ]
+    [
+      file "countries/db.py"
+        {|ISO2 = {"US": "United States", "GB": "United Kingdom", "DE": "Germany",
+        "FR": "France", "IT": "Italy", "ES": "Spain", "NL": "Netherlands",
+        "BE": "Belgium", "CH": "Switzerland", "AT": "Austria",
+        "SE": "Sweden", "NO": "Norway", "DK": "Denmark", "FI": "Finland",
+        "PL": "Poland", "IE": "Ireland", "PT": "Portugal", "GR": "Greece",
+        "CZ": "Czechia", "HU": "Hungary", "RO": "Romania", "BG": "Bulgaria",
+        "HR": "Croatia", "SK": "Slovakia", "CA": "Canada", "MX": "Mexico",
+        "BR": "Brazil", "AR": "Argentina", "CL": "Chile", "CO": "Colombia",
+        "PE": "Peru", "JP": "Japan", "CN": "China", "KR": "South Korea",
+        "IN": "India", "AU": "Australia", "NZ": "New Zealand",
+        "SG": "Singapore", "HK": "Hong Kong", "TW": "Taiwan",
+        "TH": "Thailand", "MY": "Malaysia", "ID": "Indonesia",
+        "PH": "Philippines", "VN": "Vietnam", "RU": "Russia",
+        "TR": "Turkey", "ZA": "South Africa", "EG": "Egypt",
+        "NG": "Nigeria", "KE": "Kenya", "IL": "Israel",
+        "SA": "Saudi Arabia", "AE": "UAE", "QA": "Qatar"}
+
+def iso2_of(name):
+    name = name.strip()
+    if name in ISO2:
+        return name
+    for code in ISO2.keys():
+        if ISO2[code] == name:
+            return code
+    raise KeyError("unknown country")
+
+def country_info(text):
+    code = iso2_of(text)
+    full = ISO2[code]
+    return {"code": code, "name": full}
+|};
+    ]
+
+let state_abbrev =
+  Repolib.Repo.make "usdata/state-abbrev"
+    "US state abbreviation expansion"
+    ~stars:41
+    ~truth:[ ("expand_state", [ "us-state" ]) ]
+    [
+      file "states/expand.py"
+        {|NAMES = {"AL": "Alabama", "AK": "Alaska", "AZ": "Arizona",
+         "AR": "Arkansas", "CA": "California", "CO": "Colorado",
+         "CT": "Connecticut", "DE": "Delaware", "FL": "Florida",
+         "GA": "Georgia", "HI": "Hawaii", "ID": "Idaho", "IL": "Illinois",
+         "IN": "Indiana", "IA": "Iowa", "KS": "Kansas", "KY": "Kentucky",
+         "LA": "Louisiana", "ME": "Maine", "MD": "Maryland",
+         "MA": "Massachusetts", "MI": "Michigan", "MN": "Minnesota",
+         "MS": "Mississippi", "MO": "Missouri", "MT": "Montana",
+         "NE": "Nebraska", "NV": "Nevada", "NH": "New Hampshire",
+         "NJ": "New Jersey", "NM": "New Mexico", "NY": "New York",
+         "NC": "North Carolina", "ND": "North Dakota", "OH": "Ohio",
+         "OK": "Oklahoma", "OR": "Oregon", "PA": "Pennsylvania",
+         "RI": "Rhode Island", "SC": "South Carolina", "SD": "South Dakota",
+         "TN": "Tennessee", "TX": "Texas", "UT": "Utah", "VT": "Vermont",
+         "VA": "Virginia", "WA": "Washington", "WV": "West Virginia",
+         "WI": "Wisconsin", "WY": "Wyoming", "DC": "District of Columbia"}
+
+def expand_state(abbrev):
+    abbrev = abbrev.strip()
+    if abbrev not in NAMES:
+        raise KeyError("not a state abbreviation")
+    return NAMES[abbrev]
+|};
+    ]
+
+let airport_db =
+  Repolib.Repo.make "aviation/airport-info"
+    "IATA airport code database with city and country"
+    ~stars:118
+    ~truth:[ ("airport_city", [ "airport-code" ]) ]
+    [
+      file "airports/info.py"
+        {|AIRPORTS = {"SEA": "Seattle", "SFO": "San Francisco", "LAX": "Los Angeles",
+            "JFK": "New York", "ORD": "Chicago", "ATL": "Atlanta",
+            "DFW": "Dallas", "DEN": "Denver", "PHX": "Phoenix",
+            "IAH": "Houston", "MIA": "Miami", "BOS": "Boston",
+            "LGA": "New York", "EWR": "Newark", "MSP": "Minneapolis",
+            "DTW": "Detroit", "PHL": "Philadelphia", "CLT": "Charlotte",
+            "LAS": "Las Vegas", "MCO": "Orlando", "SLC": "Salt Lake City",
+            "BWI": "Baltimore", "DCA": "Washington", "IAD": "Washington",
+            "SAN": "San Diego", "TPA": "Tampa", "PDX": "Portland",
+            "STL": "St Louis", "MDW": "Chicago", "HNL": "Honolulu",
+            "LHR": "London", "CDG": "Paris", "FRA": "Frankfurt",
+            "AMS": "Amsterdam", "MAD": "Madrid", "FCO": "Rome",
+            "ZRH": "Zurich", "VIE": "Vienna", "CPH": "Copenhagen",
+            "ARN": "Stockholm", "NRT": "Tokyo", "HND": "Tokyo",
+            "ICN": "Seoul", "PEK": "Beijing", "PVG": "Shanghai",
+            "HKG": "Hong Kong", "SIN": "Singapore", "BKK": "Bangkok",
+            "SYD": "Sydney", "MEL": "Melbourne", "YYZ": "Toronto",
+            "YVR": "Vancouver", "GRU": "Sao Paulo", "MEX": "Mexico City",
+            "DXB": "Dubai", "DOH": "Doha", "IST": "Istanbul",
+            "SVO": "Moscow", "DEL": "Delhi", "BOM": "Mumbai"}
+
+def airport_city(code):
+    code = code.strip().upper()
+    if len(code) != 3:
+        raise ValueError("IATA codes are 3 letters")
+    if code not in AIRPORTS:
+        raise KeyError("unknown airport code")
+    return AIRPORTS[code]
+|};
+    ]
+
+let phone_us_lib =
+  Repolib.Repo.make "telco/us-phone"
+    "US phone number parsing: area code and exchange extraction"
+    ~stars:199
+    ~truth:
+      [ ("parse_phone", [ "phone" ]); ("area_code", [ "phone" ]) ]
+    [
+      file "usphone/parse.py"
+        {|def parse_phone(number):
+    digits = ""
+    for ch in number:
+        if ch.isdigit():
+            digits = digits + ch
+        elif ch not in " ()-+.":
+            raise ValueError("bad character in phone number")
+    if len(digits) == 11:
+        if digits[0] != "1":
+            raise ValueError("11 digit numbers must start with 1")
+        digits = digits[1:]
+    if len(digits) != 10:
+        raise ValueError("expected 10 digits")
+    area = digits[:3]
+    if area[0] == "0" or area[0] == "1":
+        raise ValueError("invalid area code")
+    exchange = digits[3:6]
+    line = digits[6:]
+    return {"area": area, "exchange": exchange, "line": line}
+
+def area_code(number):
+    parts = parse_phone(number)
+    return parts["area"]
+|};
+    ]
+
+let namecheck =
+  Repolib.Repo.make "people/gender-from-name"
+    "Guess a person's gender from their first name"
+    ~readme:
+      "Look up the given name against a frequency table of first names \
+       and return a gender guess, like social profile enrichers do."
+    ~stars:76
+    ~truth:[ ("guess_gender", [ "person-name" ]) ]
+    [
+      file "names/gender.py"
+        {|FEMALE = ["mary", "patricia", "jennifer", "linda", "elizabeth",
+          "susan", "maria", "fatima", "olga", "yuki"]
+MALE = ["james", "robert", "john", "michael", "david", "william",
+        "carlos", "wei", "ahmed", "pierre"]
+
+def guess_gender(fullname):
+    parts = []
+    for p in fullname.strip().split(" "):
+        if p != "":
+            parts.append(p)
+    if len(parts) < 2:
+        raise ValueError("expected first and last name")
+    for p in parts:
+        if not p[0].isupper():
+            raise ValueError("names are capitalized")
+        for ch in p:
+            if not ch.isalpha() and ch not in "'-.":
+                raise ValueError("bad character in name")
+    first = parts[0].lower()
+    if first in FEMALE:
+        return "female"
+    if first in MALE:
+        return "male"
+    return "unknown"
+|};
+    ]
+
+let ssn_check =
+  Repolib.Repo.make "hrtools/ssn-validate"
+    "US Social Security Number validation with area rules"
+    ~stars:64
+    ~truth:[ ("valid_ssn", [ "ssn" ]) ]
+    [
+      file "ssn/check.py"
+        {|def valid_ssn(ssn):
+    parts = ssn.split("-")
+    if len(parts) != 3:
+        return False
+    area = parts[0]
+    group = parts[1]
+    serial = parts[2]
+    if len(area) != 3 or len(group) != 2 or len(serial) != 4:
+        return False
+    if not area.isdigit() or not group.isdigit() or not serial.isdigit():
+        return False
+    if area == "000" or area == "666":
+        return False
+    if int(area) >= 900:
+        return False
+    if group == "00" or serial == "0000":
+        return False
+    return True
+|};
+    ]
+
+let ein_gist =
+  Repolib.Repo.make "gist/ein-format"
+    "gist: employer identification number format"
+    ~stars:2
+    ~truth:[ ("ein_ok", [ "ein" ]) ]
+    [
+      file "gist/ein.py"
+        {|def ein_ok(ein):
+    parts = ein.split("-")
+    if len(parts) != 2:
+        return False
+    if len(parts[0]) != 2 or len(parts[1]) != 7:
+        return False
+    return parts[0].isdigit() and parts[1].isdigit()
+|};
+    ]
+
+let geojson_lib =
+  Repolib.Repo.make "gis/geojson-lint"
+    "Structural checks for GeoJSON geometry objects"
+    ~stars:97
+    ~truth:[ ("lint_geometry", [ "geojson" ]) ]
+    [
+      file "geojsonlint/lint.py"
+        {|KINDS = ["Point", "LineString", "Polygon", "MultiPoint",
+         "MultiPolygon", "Feature", "FeatureCollection"]
+
+def lint_geometry(doc):
+    doc = doc.strip()
+    if len(doc) < 2:
+        return False
+    if doc[0] != "{" or doc[len(doc) - 1] != "}":
+        return False
+    if "\"type\"" not in doc:
+        return False
+    found = False
+    for kind in KINDS:
+        marker = "\"" + kind + "\""
+        if marker in doc:
+            found = True
+    if not found:
+        return False
+    depth = 0
+    for ch in doc:
+        if ch == "{" or ch == "[":
+            depth = depth + 1
+        elif ch == "}" or ch == "]":
+            depth = depth - 1
+            if depth < 0:
+                return False
+    return depth == 0
+|};
+    ]
+
+let repos =
+  [
+    zipdb; uk_post; ca_post; address_parse; geo_coords; country_db;
+    state_abbrev; airport_db; phone_us_lib; namecheck; ssn_check; ein_gist;
+    geojson_lib;
+  ]

@@ -1,0 +1,652 @@
+(** Hand-written "mined" repositories: transportation identifiers,
+    colors, markup formats, roman numerals and the remaining personal
+    identifiers. *)
+
+let file = Corpus_util.file
+
+let vin_decoder =
+  Repolib.Repo.make "autoparts/vin-decoder"
+    "Vehicle Identification Number decoding: region, manufacturer, year"
+    ~readme:
+      "Decode 17-character VINs. Verifies the position-9 check digit \
+       (ISO 3779 transliteration and weights), then extracts the world \
+       manufacturer identifier, model year and serial number."
+    ~stars:342
+    ~truth:
+      [ ("vin_check_digit", [ "vin" ]); ("decode_vin", [ "vin" ]) ]
+    [
+      file "vindecoder/check.py"
+        {|TRANSLIT = {"A": 1, "B": 2, "C": 3, "D": 4, "E": 5, "F": 6, "G": 7,
+            "H": 8, "J": 1, "K": 2, "L": 3, "M": 4, "N": 5, "P": 7,
+            "R": 9, "S": 2, "T": 3, "U": 4, "V": 5, "W": 6, "X": 7,
+            "Y": 8, "Z": 9}
+WEIGHTS = [8, 7, 6, 5, 4, 3, 2, 10, 0, 9, 8, 7, 6, 5, 4, 3, 2]
+
+def vin_value(ch):
+    if ch.isdigit():
+        return ord(ch) - 48
+    if ch in TRANSLIT:
+        return TRANSLIT[ch]
+    raise ValueError("character not allowed in VIN")
+
+def vin_check_digit(vin):
+    vin = vin.strip().upper()
+    if len(vin) != 17:
+        raise ValueError("VIN must be 17 characters")
+    total = 0
+    i = 0
+    while i < 17:
+        if i != 8:
+            total = total + vin_value(vin[i]) * WEIGHTS[i]
+        i = i + 1
+    rem = total % 11
+    if rem == 10:
+        return "X"
+    return str(rem)
+
+def decode_vin(vin):
+    vin = vin.strip().upper()
+    if vin_check_digit(vin) != vin[8]:
+        raise ValueError("check digit mismatch")
+    wmi = vin[:3]
+    region = "other"
+    first = vin[0]
+    if first in "12345":
+        region = "North America"
+    elif first in "JKLMNPR":
+        region = "Asia"
+    elif first in "STUVWXYZ":
+        region = "Europe"
+    year_code = vin[9]
+    serial = vin[11:]
+    return {"wmi": wmi, "region": region, "year_code": year_code,
+            "serial": serial}
+|};
+    ]
+
+let shipping =
+  Repolib.Repo.make "logistics/container-check"
+    "ISO 6346 shipping container code validation"
+    ~readme:
+      "Validate container owner codes and serial numbers with the \
+       ISO 6346 check digit (letter values skip multiples of 11)."
+    ~stars:54
+    ~truth:
+      [ ("container_check_digit", [ "iso6346" ]);
+        ("valid_container", [ "iso6346" ]) ]
+    [
+      file "containers/iso6346.py"
+        {|LETTER_VALUES = {"A": 10, "B": 12, "C": 13, "D": 14, "E": 15, "F": 16,
+                 "G": 17, "H": 18, "I": 19, "J": 20, "K": 21, "L": 23,
+                 "M": 24, "N": 25, "O": 26, "P": 27, "Q": 28, "R": 29,
+                 "S": 30, "T": 31, "U": 32, "V": 34, "W": 35, "X": 36,
+                 "Y": 37, "Z": 38}
+
+def container_check_digit(code):
+    total = 0
+    i = 0
+    factor = 1
+    while i < 10:
+        ch = code[i]
+        if ch.isdigit():
+            v = ord(ch) - 48
+        elif ch in LETTER_VALUES:
+            v = LETTER_VALUES[ch]
+        else:
+            raise ValueError("bad character")
+        total = total + v * factor
+        factor = factor * 2
+        i = i + 1
+    return total % 11 % 10
+
+def valid_container(code):
+    code = code.strip().upper()
+    if len(code) != 11:
+        return False
+    owner = code[:4]
+    if not owner.isalpha():
+        return False
+    category = code[3]
+    if category != "U" and category != "J" and category != "Z":
+        return False
+    serial = code[4:10]
+    if not serial.isdigit():
+        return False
+    if not code[10].isdigit():
+        return False
+    return container_check_digit(code) == ord(code[10]) - 48
+|};
+    ]
+
+let maritime =
+  Repolib.Repo.make "logistics/imo-registry"
+    "IMO ship identification number checks"
+    ~stars:19
+    ~truth:[ ("valid_imo", [ "imo-number" ]) ]
+    [
+      file "imo/check.py"
+        {|def valid_imo(number):
+    number = number.strip()
+    if number[:4] == "IMO ":
+        number = number[4:]
+    if len(number) != 7:
+        return False
+    if not number.isdigit():
+        return False
+    total = 0
+    i = 0
+    while i < 6:
+        total = total + (7 - i) * (ord(number[i]) - 48)
+        i = i + 1
+    return total % 10 == ord(number[6]) - 48
+|};
+    ]
+
+let imei_check =
+  Repolib.Repo.make "mobiletools/imei-check"
+    "IMEI device identifier validation (15 digits, Luhn)"
+    ~stars:93
+    ~truth:[ ("valid_imei", [ "imei" ]) ]
+    [
+      file "imei/check.py"
+        {|def valid_imei(imei):
+    imei = imei.replace(" ", "").replace("-", "")
+    if len(imei) != 15:
+        return False
+    if not imei.isdigit():
+        return False
+    total = 0
+    i = 0
+    while i < 15:
+        d = ord(imei[i]) - 48
+        if i % 2 == 1:
+            d = d * 2
+            if d > 9:
+                d = d - 9
+        total = total + d
+        i = i + 1
+    return total % 10 == 0
+|};
+    ]
+
+let colorconv =
+  Repolib.Repo.make "designkit/colorconv"
+    "Color format conversions: hex, RGB, HSL, CMYK"
+    ~readme:
+      "Parse and convert CSS color notations. hex_to_rgb validates hex \
+       colors while converting; rgb parsing checks channel ranges."
+    ~stars:276
+    ~truth:
+      [ ("hex_to_rgb", [ "hex-color" ]);
+        ("parse_rgb", [ "rgb-color" ]);
+        ("parse_hsl", [ "hsl-color" ]);
+        ("parse_cmyk", [ "cmyk-color" ]) ]
+    [
+      file "colorconv/hex.py"
+        {|HEXDIGITS = "0123456789abcdefABCDEF"
+
+def hex_to_rgb(color):
+    color = color.strip()
+    if color[0] != "#":
+        raise ValueError("hex colors start with #")
+    body = color[1:]
+    if len(body) == 3:
+        body = body[0] + body[0] + body[1] + body[1] + body[2] + body[2]
+    if len(body) != 6:
+        raise ValueError("expected 6 hex digits")
+    for ch in body:
+        if ch not in HEXDIGITS:
+            raise ValueError("bad hex digit")
+    r = int(body[:2], 16)
+    g = int(body[2:4], 16)
+    b = int(body[4:], 16)
+    return [r, g, b]
+|};
+      file "colorconv/rgb.py"
+        {|def channel(value):
+    value = value.strip()
+    if not value.isdigit():
+        raise ValueError("channel must be a number")
+    v = int(value)
+    if v > 255:
+        raise ValueError("channel out of range")
+    return v
+
+def parse_rgb(color):
+    color = color.strip().lower()
+    if color[:4] != "rgb(":
+        raise ValueError("expected rgb( prefix")
+    if color[len(color) - 1] != ")":
+        raise ValueError("missing closing paren")
+    body = color[4:len(color) - 1]
+    parts = body.split(",")
+    if len(parts) != 3:
+        raise ValueError("expected 3 channels")
+    return [channel(parts[0]), channel(parts[1]), channel(parts[2])]
+|};
+      file "colorconv/hsl_cmyk.py"
+        {|def percent(value):
+    value = value.strip()
+    if value[len(value) - 1] != "%":
+        raise ValueError("expected percent sign")
+    num = value[:len(value) - 1]
+    if not num.isdigit():
+        raise ValueError("percent must be numeric")
+    v = int(num)
+    if v > 100:
+        raise ValueError("percent out of range")
+    return v
+
+def parse_hsl(color):
+    color = color.strip().lower()
+    if color[:4] != "hsl(":
+        raise ValueError("expected hsl( prefix")
+    body = color[4:len(color) - 1]
+    if color[len(color) - 1] != ")":
+        raise ValueError("missing closing paren")
+    parts = body.split(",")
+    if len(parts) != 3:
+        raise ValueError("expected h, s, l")
+    h = parts[0].strip()
+    if not h.isdigit():
+        raise ValueError("hue must be numeric")
+    if int(h) > 360:
+        raise ValueError("hue out of range")
+    return [int(h), percent(parts[1]), percent(parts[2])]
+
+def parse_cmyk(color):
+    color = color.strip().lower()
+    if color[:5] != "cmyk(":
+        raise ValueError("expected cmyk( prefix")
+    if color[len(color) - 1] != ")":
+        raise ValueError("missing closing paren")
+    body = color[5:len(color) - 1]
+    parts = body.split(",")
+    if len(parts) != 4:
+        raise ValueError("expected 4 components")
+    out = []
+    for p in parts:
+        out.append(percent(p))
+    return out
+|};
+    ]
+
+let roman_lib =
+  Repolib.Repo.make "numerals/roman-convert"
+    "Roman numeral to integer conversion with strict validation"
+    ~stars:147
+    ~truth:
+      [ ("roman_to_int", [ "roman-numeral" ]);
+        ("int_to_roman", []) ]
+    [
+      file "roman/convert.py"
+        {|VALUES = {"I": 1, "V": 5, "X": 10, "L": 50, "C": 100, "D": 500,
+          "M": 1000}
+TABLE = [[1000, "M"], [900, "CM"], [500, "D"], [400, "CD"], [100, "C"],
+         [90, "XC"], [50, "L"], [40, "XL"], [10, "X"], [9, "IX"],
+         [5, "V"], [4, "IV"], [1, "I"]]
+
+def int_to_roman(n):
+    if n < 1 or n > 3999:
+        raise ValueError("out of range")
+    out = ""
+    for pair in TABLE:
+        v = pair[0]
+        sym = pair[1]
+        while n >= v:
+            out = out + sym
+            n = n - v
+    return out
+
+def roman_to_int(s):
+    if len(s) == 0:
+        raise ValueError("empty numeral")
+    total = 0
+    i = 0
+    n = len(s)
+    while i < n:
+        ch = s[i]
+        if ch not in VALUES:
+            raise ValueError("not a roman digit")
+        v = VALUES[ch]
+        if i + 1 < n and v < VALUES[s[i + 1]]:
+            total = total - v
+        else:
+            total = total + v
+        i = i + 1
+    # strict: re-encoding must give the same string
+    if int_to_roman(total) != s:
+        raise ValueError("non-canonical numeral")
+    return total
+|};
+    ]
+
+let markup =
+  Repolib.Repo.make "textproc/markup-sniff"
+    "Detect and minimally parse JSON, XML and HTML fragments"
+    ~stars:161
+    ~truth:
+      [ ("sniff_json", [ "json" ]);
+        ("sniff_xml", [ "xml" ]);
+        ("sniff_html", [ "html" ]) ]
+    [
+      file "markup/json_sniff.py"
+        {|def sniff_json(text):
+    text = text.strip()
+    if len(text) < 2:
+        return False
+    first = text[0]
+    last = text[len(text) - 1]
+    if first == "{":
+        if last != "}":
+            return False
+    elif first == "[":
+        if last != "]":
+            return False
+    else:
+        return False
+    depth = 0
+    in_string = False
+    prev = ""
+    for ch in text:
+        if in_string:
+            if ch == "\"" and prev != "\\":
+                in_string = False
+        elif ch == "\"":
+            in_string = True
+        elif ch == "{" or ch == "[":
+            depth = depth + 1
+        elif ch == "}" or ch == "]":
+            depth = depth - 1
+            if depth < 0:
+                return False
+        prev = ch
+    return depth == 0 and not in_string
+|};
+      file "markup/xml_sniff.py"
+        {|def sniff_xml(text):
+    text = text.strip()
+    if len(text) < 7:
+        return False
+    if text[0] != "<" or text[len(text) - 1] != ">":
+        return False
+    i = 1
+    tag = ""
+    while i < len(text) and text[i] != ">" and text[i] != " ":
+        tag = tag + text[i]
+        i = i + 1
+    if tag == "" or tag[0] == "/":
+        return False
+    closing = "</" + tag + ">"
+    tail = text[len(text) - len(closing):]
+    return tail == closing
+|};
+      file "markup/html_sniff.py"
+        {|def sniff_html(text):
+    lower = text.strip().lower()
+    if "<html" in lower:
+        return True
+    if "<!doctype html" in lower:
+        return True
+    if "<body" in lower and "</body>" in lower:
+        return True
+    if "<div" in lower and "</div>" in lower:
+        return True
+    if "<p>" in lower and "</p>" in lower:
+        return True
+    return False
+|};
+    ]
+
+let http_codes =
+  Repolib.Repo.make "webkit/http-status-names"
+    "HTTP status code reason phrases"
+    ~stars:72
+    ~truth:[ ("reason_phrase", [ "http-status" ]) ]
+    [
+      file "httpcodes/reasons.py"
+        {|REASONS = {200: "OK", 201: "Created", 204: "No Content",
+           301: "Moved Permanently", 302: "Found", 304: "Not Modified",
+           400: "Bad Request", 401: "Unauthorized", 403: "Forbidden",
+           404: "Not Found", 405: "Method Not Allowed", 409: "Conflict",
+           410: "Gone", 418: "I'm a teapot", 429: "Too Many Requests",
+           500: "Internal Server Error", 502: "Bad Gateway",
+           503: "Service Unavailable"}
+
+def reason_phrase(code):
+    code = code.strip()
+    if not code.isdigit():
+        raise ValueError("status codes are numeric")
+    if len(code) != 3:
+        raise ValueError("status codes have 3 digits")
+    num = int(code)
+    if num < 100 or num > 599:
+        raise ValueError("status class out of range")
+    if num in REASONS:
+        return REASONS[num]
+    return "Unknown"
+|};
+    ]
+
+let oid_lib =
+  Repolib.Repo.make "asn1kit/oid-parse"
+    "ASN.1 object identifier (OID) dotted notation parsing"
+    ~stars:27
+    ~truth:[ ("parse_oid", [ "oid" ]) ]
+    [
+      file "oid/parse.py"
+        {|def parse_oid(oid):
+    parts = oid.strip().split(".")
+    if len(parts) < 2:
+        raise ValueError("OIDs have at least 2 arcs")
+    arcs = []
+    for p in parts:
+        if not p.isdigit():
+            raise ValueError("arcs are numeric")
+        arcs.append(int(p))
+    if arcs[0] > 2:
+        raise ValueError("first arc must be 0, 1 or 2")
+    if arcs[0] < 2 and arcs[1] > 39:
+        raise ValueError("second arc out of range")
+    return arcs
+|};
+    ]
+
+let lei_check =
+  Repolib.Repo.make "regdata/lei-check"
+    "Legal Entity Identifier validation (ISO 17442, mod 97-10)"
+    ~stars:48
+    ~truth:[ ("valid_lei", [ "lei" ]) ]
+    [
+      file "lei/check.py"
+        {|def valid_lei(lei):
+    lei = lei.strip().upper()
+    if len(lei) != 20:
+        return False
+    if not lei[18:].isdigit():
+        return False
+    rem = 0
+    for ch in lei:
+        if ch.isdigit():
+            rem = (rem * 10 + ord(ch) - 48) % 97
+        elif ch.isupper():
+            rem = (rem * 100 + ord(ch) - 55) % 97
+        else:
+            return False
+    return rem == 1
+|};
+    ]
+
+let cn_id =
+  Repolib.Repo.make "idcards/china-id"
+    "Chinese resident identity card number validation and decoding"
+    ~stars:211
+    ~truth:
+      [ ("valid_china_id", [ "cn-resident-id" ]);
+        ("birthday_of", [ "cn-resident-id" ]) ]
+    [
+      file "chinaid/check.py"
+        {|WEIGHTS = [7, 9, 10, 5, 8, 4, 2, 1, 6, 3, 7, 9, 10, 5, 8, 4, 2]
+CHECKCODES = "10X98765432"
+
+def valid_china_id(cid):
+    cid = cid.strip().upper()
+    if len(cid) != 18:
+        return False
+    if not cid[:17].isdigit():
+        return False
+    total = 0
+    i = 0
+    while i < 17:
+        total = total + (ord(cid[i]) - 48) * WEIGHTS[i]
+        i = i + 1
+    expected = CHECKCODES[total % 11]
+    return cid[17] == expected
+
+def birthday_of(cid):
+    if not valid_china_id(cid):
+        raise ValueError("invalid ID number")
+    year = cid[6:10]
+    month = cid[10:12]
+    day = cid[12:14]
+    m = int(month)
+    d = int(day)
+    if m < 1 or m > 12 or d < 1 or d > 31:
+        raise ValueError("bad birth date")
+    return year + "-" + month + "-" + day
+|};
+    ]
+
+let nhs_lib =
+  Repolib.Repo.make "healthdata/nhs-number"
+    "NHS number validation (mod 11 check digit)"
+    ~stars:31
+    ~truth:[ ("valid_nhs", [ "nhs-number" ]) ]
+    [
+      file "nhs/check.py"
+        {|def valid_nhs(number):
+    number = number.replace(" ", "")
+    if len(number) != 10:
+        return False
+    if not number.isdigit():
+        return False
+    total = 0
+    i = 0
+    while i < 9:
+        total = total + (10 - i) * (ord(number[i]) - 48)
+        i = i + 1
+    check = 11 - total % 11
+    if check == 11:
+        check = 0
+    if check == 10:
+        return False
+    return check == ord(number[9]) - 48
+|};
+    ]
+
+let fei_gist =
+  Repolib.Repo.make "gist/fda-fei"
+    "gist: FDA establishment identifier format"
+    ~stars:1
+    ~truth:[ ("fei_ok", [ "fei" ]) ]
+    [
+      file "gist/fei.py"
+        {|def fei_ok(fei):
+    fei = fei.strip()
+    if not fei.isdigit():
+        return False
+    if len(fei) == 7:
+        return True
+    if len(fei) == 10 and fei[:2] == "30":
+        return True
+    return False
+|};
+    ]
+
+let gln_lib =
+  Repolib.Repo.make "gs1tools/gln-check"
+    "Global Location Number validation (13 digits, GS1 checksum)"
+    ~stars:16
+    ~truth:[ ("valid_gln", [ "gln" ]) ]
+    [
+      file "gln/check.py"
+        {|def valid_gln(gln):
+    gln = gln.strip()
+    if len(gln) != 13:
+        return False
+    if not gln.isdigit():
+        return False
+    total = 0
+    weight = 3
+    i = 11
+    while i >= 0:
+        total = total + (ord(gln[i]) - 48) * weight
+        if weight == 3:
+            weight = 1
+        else:
+            weight = 3
+        i = i - 1
+    return (10 - total % 10) % 10 == ord(gln[12]) - 48
+|};
+    ]
+
+(* Script-style tools that read their input from sys.argv or stdin —
+   exercising the whole-file invocation variants of Appendix D.1. *)
+let roman_cli =
+  Repolib.Repo.make "gist/roman-cli"
+    "gist: command-line roman number converter"
+    ~stars:7
+    ~truth:[ ("<script:gist/roman_cli.py#argv>", [ "roman-numeral" ]) ]
+    [
+      Corpus_util.file "gist/roman_cli.py"
+        {|import sys
+
+VALUES = {"I": 1, "V": 5, "X": 10, "L": 50, "C": 100, "D": 500, "M": 1000}
+
+numeral = argv[1]
+total = 0
+i = 0
+while i < len(numeral):
+    ch = numeral[i]
+    if ch not in VALUES:
+        raise ValueError("bad roman digit")
+    v = VALUES[ch]
+    if i + 1 < len(numeral) and v < VALUES[numeral[i + 1]]:
+        total = total - v
+    else:
+        total = total + v
+    i = i + 1
+if total < 1 or total > 3999:
+    raise ValueError("out of range")
+print(total)
+|};
+    ]
+
+let mac_stdin =
+  Repolib.Repo.make "gist/mac-stdin"
+    "gist: read a MAC address from stdin and normalize it"
+    ~stars:2
+    ~truth:[ ("<script:gist/mac_stdin.py#stdin>", [ "mac-address" ]) ]
+    [
+      Corpus_util.file "gist/mac_stdin.py"
+        {|line = input()
+mac = line.strip().lower().replace("-", ":")
+parts = mac.split(":")
+if len(parts) != 6:
+    raise ValueError("need 6 octets")
+for p in parts:
+    if len(p) != 2:
+        raise ValueError("bad octet length")
+    for ch in p:
+        if ch not in "0123456789abcdef":
+            raise ValueError("bad hex digit")
+print(mac)
+|};
+    ]
+
+let repos =
+  [
+    vin_decoder; shipping; maritime; imei_check; colorconv; roman_lib;
+    markup; http_codes; oid_lib; lei_check; cn_id; nhs_lib; fei_gist;
+    gln_lib; roman_cli; mac_stdin;
+  ]

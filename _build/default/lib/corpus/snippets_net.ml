@@ -1,0 +1,393 @@
+(** Hand-written "mined" repositories for network and technology types:
+    IPv4 (several independent implementations, including the weak one the
+    paper cites), IPv6, MAC, URL, email, MD5, GUID, MSISDN, NMEA. *)
+
+let file = Corpus_util.file
+
+let netaddr =
+  Repolib.Repo.make "netkit/netaddr-lite"
+    "IP address manipulation: parse, validate and classify IPv4/IPv6"
+    ~readme:
+      "A small library for parsing IP addresses. Supports IPv4 dotted \
+       quads and IPv6 groups including :: compression."
+    ~stars:510
+    ~truth:
+      [ ("parse_ipv4", [ "ipv4" ]);
+        ("ipv4_to_int", [ "ipv4" ]);
+        ("is_ipv6", [ "ipv6" ]) ]
+    [
+      file "netaddr/ipv4.py"
+        {|def parse_ipv4(addr):
+    parts = addr.split(".")
+    if len(parts) != 4:
+        raise ValueError("expected 4 octets")
+    octets = []
+    for p in parts:
+        if not p.isdigit():
+            raise ValueError("octet is not a number")
+        if len(p) > 1 and p[0] == "0":
+            raise ValueError("leading zero in octet")
+        v = int(p)
+        if v > 255:
+            raise ValueError("octet out of range")
+        octets.append(v)
+    return octets
+
+def ipv4_to_int(addr):
+    octets = parse_ipv4(addr)
+    value = 0
+    for o in octets:
+        value = value * 256 + o
+    return value
+|};
+      file "netaddr/ipv6.py"
+        {|def is_ipv6(addr):
+    addr = addr.lower()
+    if addr.count("::") > 1:
+        return False
+    if "::" in addr:
+        dot = addr.find("::")
+        left = addr[:dot]
+        right = addr[dot + 2:]
+        groups = []
+        if left != "":
+            groups = groups + left.split(":")
+        if right != "":
+            groups = groups + right.split(":")
+        if len(groups) > 7:
+            return False
+    else:
+        groups = addr.split(":")
+        if len(groups) != 8:
+            return False
+    for g in groups:
+        if len(g) < 1 or len(g) > 4:
+            return False
+        for ch in g:
+            if ch not in "0123456789abcdef":
+                return False
+    return True
+|};
+    ]
+
+let ip_regex_gist =
+  Repolib.Repo.make "gist/ip-regex"
+    "gist: regex to validate an IP address"
+    ~stars:21
+    ~truth:[ ("valid_ip", [ "ipv4" ]) ]
+    [
+      file "gist/ipregex.py"
+        {|import re
+
+IP_PATTERN = "^(25[0-5]|2[0-4][0-9]|1[0-9][0-9]|[1-9]?[0-9])(\.(25[0-5]|2[0-4][0-9]|1[0-9][0-9]|[1-9]?[0-9])){3}$"
+
+def valid_ip(addr):
+    if re.match(IP_PATTERN, addr):
+        return True
+    return False
+|};
+    ]
+
+(* The weak IPv4 checker mentioned in Section 8.1: only digits separated
+   by dots, no segment count or range validation. *)
+let ip_sloppy =
+  Repolib.Repo.make "homelab/server-scripts"
+    "assorted scripts for my home server: ip checks, pings, backups"
+    ~stars:3
+    ~truth:[ ("is_ip", [ "ipv4" ]) ]
+    [
+      file "scripts/ipcheck.py"
+        {|def is_ip(s):
+    # quick and dirty
+    for part in s.split("."):
+        if not part.isdigit():
+            return False
+    return "." in s
+|};
+    ]
+
+let whois_like =
+  Repolib.Repo.make "netops/ip-intel"
+    "IP intelligence: registration info and geolocation lookup for IPv4"
+    ~readme:
+      "Resolve an IPv4 address to its registry block, owner country and \
+       city using an embedded snapshot of allocation data."
+    ~stars:67
+    ~truth:[ ("IpInfo.lookup", [ "ipv4" ]) ]
+    [
+      file "ipintel/lookup.py"
+        {|BLOCKS = {8: "US", 9: "US", 13: "US", 17: "US", 24: "CA", 25: "GB",
+          51: "GB", 53: "DE", 58: "CN", 59: "CN", 61: "AU", 77: "RU",
+          80: "EU", 90: "FR", 101: "JP", 103: "SG", 110: "KR", 133: "JP",
+          150: "BR", 163: "US", 177: "BR", 190: "AR", 196: "ZA", 200: "BR",
+          202: "CN", 212: "EU", 213: "EU", 217: "EU"}
+
+class IpInfo:
+    def __init__(self):
+        self.country = ""
+        self.block = 0
+
+    def lookup(self, addr):
+        parts = addr.split(".")
+        if len(parts) != 4:
+            raise ValueError("not an IPv4 address")
+        for p in parts:
+            v = int(p)
+            if v < 0 or v > 255:
+                raise ValueError("octet out of range")
+        self.block = int(parts[0])
+        if self.block in BLOCKS:
+            self.country = BLOCKS[self.block]
+        else:
+            self.country = "UNKNOWN"
+        return self.country
+|};
+    ]
+
+let macaddr =
+  Repolib.Repo.make "netkit/macformat"
+    "MAC address normalization: colon, dash and EUI-64 formats"
+    ~stars:45
+    ~truth:
+      [ ("normalize_mac", [ "mac-address" ]);
+        ("mac_to_eui64", [ "mac-address" ]) ]
+    [
+      file "macformat/mac.py"
+        {|def normalize_mac(mac):
+    mac = mac.lower().replace("-", ":")
+    groups = mac.split(":")
+    if len(groups) != 6:
+        raise ValueError("expected 6 octets")
+    out = []
+    for g in groups:
+        if len(g) != 2:
+            raise ValueError("octet must be 2 hex digits")
+        for ch in g:
+            if ch not in "0123456789abcdef":
+                raise ValueError("bad hex digit")
+        out.append(g)
+    return ":".join(out)
+
+def mac_to_eui64(mac):
+    mac = normalize_mac(mac)
+    groups = mac.split(":")
+    head = groups[:3]
+    tail = groups[3:]
+    eui = head + ["ff", "fe"] + tail
+    return ":".join(eui)
+|};
+    ]
+
+let urltools =
+  Repolib.Repo.make "webkit/urltools"
+    "URL parsing: scheme, host, port, path and query extraction"
+    ~readme:"Split URLs into components; validate scheme and hostname."
+    ~stars:389
+    ~truth:
+      [ ("urlparse", [ "url" ]); ("hostname_of", [ "url" ]) ]
+    [
+      file "urltools/parse.py"
+        {|SCHEMES = ["http", "https", "ftp"]
+
+def urlparse(url):
+    sep = url.find("://")
+    if sep < 0:
+        raise ValueError("missing scheme")
+    scheme = url[:sep].lower()
+    if scheme not in SCHEMES:
+        raise ValueError("unsupported scheme")
+    rest = url[sep + 3:]
+    path = ""
+    slash = rest.find("/")
+    if slash >= 0:
+        path = rest[slash:]
+        rest = rest[:slash]
+    port = ""
+    colon = rest.find(":")
+    if colon >= 0:
+        port = rest[colon + 1:]
+        if not port.isdigit():
+            raise ValueError("bad port")
+        rest = rest[:colon]
+    host = rest
+    if host == "":
+        raise ValueError("empty host")
+    if "." not in host:
+        raise ValueError("host must contain a dot")
+    for ch in host:
+        if not ch.isalnum() and ch != "." and ch != "-":
+            raise ValueError("bad host character")
+    return {"scheme": scheme, "host": host, "port": port, "path": path}
+
+def hostname_of(url):
+    parts = urlparse(url)
+    return parts["host"]
+|};
+    ]
+
+let email_lib =
+  Repolib.Repo.make "mailkit/email-verify"
+    "Email address verification: syntax and domain checks"
+    ~stars:267
+    ~truth:
+      [ ("verify_email", [ "email" ]); ("email_domain", [ "email" ]) ]
+    [
+      file "emailverify/check.py"
+        {|def verify_email(address):
+    at = address.find("@")
+    if at <= 0:
+        return False
+    local = address[:at]
+    domain = address[at + 1:]
+    if "@" in domain:
+        return False
+    for ch in local:
+        if not ch.isalnum() and ch not in "._%+-":
+            return False
+    if "." not in domain:
+        return False
+    if domain[0] == "." or domain[len(domain) - 1] == ".":
+        return False
+    labels = domain.split(".")
+    for label in labels:
+        if label == "":
+            return False
+        for ch in label:
+            if not ch.isalnum() and ch != "-":
+                return False
+    tld = labels[len(labels) - 1]
+    if len(tld) < 2:
+        return False
+    if not tld.isalpha():
+        return False
+    return True
+
+def email_domain(address):
+    if not verify_email(address):
+        raise ValueError("not an email address")
+    at = address.find("@")
+    return address[at + 1:]
+|};
+    ]
+
+let email_regex_gist =
+  Repolib.Repo.make "gist/email-regex-check"
+    "gist: simple email validation with a regular expression"
+    ~stars:30
+    ~truth:[ ("<script:gist/email_check.py#address>", [ "email" ]) ]
+    [
+      file "gist/email_check.py"
+        {|import re
+
+address = "someone@example.com"
+pattern = "^[a-zA-Z0-9._%+-]+@[a-zA-Z0-9.-]+\.[a-zA-Z]{2,}$"
+if re.match(pattern, address):
+    print("ok")
+else:
+    print("bad email")
+|};
+    ]
+
+let hash_tools =
+  Repolib.Repo.make "sectools/hash-identify"
+    "Identify hash types: MD5, SHA1, SHA256 by format"
+    ~stars:59
+    ~truth:[ ("looks_like_md5", [ "md5" ]) ]
+    [
+      file "hashid/md5.py"
+        {|def looks_like_md5(h):
+    h = h.strip().lower()
+    if len(h) != 32:
+        return False
+    for ch in h:
+        if ch not in "0123456789abcdef":
+            return False
+    return True
+|};
+    ]
+
+let uuid_lib =
+  Repolib.Repo.make "idgen/uuid-utils"
+    "GUID/UUID parsing and version extraction"
+    ~stars:142
+    ~truth:
+      [ ("parse_guid", [ "guid" ]); ("uuid_version", [ "guid" ]) ]
+    [
+      file "uuidutils/parse.py"
+        {|def parse_guid(guid):
+    guid = guid.strip().lower()
+    parts = guid.split("-")
+    if len(parts) != 5:
+        raise ValueError("expected 5 groups")
+    expected = [8, 4, 4, 4, 12]
+    i = 0
+    while i < 5:
+        if len(parts[i]) != expected[i]:
+            raise ValueError("bad group length")
+        for ch in parts[i]:
+            if ch not in "0123456789abcdef":
+                raise ValueError("bad hex digit")
+        i = i + 1
+    return parts
+
+def uuid_version(guid):
+    parts = parse_guid(guid)
+    version = parts[2][0]
+    return int(version, 16)
+|};
+    ]
+
+let phone_intl =
+  Repolib.Repo.make "telco/msisdn-check"
+    "MSISDN international mobile number validation (E.164)"
+    ~stars:38
+    ~truth:[ ("check_msisdn", [ "msisdn" ]) ]
+    [
+      file "msisdn/check.py"
+        {|def check_msisdn(number):
+    number = number.strip()
+    if number[0] == "+":
+        number = number[1:]
+    if len(number) < 10 or len(number) > 15:
+        return False
+    if not number.isdigit():
+        return False
+    if number[0] == "0":
+        return False
+    return True
+|};
+    ]
+
+let nmea_parse =
+  Repolib.Repo.make "marine/nmea-parser"
+    "NMEA 0183 sentence parsing with XOR checksum verification"
+    ~stars:85
+    ~truth:[ ("verify_sentence", [ "nmea0183" ]) ]
+    [
+      file "nmea/verify.py"
+        {|HEX = "0123456789ABCDEF"
+
+def verify_sentence(line):
+    line = line.strip()
+    if line[0] != "$":
+        return False
+    star = line.find("*")
+    if star < 0:
+        return False
+    if len(line) != star + 3:
+        return False
+    checksum = 0
+    for ch in line[1:star]:
+        checksum = checksum ^ ord(ch)
+    hi = HEX[checksum // 16]
+    lo = HEX[checksum % 16]
+    given = line[star + 1:].upper()
+    return given == hi + lo
+|};
+    ]
+
+let repos =
+  [
+    netaddr; ip_regex_gist; ip_sloppy; whois_like; macaddr; urltools;
+    email_lib; email_regex_gist; hash_tools; uuid_lib; phone_intl; nmea_parse;
+  ]

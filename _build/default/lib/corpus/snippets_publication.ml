@@ -1,0 +1,298 @@
+(** Hand-written "mined" repositories for publication identifiers. *)
+
+let file = Corpus_util.file
+
+let isbn_tools =
+  Repolib.Repo.make "booktech/isbn-tools"
+    "ISBN-10 and ISBN-13 validation, hyphen handling and conversion"
+    ~readme:
+      "Validate international standard book numbers. Handles hyphenated \
+       and compact forms, ISBN-10 check digits (mod 11, X allowed) and \
+       ISBN-13 (GS1 mod 10). Converts between the two."
+    ~stars:455
+    ~truth:
+      [ ("is_isbn13", [ "isbn" ]);
+        ("is_isbn10", [ "isbn" ]);
+        ("isbn_info", [ "isbn" ]);
+        ("isbn10_to_isbn13", [ "isbn" ]) ]
+    [
+      file "isbntools/validate.py"
+        {|def clean_isbn(raw):
+    out = ""
+    for ch in raw:
+        if ch != "-" and ch != " ":
+            out = out + ch
+    return out
+
+def is_isbn13(raw):
+    isbn = clean_isbn(raw)
+    if len(isbn) != 13:
+        return False
+    if not isbn.isdigit():
+        return False
+    prefix = isbn[:3]
+    if prefix != "978" and prefix != "979":
+        return False
+    total = 0
+    i = 0
+    while i < 12:
+        d = ord(isbn[i]) - 48
+        if i % 2 == 0:
+            total = total + d
+        else:
+            total = total + 3 * d
+        i = i + 1
+    check = (10 - total % 10) % 10
+    return check == ord(isbn[12]) - 48
+
+def is_isbn10(raw):
+    isbn = clean_isbn(raw)
+    if len(isbn) != 10:
+        return False
+    total = 0
+    i = 0
+    while i < 9:
+        if not isbn[i].isdigit():
+            return False
+        total = total + (10 - i) * (ord(isbn[i]) - 48)
+        i = i + 1
+    last = isbn[9]
+    if last == "X" or last == "x":
+        total = total + 10
+    elif last.isdigit():
+        total = total + ord(last) - 48
+    else:
+        return False
+    return total % 11 == 0
+|};
+      file "isbntools/info.py"
+        {|GROUPS = {"0": "English", "1": "English", "2": "French", "3": "German",
+          "4": "Japanese", "5": "Russian", "7": "Chinese", "88": "Italian",
+          "84": "Spanish", "85": "Brazilian", "90": "Dutch", "91": "Swedish"}
+
+def isbn_info(raw):
+    isbn = clean_isbn(raw)
+    if not is_isbn13(raw):
+        raise ValueError("not a valid ISBN-13")
+    group = isbn[3]
+    language = "other"
+    if group in GROUPS:
+        language = GROUPS[group]
+    publisher = isbn[4:7]
+    return {"prefix": isbn[:3], "language": language, "publisher": publisher}
+
+def isbn10_to_isbn13(raw):
+    isbn = clean_isbn(raw)
+    if not is_isbn10(raw):
+        raise ValueError("not a valid ISBN-10")
+    body = "978" + isbn[:9]
+    total = 0
+    i = 0
+    while i < 12:
+        d = ord(body[i]) - 48
+        if i % 2 == 0:
+            total = total + d
+        else:
+            total = total + 3 * d
+        i = i + 1
+    return body + str((10 - total % 10) % 10)
+|};
+    ]
+
+let issn_lib =
+  Repolib.Repo.make "serials/issn-check"
+    "ISSN validation for journals and periodicals"
+    ~stars:83
+    ~truth:
+      [ ("valid_issn", [ "issn" ]); ("<script:gist/issn_quick.py#code>", [ "issn" ]) ]
+    [
+      file "issn/check.py"
+        {|def valid_issn(code):
+    code = code.replace("-", "").upper()
+    if len(code) != 8:
+        return False
+    total = 0
+    i = 0
+    while i < 7:
+        if not code[i].isdigit():
+            return False
+        total = total + (8 - i) * (ord(code[i]) - 48)
+        i = i + 1
+    last = code[7]
+    if last == "X":
+        total = total + 10
+    elif last.isdigit():
+        total = total + ord(last) - 48
+    else:
+        return False
+    return total % 11 == 0
+|};
+      file "gist/issn_quick.py"
+        {|code = "0028-0836"
+compact = code.replace("-", "")
+if len(compact) != 8:
+    print("wrong length")
+else:
+    s = 0
+    i = 0
+    ok = True
+    while i < 7:
+        if not compact[i].isdigit():
+            ok = False
+        else:
+            s = s + (8 - i) * int(compact[i])
+        i = i + 1
+    if ok:
+        last = compact[7]
+        if last == "X" or last == "x":
+            s = s + 10
+        else:
+            s = s + int(last)
+        if s % 11 == 0:
+            print("valid ISSN")
+        else:
+            print("bad check digit")
+|};
+    ]
+
+let doi_lib =
+  Repolib.Repo.make "scholarly/doi-resolve"
+    "DOI identifier parsing and metadata extraction"
+    ~stars:132
+    ~truth:
+      [ ("parse_doi", [ "doi" ]) ]
+    [
+      file "doi/parse.py"
+        {|def parse_doi(doi):
+    doi = doi.strip()
+    if doi[:4] == "doi:":
+        doi = doi[4:]
+    if doi[:3] != "10.":
+        raise ValueError("DOI must start with 10.")
+    slash = doi.find("/")
+    if slash < 0:
+        raise ValueError("missing suffix separator")
+    registrant = doi[3:slash]
+    if not registrant.isdigit():
+        raise ValueError("registrant code must be numeric")
+    if len(registrant) < 4:
+        raise ValueError("registrant code too short")
+    suffix = doi[slash + 1:]
+    if suffix == "":
+        raise ValueError("empty suffix")
+    return {"registrant": registrant, "suffix": suffix}
+|};
+    ]
+
+let orcid_lib =
+  Repolib.Repo.make "scholarly/orcid-check"
+    "ORCID researcher identifier validation (ISO 7064 mod 11-2)"
+    ~stars:58
+    ~truth:[ ("valid_orcid", [ "orcid" ]) ]
+    [
+      file "orcid/check.py"
+        {|def valid_orcid(orcid):
+    compact = orcid.replace("-", "")
+    if len(compact) != 16:
+        return False
+    total = 0
+    i = 0
+    while i < 15:
+        if not compact[i].isdigit():
+            return False
+        total = (total + ord(compact[i]) - 48) * 2 % 11
+        i = i + 1
+    result = (12 - total % 11) % 11
+    expected = "X"
+    if result < 10:
+        expected = str(result)
+    return compact[15] == expected or (result == 10 and compact[15] == "X")
+|};
+    ]
+
+let isrc_lib =
+  Repolib.Repo.make "musicmeta/isrc-parse"
+    "ISRC recording code parsing: country, registrant, year, designation"
+    ~stars:29
+    ~truth:[ ("parse_isrc", [ "isrc" ]) ]
+    [
+      file "isrc/parse.py"
+        {|COUNTRIES = ["US", "GB", "DE", "FR", "JP", "CA", "AU", "SE", "NL", "IT",
+             "ES", "BR", "MX", "KR", "CN", "IN", "RU", "ZA", "NO", "DK",
+             "FI", "PL", "IE", "PT", "GR", "CZ", "HU", "BE", "CH", "AT"]
+
+def parse_isrc(isrc):
+    compact = isrc.replace("-", "").upper()
+    if len(compact) != 12:
+        raise ValueError("ISRC is 12 characters")
+    country = compact[:2]
+    if country not in COUNTRIES:
+        raise ValueError("unknown country prefix")
+    registrant = compact[2:5]
+    if not registrant.isalnum():
+        raise ValueError("bad registrant")
+    year = compact[5:7]
+    if not year.isdigit():
+        raise ValueError("year must be digits")
+    designation = compact[7:]
+    if not designation.isdigit():
+        raise ValueError("designation must be digits")
+    return {"country": country, "registrant": registrant, "year": year}
+|};
+    ]
+
+let ismn_lib =
+  Repolib.Repo.make "musicmeta/ismn-check"
+    "ISMN music number validation (9790 prefix, GS1 checksum)"
+    ~stars:11
+    ~truth:[ ("valid_ismn", [ "ismn" ]) ]
+    [
+      file "ismn/check.py"
+        {|def valid_ismn(code):
+    code = code.replace("-", "").replace(" ", "")
+    if len(code) != 13:
+        return False
+    if code[:4] != "9790":
+        return False
+    if not code.isdigit():
+        return False
+    total = 0
+    i = 0
+    while i < 12:
+        d = ord(code[i]) - 48
+        if i % 2 == 0:
+            total = total + d
+        else:
+            total = total + 3 * d
+        i = i + 1
+    return (10 - total % 10) % 10 == ord(code[12]) - 48
+|};
+    ]
+
+let bibcode_lib =
+  Repolib.Repo.make "astro/bibcode-parse"
+    "ADS bibcode parsing: year, journal, volume, page"
+    ~stars:24
+    ~truth:[ ("parse_bibcode", [ "bibcode" ]) ]
+    [
+      file "bibcode/parse.py"
+        {|def parse_bibcode(code):
+    code = code.strip()
+    if len(code) != 19:
+        raise ValueError("bibcodes are 19 characters")
+    year = code[:4]
+    if not year.isdigit():
+        raise ValueError("year must be numeric")
+    y = int(year)
+    if y < 1800 or y > 2100:
+        raise ValueError("implausible year")
+    author = code[18]
+    if not author.isalpha():
+        raise ValueError("author initial expected")
+    journal = code[4:9]
+    return {"year": y, "journal": journal.replace(".", ""), "initial": author}
+|};
+    ]
+
+let repos =
+  [ isbn_tools; issn_lib; doi_lib; orcid_lib; isrc_lib; ismn_lib; bibcode_lib ]

@@ -1,0 +1,372 @@
+(** Hand-written "mined" repositories for science and health types. *)
+
+let file = Corpus_util.file
+
+let chemtools =
+  Repolib.Repo.make "chemlab/chemtools"
+    "Chemistry utilities: molecular formulas, CAS numbers, SMILES, InChI"
+    ~readme:
+      "Parse molecular formulas into element counts and compute average \
+       mass; validate CAS registry numbers; structural checks for SMILES \
+       strings and InChI identifiers."
+    ~stars:298
+    ~truth:
+      [ ("parse_formula", [ "chemical-formula" ]);
+        ("molar_mass", [ "chemical-formula" ]);
+        ("valid_cas", [ "cas-number" ]);
+        ("check_smiles", [ "smile" ]);
+        ("is_inchi", [ "inchi" ]) ]
+    [
+      file "chemtools/formula.py"
+        {|MASSES = {"H": 1, "He": 4, "Li": 7, "Be": 9, "B": 11, "C": 12, "N": 14,
+          "O": 16, "F": 19, "Ne": 20, "Na": 23, "Mg": 24, "Al": 27,
+          "Si": 28, "P": 31, "S": 32, "Cl": 35, "Ar": 40, "K": 39,
+          "Ca": 40, "Fe": 56, "Cu": 64, "Zn": 65, "Br": 80, "Ag": 108,
+          "I": 127, "Au": 197, "Hg": 201, "Pb": 207, "Sn": 119, "Mn": 55,
+          "Cr": 52, "Ni": 59, "Co": 59, "Ti": 48}
+
+def parse_formula(formula):
+    counts = {}
+    i = 0
+    n = len(formula)
+    while i < n:
+        ch = formula[i]
+        if not ch.isupper():
+            raise ValueError("expected element symbol")
+        symbol = ch
+        if i + 1 < n and formula[i + 1].islower():
+            symbol = formula[i:i + 2]
+            i = i + 2
+        else:
+            i = i + 1
+        if symbol not in MASSES:
+            raise ValueError("unknown element")
+        count = 0
+        while i < n and formula[i].isdigit():
+            count = count * 10 + ord(formula[i]) - 48
+            i = i + 1
+        if count == 0:
+            count = 1
+        if symbol in counts:
+            counts[symbol] = counts[symbol] + count
+        else:
+            counts[symbol] = count
+    if len(counts) == 0:
+        raise ValueError("empty formula")
+    return counts
+
+def molar_mass(formula):
+    counts = parse_formula(formula)
+    total = 0
+    for symbol in counts.keys():
+        total = total + MASSES[symbol] * counts[symbol]
+    return total
+|};
+      file "chemtools/cas.py"
+        {|def valid_cas(cas):
+    parts = cas.split("-")
+    if len(parts) != 3:
+        return False
+    a = parts[0]
+    b = parts[1]
+    c = parts[2]
+    if len(a) < 2 or len(a) > 7 or len(b) != 2 or len(c) != 1:
+        return False
+    if not a.isdigit() or not b.isdigit() or not c.isdigit():
+        return False
+    digits = a + b
+    total = 0
+    i = 0
+    n = len(digits)
+    while i < n:
+        total = total + (n - i) * (ord(digits[i]) - 48)
+        i = i + 1
+    return total % 10 == int(c)
+|};
+      file "chemtools/smiles.py"
+        {|SMILES_CHARS = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789()[]=#+-@/\\%."
+
+def check_smiles(s):
+    if len(s) == 0:
+        return False
+    depth = 0
+    letters = 0
+    for ch in s:
+        if ch not in SMILES_CHARS:
+            return False
+        if ch.isalpha():
+            letters = letters + 1
+        if ch == "(":
+            depth = depth + 1
+        elif ch == ")":
+            depth = depth - 1
+            if depth < 0:
+                return False
+    if letters == 0:
+        return False
+    return depth == 0
+|};
+      file "chemtools/inchi.py"
+        {|def is_inchi(s):
+    if len(s) < 10:
+        return False
+    if s[:9] != "InChI=1S/":
+        return False
+    body = s[9:]
+    if body == "":
+        return False
+    return True
+|};
+    ]
+
+let bioseq =
+  Repolib.Repo.make "biokit/seqparse"
+    "Sequence file parsing: FASTA and FASTQ readers"
+    ~readme:
+      "Read FASTA and FASTQ records, validating nucleotide alphabets and \
+       quality string lengths as they are parsed."
+    ~stars:367
+    ~truth:
+      [ ("read_fasta", [ "fasta" ]);
+        ("read_fastq", [ "fastq" ]);
+        ("gc_content", [ "fasta" ]) ]
+    [
+      file "seqparse/fasta.py"
+        {|NUCLEOTIDES = "ACGTUNacgtun-*"
+
+def read_fasta(text):
+    lines = text.split("\n")
+    if len(lines) < 2:
+        raise ValueError("need header and sequence")
+    header = lines[0]
+    if len(header) == 0 or header[0] != ">":
+        raise ValueError("FASTA header must start with >")
+    sequence = ""
+    for line in lines[1:]:
+        for ch in line:
+            if ch not in NUCLEOTIDES:
+                raise ValueError("bad nucleotide code")
+        sequence = sequence + line
+    if sequence == "":
+        raise ValueError("empty sequence")
+    return {"id": header[1:], "seq": sequence}
+
+def gc_content(text):
+    record = read_fasta(text)
+    seq = record["seq"].upper()
+    gc = 0
+    for ch in seq:
+        if ch == "G" or ch == "C":
+            gc = gc + 1
+    return gc * 100 // len(seq)
+|};
+      file "seqparse/fastq.py"
+        {|def read_fastq(text):
+    lines = text.split("\n")
+    if len(lines) != 4:
+        raise ValueError("FASTQ records have 4 lines")
+    if lines[0] == "" or lines[0][0] != "@":
+        raise ValueError("header must start with @")
+    if lines[2] == "" or lines[2][0] != "+":
+        raise ValueError("separator must start with +")
+    seq = lines[1]
+    qual = lines[3]
+    for ch in seq:
+        if ch not in "ACGTN":
+            raise ValueError("bad base")
+    if len(seq) != len(qual):
+        raise ValueError("quality length mismatch")
+    return {"id": lines[0][1:], "seq": seq, "qual": qual}
+|};
+    ]
+
+let bio_ids =
+  Repolib.Repo.make "biokit/bio-identifiers"
+    "Biological database identifiers: UniProt, Ensembl, LSID, SNP rs IDs"
+    ~stars:104
+    ~truth:
+      [ ("check_uniprot", [ "uniprot" ]);
+        ("check_ensembl_gene", [ "ensembl-gene" ]);
+        ("check_lsid", [ "lsid" ]);
+        ("check_rsid", [ "snpid" ]) ]
+    [
+      file "bioids/ids.py"
+        {|import re
+
+def check_uniprot(acc):
+    if len(acc) != 6 and len(acc) != 10:
+        return False
+    if not acc[0].isupper():
+        return False
+    if not acc[1].isdigit():
+        return False
+    for ch in acc:
+        if not ch.isupper() and not ch.isdigit():
+            return False
+    return acc[len(acc) - 1].isdigit()
+
+def check_ensembl_gene(gid):
+    if len(gid) != 15:
+        return False
+    if gid[:4] != "ENSG":
+        return False
+    return gid[4:].isdigit()
+
+def check_lsid(lsid):
+    lsid = lsid.lower()
+    if lsid[:9] != "urn:lsid:":
+        return False
+    parts = lsid.split(":")
+    return len(parts) >= 5
+
+def check_rsid(rsid):
+    if re.match("^rs[0-9]{3,9}$", rsid):
+        return True
+    return False
+|};
+    ]
+
+let medcodes =
+  Repolib.Repo.make "healthdata/medical-codes"
+    "Medical coding: ICD-9, ICD-10, HCPCS, NDC drug codes, DEA numbers"
+    ~readme:
+      "Validators for the code systems used in US claims data: diagnosis \
+       codes (ICD-9/ICD-10), procedure codes (HCPCS), national drug \
+       codes (NDC) and prescriber DEA numbers."
+    ~stars:187
+    ~truth:
+      [ ("valid_icd9", [ "icd9" ]);
+        ("valid_icd10", [ "icd10" ]);
+        ("valid_hcpcs", [ "hcpcs" ]);
+        ("valid_ndc", [ "fda-ndc" ]);
+        ("check_dea", [ "dea-number" ]) ]
+    [
+      file "medcodes/icd.py"
+        {|def valid_icd9(code):
+    body = code
+    rest = ""
+    if "." in code:
+        dot = code.find(".")
+        body = code[:dot]
+        rest = code[dot + 1:]
+        if len(rest) < 1 or len(rest) > 2 or not rest.isdigit():
+            return False
+    if len(body) == 3 and body.isdigit():
+        return True
+    if len(body) == 4 and body[0] == "E" and body[1:].isdigit():
+        return True
+    if len(body) == 3 and body[0] == "V" and body[1:].isdigit():
+        return True
+    return False
+
+def valid_icd10(code):
+    body = code
+    rest = ""
+    if "." in code:
+        dot = code.find(".")
+        body = code[:dot]
+        rest = code[dot + 1:]
+        if len(rest) < 1 or len(rest) > 4 or not rest.isalnum():
+            return False
+    if len(body) != 3:
+        return False
+    if not body[0].isupper():
+        return False
+    return body[1:].isdigit()
+|};
+      file "medcodes/hcpcs.py"
+        {|def valid_hcpcs(code):
+    if len(code) != 5:
+        return False
+    if not code[0].isupper():
+        return False
+    return code[1:].isdigit()
+
+def valid_ndc(code):
+    parts = code.split("-")
+    if len(parts) != 3:
+        return False
+    if len(parts[0]) != 5 or len(parts[1]) != 4 or len(parts[2]) != 2:
+        return False
+    return parts[0].isdigit() and parts[1].isdigit() and parts[2].isdigit()
+|};
+      file "medcodes/dea.py"
+        {|def check_dea(number):
+    if len(number) != 9:
+        return False
+    if not number[0].isupper():
+        return False
+    if not number[1].isupper() and number[1] != "9":
+        return False
+    digits = number[2:]
+    if not digits.isdigit():
+        return False
+    odd = int(digits[0]) + int(digits[2]) + int(digits[4])
+    even = int(digits[1]) + int(digits[3]) + int(digits[5])
+    total = odd + 2 * even
+    return total % 10 == int(digits[6])
+|};
+    ]
+
+let pharmacy =
+  Repolib.Repo.make "healthdata/drug-directory"
+    "Drug name directory with therapeutic classes and ATC codes"
+    ~stars:66
+    ~truth:
+      [ ("drug_class", [ "drug-name" ]); ("valid_atc", [ "atc-code" ]) ]
+    [
+      file "drugs/directory.py"
+        {|DRUGS = {"Aspirin": "analgesic", "Ibuprofen": "NSAID",
+         "Acetaminophen": "analgesic", "Amoxicillin": "antibiotic",
+         "Lisinopril": "ACE inhibitor", "Metformin": "antidiabetic",
+         "Atorvastatin": "statin", "Omeprazole": "PPI",
+         "Amlodipine": "calcium blocker", "Metoprolol": "beta blocker",
+         "Simvastatin": "statin", "Losartan": "ARB",
+         "Gabapentin": "anticonvulsant", "Sertraline": "SSRI",
+         "Furosemide": "diuretic", "Prednisone": "corticosteroid",
+         "Tramadol": "opioid", "Citalopram": "SSRI",
+         "Warfarin": "anticoagulant", "Insulin": "hormone",
+         "Azithromycin": "antibiotic", "Hydrochlorothiazide": "diuretic",
+         "Levothyroxine": "hormone", "Alprazolam": "benzodiazepine",
+         "Ciprofloxacin": "antibiotic", "Doxycycline": "antibiotic",
+         "Naproxen": "NSAID", "Pantoprazole": "PPI"}
+
+def drug_class(name):
+    name = name.strip()
+    if name not in DRUGS:
+        raise KeyError("not in directory")
+    return DRUGS[name]
+
+def valid_atc(code):
+    if len(code) != 7:
+        return False
+    if not code[0].isupper():
+        return False
+    if not code[1:3].isdigit():
+        return False
+    if not code[3].isupper() or not code[4].isupper():
+        return False
+    return code[5:].isdigit()
+|};
+    ]
+
+let pubchem_gist =
+  Repolib.Repo.make "gist/pubchem-cid"
+    "gist: check pubchem compound identifiers"
+    ~stars:3
+    ~truth:[ ("check_cid", [ "pubchem" ]) ]
+    [
+      file "gist/cid.py"
+        {|def check_cid(cid):
+    cid = cid.strip()
+    if cid[:4] == "CID:":
+        cid = cid[4:]
+    if not cid.isdigit():
+        return False
+    if len(cid) < 2 or len(cid) > 9:
+        return False
+    return True
+|};
+    ]
+
+let repos = [ chemtools; bioseq; bio_ids; medcodes; pharmacy; pubchem_gist ]

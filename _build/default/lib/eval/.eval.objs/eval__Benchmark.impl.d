@@ -1,0 +1,1 @@
+lib/eval/benchmark.ml: Autotype_core Corpus Float Hashtbl List Metrics Option Random Repolib Semtypes String Unix

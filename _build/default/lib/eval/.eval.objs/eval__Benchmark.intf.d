@@ -1,0 +1,1 @@
+lib/eval/benchmark.mli: Autotype_core Metrics Repolib Semtypes

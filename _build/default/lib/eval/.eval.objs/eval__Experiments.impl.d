@@ -1,0 +1,1 @@
+lib/eval/experiments.ml: Autotype_core Benchmark Corpus Hashtbl List Metrics Minilang Option Random Repolib Semtypes String

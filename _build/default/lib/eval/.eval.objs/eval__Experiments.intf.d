@@ -1,0 +1,1 @@
+lib/eval/experiments.mli: Autotype_core Benchmark Semtypes

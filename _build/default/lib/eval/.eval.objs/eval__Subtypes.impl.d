@@ -1,0 +1,1 @@
+lib/eval/subtypes.ml: Benchmark Hashtbl List Printf Semtypes

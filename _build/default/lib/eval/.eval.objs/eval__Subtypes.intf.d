@@ -1,0 +1,1 @@
+lib/eval/subtypes.mli: Benchmark Semtypes

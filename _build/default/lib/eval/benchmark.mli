@@ -1,0 +1,69 @@
+(** The 112-type benchmark harness (Section 8): per type, run the full
+    pipeline, rank under every method, grade the top functions with
+    rel(F) = I(F)·Q(F) where Q(F) comes from held-out positives and
+    sampled true negatives. *)
+
+type graded = {
+  key : string;  (** candidate id, for pooling *)
+  candidate : Repolib.Candidate.t;
+  relevance : Metrics.relevance;
+}
+
+type type_result = {
+  type_id : string;
+  per_method : (Autotype_core.Ranking.method_ * graded list) list;
+  strategy : Autotype_core.Negative.strategy option;
+  n_candidates : int;
+  n_relevant_found : int;  (** distinct relevant functions (Figure 9) *)
+  elapsed_s : float;
+  simulated_minutes : float;  (** Figure 14 work-units *)
+}
+
+val default_eval_negatives : int
+
+val negative_test_pool :
+  ?n:int -> seed:int -> Semtypes.Registry.t -> string list
+(** True negatives for Q(F): wild cells plus near-miss values of other
+    types, filtered by the ground-truth validator. *)
+
+val quality :
+  dnf:Autotype_core.Dnf.result ->
+  Repolib.Candidate.t ->
+  held_out_pos:string list ->
+  test_neg:string list ->
+  float
+(** Q(F) of one candidate's synthesized validator. *)
+
+type config = {
+  n_positives : int;
+  seed : int;
+  eval_top : int;
+  n_test_negatives : int;
+  methods : Autotype_core.Ranking.method_ list;
+  pipeline : Autotype_core.Pipeline.config;
+}
+
+val default_config : config
+
+val simulated_minutes_of_steps : int -> float
+
+val run_type :
+  ?config:config ->
+  ?query:string ->
+  ?positives:string list ->
+  ?held_out:string list ->
+  Semtypes.Registry.t ->
+  type_result
+(** Evaluate one benchmark type under every configured method. *)
+
+val precision_at_k :
+  type_result list -> Autotype_core.Ranking.method_ -> int -> float
+
+val ndcg_at_p :
+  type_result list -> Autotype_core.Ranking.method_ -> int -> float
+
+val relative_recall :
+  type_result list ->
+  Autotype_core.Ranking.method_ list ->
+  (string * float) list
+(** Pooled relative recall at top-7 (Figure 8(c)). *)

@@ -1,0 +1,352 @@
+(** Drivers for the individual experiments of Sections 8 and 9 and the
+    appendices.  Each returns plain data; bench/main.ml renders the
+    paper-style tables. *)
+
+let popular_types () = Semtypes.Registry.popular
+let covered_types () = Semtypes.Registry.covered
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8: ranking quality over the full benchmark                    *)
+(* ------------------------------------------------------------------ *)
+
+let full_benchmark ?(config = Benchmark.default_config) ?(types = covered_types ()) () :
+    Benchmark.type_result list =
+  List.map (fun ty -> Benchmark.run_type ~config ty) types
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10(a): number of positive examples                            *)
+(* ------------------------------------------------------------------ *)
+
+let sensitivity_n_examples ?(ns = [ 10; 20; 30 ]) () :
+    (int * Benchmark.type_result list) list =
+  List.map
+    (fun n ->
+      let config = { Benchmark.default_config with n_positives = n } in
+      (n, List.map (fun ty -> Benchmark.run_type ~config ty) (popular_types ())))
+    ns
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10(b): noise injected into the positive examples              *)
+(* ------------------------------------------------------------------ *)
+
+let with_noise ~seed ~fraction positives =
+  let rng = Semtypes.Generators.make_rng (seed + 31) in
+  List.map
+    (fun p ->
+      if Random.State.float rng 1.0 < fraction then
+        Semtypes.Generators.wild_cell rng
+      else p)
+    positives
+
+let sensitivity_noise ?(fractions = [ 0.0; 0.1; 0.2; 0.3 ]) () :
+    (float * Benchmark.type_result list) list =
+  let config = Benchmark.default_config in
+  List.map
+    (fun frac ->
+      ( frac,
+        List.map
+          (fun ty ->
+            let positives =
+              Semtypes.Registry.positive_examples ~n:config.Benchmark.n_positives
+                ~seed:config.Benchmark.seed ty
+              |> with_noise ~seed:config.Benchmark.seed ~fraction:frac
+            in
+            Benchmark.run_type ~config ~positives ty)
+          (popular_types ()) ))
+    fractions
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10(c): negative-example generation strategies                 *)
+(* ------------------------------------------------------------------ *)
+
+type neg_variant = Hierarchical | Random_negatives | No_negatives
+
+let neg_variant_to_string = function
+  | Hierarchical -> "orig"
+  | Random_negatives -> "only_random_neg"
+  | No_negatives -> "no_neg"
+
+(** Run one type with a fixed negative-generation variant, reporting the
+    DNF-S ranking graded as in the main benchmark. *)
+let run_with_neg_variant (variant : neg_variant) (ty : Semtypes.Registry.t) :
+    Benchmark.type_result =
+  let config = Benchmark.default_config in
+  let positives =
+    Semtypes.Registry.positive_examples ~n:config.Benchmark.n_positives
+      ~seed:config.Benchmark.seed ty
+  in
+  let grade_ranked ranked n_candidates =
+    let held_out_pos =
+      Semtypes.Registry.positive_examples ~n:10
+        ~seed:(config.Benchmark.seed + 1000) ty
+    in
+    let test_neg =
+      Benchmark.negative_test_pool ~n:config.Benchmark.n_test_negatives
+        ~seed:config.Benchmark.seed ty
+    in
+    let graded =
+      ranked
+      |> List.filteri (fun i _ -> i < config.Benchmark.eval_top)
+      |> List.map (fun (r : Autotype_core.Ranking.ranked) ->
+             let c =
+               r.Autotype_core.Ranking.traced.Autotype_core.Ranking.candidate
+             in
+             let q =
+               Benchmark.quality ~dnf:r.Autotype_core.Ranking.dnf c
+                 ~held_out_pos ~test_neg
+             in
+             let intention =
+               Repolib.Repo.intends c.Repolib.Candidate.repo
+                 ~func_name:c.Repolib.Candidate.func_name
+                 ~type_id:ty.Semtypes.Registry.id
+             in
+             {
+               Benchmark.key = Repolib.Candidate.id c;
+               candidate = c;
+               relevance = { Metrics.intention; quality = q };
+             })
+    in
+    {
+      Benchmark.type_id = ty.Semtypes.Registry.id;
+      per_method = [ (Autotype_core.Ranking.DNF_S, graded) ];
+      strategy = None;
+      n_candidates;
+      n_relevant_found = 0;
+      elapsed_s = 0.0;
+      simulated_minutes = 0.0;
+    }
+  in
+  match variant with
+  | Hierarchical -> Benchmark.run_type ~config ty
+  | Random_negatives ->
+    let negatives =
+      Autotype_core.Negative.random_strings ~seed:config.Benchmark.seed
+        positives
+    in
+    let index = Corpus.search_index () in
+    let outcome =
+      Autotype_core.Pipeline.synthesize ~config:config.Benchmark.pipeline
+        ~negatives_override:negatives ~index
+        ~query:ty.Semtypes.Registry.name ~positives ()
+    in
+    grade_ranked outcome.Autotype_core.Pipeline.ranked
+      outcome.Autotype_core.Pipeline.candidates_tried
+  | No_negatives ->
+    (* The paper's no-negative baseline: rank functions by how many
+       positive examples share the same execution path. *)
+    let index = Corpus.search_index () in
+    let candidates, _ =
+      Autotype_core.Pipeline.gather_candidates ~index
+        ~config:config.Benchmark.pipeline ~query:ty.Semtypes.Registry.name
+        ~probe:(List.hd positives) ()
+    in
+    let ranked =
+      List.map
+        (fun c ->
+          let traced =
+            Autotype_core.Ranking.trace_candidate c ~positives ~negatives:[]
+          in
+          let pos_f, _ = Autotype_core.Ranking.featurized traced in
+          (* Largest group of positives with an identical trace. *)
+          let groups = Hashtbl.create 8 in
+          List.iter
+            (fun t ->
+              let key =
+                String.concat "|"
+                  (List.map Autotype_core.Feature.literal_to_string
+                     (Autotype_core.Feature.Literal_set.elements t))
+              in
+              Hashtbl.replace groups key
+                (1 + Option.value ~default:0 (Hashtbl.find_opt groups key)))
+            pos_f;
+          let score =
+            Hashtbl.fold (fun _ n acc -> max n acc) groups 0
+          in
+          let inst =
+            Autotype_core.Dnf.make_instance ~positives:pos_f ~negatives:[]
+          in
+          let dnf =
+            Autotype_core.Dnf.best_k_concise
+              ~k:config.Benchmark.pipeline.Autotype_core.Pipeline.k
+              ~theta:config.Benchmark.pipeline.Autotype_core.Pipeline.theta inst
+          in
+          { Autotype_core.Ranking.traced; dnf; score = float_of_int score })
+        candidates
+      |> List.stable_sort
+           (fun (a : Autotype_core.Ranking.ranked) b ->
+             match compare b.Autotype_core.Ranking.score a.Autotype_core.Ranking.score with
+             | 0 ->
+               compare
+                 (Hashtbl.hash
+                    (Repolib.Candidate.id
+                       a.Autotype_core.Ranking.traced.Autotype_core.Ranking.candidate))
+                 (Hashtbl.hash
+                    (Repolib.Candidate.id
+                       b.Autotype_core.Ranking.traced.Autotype_core.Ranking.candidate))
+             | c -> c)
+    in
+    grade_ranked ranked (List.length candidates)
+
+let sensitivity_negatives () :
+    (neg_variant * Benchmark.type_result list) list =
+  List.map
+    (fun v -> (v, List.map (run_with_neg_variant v) (popular_types ())))
+    [ Hierarchical; Random_negatives; No_negatives ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 12 / Table 4: sensitivity to input keywords                   *)
+(* ------------------------------------------------------------------ *)
+
+let keyword_table =
+  [ ("isbn", [ "ISBN"; "international standard book number"; "ISBN13" ]);
+    ("ipv4", [ "IPv4"; "IPv4 address"; "ip address v4" ]);
+    ("swift-code",
+     [ "SWIFT message";
+       "Society for Worldwide Interbank Financial Telecommunication";
+       "SWIFT" ]);
+    ("us-zipcode", [ "US zipcode"; "zipcode"; "US postal code" ]);
+    ("sedol", [ "SEDOL"; "stock exchange daily official list"; "SEDOL number" ]);
+    ("isin",
+     [ "ISIN"; "ISIN number"; "international securities identification number" ]);
+    ("vin", [ "VIN"; "Vehicle Identification Number"; "VIN number" ]);
+    ("rgb-color", [ "RGB color"; "RGB"; "RGB color code" ]);
+    ("fasta", [ "FASTA sequence"; "FASTA gene sequence"; "FASTA" ]);
+    ("doi", [ "DOI identifier"; "digital object identifier"; "DOI number" ]) ]
+
+let sensitivity_keywords () :
+    (string * (string * Benchmark.type_result) list) list =
+  List.map
+    (fun (type_id, keywords) ->
+      let ty = Semtypes.Registry.find_exn type_id in
+      ( type_id,
+        List.map
+          (fun kw -> (kw, Benchmark.run_type ~query:kw ty))
+          keywords ))
+    keyword_table
+
+(* ------------------------------------------------------------------ *)
+(* Figure 13: LR with varying example counts (Appendix K)               *)
+(* ------------------------------------------------------------------ *)
+
+let lr_sensitivity ?(ns = [ 10; 20; 30 ]) () :
+    (int * Benchmark.type_result list) list =
+  List.map
+    (fun n ->
+      let config =
+        { Benchmark.default_config with
+          n_positives = n;
+          methods = [ Autotype_core.Ranking.LR ] }
+      in
+      (n, List.map (fun ty -> Benchmark.run_type ~config ty) (popular_types ())))
+    ns
+
+(* ------------------------------------------------------------------ *)
+(* Section 8.2.2: coverage analysis                                     *)
+(* ------------------------------------------------------------------ *)
+
+type coverage_report = {
+  n_types : int;
+  n_found : int;  (** types with at least one relevant function found *)
+  n_no_code : int;
+  n_other_language : int;
+  n_complex_invocation : int;
+  relevant_per_type : (string * int) list;  (** Figure 9 distribution *)
+}
+
+let coverage (results : Benchmark.type_result list) : coverage_report =
+  let covered, no_code, other_lang, complex =
+    Semtypes.Registry.coverage_counts ()
+  in
+  ignore covered;
+  let relevant_per_type =
+    List.map
+      (fun (r : Benchmark.type_result) ->
+        (r.Benchmark.type_id, r.Benchmark.n_relevant_found))
+      results
+  in
+  {
+    n_types = Semtypes.Registry.count;
+    n_found =
+      List.length
+        (List.filter (fun (_, n) -> n > 0) relevant_per_type);
+    n_no_code = no_code;
+    n_other_language = other_lang;
+    n_complex_invocation = complex;
+    relevant_per_type;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Section 8.3: PBE-systems comparison, simulated                       *)
+(* ------------------------------------------------------------------ *)
+
+(** TDE-style program-by-example: a function "solves" the task when its
+    concrete output equals the expected output string on every example —
+    here the output domain is just True/False, which is what makes type
+    detection hard for PBE (Section 8.3). *)
+let tde_style_finds (ty : Semtypes.Registry.t) : bool =
+  let positives = Semtypes.Registry.positive_examples ~n:8 ~seed:5 ty in
+  let negatives =
+    Autotype_core.Negative.generate ~per_positive:1 ~seed:5
+      Autotype_core.Negative.S2 positives
+  in
+  let index = Corpus.search_index () in
+  let repos =
+    Repolib.Search.search index ~k:40 ty.Semtypes.Registry.name
+  in
+  let candidates = List.concat_map Repolib.Analyzer.candidates_of_repo repos in
+  List.exists
+    (fun c ->
+      let output_is v expected =
+        match v.Minilang.Interp.outcome with
+        | Minilang.Interp.Finished value ->
+          Minilang.Value.to_display_string value = expected
+        | Minilang.Interp.Errored _ | Minilang.Interp.Hit_limit _ -> false
+      in
+      List.for_all (fun p -> output_is (Repolib.Driver.run_safe c p) "True") positives
+      && List.for_all
+           (fun n -> output_is (Repolib.Driver.run_safe c n) "False")
+           negatives)
+    candidates
+
+let pbe_comparison () : (string * bool) list =
+  List.map
+    (fun ty -> (ty.Semtypes.Registry.id, tde_style_finds ty))
+    (popular_types ())
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: semantic transformations                                    *)
+(* ------------------------------------------------------------------ *)
+
+let transformations_for ?positives (ty : Semtypes.Registry.t) :
+    (string * string list * Autotype_core.Transform.transformation list)
+    option =
+  let positives =
+    match positives with
+    | Some p -> p
+    | None -> Semtypes.Registry.positive_examples ~n:8 ~seed:11 ty
+  in
+  let outcome =
+    Autotype_core.Pipeline.synthesize ~index:(Corpus.search_index ())
+      ~query:ty.Semtypes.Registry.name ~positives ()
+  in
+  (* Appendix B inspects the transformations of the top functions, not
+     only the winner: harvest the top 5 and keep the richest. *)
+  let harvested =
+    outcome.Autotype_core.Pipeline.ranked
+    |> List.filteri (fun i _ -> i < 5)
+    |> List.map (fun (r : Autotype_core.Ranking.ranked) ->
+           let c =
+             r.Autotype_core.Ranking.traced.Autotype_core.Ranking.candidate
+           in
+           (c, Autotype_core.Transform.harvest c ~positives))
+  in
+  match harvested with
+  | [] -> None
+  | _ ->
+    let best_c, best_ts =
+      List.fold_left
+        (fun (bc, bts) (c, ts) ->
+          if List.length ts > List.length bts then (c, ts) else (bc, bts))
+        (List.hd harvested) (List.tl harvested)
+    in
+    Some (Repolib.Candidate.describe best_c, positives, best_ts)

@@ -1,0 +1,71 @@
+(** Drivers for the individual experiments of Sections 8-9 and the
+    appendices.  Each returns plain data; bench/main.ml renders the
+    paper-style tables. *)
+
+val popular_types : unit -> Semtypes.Registry.t list
+val covered_types : unit -> Semtypes.Registry.t list
+
+val full_benchmark :
+  ?config:Benchmark.config ->
+  ?types:Semtypes.Registry.t list ->
+  unit ->
+  Benchmark.type_result list
+(** Figure 8 / 9 / 14: the full benchmark over all covered types. *)
+
+val sensitivity_n_examples :
+  ?ns:int list -> unit -> (int * Benchmark.type_result list) list
+(** Figure 10(a): 10/20/30 positive examples, 20 popular types. *)
+
+val with_noise : seed:int -> fraction:float -> string list -> string list
+
+val sensitivity_noise :
+  ?fractions:float list -> unit -> (float * Benchmark.type_result list) list
+(** Figure 10(b): corrupting a fraction of the positives. *)
+
+type neg_variant = Hierarchical | Random_negatives | No_negatives
+
+val neg_variant_to_string : neg_variant -> string
+
+val run_with_neg_variant :
+  neg_variant -> Semtypes.Registry.t -> Benchmark.type_result
+
+val sensitivity_negatives :
+  unit -> (neg_variant * Benchmark.type_result list) list
+(** Figure 10(c): hierarchical mutation vs random strings vs none. *)
+
+val keyword_table : (string * string list) list
+(** Table 4 / Appendix I: three alternative keywords for 10 types. *)
+
+val sensitivity_keywords :
+  unit -> (string * (string * Benchmark.type_result) list) list
+(** Figure 12 / Appendix J. *)
+
+val lr_sensitivity :
+  ?ns:int list -> unit -> (int * Benchmark.type_result list) list
+(** Figure 13 / Appendix K. *)
+
+type coverage_report = {
+  n_types : int;
+  n_found : int;
+  n_no_code : int;
+  n_other_language : int;
+  n_complex_invocation : int;
+  relevant_per_type : (string * int) list;  (** Figure 9 distribution *)
+}
+
+val coverage : Benchmark.type_result list -> coverage_report
+(** Section 8.2.2. *)
+
+val tde_style_finds : Semtypes.Registry.t -> bool
+(** Section 8.3, simulated: does exact-output PBE (True/False outputs)
+    find a function for the type? *)
+
+val pbe_comparison : unit -> (string * bool) list
+
+val transformations_for :
+  ?positives:string list ->
+  Semtypes.Registry.t ->
+  (string * string list * Autotype_core.Transform.transformation list) option
+(** Table 3 / Appendix B: harvest the richest transformation set among
+    the top-5 ranked functions.  Returns (function description,
+    positives used, transformations). *)

@@ -1,0 +1,95 @@
+(** Evaluation metrics of Section 8.1: precision@K, NDCG, relative
+    recall with pooling, and the graded relevance rel(F) = I(F)·Q(F). *)
+
+(** Graded relevance of one ranked function. *)
+type relevance = {
+  intention : bool;  (** I(F): a human judge says F intends to process T *)
+  quality : float;  (** Q(F) ∈ [0,1] from held-out unit tests *)
+}
+
+let rel r = if r.intention then r.quality else 0.0
+
+(** Q(F) = ½·(pass rate on held-out positives) + ½·(reject rate on true
+    negatives) — the unit-test score of Section 8.1. *)
+let quality_score ~pass_pos ~n_pos ~reject_neg ~n_neg =
+  let frac a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b in
+  (0.5 *. frac pass_pos n_pos) +. (0.5 *. frac reject_neg n_neg)
+
+(** An item is counted as relevant for precision/recall purposes when its
+    graded relevance exceeds this floor (intending the type but failing
+    most unit tests should not count). *)
+let relevant_floor = 0.5
+
+let is_relevant r = rel r > relevant_floor
+
+(** precision@K over one ranked list. *)
+let precision_at_k (ranked : relevance list) k =
+  let top = List.filteri (fun i _ -> i < k) ranked in
+  match top with
+  | [] -> 0.0
+  | _ ->
+    float_of_int (List.length (List.filter is_relevant top))
+    /. float_of_int k
+
+(** NDCG@p with graded relevance (Järvelin & Kekäläinen):
+    DCG_p = Σ_{i=1..p} rel_i / log2(i + 1), normalized by the ideal DCG. *)
+let ndcg_at_p (ranked : relevance list) p =
+  let dcg_of rels =
+    List.fold_left
+      (fun (i, acc) r ->
+        (i + 1, acc +. (r /. (log (float_of_int (i + 1)) /. log 2.0))))
+      (1, 0.0) rels
+    |> snd
+  in
+  let rels = List.filteri (fun i _ -> i < p) (List.map rel ranked) in
+  let ideal =
+    List.sort (fun a b -> compare b a) (List.map rel ranked)
+    |> List.filteri (fun i _ -> i < p)
+  in
+  let idcg = dcg_of ideal in
+  if idcg = 0.0 then 0.0 else dcg_of rels /. idcg
+
+(** Relative recall with the IR pooling methodology: the union of
+    relevant results in all methods' top-k lists is the ground-truth
+    pool; each method's recall is its share of the pool.  Items are
+    identified by a string key. *)
+let relative_recall ~(pool_k : int)
+    (per_method : (string * (string * relevance) list) list) :
+    (string * float) list =
+  let pooled = Hashtbl.create 64 in
+  List.iter
+    (fun (_method, ranked) ->
+      List.filteri (fun i _ -> i < pool_k) ranked
+      |> List.iter (fun (key, r) ->
+             if is_relevant r then Hashtbl.replace pooled key ()))
+    per_method;
+  let total = Hashtbl.length pooled in
+  List.map
+    (fun (m, ranked) ->
+      let found =
+        List.filteri (fun i _ -> i < pool_k) ranked
+        |> List.filter (fun (key, r) -> is_relevant r && Hashtbl.mem pooled key)
+        |> List.length
+      in
+      (m, if total = 0 then 0.0 else float_of_int found /. float_of_int total))
+    per_method
+
+(** Precision / recall / F1 for column-type detection (Section 9). *)
+type prf = { tp : int; fp : int; fn : int }
+
+let precision prf =
+  if prf.tp + prf.fp = 0 then 0.0
+  else float_of_int prf.tp /. float_of_int (prf.tp + prf.fp)
+
+let recall prf =
+  if prf.tp + prf.fn = 0 then 0.0
+  else float_of_int prf.tp /. float_of_int (prf.tp + prf.fn)
+
+let f_score prf =
+  let p = precision prf and r = recall prf in
+  if p +. r = 0.0 then 0.0 else 2.0 *. p *. r /. (p +. r)
+
+let mean xs =
+  match xs with
+  | [] -> 0.0
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)

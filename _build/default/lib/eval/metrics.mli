@@ -1,0 +1,39 @@
+(** Evaluation metrics of Section 8.1: graded relevance
+    rel(F) = I(F)·Q(F), precision@K, NDCG, relative recall with the IR
+    pooling methodology, and precision/recall/F1 for column detection. *)
+
+type relevance = {
+  intention : bool;  (** I(F): the function intends to process the type *)
+  quality : float;  (** Q(F) ∈ [0,1] from held-out unit tests *)
+}
+
+val rel : relevance -> float
+(** rel(F) = I(F)·Q(F). *)
+
+val quality_score :
+  pass_pos:int -> n_pos:int -> reject_neg:int -> n_neg:int -> float
+(** Q(F) = ½·pass-rate(P_test) + ½·reject-rate(N_test). *)
+
+val relevant_floor : float
+
+val is_relevant : relevance -> bool
+(** rel(F) > {!relevant_floor}. *)
+
+val precision_at_k : relevance list -> int -> float
+
+val ndcg_at_p : relevance list -> int -> float
+(** Normalized discounted cumulative gain with graded relevance. *)
+
+val relative_recall :
+  pool_k:int ->
+  (string * (string * relevance) list) list ->
+  (string * float) list
+(** Pooled relative recall: the union of relevant items in all methods'
+    top-[pool_k] lists is the ground-truth pool. *)
+
+type prf = { tp : int; fp : int; fn : int }
+
+val precision : prf -> float
+val recall : prf -> float
+val f_score : prf -> float
+val mean : float list -> float

@@ -1,0 +1,91 @@
+(** Sub-type test cases (Section 8.1): "Some types like date-time have
+    multiple formats/sub-types (e.g., 'Jan 01, 2017' vs. '2017-01-01').
+    We create a separate test case for each sub-type, as well as a test
+    case with data mixed from different sub-types."
+
+    Each case supplies its own positive-example generator while keeping
+    the parent type's search keyword and ground truth, so the benchmark
+    machinery applies unchanged. *)
+
+type case = {
+  case_id : string;
+  type_id : string;  (** parent registry type *)
+  description : string;
+  generator : Semtypes.Generators.rng -> string;
+}
+
+let g = Semtypes.Generators.make_rng
+
+let cases : case list =
+  [
+    (* date-time sub-types *)
+    { case_id = "datetime-iso"; type_id = "datetime";
+      description = "ISO dates: 2017-01-31";
+      generator = Semtypes.Generators.date_iso };
+    { case_id = "datetime-us"; type_id = "datetime";
+      description = "US dates: 01/31/2017";
+      generator = Semtypes.Generators.date_us };
+    { case_id = "datetime-textual"; type_id = "datetime";
+      description = "textual dates: Jan 01, 2017";
+      generator = Semtypes.Generators.date_textual };
+    { case_id = "datetime-mixed"; type_id = "datetime";
+      description = "mixed formats with optional times";
+      generator = Semtypes.Generators.datetime };
+    (* ISBN sub-types *)
+    { case_id = "isbn-13-compact"; type_id = "isbn";
+      description = "compact ISBN-13: 9784063641561";
+      generator = Semtypes.Generators.isbn13 };
+    { case_id = "isbn-13-hyphenated"; type_id = "isbn";
+      description = "hyphenated ISBN-13: 978-4-06-364156-1";
+      generator = Semtypes.Generators.isbn13_hyphenated };
+    { case_id = "isbn-10"; type_id = "isbn";
+      description = "ISBN-10 with mod-11 check";
+      generator = Semtypes.Generators.isbn10 };
+    (* phone sub-types *)
+    { case_id = "phone-paren"; type_id = "phone";
+      description = "(502) 107-2133";
+      generator =
+        (fun rng ->
+          Printf.sprintf "(%d) %d-%s"
+            (Semtypes.Generators.int_in rng 201 989)
+            (Semtypes.Generators.int_in rng 100 999)
+            (Semtypes.Generators.digits rng 4)) };
+    { case_id = "phone-dashed"; type_id = "phone";
+      description = "502-107-2133";
+      generator =
+        (fun rng ->
+          Printf.sprintf "%d-%d-%s"
+            (Semtypes.Generators.int_in rng 201 989)
+            (Semtypes.Generators.int_in rng 100 999)
+            (Semtypes.Generators.digits rng 4)) };
+    { case_id = "phone-mixed"; type_id = "phone";
+      description = "mixed US phone formats";
+      generator = Semtypes.Generators.phone_us };
+    (* ISSN *)
+    { case_id = "issn-hyphenated"; type_id = "issn";
+      description = "0028-0836"; generator = Semtypes.Generators.issn };
+    { case_id = "issn-compact"; type_id = "issn";
+      description = "00280836"; generator = Semtypes.Generators.issn_compact };
+    (* credit card *)
+    { case_id = "card-compact"; type_id = "credit-card";
+      description = "4147202263232835";
+      generator = Semtypes.Generators.credit_card };
+    { case_id = "card-spaced"; type_id = "credit-card";
+      description = "4147 2022 6323 2835 (mixed with compact)";
+      generator = Semtypes.Generators.credit_card_formatted };
+  ]
+
+(** Run one sub-type case through the full benchmark machinery. *)
+let run_case ?(config = Benchmark.default_config) (case : case) :
+    Benchmark.type_result =
+  let ty = Semtypes.Registry.find_exn case.type_id in
+  let rng = g (config.Benchmark.seed + Hashtbl.hash case.case_id) in
+  let positives =
+    Semtypes.Generators.samples rng case.generator config.Benchmark.n_positives
+  in
+  (* Held-out unit tests must come from the same sub-type distribution. *)
+  let held_out = Semtypes.Generators.samples rng case.generator 10 in
+  Benchmark.run_type ~config ~positives ~held_out ty
+
+let run_all ?config () : (case * Benchmark.type_result) list =
+  List.map (fun c -> (c, run_case ?config c)) cases

@@ -1,0 +1,19 @@
+(** Sub-type test cases (Section 8.1): a separate test case per format
+    of multi-format types (date-time, ISBN, phone, ISSN, credit card),
+    plus mixed cases. *)
+
+type case = {
+  case_id : string;
+  type_id : string;  (** parent registry type *)
+  description : string;
+  generator : Semtypes.Generators.rng -> string;
+}
+
+val cases : case list
+
+val run_case : ?config:Benchmark.config -> case -> Benchmark.type_result
+(** Positive examples and the held-out grading set both come from the
+    case's own generator. *)
+
+val run_all :
+  ?config:Benchmark.config -> unit -> (case * Benchmark.type_result) list

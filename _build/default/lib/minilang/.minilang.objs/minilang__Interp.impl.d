@@ -1,0 +1,1 @@
+lib/minilang/interp.ml: Ast Buffer Bytes Char Float Hashtbl List Option Printf Regexlite String Trace Value

@@ -1,0 +1,1 @@
+lib/minilang/lexer.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/minilang/trace.ml: Ast List Printf String Value

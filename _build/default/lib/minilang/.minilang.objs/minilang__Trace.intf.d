@@ -1,0 +1,1 @@
+lib/minilang/trace.mli: Ast Value

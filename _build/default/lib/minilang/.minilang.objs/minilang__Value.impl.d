@@ -1,0 +1,1 @@
+lib/minilang/value.ml: Ast Float Hashtbl List Printf String

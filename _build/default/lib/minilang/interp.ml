@@ -1,0 +1,1242 @@
+(** Tree-walking interpreter for MiniScript with execution tracing.
+
+    Every condition evaluation (if/elif/while/ternary) emits a
+    {!Trace.Branch} event, every [return] emits a {!Trace.Return} event
+    with the abstracted value, and — when transformation harvesting is
+    enabled — every assignment emits a {!Trace.Assign} event.  This
+    mirrors the paper's byte-code instrumentation (Appendix D.2), which
+    dumps the stack top before every jump and return instruction together
+    with its file/line identifier.
+
+    Sandboxing: a step budget and a call-depth cap bound every execution,
+    replacing the paper's 30-second per-function watchdog and OS-level
+    sandbox (Appendix D.3).  Exceeding a limit raises {!Sandbox_limit},
+    which is deliberately not catchable by MiniScript [try/except]. *)
+
+open Value
+
+exception Sandbox_limit of string
+
+type config = {
+  max_steps : int;
+  max_call_depth : int;
+}
+
+let default_config = { max_steps = 400_000; max_call_depth = 64 }
+
+type ctx = {
+  collector : Trace.collector;
+  config : config;
+  mutable steps : int;
+  mutable depth : int;
+  argv : Value.t;
+  stdin_line : string;
+  virtual_files : (string * string) list;
+      (** the virtual filesystem backing [open()]; invocation variant 6 *)
+  mutable printed : string list;  (** reversed capture of print() output *)
+}
+
+let create_ctx ?(config = default_config) ?(argv = []) ?(stdin_line = "")
+    ?(virtual_files = []) collector =
+  {
+    collector;
+    config;
+    steps = 0;
+    depth = 0;
+    argv = Vlist (ref (List.map (fun s -> Vstr s) argv));
+    stdin_line;
+    virtual_files;
+    printed = [];
+  }
+
+(* Control-flow exceptions. *)
+exception Return_signal of Value.t
+exception Break_signal
+exception Continue_signal
+
+type frame = {
+  scope : scope;
+  global_names : (string, unit) Hashtbl.t;
+}
+
+let tick ctx =
+  ctx.steps <- ctx.steps + 1;
+  if ctx.steps > ctx.config.max_steps then
+    raise (Sandbox_limit "step budget exhausted")
+
+let known_exception_kinds =
+  [ "ValueError"; "TypeError"; "IndexError"; "KeyError"; "AttributeError";
+    "ZeroDivisionError"; "AssertionError"; "NameError"; "IOError";
+    "Exception"; "RuntimeError"; "StopIteration"; "OverflowError" ]
+
+(* ------------------------------------------------------------------ *)
+(* Arithmetic and operators                                            *)
+(* ------------------------------------------------------------------ *)
+
+let num_binop op a b =
+  let float_op x y =
+    match op with
+    | Ast.Add -> Vfloat (x +. y)
+    | Ast.Sub -> Vfloat (x -. y)
+    | Ast.Mul -> Vfloat (x *. y)
+    | Ast.Div ->
+      if y = 0.0 then raise_error "ZeroDivisionError" "float division by zero"
+      else Vfloat (x /. y)
+    | Ast.Floordiv ->
+      if y = 0.0 then raise_error "ZeroDivisionError" "float floor division by zero"
+      else Vfloat (floor (x /. y))
+    | Ast.Mod ->
+      if y = 0.0 then raise_error "ZeroDivisionError" "float modulo by zero"
+      else
+        let r = Float.rem x y in
+        Vfloat (if r <> 0.0 && (r < 0.0) <> (y < 0.0) then r +. y else r)
+    | Ast.Pow -> Vfloat (Float.pow x y)
+    | _ -> assert false
+  in
+  match (a, b) with
+  | Vint x, Vint y ->
+    (match op with
+     | Ast.Add -> Vint (x + y)
+     | Ast.Sub -> Vint (x - y)
+     | Ast.Mul -> Vint (x * y)
+     | Ast.Div ->
+       if y = 0 then raise_error "ZeroDivisionError" "division by zero"
+       else Vfloat (float_of_int x /. float_of_int y)
+     | Ast.Floordiv ->
+       if y = 0 then raise_error "ZeroDivisionError" "integer division by zero"
+       else
+         (* Python floor division *)
+         let q = x / y and r = x mod y in
+         Vint (if r <> 0 && (r < 0) <> (y < 0) then q - 1 else q)
+     | Ast.Mod ->
+       if y = 0 then raise_error "ZeroDivisionError" "integer modulo by zero"
+       else
+         let r = x mod y in
+         Vint (if r <> 0 && (r < 0) <> (y < 0) then r + y else r)
+     | Ast.Pow ->
+       if y < 0 then float_op (float_of_int x) (float_of_int y)
+       else
+         let rec pow acc b e = if e = 0 then acc else pow (acc * b) b (e - 1) in
+         Vint (pow 1 x y)
+     | _ -> assert false)
+  | (Vint _ | Vfloat _), (Vint _ | Vfloat _) ->
+    let f = function Vint i -> float_of_int i | Vfloat f -> f | _ -> 0.0 in
+    float_op (f a) (f b)
+  | _ ->
+    raise_error "TypeError"
+      (Printf.sprintf "unsupported operand types for %s: %s and %s"
+         (Ast.binop_to_string op) (type_name a) (type_name b))
+
+let eval_binop op a b =
+  match op with
+  | Ast.Add ->
+    (match (a, b) with
+     | Vstr x, Vstr y -> Vstr (x ^ y)
+     | Vlist x, Vlist y -> Vlist (ref (!x @ !y))
+     | Vtuple x, Vtuple y -> Vtuple (x @ y)
+     | _ -> num_binop op a b)
+  | Ast.Mul ->
+    (match (a, b) with
+     | Vstr s, Vint n | Vint n, Vstr s ->
+       if n <= 0 then Vstr ""
+       else begin
+         if n * String.length s > 1_000_000 then
+           raise (Sandbox_limit "string repetition too large");
+         let buf = Buffer.create (n * String.length s) in
+         for _ = 1 to n do Buffer.add_string buf s done;
+         Vstr (Buffer.contents buf)
+       end
+     | Vlist l, Vint n | Vint n, Vlist l ->
+       if n <= 0 then Vlist (ref [])
+       else begin
+         if n * List.length !l > 100_000 then
+           raise (Sandbox_limit "list repetition too large");
+         let rec rep acc k = if k = 0 then acc else rep (!l @ acc) (k - 1) in
+         Vlist (ref (rep [] n))
+       end
+     | _ -> num_binop op a b)
+  | Ast.Sub | Ast.Div | Ast.Floordiv | Ast.Mod | Ast.Pow -> num_binop op a b
+  | Ast.Bxor | Ast.Band | Ast.Bor | Ast.Shl | Ast.Shr ->
+    (match (a, b) with
+     | Vint x, Vint y ->
+       Vint
+         (match op with
+          | Ast.Bxor -> x lxor y
+          | Ast.Band -> x land y
+          | Ast.Bor -> x lor y
+          | Ast.Shl -> if y < 0 || y > 62 then 0 else x lsl y
+          | Ast.Shr -> if y < 0 || y > 62 then 0 else x asr y
+          | _ -> assert false)
+     | _ ->
+       raise_error "TypeError"
+         (Printf.sprintf "unsupported operand types for %s: %s and %s"
+            (Ast.binop_to_string op) (type_name a) (type_name b)))
+  | Ast.Eq -> Vbool (equal a b)
+  | Ast.Neq -> Vbool (not (equal a b))
+  | Ast.Lt -> Vbool (compare_values a b < 0)
+  | Ast.Le -> Vbool (compare_values a b <= 0)
+  | Ast.Gt -> Vbool (compare_values a b > 0)
+  | Ast.Ge -> Vbool (compare_values a b >= 0)
+  | Ast.In | Ast.Not_in ->
+    let mem =
+      match b with
+      | Vstr hay ->
+        (match a with
+         | Vstr needle ->
+           let nl = String.length needle and hl = String.length hay in
+           nl = 0
+           || (let rec go i =
+                 i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+               in
+               go 0)
+         | _ ->
+           raise_error "TypeError" "'in <string>' requires string operand")
+      | Vlist l -> List.exists (equal a) !l
+      | Vtuple t -> List.exists (equal a) t
+      | Vdict d -> List.exists (fun (k, _) -> equal a k) !d
+      | _ ->
+        raise_error "TypeError"
+          (Printf.sprintf "argument of type %s is not iterable" (type_name b))
+    in
+    Vbool (if op = Ast.In then mem else not mem)
+  | Ast.And | Ast.Or -> assert false  (* short-circuit, handled in eval *)
+
+(* ------------------------------------------------------------------ *)
+(* Indexing, slicing, iteration                                        *)
+(* ------------------------------------------------------------------ *)
+
+let normalize_index len i = if i < 0 then len + i else i
+
+let index_value container idx =
+  match (container, idx) with
+  | Vstr s, Vint i ->
+    let i = normalize_index (String.length s) i in
+    if i < 0 || i >= String.length s then
+      raise_error "IndexError" "string index out of range"
+    else Vstr (String.make 1 s.[i])
+  | Vlist l, Vint i ->
+    let items = !l in
+    let i = normalize_index (List.length items) i in
+    (match List.nth_opt items i with
+     | Some v when i >= 0 -> v
+     | _ -> raise_error "IndexError" "list index out of range")
+  | Vtuple t, Vint i ->
+    let i = normalize_index (List.length t) i in
+    (match List.nth_opt t i with
+     | Some v when i >= 0 -> v
+     | _ -> raise_error "IndexError" "tuple index out of range")
+  | Vdict d, k ->
+    (match List.find_opt (fun (k', _) -> equal k k') !d with
+     | Some (_, v) -> v
+     | None -> raise_error "KeyError" (to_display_string k))
+  | _ ->
+    raise_error "TypeError"
+      (Printf.sprintf "%s indices must be integers" (type_name container))
+
+let slice_value container lo hi =
+  let clamp len v = if v < 0 then max 0 (len + v) else min v len in
+  match container with
+  | Vstr s ->
+    let len = String.length s in
+    let lo = clamp len (Option.value lo ~default:0) in
+    let hi = clamp len (Option.value hi ~default:len) in
+    if hi <= lo then Vstr "" else Vstr (String.sub s lo (hi - lo))
+  | Vlist l ->
+    let items = !l in
+    let len = List.length items in
+    let lo = clamp len (Option.value lo ~default:0) in
+    let hi = clamp len (Option.value hi ~default:len) in
+    Vlist (ref (List.filteri (fun i _ -> i >= lo && i < hi) items))
+  | Vtuple t ->
+    let len = List.length t in
+    let lo = clamp len (Option.value lo ~default:0) in
+    let hi = clamp len (Option.value hi ~default:len) in
+    Vtuple (List.filteri (fun i _ -> i >= lo && i < hi) t)
+  | _ ->
+    raise_error "TypeError"
+      (Printf.sprintf "%s is not sliceable" (type_name container))
+
+let iterate_value v : Value.t list =
+  match v with
+  | Vstr s -> List.init (String.length s) (fun i -> Vstr (String.make 1 s.[i]))
+  | Vlist l -> !l
+  | Vtuple t -> t
+  | Vdict d -> List.map fst !d
+  | _ ->
+    raise_error "TypeError"
+      (Printf.sprintf "%s object is not iterable" (type_name v))
+
+(* ------------------------------------------------------------------ *)
+(* Conversions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let int_of_string_strict ?(base = 10) s =
+  let s = String.trim s in
+  if s = "" then raise_error "ValueError" "invalid literal for int()";
+  let sign, digits =
+    if s.[0] = '-' then (-1, String.sub s 1 (String.length s - 1))
+    else if s.[0] = '+' then (1, String.sub s 1 (String.length s - 1))
+    else (1, s)
+  in
+  if digits = "" then raise_error "ValueError" "invalid literal for int()";
+  let digit_val c =
+    if c >= '0' && c <= '9' then Char.code c - Char.code '0'
+    else if c >= 'a' && c <= 'z' then Char.code c - Char.code 'a' + 10
+    else if c >= 'A' && c <= 'Z' then Char.code c - Char.code 'A' + 10
+    else 99
+  in
+  let acc = ref 0 in
+  String.iter
+    (fun c ->
+      let d = digit_val c in
+      if d >= base then
+        raise_error "ValueError"
+          (Printf.sprintf "invalid literal for int() with base %d: '%s'" base s);
+      acc := (!acc * base) + d)
+    digits;
+  sign * !acc
+
+let float_of_string_strict s =
+  let s = String.trim s in
+  let valid =
+    s <> ""
+    && (let seen_digit = ref false and seen_dot = ref false
+        and seen_e = ref false and ok = ref true in
+        String.iteri
+          (fun i c ->
+            match c with
+            | '0' .. '9' -> seen_digit := true
+            | '-' | '+' ->
+              if not
+                   (i = 0
+                   || (i > 0 && (s.[i - 1] = 'e' || s.[i - 1] = 'E')))
+              then ok := false
+            | '.' ->
+              if !seen_dot || !seen_e then ok := false else seen_dot := true
+            | 'e' | 'E' ->
+              if !seen_e || not !seen_digit then ok := false
+              else seen_e := true
+            | _ -> ok := false)
+          s;
+        !ok && !seen_digit)
+  in
+  if not valid then
+    raise_error "ValueError"
+      (Printf.sprintf "could not convert string to float: '%s'" s)
+  else
+    match float_of_string_opt s with
+    | Some f -> f
+    | None ->
+      raise_error "ValueError"
+        (Printf.sprintf "could not convert string to float: '%s'" s)
+
+(* ------------------------------------------------------------------ *)
+(* String / list / dict methods                                        *)
+(* ------------------------------------------------------------------ *)
+
+let strip_chars s chars ~left ~right =
+  let is_strip c =
+    match chars with
+    | None -> c = ' ' || c = '\t' || c = '\n' || c = '\r'
+    | Some cs -> String.contains cs c
+  in
+  let n = String.length s in
+  let lo = ref 0 and hi = ref n in
+  if left then while !lo < n && is_strip s.[!lo] do incr lo done;
+  if right then while !hi > !lo && is_strip s.[!hi - 1] do decr hi done;
+  String.sub s !lo (!hi - !lo)
+
+let split_on_string sep s =
+  if sep = "" then raise_error "ValueError" "empty separator";
+  let sl = String.length sep and n = String.length s in
+  let rec go start i acc =
+    if i + sl > n then List.rev (String.sub s start (n - start) :: acc)
+    else if String.sub s i sl = sep then
+      go (i + sl) (i + sl) (String.sub s start (i - start) :: acc)
+    else go start (i + 1) acc
+  in
+  go 0 0 []
+
+let split_whitespace s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.concat_map (String.split_on_char '\n')
+  |> List.filter (fun x -> x <> "")
+
+let find_substring ?(from = 0) hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i =
+    if i + nl > hl then -1
+    else if String.sub hay i nl = needle then i
+    else go (i + 1)
+  in
+  if nl = 0 then min from hl else go (max 0 from)
+
+let replace_substring s old_s new_s =
+  if old_s = "" then s
+  else
+    let parts = split_on_string old_s s in
+    String.concat new_s parts
+
+let string_forall p s = String.for_all p s && String.length s > 0
+
+let str_method s name args =
+  let arg_str i =
+    match List.nth_opt args i with
+    | Some (Vstr x) -> x
+    | Some v ->
+      raise_error "TypeError"
+        (Printf.sprintf "method %s expected str, got %s" name (type_name v))
+    | None -> raise_error "TypeError" (Printf.sprintf "method %s: missing argument" name)
+  in
+  match (name, args) with
+  | "upper", [] -> Vstr (String.uppercase_ascii s)
+  | "lower", [] -> Vstr (String.lowercase_ascii s)
+  | "strip", [] -> Vstr (strip_chars s None ~left:true ~right:true)
+  | "strip", [ Vstr cs ] -> Vstr (strip_chars s (Some cs) ~left:true ~right:true)
+  | "lstrip", [] -> Vstr (strip_chars s None ~left:true ~right:false)
+  | "lstrip", [ Vstr cs ] -> Vstr (strip_chars s (Some cs) ~left:true ~right:false)
+  | "rstrip", [] -> Vstr (strip_chars s None ~left:false ~right:true)
+  | "rstrip", [ Vstr cs ] -> Vstr (strip_chars s (Some cs) ~left:false ~right:true)
+  | "split", [] -> Vlist (ref (List.map (fun x -> Vstr x) (split_whitespace s)))
+  | "split", [ Vstr sep ] ->
+    Vlist (ref (List.map (fun x -> Vstr x) (split_on_string sep s)))
+  | "replace", [ Vstr o; Vstr n ] -> Vstr (replace_substring s o n)
+  | "startswith", [ Vstr p ] ->
+    Vbool (String.length s >= String.length p
+           && String.sub s 0 (String.length p) = p)
+  | "endswith", [ Vstr p ] ->
+    let pl = String.length p and sl = String.length s in
+    Vbool (sl >= pl && String.sub s (sl - pl) pl = p)
+  | "find", [ Vstr needle ] -> Vint (find_substring s needle)
+  | "find", [ Vstr needle; Vint from ] -> Vint (find_substring ~from s needle)
+  | "rfind", [ Vstr needle ] ->
+    let nl = String.length needle in
+    let rec go i best =
+      if i + nl > String.length s then best
+      else if String.sub s i nl = needle then go (i + 1) i
+      else go (i + 1) best
+    in
+    Vint (go 0 (-1))
+  | "index", [ Vstr needle ] ->
+    let i = find_substring s needle in
+    if i < 0 then raise_error "ValueError" "substring not found" else Vint i
+  | "count", [ Vstr needle ] ->
+    if needle = "" then Vint (String.length s + 1)
+    else
+      let nl = String.length needle in
+      let rec go i acc =
+        let j = find_substring ~from:i s needle in
+        if j < 0 then acc else go (j + nl) (acc + 1)
+      in
+      Vint (go 0 0)
+  | "join", [ Vlist items ] ->
+    let parts =
+      List.map
+        (function
+          | Vstr x -> x
+          | v ->
+            raise_error "TypeError"
+              (Printf.sprintf "join: expected str, got %s" (type_name v)))
+        !items
+    in
+    Vstr (String.concat s parts)
+  | "isdigit", [] -> Vbool (string_forall (fun c -> c >= '0' && c <= '9') s)
+  | "isalpha", [] ->
+    Vbool (string_forall (fun c -> (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')) s)
+  | "isalnum", [] ->
+    Vbool
+      (string_forall
+         (fun c ->
+           (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+           || (c >= '0' && c <= '9'))
+         s)
+  | "isupper", [] ->
+    Vbool
+      (String.exists (fun c -> c >= 'A' && c <= 'Z') s
+       && not (String.exists (fun c -> c >= 'a' && c <= 'z') s))
+  | "islower", [] ->
+    Vbool
+      (String.exists (fun c -> c >= 'a' && c <= 'z') s
+       && not (String.exists (fun c -> c >= 'A' && c <= 'Z') s))
+  | "isspace", [] ->
+    Vbool (string_forall (fun c -> c = ' ' || c = '\t' || c = '\n' || c = '\r') s)
+  | "zfill", [ Vint w ] ->
+    let l = String.length s in
+    if l >= w then Vstr s else Vstr (String.make (w - l) '0' ^ s)
+  | "title", [] ->
+    let b = Bytes.of_string (String.lowercase_ascii s) in
+    let prev_alpha = ref false in
+    Bytes.iteri
+      (fun i c ->
+        let alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') in
+        if alpha && not !prev_alpha then
+          Bytes.set b i (Char.uppercase_ascii c);
+        prev_alpha := alpha)
+      b;
+    Vstr (Bytes.to_string b)
+  | "format", _ ->
+    (* Sequential {} substitution, enough for corpus diagnostics. *)
+    let parts = split_on_string "{}" s in
+    let rec weave parts args acc =
+      match (parts, args) with
+      | [ last ], _ -> List.rev (last :: acc)
+      | p :: rest, a :: args' ->
+        weave rest args' (to_display_string a :: p :: acc)
+      | p :: rest, [] -> weave rest [] ("" :: p :: acc)
+      | [], _ -> List.rev acc
+    in
+    Vstr (String.concat "" (weave parts args []))
+  | ("split" | "replace" | "startswith" | "endswith" | "join"), _ ->
+    ignore (arg_str 0);
+    raise_error "TypeError" (Printf.sprintf "bad arguments to str.%s" name)
+  | _ ->
+    raise_error "AttributeError"
+      (Printf.sprintf "'str' object has no attribute '%s'" name)
+
+let list_method l name args =
+  match (name, args) with
+  | "append", [ v ] -> l := !l @ [ v ]; Vnone
+  | "extend", [ Vlist other ] -> l := !l @ !other; Vnone
+  | "insert", [ Vint i; v ] ->
+    let items = !l in
+    let i = max 0 (min (List.length items) (normalize_index (List.length items) i)) in
+    l := List.filteri (fun j _ -> j < i) items @ [ v ]
+         @ List.filteri (fun j _ -> j >= i) items;
+    Vnone
+  | "pop", [] ->
+    (match List.rev !l with
+     | [] -> raise_error "IndexError" "pop from empty list"
+     | last :: rest -> l := List.rev rest; last)
+  | "pop", [ Vint i ] ->
+    let items = !l in
+    let i = normalize_index (List.length items) i in
+    (match List.nth_opt items i with
+     | Some v when i >= 0 ->
+       l := List.filteri (fun j _ -> j <> i) items;
+       v
+     | _ -> raise_error "IndexError" "pop index out of range")
+  | "index", [ v ] ->
+    let rec go i = function
+      | [] -> raise_error "ValueError" "value not in list"
+      | x :: _ when equal x v -> Vint i
+      | _ :: tl -> go (i + 1) tl
+    in
+    go 0 !l
+  | "count", [ v ] -> Vint (List.length (List.filter (equal v) !l))
+  | "reverse", [] -> l := List.rev !l; Vnone
+  | "sort", [] -> l := List.sort compare_values !l; Vnone
+  | "remove", [ v ] ->
+    let rec go = function
+      | [] -> raise_error "ValueError" "value not in list"
+      | x :: tl when equal x v -> tl
+      | x :: tl -> x :: go tl
+    in
+    l := go !l;
+    Vnone
+  | _ ->
+    raise_error "AttributeError"
+      (Printf.sprintf "'list' object has no attribute '%s'" name)
+
+let dict_method d name args =
+  match (name, args) with
+  | "get", [ k ] ->
+    (match List.find_opt (fun (k', _) -> equal k k') !d with
+     | Some (_, v) -> v
+     | None -> Vnone)
+  | "get", [ k; default ] ->
+    (match List.find_opt (fun (k', _) -> equal k k') !d with
+     | Some (_, v) -> v
+     | None -> default)
+  | "keys", [] -> Vlist (ref (List.map fst !d))
+  | "values", [] -> Vlist (ref (List.map snd !d))
+  | "items", [] -> Vlist (ref (List.map (fun (k, v) -> Vtuple [ k; v ]) !d))
+  | "has_key", [ k ] -> Vbool (List.exists (fun (k', _) -> equal k k') !d)
+  | "update", [ Vdict other ] ->
+    List.iter
+      (fun (k, v) ->
+        d := (k, v) :: List.filter (fun (k', _) -> not (equal k k')) !d)
+      !other;
+    Vnone
+  | "pop", [ k ] ->
+    (match List.find_opt (fun (k', _) -> equal k k') !d with
+     | Some (_, v) ->
+       d := List.filter (fun (k', _) -> not (equal k k')) !d;
+       v
+     | None -> raise_error "KeyError" (to_display_string k))
+  | _ ->
+    raise_error "AttributeError"
+      (Printf.sprintf "'dict' object has no attribute '%s'" name)
+
+(* ------------------------------------------------------------------ *)
+(* Regex bridge (the "re" module)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let compiled_regex_cache : (string, Regexlite.t) Hashtbl.t = Hashtbl.create 64
+
+let compile_regex pat =
+  match Hashtbl.find_opt compiled_regex_cache pat with
+  | Some re -> Some re
+  | None ->
+    (match Regexlite.parse pat with
+     | re ->
+       Hashtbl.add compiled_regex_cache pat re;
+       Some re
+     | exception Regexlite.Parse_error _ -> None)
+
+let re_module_method name args =
+  let pat, s =
+    match args with
+    | [ Vstr pat; Vstr s ] -> (pat, s)
+    | [ Vstr _; v ] | [ v; _ ] ->
+      raise_error "TypeError"
+        (Printf.sprintf "re.%s expected strings, got %s" name (type_name v))
+    | _ -> raise_error "TypeError" (Printf.sprintf "re.%s expects 2 arguments" name)
+  in
+  match compile_regex pat with
+  | None -> raise_error "ValueError" ("bad regular expression: " ^ pat)
+  | Some re ->
+    (match name with
+     | "match" ->
+       (match Regexlite.match_prefix re s with
+        | Some j -> Vstr (String.sub s 0 j)
+        | None -> Vnone)
+     | "fullmatch" -> if Regexlite.full_match re s then Vstr s else Vnone
+     | "search" ->
+       (match Regexlite.search re s with
+        | Some (i, j) -> Vstr (String.sub s i (j - i))
+        | None -> Vnone)
+     | "findall" ->
+       let n = String.length s in
+       let rec go i acc =
+         if i > n then List.rev acc
+         else
+           match Regexlite.match_at re s i with
+           | Some j when j > i -> go j (Vstr (String.sub s i (j - i)) :: acc)
+           | Some j -> go (j + 1) acc
+           | None -> go (i + 1) acc
+       in
+       Vlist (ref (go 0 []))
+     | _ ->
+       raise_error "AttributeError"
+         (Printf.sprintf "re module has no attribute '%s'" name))
+
+(* ------------------------------------------------------------------ *)
+(* Builtin free functions                                              *)
+(* ------------------------------------------------------------------ *)
+
+let builtin_names =
+  [ "len"; "int"; "float"; "str"; "bool"; "ord"; "chr"; "abs"; "min"; "max";
+    "sum"; "range"; "round"; "print"; "input"; "open"; "sorted"; "reversed";
+    "list"; "dict"; "tuple"; "isdigit"; "type"; "enumerate"; "zip" ]
+
+let call_builtin ctx name args =
+  match (name, args) with
+  | "len", [ Vstr s ] -> Vint (String.length s)
+  | "len", [ Vlist l ] -> Vint (List.length !l)
+  | "len", [ Vdict d ] -> Vint (List.length !d)
+  | "len", [ Vtuple t ] -> Vint (List.length t)
+  | "len", [ v ] ->
+    raise_error "TypeError"
+      (Printf.sprintf "object of type '%s' has no len()" (type_name v))
+  | "int", [ Vstr s ] -> Vint (int_of_string_strict s)
+  | "int", [ Vstr s; Vint base ] -> Vint (int_of_string_strict ~base s)
+  | "int", [ Vint i ] -> Vint i
+  | "int", [ Vfloat f ] -> Vint (int_of_float f)
+  | "int", [ Vbool b ] -> Vint (if b then 1 else 0)
+  | "int", [ v ] ->
+    raise_error "TypeError"
+      (Printf.sprintf "int() argument must be a string or number, not '%s'"
+         (type_name v))
+  | "float", [ Vstr s ] -> Vfloat (float_of_string_strict s)
+  | "float", [ Vint i ] -> Vfloat (float_of_int i)
+  | "float", [ Vfloat f ] -> Vfloat f
+  | "float", [ v ] ->
+    raise_error "TypeError"
+      (Printf.sprintf "float() argument must be a string or number, not '%s'"
+         (type_name v))
+  | "str", [ v ] -> Vstr (to_display_string v)
+  | "str", [] -> Vstr ""
+  | "bool", [ v ] -> Vbool (truthy v)
+  | "ord", [ Vstr s ] when String.length s = 1 -> Vint (Char.code s.[0])
+  | "ord", [ _ ] ->
+    raise_error "TypeError" "ord() expected a character"
+  | "chr", [ Vint i ] ->
+    if i < 0 || i > 255 then raise_error "ValueError" "chr() arg out of range"
+    else Vstr (String.make 1 (Char.chr i))
+  | "abs", [ Vint i ] -> Vint (abs i)
+  | "abs", [ Vfloat f ] -> Vfloat (Float.abs f)
+  | "min", [ Vlist l ] ->
+    (match !l with
+     | [] -> raise_error "ValueError" "min() of empty sequence"
+     | hd :: tl -> List.fold_left (fun a b -> if compare_values b a < 0 then b else a) hd tl)
+  | "min", (_ :: _ :: _ as vs) ->
+    List.fold_left
+      (fun a b -> if compare_values b a < 0 then b else a)
+      (List.hd vs) (List.tl vs)
+  | "max", [ Vlist l ] ->
+    (match !l with
+     | [] -> raise_error "ValueError" "max() of empty sequence"
+     | hd :: tl -> List.fold_left (fun a b -> if compare_values b a > 0 then b else a) hd tl)
+  | "max", (_ :: _ :: _ as vs) ->
+    List.fold_left
+      (fun a b -> if compare_values b a > 0 then b else a)
+      (List.hd vs) (List.tl vs)
+  | "sum", [ Vlist l ] ->
+    List.fold_left (fun acc v -> num_binop Ast.Add acc v) (Vint 0) !l
+  | "range", [ Vint n ] ->
+    if n > 100_000 then raise (Sandbox_limit "range too large");
+    Vlist (ref (List.init (max 0 n) (fun i -> Vint i)))
+  | "range", [ Vint a; Vint b ] ->
+    if b - a > 100_000 then raise (Sandbox_limit "range too large");
+    Vlist (ref (List.init (max 0 (b - a)) (fun i -> Vint (a + i))))
+  | "range", [ Vint a; Vint b; Vint step ] ->
+    if step = 0 then raise_error "ValueError" "range() arg 3 must not be zero";
+    let count =
+      if step > 0 then max 0 ((b - a + step - 1) / step)
+      else max 0 ((a - b + (-step) - 1) / -step)
+    in
+    if count > 100_000 then raise (Sandbox_limit "range too large");
+    Vlist (ref (List.init count (fun i -> Vint (a + (i * step)))))
+  | "round", [ Vfloat f ] -> Vint (int_of_float (Float.round f))
+  | "round", [ Vint i ] -> Vint i
+  | "round", [ Vfloat f; Vint d ] ->
+    let m = Float.pow 10.0 (float_of_int d) in
+    Vfloat (Float.round (f *. m) /. m)
+  | "print", vs ->
+    ctx.printed <-
+      String.concat " " (List.map to_display_string vs) :: ctx.printed;
+    Vnone
+  | "input", ([] | [ Vstr _ ]) -> Vstr ctx.stdin_line
+  | "open", (Vstr path :: _) ->
+    (match List.assoc_opt path ctx.virtual_files with
+     | Some content ->
+       let fields = Hashtbl.create 4 in
+       Hashtbl.replace fields "__path" (Vstr path);
+       Hashtbl.replace fields "__content" (Vstr content);
+       Vobj { ocls = "file"; fields }
+     | None -> raise_error "IOError" ("no such file: " ^ path))
+  | "sorted", [ Vlist l ] -> Vlist (ref (List.sort compare_values !l))
+  | "sorted", [ Vstr s ] ->
+    Vlist
+      (ref
+         (List.sort compare_values
+            (List.init (String.length s) (fun i -> Vstr (String.make 1 s.[i])))))
+  | "reversed", [ Vlist l ] -> Vlist (ref (List.rev !l))
+  | "reversed", [ Vstr s ] ->
+    let n = String.length s in
+    Vstr (String.init n (fun i -> s.[n - 1 - i]))
+  | "list", [] -> Vlist (ref [])
+  | "list", [ v ] -> Vlist (ref (iterate_value v))
+  | "dict", [] -> Vdict (ref [])
+  | "tuple", [ v ] -> Vtuple (iterate_value v)
+  | "type", [ v ] -> Vstr (type_name v)
+  | "enumerate", [ v ] ->
+    Vlist (ref (List.mapi (fun i x -> Vtuple [ Vint i; x ]) (iterate_value v)))
+  | "zip", [ a; b ] ->
+    let xa = iterate_value a and xb = iterate_value b in
+    let rec go xs ys acc =
+      match (xs, ys) with
+      | x :: xs', y :: ys' -> go xs' ys' (Vtuple [ x; y ] :: acc)
+      | _ -> List.rev acc
+    in
+    Vlist (ref (go xa xb []))
+  | _, _ ->
+    raise_error "TypeError"
+      (Printf.sprintf "bad arguments to builtin %s()" name)
+
+let file_method o name args =
+  let content =
+    match Hashtbl.find_opt o.fields "__content" with
+    | Some (Vstr c) -> c
+    | _ -> ""
+  in
+  match (name, args) with
+  | "read", [] -> Vstr content
+  | "readline", [] ->
+    (match String.index_opt content '\n' with
+     | Some i -> Vstr (String.sub content 0 (i + 1))
+     | None -> Vstr content)
+  | "readlines", [] ->
+    Vlist
+      (ref
+         (String.split_on_char '\n' content
+          |> List.filter (fun l -> l <> "")
+          |> List.map (fun l -> Vstr l)))
+  | "close", [] -> Vnone
+  | "write", [ Vstr _ ] -> Vnone  (* writes are swallowed by the sandbox *)
+  | _ ->
+    raise_error "AttributeError"
+      (Printf.sprintf "'file' object has no attribute '%s'" name)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluator                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let truncate_display s =
+  if String.length s > 60 then String.sub s 0 60 ^ "…" else s
+
+let rec eval ctx frame (e : Ast.expr) : Value.t =
+  tick ctx;
+  match e with
+  | Ast.Int i -> Vint i
+  | Ast.Float f -> Vfloat f
+  | Ast.Str s -> Vstr s
+  | Ast.Bool b -> Vbool b
+  | Ast.None_lit -> Vnone
+  | Ast.Var name -> lookup_var ctx frame name
+  | Ast.Binop (Ast.And, a, b, _) ->
+    let va = eval ctx frame a in
+    if truthy va then eval ctx frame b else va
+  | Ast.Binop (Ast.Or, a, b, _) ->
+    let va = eval ctx frame a in
+    if truthy va then va else eval ctx frame b
+  | Ast.Binop (op, a, b, _) ->
+    let va = eval ctx frame a in
+    let vb = eval ctx frame b in
+    eval_binop op va vb
+  | Ast.Unop (Ast.Neg, e) ->
+    (match eval ctx frame e with
+     | Vint i -> Vint (-i)
+     | Vfloat f -> Vfloat (-.f)
+     | v ->
+       raise_error "TypeError"
+         (Printf.sprintf "bad operand type for unary -: '%s'" (type_name v)))
+  | Ast.Unop (Ast.Not, e) -> Vbool (not (truthy (eval ctx frame e)))
+  | Ast.Cond (c, a, b, pos) ->
+    let taken = truthy (eval ctx frame c) in
+    Trace.emit ctx.collector (Trace.Branch (Trace.site_of_pos pos, taken));
+    if taken then eval ctx frame a else eval ctx frame b
+  | Ast.Call (f, args, pos) ->
+    let fv = eval ctx frame f in
+    let argv = List.map (eval ctx frame) args in
+    call_value ctx fv argv pos
+  | Ast.Method (obj, name, args, pos) ->
+    let ov = eval ctx frame obj in
+    let argv = List.map (eval ctx frame) args in
+    call_method ctx ov name argv pos
+  | Ast.Attr (obj, name) ->
+    (match eval ctx frame obj with
+     | Vobj o ->
+       (match Hashtbl.find_opt o.fields name with
+        | Some v -> v
+        | None ->
+          raise_error "AttributeError"
+            (Printf.sprintf "'%s' object has no attribute '%s'" o.ocls name))
+     | Vbuiltin "re_module" -> Vbuiltin ("re." ^ name)
+     | Vbuiltin "sys_module" when name = "argv" -> ctx.argv
+     | v ->
+       raise_error "AttributeError"
+         (Printf.sprintf "'%s' object has no attribute '%s'" (type_name v) name))
+  | Ast.Index (c, i, _) ->
+    let cv = eval ctx frame c in
+    let iv = eval ctx frame i in
+    index_value cv iv
+  | Ast.Slice (c, lo, hi, _) ->
+    let cv = eval ctx frame c in
+    let evi = function
+      | None -> None
+      | Some e ->
+        (match eval ctx frame e with
+         | Vint i -> Some i
+         | Vnone -> None
+         | v ->
+           raise_error "TypeError"
+             (Printf.sprintf "slice indices must be integers, not %s"
+                (type_name v)))
+    in
+    slice_value cv (evi lo) (evi hi)
+  | Ast.List_lit es -> Vlist (ref (List.map (eval ctx frame) es))
+  | Ast.Tuple_lit es -> Vtuple (List.map (eval ctx frame) es)
+  | Ast.Dict_lit kvs ->
+    Vdict (ref (List.map (fun (k, v) -> (eval ctx frame k, eval ctx frame v)) kvs))
+
+and lookup_var ctx frame name =
+  match Hashtbl.find_opt frame.scope.vars name with
+  | Some v -> v
+  | None ->
+    (match scope_lookup (module_scope frame.scope) name with
+     | Some v -> v
+     | None ->
+       if List.mem name builtin_names then Vbuiltin name
+       else if name = "re" then Vbuiltin "re_module"
+       else if name = "sys" then Vbuiltin "sys_module"
+       else if name = "argv" then ctx.argv
+       else if List.mem name known_exception_kinds then
+         Vbuiltin ("exc:" ^ name)
+       else
+         raise_error "NameError"
+           (Printf.sprintf "name '%s' is not defined" name))
+
+and call_value ctx fv args pos =
+  match fv with
+  | Vfun closure -> call_closure ctx closure None args
+  | Vbound (self, closure) -> call_closure ctx closure (Some self) args
+  | Vbuiltin name when String.length name > 3 && String.sub name 0 3 = "re." ->
+    re_module_method (String.sub name 3 (String.length name - 3)) args
+  | Vbuiltin name when String.length name > 4 && String.sub name 0 4 = "exc:" ->
+    (* Exception constructor: ValueError("msg") builds an exception
+       object that `raise` re-raises with its kind and message. *)
+    let kind = String.sub name 4 (String.length name - 4) in
+    let fields = Hashtbl.create 2 in
+    let msg =
+      match args with
+      | [ v ] -> to_display_string v
+      | [] -> ""
+      | vs -> String.concat ", " (List.map to_display_string vs)
+    in
+    Hashtbl.replace fields "message" (Vstr msg);
+    Vobj { ocls = kind; fields }
+  | Vbuiltin name -> call_builtin ctx name args
+  | Vclass cls -> instantiate ctx cls args pos
+  | v ->
+    raise_error "TypeError"
+      (Printf.sprintf "'%s' object is not callable" (type_name v))
+
+and call_closure ctx closure self args =
+  ctx.depth <- ctx.depth + 1;
+  if ctx.depth > ctx.config.max_call_depth then begin
+    ctx.depth <- ctx.depth - 1;
+    raise (Sandbox_limit "maximum call depth exceeded")
+  end;
+  let fn = closure.cl_func in
+  let scope = scope_create ~parent:(module_scope closure.cl_scope) () in
+  let frame = { scope; global_names = Hashtbl.create 4 } in
+  let params =
+    match self with
+    | Some o ->
+      (match fn.params with
+       | self_name :: rest ->
+         Hashtbl.replace scope.vars self_name (Vobj o);
+         rest
+       | [] ->
+         raise_error "TypeError"
+           (Printf.sprintf "method %s() takes no arguments" fn.fname))
+    | None -> fn.params
+  in
+  let n_params = List.length params and n_args = List.length args in
+  if n_args > n_params then
+    raise_error "TypeError"
+      (Printf.sprintf "%s() takes %d arguments (%d given)" fn.fname n_params
+         n_args);
+  List.iteri
+    (fun i p ->
+      if i < n_args then Hashtbl.replace scope.vars p (List.nth args i)
+      else
+        match List.assoc_opt p fn.defaults with
+        | Some default -> Hashtbl.replace scope.vars p (eval ctx frame default)
+        | None ->
+          raise_error "TypeError"
+            (Printf.sprintf "%s() missing required argument '%s'" fn.fname p))
+    params;
+  let result =
+    try
+      exec_block ctx frame fn.body;
+      (* Implicit return: record it like byte-code RETURN_VALUE of None. *)
+      Trace.emit ctx.collector
+        (Trace.Return (Trace.site_of_pos fn.fpos, Trace.Rvoid));
+      Vnone
+    with
+    | Return_signal v -> v
+    | e ->
+      ctx.depth <- ctx.depth - 1;
+      raise e
+  in
+  ctx.depth <- ctx.depth - 1;
+  result
+
+and instantiate ctx cls args pos =
+  let fields = Hashtbl.create 8 in
+  let o = { ocls = cls.rt_cname; fields } in
+  (match List.assoc_opt "__init__" cls.rt_methods with
+   | Some init -> ignore (call_closure ctx init (Some o) args)
+   | None ->
+     if args <> [] then
+       raise_error "TypeError"
+         (Printf.sprintf "%s() takes no arguments" cls.rt_cname));
+  ignore pos;
+  (* Bind methods lazily through call_method; attach the class. *)
+  Hashtbl.replace fields "__class__" (Vclass cls);
+  Vobj o
+
+and call_method ctx ov name args pos =
+  match ov with
+  | Vstr s -> str_method s name args
+  | Vlist l -> list_method l name args
+  | Vdict d -> dict_method d name args
+  | Vobj ({ ocls = "file"; _ } as o) -> file_method o name args
+  | Vobj o ->
+    (match Hashtbl.find_opt o.fields "__class__" with
+     | Some (Vclass cls) ->
+       (match List.assoc_opt name cls.rt_methods with
+        | Some m -> call_closure ctx m (Some o) args
+        | None ->
+          (* A field holding a callable also works. *)
+          (match Hashtbl.find_opt o.fields name with
+           | Some fv -> call_value ctx fv args pos
+           | None ->
+             raise_error "AttributeError"
+               (Printf.sprintf "'%s' object has no attribute '%s'" o.ocls name)))
+     | _ ->
+       raise_error "AttributeError"
+         (Printf.sprintf "'%s' object has no attribute '%s'" o.ocls name))
+  | Vbuiltin "re_module" -> re_module_method name args
+  | Vbuiltin "sys_module" when name = "exit" -> raise_error "SystemExit" "exit"
+  | v ->
+    raise_error "AttributeError"
+      (Printf.sprintf "'%s' object has no attribute '%s'" (type_name v) name)
+
+and assign ctx frame (tgt : Ast.target) (v : Value.t) (pos : Ast.pos) =
+  match tgt with
+  | Ast.Tvar name ->
+    if ctx.collector.Trace.record_assigns then
+      Trace.emit ctx.collector
+        (Trace.Assign
+           (Trace.site_of_pos pos, name, truncate_display (to_display_string v)));
+    if Hashtbl.mem frame.global_names name then
+      Hashtbl.replace (module_scope frame.scope).vars name v
+    else Hashtbl.replace frame.scope.vars name v
+  | Ast.Tattr (obj_e, name) ->
+    (match eval ctx frame obj_e with
+     | Vobj o ->
+       if ctx.collector.Trace.record_assigns then
+         Trace.emit ctx.collector
+           (Trace.Assign
+              ( Trace.site_of_pos pos,
+                "self." ^ name,
+                truncate_display (to_display_string v) ));
+       Hashtbl.replace o.fields name v
+     | v' ->
+       raise_error "AttributeError"
+         (Printf.sprintf "cannot set attribute on '%s'" (type_name v')))
+  | Ast.Tindex (c_e, i_e) ->
+    let cv = eval ctx frame c_e in
+    let iv = eval ctx frame i_e in
+    (match cv with
+     | Vlist l ->
+       (match iv with
+        | Vint i ->
+          let items = !l in
+          let i = normalize_index (List.length items) i in
+          if i < 0 || i >= List.length items then
+            raise_error "IndexError" "list assignment index out of range"
+          else l := List.mapi (fun j x -> if j = i then v else x) items
+        | _ -> raise_error "TypeError" "list indices must be integers")
+     | Vdict d ->
+       d :=
+         (match List.find_opt (fun (k, _) -> equal iv k) !d with
+          | Some _ ->
+            List.map (fun (k, v') -> if equal iv k then (k, v) else (k, v')) !d
+          | None -> !d @ [ (iv, v) ])
+     | _ ->
+       raise_error "TypeError"
+         (Printf.sprintf "'%s' object does not support item assignment"
+            (type_name cv)))
+  | Ast.Ttuple tgts ->
+    let values =
+      match v with
+      | Vtuple vs -> vs
+      | Vlist l -> !l
+      | _ -> raise_error "TypeError" "cannot unpack non-sequence"
+    in
+    if List.length values <> List.length tgts then
+      raise_error "ValueError" "unpacking mismatch";
+    List.iter2 (fun t v -> assign ctx frame t v pos) tgts values
+
+and read_target ctx frame (tgt : Ast.target) pos : Value.t =
+  match tgt with
+  | Ast.Tvar name -> lookup_var ctx frame name
+  | Ast.Tattr (e, n) -> eval ctx frame (Ast.Attr (e, n))
+  | Ast.Tindex (c, i) -> eval ctx frame (Ast.Index (c, i, pos))
+  | Ast.Ttuple _ -> raise_error "TypeError" "invalid augmented assignment target"
+
+and exec_block ctx frame (b : Ast.block) = List.iter (exec_stmt ctx frame) b
+
+and exec_stmt ctx frame (s : Ast.stmt) =
+  tick ctx;
+  match s with
+  | Ast.Pass -> ()
+  | Ast.Expr_stmt (e, _) -> ignore (eval ctx frame e)
+  | Ast.Assign (tgt, e, pos) ->
+    let v = eval ctx frame e in
+    assign ctx frame tgt v pos
+  | Ast.Aug_assign (tgt, op, e, pos) ->
+    let old_v = read_target ctx frame tgt pos in
+    let v = eval_binop op old_v (eval ctx frame e) in
+    assign ctx frame tgt v pos
+  | Ast.If (arms, els) ->
+    let rec go = function
+      | [] -> (match els with Some b -> exec_block ctx frame b | None -> ())
+      | (cond, pos, body) :: rest ->
+        let taken = truthy (eval ctx frame cond) in
+        Trace.emit ctx.collector (Trace.Branch (Trace.site_of_pos pos, taken));
+        if taken then exec_block ctx frame body else go rest
+    in
+    go arms
+  | Ast.While (cond, pos, body) ->
+    let rec loop () =
+      let taken = truthy (eval ctx frame cond) in
+      Trace.emit ctx.collector (Trace.Branch (Trace.site_of_pos pos, taken));
+      if taken then begin
+        (try exec_block ctx frame body with Continue_signal -> ());
+        loop ()
+      end
+    in
+    (try loop () with Break_signal -> ())
+  | Ast.For (tgt, iter_e, body, pos) ->
+    let items = iterate_value (eval ctx frame iter_e) in
+    (try
+       List.iter
+         (fun item ->
+           tick ctx;
+           assign ctx frame tgt item pos;
+           try exec_block ctx frame body with Continue_signal -> ())
+         items
+     with Break_signal -> ())
+  | Ast.Return (e_opt, pos) ->
+    let v = match e_opt with Some e -> eval ctx frame e | None -> Vnone in
+    Trace.emit ctx.collector
+      (Trace.Return (Trace.site_of_pos pos, Trace.abstract_value v));
+    raise (Return_signal v)
+  | Ast.Raise (e_opt, _) ->
+    (match e_opt with
+     | None -> raise_error "Exception" "re-raise"
+     | Some e ->
+       (match eval ctx frame e with
+        | Vstr msg -> raise_error "Exception" msg
+        | Vobj o ->
+          let msg =
+            match Hashtbl.find_opt o.fields "message" with
+            | Some (Vstr m) -> m
+            | _ -> "user exception object"
+          in
+          raise_error o.ocls msg
+        | Vbuiltin name
+          when String.length name > 4 && String.sub name 0 4 = "exc:" ->
+          raise_error (String.sub name 4 (String.length name - 4)) ""
+        | v -> raise_error "Exception" (to_display_string v)))
+  | Ast.Try (body, handlers, fin) ->
+    let run_finally () =
+      match fin with Some b -> exec_block ctx frame b | None -> ()
+    in
+    (try
+       exec_block ctx frame body;
+       run_finally ()
+     with
+     | Runtime_error (kind, msg) as exn ->
+       let matching =
+         List.find_opt
+           (fun h ->
+             match h.Ast.h_filter with
+             | None -> true
+             | Some f ->
+               if List.mem f known_exception_kinds then
+                 f = "Exception" || f = kind
+               else true (* py2-style "except e:" catch-all binder *))
+           handlers
+       in
+       (match matching with
+        | Some h ->
+          (match h.Ast.h_bind with
+           | Some b -> Hashtbl.replace frame.scope.vars b (Vstr msg)
+           | None ->
+             (match h.Ast.h_filter with
+              | Some f when not (List.mem f known_exception_kinds) ->
+                Hashtbl.replace frame.scope.vars f (Vstr msg)
+              | _ -> ()));
+          (try exec_block ctx frame h.Ast.h_body with e -> run_finally (); raise e);
+          run_finally ()
+        | None -> run_finally (); raise exn)
+     | (Sandbox_limit _ | Return_signal _ | Break_signal | Continue_signal) as e ->
+       run_finally ();
+       raise e)
+  | Ast.Break _ -> raise Break_signal
+  | Ast.Continue _ -> raise Continue_signal
+  | Ast.Func_def fn ->
+    let closure = { cl_func = fn; cl_scope = frame.scope } in
+    Hashtbl.replace frame.scope.vars fn.fname (Vfun closure)
+  | Ast.Class_def c ->
+    let methods =
+      List.map
+        (fun m -> (m.Ast.fname, { cl_func = m; cl_scope = frame.scope }))
+        c.methods
+    in
+    Hashtbl.replace frame.scope.vars c.cname
+      (Vclass { rt_cname = c.cname; rt_methods = methods })
+  | Ast.Global names ->
+    List.iter (fun n -> Hashtbl.replace frame.global_names n ()) names
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type outcome =
+  | Finished of Value.t
+  | Errored of string * string  (** exception kind, message *)
+  | Hit_limit of string
+
+type run_result = {
+  outcome : outcome;
+  trace : Trace.t;
+  steps_used : int;
+  printed : string list;
+}
+
+let module_frame scope = { scope; global_names = Hashtbl.create 1 }
+
+(** Execute a whole parsed file into [scope].  Used both to load
+    definitions and to run script-level snippets. *)
+let exec_program ctx scope (p : Ast.program) =
+  exec_block ctx (module_frame scope) p.Ast.prog_body
+
+(** Load a module: execute all top-level statements with the given
+    budget, collecting definitions into a fresh scope.  Top-level
+    script code that fails does not prevent the definitions already
+    executed from being used (mirroring how the paper loads whatever
+    compiles). *)
+let load_module ?(config = default_config) (programs : Ast.program list) :
+    scope * (string * string) list =
+  let scope = scope_create () in
+  let errors = ref [] in
+  List.iter
+    (fun p ->
+      let collector = Trace.create_collector () in
+      let ctx = create_ctx ~config collector in
+      try exec_program ctx scope p with
+      | Runtime_error (kind, msg) ->
+        errors := (p.Ast.prog_file, kind ^ ": " ^ msg) :: !errors
+      | Sandbox_limit msg -> errors := (p.Ast.prog_file, "sandbox: " ^ msg) :: !errors
+      | Return_signal _ -> errors := (p.Ast.prog_file, "return outside function") :: !errors
+      | Break_signal | Continue_signal ->
+        errors := (p.Ast.prog_file, "break/continue outside loop") :: !errors)
+    programs;
+  (scope, List.rev !errors)
+
+(** Run a zero-argument thunk under full tracing and sandbox limits. *)
+let run_traced ?(config = default_config) ?(record_assigns = false)
+    ?(argv = []) ?(stdin_line = "") ?(virtual_files = [])
+    (f : ctx -> Value.t) : run_result =
+  let collector = Trace.create_collector ~record_assigns () in
+  let ctx = create_ctx ~config ~argv ~stdin_line ~virtual_files collector in
+  let outcome =
+    try Finished (f ctx)
+    with
+    | Runtime_error (kind, msg) ->
+      Trace.emit collector (Trace.Exception kind);
+      Errored (kind, msg)
+    | Sandbox_limit msg -> Hit_limit msg
+    | Return_signal _ -> Errored ("SyntaxError", "return outside function")
+    | Break_signal | Continue_signal ->
+      Errored ("SyntaxError", "break outside loop")
+    | Stack_overflow -> Hit_limit "native stack overflow"
+  in
+  {
+    outcome;
+    trace = Trace.finish collector;
+    steps_used = ctx.steps;
+    printed = List.rev ctx.printed;
+  }
+
+(** Call a callable value with the given MiniScript arguments. *)
+let call_callable ctx callable args =
+  call_value ctx callable args { Ast.file = "<call>"; line = 0 }

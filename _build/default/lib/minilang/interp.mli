@@ -1,0 +1,67 @@
+(** Tree-walking interpreter for MiniScript with execution tracing and
+    sandboxing.
+
+    Every if/elif/while/ternary condition emits a {!Trace.Branch} event,
+    every return a {!Trace.Return} with the abstracted value, uncaught
+    exceptions a {!Trace.Exception}, and (when enabled) assignments a
+    {!Trace.Assign} — the native equivalent of the paper's byte-code
+    instrumentation (Appendix D.2).  A step budget and call-depth cap
+    replace the paper's per-function watchdog; exceeding them raises
+    {!Sandbox_limit}, which MiniScript [try/except] cannot catch. *)
+
+exception Sandbox_limit of string
+
+type config = {
+  max_steps : int;
+  max_call_depth : int;
+}
+
+val default_config : config
+
+type ctx
+(** Per-run execution context: collector, budgets, virtual I/O. *)
+
+val create_ctx :
+  ?config:config ->
+  ?argv:string list ->
+  ?stdin_line:string ->
+  ?virtual_files:(string * string) list ->
+  Trace.collector ->
+  ctx
+
+type outcome =
+  | Finished of Value.t
+  | Errored of string * string  (** exception kind, message *)
+  | Hit_limit of string
+
+type run_result = {
+  outcome : outcome;
+  trace : Trace.t;
+  steps_used : int;
+  printed : string list;  (** captured print() output *)
+}
+
+val exec_program : ctx -> Value.scope -> Ast.program -> unit
+(** Execute a whole parsed file's statements into the scope. *)
+
+val load_module :
+  ?config:config -> Ast.program list -> Value.scope * (string * string) list
+(** Execute all top-level statements of the files, untraced, collecting
+    definitions into a fresh scope.  Per-file errors are tolerated and
+    reported; already-executed definitions remain usable. *)
+
+val run_traced :
+  ?config:config ->
+  ?record_assigns:bool ->
+  ?argv:string list ->
+  ?stdin_line:string ->
+  ?virtual_files:(string * string) list ->
+  (ctx -> Value.t) ->
+  run_result
+(** Run a thunk under full tracing and sandbox limits. *)
+
+val call_callable : ctx -> Value.t -> Value.t list -> Value.t
+(** Call a function, bound method or class value. *)
+
+val call_method : ctx -> Value.t -> string -> Value.t list -> Ast.pos -> Value.t
+(** Call a method on any value (string/list/dict methods included). *)

@@ -1,0 +1,635 @@
+(** Recursive-descent parser for MiniScript. *)
+
+open Ast
+
+exception Parse_error of string * int  (** message, line *)
+
+type state = {
+  toks : Lexer.loc_token array;
+  mutable pos : int;
+  file : string;
+}
+
+let cur st = st.toks.(st.pos)
+let cur_tok st = (cur st).tok
+let cur_line st = (cur st).tline
+let advance st = st.pos <- st.pos + 1
+
+let error st msg = raise (Parse_error (msg, cur_line st))
+
+let expect_op st op =
+  match cur_tok st with
+  | Lexer.OP o when o = op -> advance st
+  | t ->
+    error st
+      (Printf.sprintf "expected `%s`, found %s" op (Lexer.token_to_string t))
+
+let expect_kw st kw =
+  match cur_tok st with
+  | Lexer.KEYWORD k when k = kw -> advance st
+  | t ->
+    error st
+      (Printf.sprintf "expected keyword %s, found %s" kw
+         (Lexer.token_to_string t))
+
+let expect_newline st =
+  match cur_tok st with
+  | Lexer.NEWLINE -> advance st
+  | Lexer.EOF -> ()
+  | t ->
+    error st
+      (Printf.sprintf "expected end of line, found %s"
+         (Lexer.token_to_string t))
+
+let accept_op st op =
+  match cur_tok st with
+  | Lexer.OP o when o = op -> advance st; true
+  | _ -> false
+
+let accept_kw st kw =
+  match cur_tok st with
+  | Lexer.KEYWORD k when k = kw -> advance st; true
+  | _ -> false
+
+let expect_name st =
+  match cur_tok st with
+  | Lexer.NAME s -> advance st; s
+  | t ->
+    error st
+      (Printf.sprintf "expected identifier, found %s"
+         (Lexer.token_to_string t))
+
+let here st = { file = st.file; line = cur_line st }
+
+(* ------------------------------------------------------------------ *)
+(* Expressions: precedence climbing.                                   *)
+(* or < and < not < comparison/in < +- < * / // % < unary - < ** < call *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_expr st = parse_ternary st
+
+and parse_ternary st =
+  let e = parse_or st in
+  if accept_kw st "if" then begin
+    let p = here st in
+    let c = parse_or st in
+    expect_kw st "else";
+    let alt = parse_expr st in
+    Cond (c, e, alt, p)
+  end
+  else e
+
+and parse_or st =
+  let left = parse_and st in
+  let rec loop left =
+    if accept_kw st "or" then
+      let p = here st in
+      let right = parse_and st in
+      loop (Binop (Or, left, right, p))
+    else left
+  in
+  loop left
+
+and parse_and st =
+  let left = parse_not st in
+  let rec loop left =
+    if accept_kw st "and" then
+      let p = here st in
+      let right = parse_not st in
+      loop (Binop (And, left, right, p))
+    else left
+  in
+  loop left
+
+and parse_not st =
+  if accept_kw st "not" then Unop (Not, parse_not st)
+  else parse_comparison st
+
+and parse_comparison st =
+  let left = parse_bitor st in
+  let p = here st in
+  let op =
+    match cur_tok st with
+    | Lexer.OP "==" -> Some Eq
+    | Lexer.OP "!=" -> Some Neq
+    | Lexer.OP "<" -> Some Lt
+    | Lexer.OP "<=" -> Some Le
+    | Lexer.OP ">" -> Some Gt
+    | Lexer.OP ">=" -> Some Ge
+    | Lexer.KEYWORD "in" -> Some In
+    | Lexer.KEYWORD "is" ->
+      (* "is" / "is not" compare like ==/!= (None and small values). *)
+      (match st.toks.(st.pos + 1).tok with
+       | Lexer.KEYWORD "not" -> advance st; Some Neq
+       | _ -> Some Eq)
+    | Lexer.KEYWORD "not" ->
+      (* "not in" *)
+      (match st.toks.(st.pos + 1).tok with
+       | Lexer.KEYWORD "in" -> advance st; Some Not_in
+       | _ -> None)
+    | _ -> None
+  in
+  match op with
+  | None -> left
+  | Some op ->
+    advance st;
+    let right = parse_bitor st in
+    Binop (op, left, right, p)
+
+and parse_bitor st =
+  let left = parse_bitxor st in
+  let rec loop left =
+    let p = here st in
+    match cur_tok st with
+    | Lexer.OP "|" -> advance st; loop (Binop (Bor, left, parse_bitxor st, p))
+    | _ -> left
+  in
+  loop left
+
+and parse_bitxor st =
+  let left = parse_bitand st in
+  let rec loop left =
+    let p = here st in
+    match cur_tok st with
+    | Lexer.OP "^" -> advance st; loop (Binop (Bxor, left, parse_bitand st, p))
+    | _ -> left
+  in
+  loop left
+
+and parse_bitand st =
+  let left = parse_shift st in
+  let rec loop left =
+    let p = here st in
+    match cur_tok st with
+    | Lexer.OP "&" -> advance st; loop (Binop (Band, left, parse_shift st, p))
+    | _ -> left
+  in
+  loop left
+
+and parse_shift st =
+  let left = parse_additive st in
+  let rec loop left =
+    let p = here st in
+    match cur_tok st with
+    | Lexer.OP "<<" -> advance st; loop (Binop (Shl, left, parse_additive st, p))
+    | Lexer.OP ">>" -> advance st; loop (Binop (Shr, left, parse_additive st, p))
+    | _ -> left
+  in
+  loop left
+
+and parse_additive st =
+  let left = parse_multiplicative st in
+  let rec loop left =
+    let p = here st in
+    match cur_tok st with
+    | Lexer.OP "+" -> advance st; loop (Binop (Add, left, parse_multiplicative st, p))
+    | Lexer.OP "-" -> advance st; loop (Binop (Sub, left, parse_multiplicative st, p))
+    | _ -> left
+  in
+  loop left
+
+and parse_multiplicative st =
+  let left = parse_unary st in
+  let rec loop left =
+    let p = here st in
+    match cur_tok st with
+    | Lexer.OP "*" -> advance st; loop (Binop (Mul, left, parse_unary st, p))
+    | Lexer.OP "/" -> advance st; loop (Binop (Div, left, parse_unary st, p))
+    | Lexer.OP "//" -> advance st; loop (Binop (Floordiv, left, parse_unary st, p))
+    | Lexer.OP "%" -> advance st; loop (Binop (Mod, left, parse_unary st, p))
+    | _ -> left
+  in
+  loop left
+
+and parse_unary st =
+  match cur_tok st with
+  | Lexer.OP "-" -> advance st; Unop (Neg, parse_unary st)
+  | Lexer.OP "+" -> advance st; parse_unary st
+  | _ -> parse_power st
+
+and parse_power st =
+  let base = parse_postfix st in
+  let p = here st in
+  if accept_op st "**" then Binop (Pow, base, parse_unary st, p)
+  else base
+
+and parse_postfix st =
+  let e = parse_atom st in
+  let rec loop e =
+    let p = here st in
+    match cur_tok st with
+    | Lexer.OP "(" ->
+      advance st;
+      let args = parse_args st in
+      expect_op st ")";
+      loop (Call (e, args, p))
+    | Lexer.OP "[" ->
+      advance st;
+      (* Distinguish index from slice. *)
+      if accept_op st ":" then begin
+        let hi =
+          match cur_tok st with
+          | Lexer.OP "]" -> None
+          | _ -> Some (parse_expr st)
+        in
+        expect_op st "]";
+        loop (Slice (e, None, hi, p))
+      end
+      else begin
+        let lo = parse_expr st in
+        if accept_op st ":" then begin
+          let hi =
+            match cur_tok st with
+            | Lexer.OP "]" -> None
+            | _ -> Some (parse_expr st)
+          in
+          expect_op st "]";
+          loop (Slice (e, Some lo, hi, p))
+        end
+        else begin
+          expect_op st "]";
+          loop (Index (e, lo, p))
+        end
+      end
+    | Lexer.OP "." ->
+      advance st;
+      let name = expect_name st in
+      (match cur_tok st with
+       | Lexer.OP "(" ->
+         advance st;
+         let args = parse_args st in
+         expect_op st ")";
+         loop (Method (e, name, args, p))
+       | _ -> loop (Attr (e, name)))
+    | _ -> e
+  in
+  loop e
+
+and parse_args st =
+  match cur_tok st with
+  | Lexer.OP ")" -> []
+  | _ ->
+    let rec loop acc =
+      let a = parse_expr st in
+      if accept_op st "," then
+        match cur_tok st with
+        | Lexer.OP ")" -> List.rev (a :: acc)  (* trailing comma *)
+        | _ -> loop (a :: acc)
+      else List.rev (a :: acc)
+    in
+    loop []
+
+and parse_atom st =
+  match cur_tok st with
+  | Lexer.INT i -> advance st; Int i
+  | Lexer.FLOAT f -> advance st; Float f
+  | Lexer.STRING s -> advance st; Str s
+  | Lexer.NAME n -> advance st; Var n
+  | Lexer.KEYWORD "True" -> advance st; Bool true
+  | Lexer.KEYWORD "False" -> advance st; Bool false
+  | Lexer.KEYWORD "None" -> advance st; None_lit
+  | Lexer.OP "(" ->
+    advance st;
+    (match cur_tok st with
+     | Lexer.OP ")" -> advance st; Tuple_lit []
+     | _ ->
+       let e = parse_expr st in
+       if accept_op st "," then begin
+         let rec loop acc =
+           match cur_tok st with
+           | Lexer.OP ")" -> List.rev acc
+           | _ ->
+             let x = parse_expr st in
+             if accept_op st "," then loop (x :: acc) else List.rev (x :: acc)
+         in
+         let rest = loop [] in
+         expect_op st ")";
+         Tuple_lit (e :: rest)
+       end
+       else begin
+         expect_op st ")";
+         e
+       end)
+  | Lexer.OP "[" ->
+    advance st;
+    let rec loop acc =
+      match cur_tok st with
+      | Lexer.OP "]" -> advance st; List.rev acc
+      | _ ->
+        let e = parse_expr st in
+        if accept_op st "," then loop (e :: acc)
+        else begin
+          expect_op st "]";
+          List.rev (e :: acc)
+        end
+    in
+    List_lit (loop [])
+  | Lexer.OP "{" ->
+    advance st;
+    let rec loop acc =
+      match cur_tok st with
+      | Lexer.OP "}" -> advance st; List.rev acc
+      | _ ->
+        let k = parse_expr st in
+        expect_op st ":";
+        let v = parse_expr st in
+        if accept_op st "," then loop ((k, v) :: acc)
+        else begin
+          expect_op st "}";
+          List.rev ((k, v) :: acc)
+        end
+    in
+    Dict_lit (loop [])
+  | t ->
+    error st
+      (Printf.sprintf "unexpected token %s in expression"
+         (Lexer.token_to_string t))
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let target_of_expr st (e : expr) : target =
+  let rec conv = function
+    | Var n -> Tvar n
+    | Index (e, i, _) -> Tindex (e, i)
+    | Attr (e, n) -> Tattr (e, n)
+    | Tuple_lit es -> Ttuple (List.map conv es)
+    | _ -> error st "invalid assignment target"
+  in
+  conv e
+
+let rec parse_block st =
+  (* A block is either an inline simple statement list after ':', or an
+     indented suite. The caller has already consumed ':'. *)
+  match cur_tok st with
+  | Lexer.NEWLINE ->
+    advance st;
+    (match cur_tok st with
+     | Lexer.INDENT ->
+       advance st;
+       let stmts = parse_stmts st in
+       (match cur_tok st with
+        | Lexer.DEDENT -> advance st
+        | Lexer.EOF -> ()
+        | t ->
+          error st
+            (Printf.sprintf "expected dedent, found %s"
+               (Lexer.token_to_string t)));
+       stmts
+     | _ -> error st "expected an indented block")
+  | _ ->
+    (* Inline statement(s): "if x: return 1" *)
+    let s = parse_simple_stmt st in
+    expect_newline st;
+    [ s ]
+
+and parse_stmts st =
+  let rec loop acc =
+    match cur_tok st with
+    | Lexer.DEDENT | Lexer.EOF -> List.rev acc
+    | Lexer.NEWLINE -> advance st; loop acc
+    | _ ->
+      let s = parse_stmt st in
+      loop (s :: acc)
+  in
+  loop []
+
+and parse_stmt st =
+  match cur_tok st with
+  | Lexer.KEYWORD "def" -> Func_def (parse_func st)
+  | Lexer.KEYWORD "class" -> parse_class st
+  | Lexer.KEYWORD "if" -> parse_if st
+  | Lexer.KEYWORD "while" ->
+    let p = here st in
+    advance st;
+    let cond = parse_expr st in
+    expect_op st ":";
+    let body = parse_block st in
+    While (cond, p, body)
+  | Lexer.KEYWORD "for" ->
+    let p = here st in
+    advance st;
+    let tgt_expr = parse_target_list st in
+    let tgt = target_of_expr st tgt_expr in
+    expect_kw st "in";
+    let iter = parse_expr st in
+    expect_op st ":";
+    let body = parse_block st in
+    For (tgt, iter, body, p)
+  | Lexer.KEYWORD "try" -> parse_try st
+  | Lexer.KEYWORD ("import" | "from") ->
+    (* Imports are recorded as no-ops: the corpus is self-contained and
+       repository files share one global scope, like the paper's
+       intra-repository inter-procedural tracing. *)
+    let rec skip () =
+      match cur_tok st with
+      | Lexer.NEWLINE | Lexer.EOF -> ()
+      | _ -> advance st; skip ()
+    in
+    skip ();
+    expect_newline st;
+    Pass
+  | _ ->
+    let s = parse_simple_stmt st in
+    expect_newline st;
+    s
+
+and parse_target_list st =
+  let e = parse_postfix st in
+  if accept_op st "," then begin
+    let rec loop acc =
+      let x = parse_postfix st in
+      if accept_op st "," then loop (x :: acc) else List.rev (x :: acc)
+    in
+    Tuple_lit (e :: loop [])
+  end
+  else e
+
+and parse_simple_stmt st =
+  let p = here st in
+  match cur_tok st with
+  | Lexer.KEYWORD "return" ->
+    advance st;
+    (match cur_tok st with
+     | Lexer.NEWLINE | Lexer.EOF -> Return (None, p)
+     | _ ->
+       let e = parse_expr st in
+       let e =
+         if accept_op st "," then begin
+           let rec loop acc =
+             let x = parse_expr st in
+             if accept_op st "," then loop (x :: acc)
+             else List.rev (x :: acc)
+           in
+           Tuple_lit (e :: loop [])
+         end
+         else e
+       in
+       Return (Some e, p))
+  | Lexer.KEYWORD "raise" ->
+    advance st;
+    (match cur_tok st with
+     | Lexer.NEWLINE | Lexer.EOF -> Raise (None, p)
+     | _ -> Raise (Some (parse_expr st), p))
+  | Lexer.KEYWORD "break" -> advance st; Break p
+  | Lexer.KEYWORD "continue" -> advance st; Continue p
+  | Lexer.KEYWORD "pass" -> advance st; Pass
+  | Lexer.KEYWORD "global" ->
+    advance st;
+    let rec loop acc =
+      let n = expect_name st in
+      if accept_op st "," then loop (n :: acc) else List.rev (n :: acc)
+    in
+    Global (loop [])
+  | Lexer.KEYWORD "assert" ->
+    advance st;
+    let cond = parse_expr st in
+    let msg =
+      if accept_op st "," then Some (parse_expr st) else None
+    in
+    (* assert c, m  ==>  if not c: raise m *)
+    let raise_stmt =
+      Raise ((match msg with Some m -> Some m
+                           | None -> Some (Str "AssertionError")), p)
+    in
+    If ([ (Unop (Not, cond), p, [ raise_stmt ]) ], None)
+  | Lexer.KEYWORD "del" ->
+    advance st;
+    let _ = parse_expr st in
+    Pass
+  | _ ->
+    let e = parse_target_list st in
+    (match cur_tok st with
+     | Lexer.OP "=" ->
+       advance st;
+       let rhs = parse_expr st in
+       let rhs =
+         if accept_op st "," then begin
+           let rec loop acc =
+             let x = parse_expr st in
+             if accept_op st "," then loop (x :: acc)
+             else List.rev (x :: acc)
+           in
+           Tuple_lit (rhs :: loop [])
+         end
+         else rhs
+       in
+       Assign (target_of_expr st e, rhs, p)
+     | Lexer.OP "+=" -> advance st; Aug_assign (target_of_expr st e, Add, parse_expr st, p)
+     | Lexer.OP "-=" -> advance st; Aug_assign (target_of_expr st e, Sub, parse_expr st, p)
+     | Lexer.OP "*=" -> advance st; Aug_assign (target_of_expr st e, Mul, parse_expr st, p)
+     | Lexer.OP "/=" -> advance st; Aug_assign (target_of_expr st e, Div, parse_expr st, p)
+     | Lexer.OP "%=" -> advance st; Aug_assign (target_of_expr st e, Mod, parse_expr st, p)
+     | _ -> Expr_stmt (e, p))
+
+and parse_if st =
+  let rec arms acc =
+    let p = here st in
+    (* first call sees "if", later calls see "elif" *)
+    advance st;
+    let cond = parse_expr st in
+    expect_op st ":";
+    let body = parse_block st in
+    let acc = (cond, p, body) :: acc in
+    match cur_tok st with
+    | Lexer.KEYWORD "elif" -> arms acc
+    | Lexer.KEYWORD "else" ->
+      advance st;
+      expect_op st ":";
+      let els = parse_block st in
+      If (List.rev acc, Some els)
+    | _ -> If (List.rev acc, None)
+  in
+  arms []
+
+and parse_try st =
+  advance st;
+  expect_op st ":";
+  let body = parse_block st in
+  let rec handlers acc =
+    match cur_tok st with
+    | Lexer.KEYWORD "except" ->
+      advance st;
+      let filter, bind =
+        match cur_tok st with
+        | Lexer.OP ":" -> (None, None)
+        | Lexer.NAME _ ->
+          (* "except ValueError:", "except ValueError as e:", "except e:" *)
+          let first = expect_name st in
+          if accept_kw st "as" then (Some first, Some (expect_name st))
+          else begin
+            match cur_tok st with
+            | Lexer.OP ":" -> (Some first, None)
+            | _ -> error st "malformed except clause"
+          end
+        | _ -> error st "malformed except clause"
+      in
+      expect_op st ":";
+      let h = parse_block st in
+      handlers ({ h_filter = filter; h_bind = bind; h_body = h } :: acc)
+    | _ -> List.rev acc
+  in
+  let hs = handlers [] in
+  let fin =
+    if accept_kw st "finally" then begin
+      expect_op st ":";
+      Some (parse_block st)
+    end
+    else None
+  in
+  if hs = [] && fin = None then error st "try without except or finally";
+  Try (body, hs, fin)
+
+and parse_func st =
+  let p = here st in
+  expect_kw st "def";
+  let name = expect_name st in
+  expect_op st "(";
+  let rec params acc defaults =
+    match cur_tok st with
+    | Lexer.OP ")" -> (List.rev acc, List.rev defaults)
+    | _ ->
+      let n = expect_name st in
+      let defaults =
+        if accept_op st "=" then (n, parse_expr st) :: defaults else defaults
+      in
+      if accept_op st "," then params (n :: acc) defaults
+      else (List.rev (n :: acc), List.rev defaults)
+  in
+  let params, defaults = params [] [] in
+  expect_op st ")";
+  expect_op st ":";
+  let body = parse_block st in
+  { fname = name; params; defaults; body; fpos = p }
+
+and parse_class st =
+  let p = here st in
+  expect_kw st "class";
+  let name = expect_name st in
+  (* optional empty or object base list *)
+  if accept_op st "(" then begin
+    (match cur_tok st with
+     | Lexer.OP ")" -> ()
+     | _ -> ignore (parse_expr st));
+    expect_op st ")"
+  end;
+  expect_op st ":";
+  let body = parse_block st in
+  let methods, rest =
+    List.partition_map
+      (function Func_def f -> Left f | s -> Right s)
+      body
+  in
+  Class_def { cname = name; methods; class_body = rest; cpos = p }
+
+let parse ~file (src : string) : program =
+  let toks = Array.of_list (Lexer.tokenize ~file src) in
+  let st = { toks; pos = 0; file } in
+  let body = parse_stmts st in
+  (match cur_tok st with
+   | Lexer.EOF -> ()
+   | t ->
+     error st
+       (Printf.sprintf "trailing input: %s" (Lexer.token_to_string t)));
+  { prog_file = file; prog_body = body }

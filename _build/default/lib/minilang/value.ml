@@ -1,0 +1,154 @@
+(** Runtime values for MiniScript. *)
+
+type t =
+  | Vint of int
+  | Vfloat of float
+  | Vbool of bool
+  | Vstr of string
+  | Vnone
+  | Vlist of t list ref
+  | Vdict of (t * t) list ref  (** insertion-ordered association list *)
+  | Vtuple of t list
+  | Vobj of obj
+  | Vfun of closure
+  | Vbound of obj * closure  (** bound method *)
+  | Vclass of cls_runtime
+  | Vbuiltin of string
+
+and obj = {
+  ocls : string;
+  fields : (string, t) Hashtbl.t;
+}
+
+and closure = {
+  cl_func : Ast.func;
+  cl_scope : scope;  (** defining scope, used for globals *)
+}
+
+and cls_runtime = {
+  rt_cname : string;
+  rt_methods : (string * closure) list;
+}
+
+and scope = {
+  vars : (string, t) Hashtbl.t;
+  parent : scope option;  (** only module scope has no parent *)
+}
+
+exception Runtime_error of string * string
+(** [Runtime_error (kind, message)] — kind is a Python-style exception
+    name such as "ValueError", "TypeError", "IndexError", "KeyError",
+    "ZeroDivisionError" or "Exception" for user raises. *)
+
+let raise_error kind msg = raise (Runtime_error (kind, msg))
+
+let type_name = function
+  | Vint _ -> "int"
+  | Vfloat _ -> "float"
+  | Vbool _ -> "bool"
+  | Vstr _ -> "str"
+  | Vnone -> "NoneType"
+  | Vlist _ -> "list"
+  | Vdict _ -> "dict"
+  | Vtuple _ -> "tuple"
+  | Vobj o -> o.ocls
+  | Vfun _ | Vbound _ -> "function"
+  | Vclass _ -> "type"
+  | Vbuiltin _ -> "builtin"
+
+let truthy = function
+  | Vbool b -> b
+  | Vint i -> i <> 0
+  | Vfloat f -> f <> 0.0
+  | Vstr s -> s <> ""
+  | Vnone -> false
+  | Vlist l -> !l <> []
+  | Vdict d -> !d <> []
+  | Vtuple t -> t <> []
+  | Vobj _ | Vfun _ | Vbound _ | Vclass _ | Vbuiltin _ -> true
+
+(** Structural equality following Python semantics: int/float compare
+    numerically, bool compares as int, otherwise same-type structural. *)
+let rec equal a b =
+  match (a, b) with
+  | Vint x, Vint y -> x = y
+  | Vfloat x, Vfloat y -> x = y
+  | Vint x, Vfloat y | Vfloat y, Vint x -> float_of_int x = y
+  | Vbool x, Vbool y -> x = y
+  | Vbool x, Vint y | Vint y, Vbool x -> (if x then 1 else 0) = y
+  | Vstr x, Vstr y -> String.equal x y
+  | Vnone, Vnone -> true
+  | Vlist x, Vlist y ->
+    List.length !x = List.length !y && List.for_all2 equal !x !y
+  | Vtuple x, Vtuple y ->
+    List.length x = List.length y && List.for_all2 equal x y
+  | Vdict x, Vdict y ->
+    List.length !x = List.length !y
+    && List.for_all
+         (fun (k, v) ->
+           match List.find_opt (fun (k', _) -> equal k k') !y with
+           | Some (_, v') -> equal v v'
+           | None -> false)
+         !x
+  | Vobj x, Vobj y -> x == y
+  | _ -> false
+
+let compare_values a b =
+  match (a, b) with
+  | Vint x, Vint y -> compare x y
+  | Vfloat x, Vfloat y -> compare x y
+  | Vint x, Vfloat y -> compare (float_of_int x) y
+  | Vfloat x, Vint y -> compare x (float_of_int y)
+  | Vstr x, Vstr y -> String.compare x y
+  | Vbool x, Vbool y -> compare x y
+  | Vlist x, Vlist y -> compare !x !y
+  | Vtuple x, Vtuple y -> compare x y
+  | _ ->
+    raise_error "TypeError"
+      (Printf.sprintf "cannot compare %s and %s" (type_name a) (type_name b))
+
+let rec to_display_string v =
+  match v with
+  | Vint i -> string_of_int i
+  | Vfloat f ->
+    if Float.is_integer f && Float.abs f < 1e16 then
+      Printf.sprintf "%.1f" f
+    else Printf.sprintf "%g" f
+  | Vbool true -> "True"
+  | Vbool false -> "False"
+  | Vstr s -> s
+  | Vnone -> "None"
+  | Vlist l ->
+    "[" ^ String.concat ", " (List.map to_repr_string !l) ^ "]"
+  | Vtuple t ->
+    "(" ^ String.concat ", " (List.map to_repr_string t) ^ ")"
+  | Vdict d ->
+    "{"
+    ^ String.concat ", "
+        (List.map
+           (fun (k, v) -> to_repr_string k ^ ": " ^ to_repr_string v)
+           !d)
+    ^ "}"
+  | Vobj o -> "<" ^ o.ocls ^ " object>"
+  | Vfun c -> "<function " ^ c.cl_func.Ast.fname ^ ">"
+  | Vbound (_, c) -> "<bound method " ^ c.cl_func.Ast.fname ^ ">"
+  | Vclass c -> "<class " ^ c.rt_cname ^ ">"
+  | Vbuiltin n -> "<builtin " ^ n ^ ">"
+
+and to_repr_string v =
+  match v with
+  | Vstr s -> "'" ^ s ^ "'"
+  | _ -> to_display_string v
+
+let scope_create ?parent () = { vars = Hashtbl.create 16; parent }
+
+let rec scope_lookup scope name =
+  match Hashtbl.find_opt scope.vars name with
+  | Some v -> Some v
+  | None ->
+    (match scope.parent with
+     | Some p -> scope_lookup p name
+     | None -> None)
+
+let rec module_scope scope =
+  match scope.parent with None -> scope | Some p -> module_scope p

@@ -1,0 +1,301 @@
+(** A small backtracking regular-expression engine.
+
+    Supports the subset of syntax that appears in real-world
+    type-validation code and in Potter's-Wheel-style inferred patterns:
+
+    - literals, [.], escapes [\d \D \w \W \s \S], character classes
+      [[a-z0-9_]] with negation [[^...]] and ranges,
+    - grouping [( )], alternation [|],
+    - quantifiers [* + ?] and bounded repetition [{m}] [{m,n}] [{m,}],
+    - anchors [^] and [$].
+
+    Used both by MiniScript's [re_match]/[re_search] builtins (mined code
+    frequently validates with regexes, Section 8.2.2) and by the REGEX
+    baseline of Section 9. *)
+
+type node =
+  | Lit of char
+  | Any
+  | Class of (char * char) list * bool  (** ranges, negated? *)
+  | Star of node * bool  (** greedy flag reserved; always greedy here *)
+  | Plus of node
+  | Opt of node
+  | Repeat of node * int * int option  (** {m,n}; None = unbounded *)
+  | Seq of node list
+  | Alt of node list
+  | Group of node
+  | Bol
+  | Eol
+
+exception Parse_error of string
+
+type t = { ast : node; source : string }
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let parse (pattern : string) : t =
+  let n = String.length pattern in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some pattern.[!pos] else None in
+  let advance () = incr pos in
+  let eat c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> raise (Parse_error (Printf.sprintf "expected %C at %d" c !pos))
+  in
+  let escape_class c =
+    match c with
+    | 'd' -> Some ([ ('0', '9') ], false)
+    | 'D' -> Some ([ ('0', '9') ], true)
+    | 'w' -> Some ([ ('a', 'z'); ('A', 'Z'); ('0', '9'); ('_', '_') ], false)
+    | 'W' -> Some ([ ('a', 'z'); ('A', 'Z'); ('0', '9'); ('_', '_') ], true)
+    | 's' -> Some ([ (' ', ' '); ('\t', '\t'); ('\n', '\n'); ('\r', '\r') ], false)
+    | 'S' -> Some ([ (' ', ' '); ('\t', '\t'); ('\n', '\n'); ('\r', '\r') ], true)
+    | _ -> None
+  in
+  let parse_escape () =
+    advance ();  (* consume backslash *)
+    match peek () with
+    | None -> raise (Parse_error "dangling backslash")
+    | Some c ->
+      advance ();
+      (match escape_class c with
+       | Some (ranges, neg) -> Class (ranges, neg)
+       | None ->
+         (match c with
+          | 'n' -> Lit '\n'
+          | 't' -> Lit '\t'
+          | 'r' -> Lit '\r'
+          | _ -> Lit c))
+  in
+  let parse_class () =
+    eat '[';
+    let negated =
+      match peek () with
+      | Some '^' -> advance (); true
+      | _ -> false
+    in
+    let ranges = ref [] in
+    let rec loop first =
+      match peek () with
+      | None -> raise (Parse_error "unterminated character class")
+      | Some ']' when not first -> advance ()
+      | Some c ->
+        advance ();
+        let c =
+          if c = '\\' then begin
+            match peek () with
+            | Some e ->
+              advance ();
+              (match escape_class e with
+               | Some (rs, false) ->
+                 ranges := rs @ !ranges;
+                 '\000'  (* sentinel: ranges already added *)
+               | Some (_, true) ->
+                 raise (Parse_error "negated escape inside class")
+               | None ->
+                 (match e with 'n' -> '\n' | 't' -> '\t' | 'r' -> '\r' | c -> c))
+            | None -> raise (Parse_error "dangling backslash in class")
+          end
+          else c
+        in
+        if c <> '\000' then begin
+          match peek () with
+          | Some '-' when (match !pos + 1 < n with
+                           | true -> pattern.[!pos + 1] <> ']'
+                           | false -> false) ->
+            advance ();
+            (match peek () with
+             | Some hi ->
+               advance ();
+               if hi < c then raise (Parse_error "inverted range");
+               ranges := (c, hi) :: !ranges
+             | None -> raise (Parse_error "unterminated range"))
+          | _ -> ranges := (c, c) :: !ranges
+        end;
+        loop false
+    in
+    loop true;
+    Class (List.rev !ranges, negated)
+  in
+  let parse_int () =
+    let start = !pos in
+    while (match peek () with Some c when c >= '0' && c <= '9' -> true | _ -> false) do
+      advance ()
+    done;
+    if !pos = start then raise (Parse_error "expected number in repetition");
+    int_of_string (String.sub pattern start (!pos - start))
+  in
+  let rec parse_alt () =
+    let first = parse_seq () in
+    let rec loop acc =
+      match peek () with
+      | Some '|' ->
+        advance ();
+        loop (parse_seq () :: acc)
+      | _ -> List.rev acc
+    in
+    match loop [ first ] with
+    | [ single ] -> single
+    | alts -> Alt alts
+  and parse_seq () =
+    let rec loop acc =
+      match peek () with
+      | None | Some '|' | Some ')' -> List.rev acc
+      | Some _ -> loop (parse_quantified () :: acc)
+    in
+    match loop [] with
+    | [ single ] -> single
+    | items -> Seq items
+  and parse_quantified () =
+    let atom = parse_atom () in
+    let rec apply atom =
+      match peek () with
+      | Some '*' -> advance (); apply (Star (atom, true))
+      | Some '+' -> advance (); apply (Plus atom)
+      | Some '?' -> advance (); apply (Opt atom)
+      | Some '{' ->
+        advance ();
+        let m = parse_int () in
+        let node =
+          match peek () with
+          | Some '}' -> advance (); Repeat (atom, m, Some m)
+          | Some ',' ->
+            advance ();
+            (match peek () with
+             | Some '}' -> advance (); Repeat (atom, m, None)
+             | _ ->
+               let hi = parse_int () in
+               eat '}';
+               if hi < m then raise (Parse_error "inverted repetition bounds");
+               Repeat (atom, m, Some hi))
+          | _ -> raise (Parse_error "malformed repetition")
+        in
+        apply node
+      | _ -> atom
+    in
+    apply atom
+  and parse_atom () =
+    match peek () with
+    | None -> raise (Parse_error "unexpected end of pattern")
+    | Some '(' ->
+      advance ();
+      (* Ignore non-capturing marker. *)
+      if !pos + 1 < n && pattern.[!pos] = '?' && pattern.[!pos + 1] = ':' then begin
+        advance (); advance ()
+      end;
+      let inner = parse_alt () in
+      eat ')';
+      Group inner
+    | Some '[' -> parse_class ()
+    | Some '\\' -> parse_escape ()
+    | Some '.' -> advance (); Any
+    | Some '^' -> advance (); Bol
+    | Some '$' -> advance (); Eol
+    | Some ('*' | '+' | '?') ->
+      raise (Parse_error "quantifier with nothing to repeat")
+    | Some c -> advance (); Lit c
+  in
+  let ast = parse_alt () in
+  if !pos <> n then raise (Parse_error "trailing characters in pattern");
+  { ast; source = pattern }
+
+(* ------------------------------------------------------------------ *)
+(* Matcher: CPS backtracking with a fuel bound to avoid pathological    *)
+(* blow-ups on adversarial corpus patterns (sandboxing concern).        *)
+(* ------------------------------------------------------------------ *)
+
+exception Out_of_fuel
+
+let class_matches ranges negated c =
+  let inside = List.exists (fun (lo, hi) -> c >= lo && c <= hi) ranges in
+  if negated then not inside else inside
+
+let match_at ?(fuel = 2_000_000) (re : t) (s : string) (start : int) :
+    int option =
+  let n = String.length s in
+  let fuel = ref fuel in
+  let burn () =
+    decr fuel;
+    if !fuel <= 0 then raise Out_of_fuel
+  in
+  (* k: int -> bool receives the position after the node matched. *)
+  let rec m node i (k : int -> bool) : bool =
+    burn ();
+    match node with
+    | Lit c -> i < n && s.[i] = c && k (i + 1)
+    | Any -> i < n && k (i + 1)
+    | Class (ranges, neg) -> i < n && class_matches ranges neg s.[i] && k (i + 1)
+    | Bol -> i = 0 && k i
+    | Eol -> i = n && k i
+    | Group g -> m g i k
+    | Seq items ->
+      let rec seq items i =
+        match items with
+        | [] -> k i
+        | hd :: tl -> m hd i (fun j -> seq tl j)
+      in
+      seq items i
+    | Alt alts -> List.exists (fun a -> m a i k) alts
+    | Opt g -> m g i k || k i
+    | Star (g, _) ->
+      let rec star i =
+        m g i (fun j -> j > i && star j) || k i
+      in
+      star i
+    | Plus g -> m g i (fun j -> m (Star (g, true)) j k)
+    | Repeat (g, lo, hi) ->
+      let rec rep count i =
+        let can_stop = count >= lo in
+        let can_more =
+          match hi with None -> true | Some h -> count < h
+        in
+        (can_more && m g i (fun j -> (j > i || count + 1 >= lo) && rep (count + 1) j))
+        || (can_stop && k i)
+      in
+      rep 0 i
+  in
+  let result = ref None in
+  let found =
+    try m re.ast start (fun j -> result := Some j; true)
+    with Out_of_fuel -> false
+  in
+  if found then !result else None
+
+(** Does the pattern match a prefix of [s] starting at 0? (Python
+    [re.match] semantics.) Returns the end offset of the match. *)
+let match_prefix re s = match_at re s 0
+
+(** Does the pattern match the entire string? (Python [re.fullmatch].) *)
+let full_match re s =
+  match match_at re s 0 with
+  | Some j when j = String.length s -> true
+  | Some _ ->
+    (* Backtrack-search for a full-length match: wrap with $ semantics. *)
+    let anchored = { re with ast = Seq [ re.ast; Eol ] } in
+    (match match_at anchored s 0 with Some _ -> true | None -> false)
+  | None -> false
+
+(** First position at which the pattern matches (Python [re.search]).
+    Returns (start, end) offsets. *)
+let search re s =
+  let n = String.length s in
+  let rec go i =
+    if i > n then None
+    else
+      match match_at re s i with
+      | Some j -> Some (i, j)
+      | None -> go (i + 1)
+  in
+  go 0
+
+let matches re s = full_match re s
+
+(** Convenience: compile and fully match in one step. *)
+let string_matches pattern s =
+  let re = parse pattern in
+  full_match re s
+
+let source re = re.source

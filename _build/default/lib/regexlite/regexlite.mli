@@ -1,0 +1,41 @@
+(** A small backtracking regular-expression engine.
+
+    Supports literals, [.], escapes ([\d \D \w \W \s \S]), character
+    classes with ranges and negation, grouping, alternation, the
+    [* + ?] quantifiers, bounded repetition [{m}] [{m,n}] [{m,}], and
+    the [^ $] anchors.  Backtracking is fuel-bounded, so pathological
+    patterns terminate instead of hanging (a sandboxing requirement for
+    mined code). *)
+
+type t
+(** A compiled pattern. *)
+
+exception Parse_error of string
+
+val parse : string -> t
+(** @raise Parse_error on malformed patterns. *)
+
+val source : t -> string
+(** The original pattern text. *)
+
+val match_at : ?fuel:int -> t -> string -> int -> int option
+(** [match_at re s i] matches starting exactly at offset [i]; returns
+    the end offset of a match, or [None].  Exhausting [fuel] counts as
+    no match. *)
+
+val match_prefix : t -> string -> int option
+(** Python [re.match] semantics: anchored at offset 0, returns the end
+    offset of the (greedy) match. *)
+
+val full_match : t -> string -> bool
+(** Python [re.fullmatch] semantics: the whole string must match. *)
+
+val search : t -> string -> (int * int) option
+(** Python [re.search] semantics: first offset pair [(start, stop)] at
+    which the pattern matches. *)
+
+val matches : t -> string -> bool
+(** Alias for {!full_match}. *)
+
+val string_matches : string -> string -> bool
+(** [string_matches pattern s] compiles and fully matches in one step. *)

@@ -1,0 +1,1 @@
+lib/repolib/analyzer.ml: Candidate List Minilang Option Printf Repo

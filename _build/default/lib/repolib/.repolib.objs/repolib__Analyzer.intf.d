@@ -1,0 +1,1 @@
+lib/repolib/analyzer.mli: Candidate Repo

@@ -1,0 +1,1 @@
+lib/repolib/candidate.ml: Printf Repo

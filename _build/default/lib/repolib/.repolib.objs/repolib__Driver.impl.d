@@ -1,0 +1,1 @@
+lib/repolib/driver.ml: Ast Candidate Hashtbl Interp List Minilang Printf Repo String Value

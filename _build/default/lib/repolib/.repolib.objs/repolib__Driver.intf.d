@@ -1,0 +1,1 @@
+lib/repolib/driver.mli: Candidate Minilang Repo

@@ -1,0 +1,1 @@
+lib/repolib/repo.ml: Hashtbl List Minilang Printf

@@ -1,0 +1,1 @@
+lib/repolib/repo.mli: Minilang

@@ -1,0 +1,1 @@
+lib/repolib/search.ml: Buffer Hashtbl List Option Repo String

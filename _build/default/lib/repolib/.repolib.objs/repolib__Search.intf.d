@@ -1,0 +1,1 @@
+lib/repolib/search.mli: Repo

@@ -1,0 +1,220 @@
+(** Static analysis of repositories to find candidate functions
+    (Section 4.2).
+
+    Like the paper's AST pass over crawled .py files, this walks every
+    parsed MiniScript file and enumerates functions that can be invoked
+    with one input string under one of the supported invocation plans.
+    Functions that later fail to execute on a probe example are weeded
+    out by {!Driver.probe}. *)
+
+open Minilang.Ast
+
+(* Does a block (transitively) reference a given variable name? *)
+let block_uses_name name (body : block) =
+  let rec expr_uses (e : expr) =
+    match e with
+    | Var n -> n = name
+    | Int _ | Float _ | Str _ | Bool _ | None_lit -> false
+    | Binop (_, a, b, _) -> expr_uses a || expr_uses b
+    | Unop (_, a) -> expr_uses a
+    | Call (f, args, _) -> expr_uses f || List.exists expr_uses args
+    | Method (o, _, args, _) -> expr_uses o || List.exists expr_uses args
+    | Attr (o, n) -> expr_uses o || (n = name && false)
+    | Index (a, b, _) -> expr_uses a || expr_uses b
+    | Slice (a, lo, hi, _) ->
+      expr_uses a
+      || (match lo with Some e -> expr_uses e | None -> false)
+      || (match hi with Some e -> expr_uses e | None -> false)
+    | List_lit es | Tuple_lit es -> List.exists expr_uses es
+    | Dict_lit kvs -> List.exists (fun (k, v) -> expr_uses k || expr_uses v) kvs
+    | Cond (c, a, b, _) -> expr_uses c || expr_uses a || expr_uses b
+  in
+  let uses = ref false in
+  let check_stmt () s =
+    match s with
+    | Expr_stmt (e, _) -> if expr_uses e then uses := true
+    | Assign (_, e, _) | Aug_assign (_, _, e, _) -> if expr_uses e then uses := true
+    | If (arms, _) ->
+      List.iter (fun (c, _, _) -> if expr_uses c then uses := true) arms
+    | While (c, _, _) -> if expr_uses c then uses := true
+    | For (_, e, _, _) -> if expr_uses e then uses := true
+    | Return (Some e, _) | Raise (Some e, _) -> if expr_uses e then uses := true
+    | Return (None, _) | Raise (None, _) | Try _ | Break _ | Continue _
+    | Pass | Func_def _ | Class_def _ | Global _ -> ()
+  in
+  ignore (fold_stmts check_stmt () body);
+  !uses
+
+(* Does the function's body call a given builtin (input/open/argv use)? *)
+let body_calls_builtin bname (body : block) =
+  let found = ref false in
+  let rec expr_scan (e : expr) =
+    (match e with
+     | Call (Var n, _, _) when n = bname -> found := true
+     | Method (Var "sys", "argv", _, _) -> ()
+     | _ -> ());
+    match e with
+    | Binop (_, a, b, _) -> expr_scan a; expr_scan b
+    | Unop (_, a) -> expr_scan a
+    | Call (f, args, _) -> expr_scan f; List.iter expr_scan args
+    | Method (o, _, args, _) -> expr_scan o; List.iter expr_scan args
+    | Attr (o, _) -> expr_scan o
+    | Index (a, b, _) -> expr_scan a; expr_scan b
+    | Slice (a, lo, hi, _) ->
+      expr_scan a;
+      Option.iter expr_scan lo;
+      Option.iter expr_scan hi
+    | List_lit es | Tuple_lit es -> List.iter expr_scan es
+    | Dict_lit kvs -> List.iter (fun (k, v) -> expr_scan k; expr_scan v) kvs
+    | Cond (c, a, b, _) -> expr_scan c; expr_scan a; expr_scan b
+    | Var _ | Int _ | Float _ | Str _ | Bool _ | None_lit -> ()
+  in
+  let scan_stmt () s =
+    match s with
+    | Expr_stmt (e, _) -> expr_scan e
+    | Assign (_, e, _) | Aug_assign (_, _, e, _) -> expr_scan e
+    | If (arms, _) -> List.iter (fun (c, _, _) -> expr_scan c) arms
+    | While (c, _, _) -> expr_scan c
+    | For (_, e, _, _) -> expr_scan e
+    | Return (Some e, _) | Raise (Some e, _) -> expr_scan e
+    | Return (None, _) | Raise (None, _) | Try _ | Break _ | Continue _
+    | Pass | Func_def _ | Class_def _ | Global _ -> ()
+  in
+  ignore (fold_stmts scan_stmt () body);
+  !found
+
+(* Does the function's body pass its (sole) parameter to open()? *)
+let body_opens_param pname (body : block) =
+  let found = ref false in
+  let scan_stmt () s =
+    let rec expr_scan (e : expr) =
+      (match e with
+       | Call (Var "open", Var n :: _, _) when n = pname -> found := true
+       | _ -> ());
+      match e with
+      | Binop (_, a, b, _) -> expr_scan a; expr_scan b
+      | Unop (_, a) -> expr_scan a
+      | Call (f, args, _) -> expr_scan f; List.iter expr_scan args
+      | Method (o, _, args, _) -> expr_scan o; List.iter expr_scan args
+      | Attr (o, _) -> expr_scan o
+      | Index (a, b, _) -> expr_scan a; expr_scan b
+      | Slice (a, lo, hi, _) ->
+        expr_scan a; Option.iter expr_scan lo; Option.iter expr_scan hi
+      | List_lit es | Tuple_lit es -> List.iter expr_scan es
+      | Dict_lit kvs -> List.iter (fun (k, v) -> expr_scan k; expr_scan v) kvs
+      | Cond (c, a, b, _) -> expr_scan c; expr_scan a; expr_scan b
+      | Var _ | Int _ | Float _ | Str _ | Bool _ | None_lit -> ()
+    in
+    match s with
+    | Expr_stmt (e, _) -> expr_scan e
+    | Assign (_, e, _) | Aug_assign (_, _, e, _) -> expr_scan e
+    | If (arms, _) -> List.iter (fun (c, _, _) -> expr_scan c) arms
+    | While (c, _, _) -> expr_scan c
+    | For (_, e, _, _) -> expr_scan e
+    | Return (Some e, _) | Raise (Some e, _) -> expr_scan e
+    | Return (None, _) | Raise (None, _) | Try _ | Break _ | Continue _
+    | Pass | Func_def _ | Class_def _ | Global _ -> ()
+  in
+  ignore (fold_stmts scan_stmt () body);
+  !found
+
+let required_params (f : func) =
+  List.filter (fun p -> not (List.mem_assoc p f.defaults)) f.params
+
+(** Extract every candidate from one repository.  Returns [] if any file
+    fails to parse (the paper only keeps repositories that compile). *)
+let candidates_of_repo (repo : Repo.t) : Candidate.t list =
+  match Repo.programs repo with
+  | None -> []
+  | Some progs ->
+    let acc = ref [] in
+    let add file func_name invocation doc_text =
+      acc :=
+        { Candidate.repo; file; func_name; invocation; doc_text } :: !acc
+    in
+    List.iter
+      (fun (prog : program) ->
+        let file = prog.prog_file in
+        let top_level_script_stmts = ref [] in
+        List.iter
+          (fun stmt ->
+            match stmt with
+            | Func_def f ->
+              let req = required_params f in
+              let doc = f.fname in
+              (match req with
+               | [ p ] ->
+                 if body_opens_param p f.body then
+                   add file f.fname (Candidate.Via_file f.fname) doc
+                 else begin
+                   add file f.fname Candidate.Direct doc
+                 end
+               | [] when f.params = [] || List.length f.defaults = List.length f.params ->
+                 if block_uses_name "argv" f.body then
+                   add file f.fname (Candidate.Via_argv f.fname) doc
+                 else if body_calls_builtin "input" f.body then
+                   add file f.fname (Candidate.Via_stdin f.fname) doc
+               | [ _; _ ] ->
+                 add file f.fname (Candidate.Split_call (f.fname, ',', 2)) doc;
+                 add file f.fname (Candidate.Split_call (f.fname, ' ', 2)) doc
+               | [ _; _; _ ] ->
+                 add file f.fname (Candidate.Split_call (f.fname, ',', 3)) doc
+               | _ -> ())
+            | Class_def c ->
+              let ctor = List.find_opt (fun m -> m.fname = "__init__") c.methods in
+              let ctor_req =
+                match ctor with
+                | None -> []
+                | Some init ->
+                  (match required_params init with
+                   | _self :: rest -> rest
+                   | [] -> [])
+              in
+              List.iter
+                (fun m ->
+                  if m.fname <> "__init__" then
+                    let mreq =
+                      match required_params m with
+                      | _self :: rest -> rest
+                      | [] -> []
+                    in
+                    let doc = c.cname ^ "." ^ m.fname in
+                    match (ctor_req, mreq) with
+                    | [], [ _ ] ->
+                      add file (c.cname ^ "." ^ m.fname)
+                        (Candidate.Class_then_method (c.cname, m.fname))
+                        doc
+                    | [ _ ], [] ->
+                      add file (c.cname ^ "." ^ m.fname)
+                        (Candidate.Ctor_then_method (c.cname, m.fname))
+                        doc
+                    | _ -> ())
+                c.methods
+            | Assign (Tvar var, Str _, _) ->
+              (* Hard-coded constant at script level: each such assignment
+                 becomes a candidate (Appendix D.1, Listing 3). *)
+              add file
+                (Printf.sprintf "<script:%s#%s>" file var)
+                (Candidate.Script_var (file, var))
+                var
+            | Expr_stmt _ | Assign _ | Aug_assign _ | If _ | While _
+            | For _ | Return _ | Raise _ | Try _ | Break _ | Continue _
+            | Pass | Global _ ->
+              top_level_script_stmts := stmt :: !top_level_script_stmts)
+          prog.prog_body;
+        (* Script files with real top-level logic that read argv or
+           input() can be run whole, feeding the example through those
+           channels (Appendix D.1). *)
+        let script_stmts = List.rev !top_level_script_stmts in
+        if script_stmts <> [] then begin
+          if block_uses_name "argv" script_stmts then
+            add file
+              (Printf.sprintf "<script:%s#argv>" file)
+              (Candidate.Script_argv file) "main script argv";
+          if body_calls_builtin "input" script_stmts then
+            add file
+              (Printf.sprintf "<script:%s#stdin>" file)
+              (Candidate.Script_stdin file) "main script stdin"
+        end)
+      progs;
+    List.rev !acc

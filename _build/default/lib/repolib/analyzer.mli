@@ -1,0 +1,10 @@
+(** Static analysis of repositories (Section 4.2): walk every parsed
+    file and enumerate the functions invocable with one input string
+    under the supported invocation plans, including class-based
+    variants, implicit-input functions (argv / stdin / file),
+    script-level snippets with hard-coded constants, whole-file scripts
+    reading argv or stdin, and multi-parameter functions fed by
+    splitting. *)
+
+val candidates_of_repo : Repo.t -> Candidate.t list
+(** [] when any file of the repository fails to parse. *)

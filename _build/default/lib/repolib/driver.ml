@@ -1,0 +1,165 @@
+(** Execution driver: run a candidate function on one input string under
+    full tracing and sandbox limits (Sections 4.2 and 5.1).
+
+    Each run uses a freshly loaded module scope, so state mutated by a
+    previous execution cannot leak between examples — the equivalent of
+    the paper running each instrumented function in its own process. *)
+
+open Minilang
+
+type outcome = Interp.outcome =
+  | Finished of Value.t
+  | Errored of string * string
+  | Hit_limit of string
+
+let default_config = { Interp.max_steps = 200_000; max_call_depth = 48 }
+
+let lookup scope name = Value.scope_lookup scope name
+
+exception Infra_failure of string
+(** The invocation machinery itself failed (callable not defined, etc.),
+    as opposed to the function failing on the input. *)
+
+let rewrite_script_var ~var (prog : Ast.program) : Ast.program =
+  let body =
+    List.map
+      (fun stmt ->
+        match stmt with
+        | Ast.Assign (Ast.Tvar v, Ast.Str _, pos) when v = var ->
+          Ast.Assign (Ast.Tvar v, Ast.Var "__autotype_input__", pos)
+        | s -> s)
+      prog.Ast.prog_body
+  in
+  { prog with Ast.prog_body = body }
+
+(** Load every file of the repo into a fresh scope, untraced.  Load-time
+    errors in individual files are tolerated, mirroring the paper's
+    "execute whatever compiles" behaviour. *)
+let load_scope ?(skip_file = "") (repo : Repo.t) : Value.scope option =
+  match Repo.programs repo with
+  | None -> None
+  | Some progs ->
+    let progs =
+      List.filter (fun (p : Ast.program) -> p.Ast.prog_file <> skip_file) progs
+    in
+    let scope, _errors = Interp.load_module ~config:default_config progs in
+    Some scope
+
+let run ?(config = default_config) ?(record_assigns = false)
+    (c : Candidate.t) (input : string) : Interp.run_result =
+  let fail_infra msg = raise (Infra_failure msg) in
+  let find_prog file =
+    match Repo.programs c.Candidate.repo with
+    | None -> fail_infra "repository does not parse"
+    | Some progs ->
+      (match
+         List.find_opt (fun (p : Ast.program) -> p.Ast.prog_file = file) progs
+       with
+       | Some p -> p
+       | None -> fail_infra ("no such file " ^ file))
+  in
+  let with_scope ?skip_file k =
+    match load_scope ?skip_file c.Candidate.repo with
+    | Some scope -> k scope
+    | None -> fail_infra "repository does not parse"
+  in
+  let call_named ctx scope name args =
+    match lookup scope name with
+    | Some callable -> Interp.call_callable ctx callable args
+    | None -> fail_infra (Printf.sprintf "callable %s not defined" name)
+  in
+  match c.Candidate.invocation with
+  | Candidate.Direct ->
+    with_scope (fun scope ->
+        Interp.run_traced ~config ~record_assigns (fun ctx ->
+            call_named ctx scope c.Candidate.func_name [ Value.Vstr input ]))
+  | Candidate.Split_call (fname, sep, k) ->
+    with_scope (fun scope ->
+        Interp.run_traced ~config ~record_assigns (fun ctx ->
+            let parts =
+              String.split_on_char sep input
+              |> List.map String.trim
+              |> List.filter (fun p -> p <> "")
+            in
+            if List.length parts <> k then
+              Value.raise_error "ValueError"
+                (Printf.sprintf "expected %d components" k)
+            else
+              call_named ctx scope fname
+                (List.map (fun p -> Value.Vstr p) parts)))
+  | Candidate.Class_then_method (cls, meth) ->
+    with_scope (fun scope ->
+        Interp.run_traced ~config ~record_assigns (fun ctx ->
+            match lookup scope cls with
+            | Some callable ->
+              let obj = Interp.call_callable ctx callable [] in
+              Interp.call_method ctx obj meth [ Value.Vstr input ]
+                { Ast.file = "<invoke>"; line = 0 }
+            | None -> fail_infra (Printf.sprintf "class %s not defined" cls)))
+  | Candidate.Ctor_then_method (cls, meth) ->
+    with_scope (fun scope ->
+        Interp.run_traced ~config ~record_assigns (fun ctx ->
+            match lookup scope cls with
+            | Some callable ->
+              let obj = Interp.call_callable ctx callable [ Value.Vstr input ] in
+              Interp.call_method ctx obj meth []
+                { Ast.file = "<invoke>"; line = 0 }
+            | None -> fail_infra (Printf.sprintf "class %s not defined" cls)))
+  | Candidate.Via_argv fname ->
+    with_scope (fun scope ->
+        Interp.run_traced ~config ~record_assigns
+          ~argv:[ "prog.py"; input ]
+          (fun ctx -> call_named ctx scope fname []))
+  | Candidate.Via_stdin fname ->
+    with_scope (fun scope ->
+        Interp.run_traced ~config ~record_assigns ~stdin_line:input
+          (fun ctx -> call_named ctx scope fname []))
+  | Candidate.Via_file fname ->
+    with_scope (fun scope ->
+        Interp.run_traced ~config ~record_assigns
+          ~virtual_files:[ ("input.txt", input) ]
+          (fun ctx -> call_named ctx scope fname [ Value.Vstr "input.txt" ]))
+  | Candidate.Script_var (path, var) ->
+    let prog = rewrite_script_var ~var (find_prog path) in
+    with_scope ~skip_file:path (fun scope ->
+        Interp.run_traced ~config ~record_assigns (fun ctx ->
+            Hashtbl.replace scope.Value.vars "__autotype_input__"
+              (Value.Vstr input);
+            Interp.exec_program ctx scope prog;
+            Value.Vnone))
+  | Candidate.Script_argv path ->
+    let prog = find_prog path in
+    with_scope ~skip_file:path (fun scope ->
+        Interp.run_traced ~config ~record_assigns
+          ~argv:[ "prog.py"; input ]
+          (fun ctx ->
+            Interp.exec_program ctx scope prog;
+            Value.Vnone))
+  | Candidate.Script_stdin path ->
+    let prog = find_prog path in
+    with_scope ~skip_file:path (fun scope ->
+        Interp.run_traced ~config ~record_assigns ~stdin_line:input
+          (fun ctx ->
+            Interp.exec_program ctx scope prog;
+            Value.Vnone))
+
+(** Try the candidate on one probe input; reject candidates whose
+    invocation machinery does not even reach the function (the paper's
+    "compilable and executable" filter). *)
+let executable (c : Candidate.t) ~probe : bool =
+  match run c probe with
+  | _result -> true
+  | exception Infra_failure _ -> false
+
+(** Convenience used throughout the pipeline: run and swallow
+    infrastructure failures into an error outcome. *)
+let run_safe ?config ?record_assigns c input : Interp.run_result =
+  match run ?config ?record_assigns c input with
+  | r -> r
+  | exception Infra_failure msg ->
+    {
+      Interp.outcome = Errored ("InfraError", msg);
+      trace = [ Minilang.Trace.Exception "InfraError" ];
+      steps_used = 0;
+      printed = [];
+    }

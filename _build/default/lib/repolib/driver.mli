@@ -1,0 +1,36 @@
+(** Execution driver: run a candidate on one input string under tracing
+    and sandbox limits, with a freshly loaded module scope per run so
+    state cannot leak between examples. *)
+
+type outcome = Minilang.Interp.outcome =
+  | Finished of Minilang.Value.t
+  | Errored of string * string
+  | Hit_limit of string
+
+val default_config : Minilang.Interp.config
+
+exception Infra_failure of string
+(** The invocation machinery itself failed (callable not defined after
+    module load), as opposed to the function failing on the input. *)
+
+val load_scope : ?skip_file:string -> Repo.t -> Minilang.Value.scope option
+
+val run :
+  ?config:Minilang.Interp.config ->
+  ?record_assigns:bool ->
+  Candidate.t ->
+  string ->
+  Minilang.Interp.run_result
+(** @raise Infra_failure when the candidate cannot be invoked at all. *)
+
+val executable : Candidate.t -> probe:string -> bool
+(** The paper's "compilable and executable" filter: try the candidate on
+    one probe input; reject it if the invocation machinery fails. *)
+
+val run_safe :
+  ?config:Minilang.Interp.config ->
+  ?record_assigns:bool ->
+  Candidate.t ->
+  string ->
+  Minilang.Interp.run_result
+(** Like {!run} but converts {!Infra_failure} into an error outcome. *)

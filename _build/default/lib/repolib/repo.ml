@@ -1,0 +1,63 @@
+(** The repository model of the simulated open-source ecosystem.
+
+    A repository has a name, a description, a README, some MiniScript
+    source files, and a star count (used as a weak popularity prior by
+    the search engine, like real code search does).  [truth] records
+    which benchmark types each function *intends* to process — this is
+    the ground truth behind the human intention score I(F) of
+    Section 8.1; it is never visible to the synthesis pipeline itself. *)
+
+type file = { path : string; source : string }
+
+type t = {
+  repo_name : string;  (** "owner/project" *)
+  description : string;
+  readme : string;
+  stars : int;
+  files : file list;
+  truth : (string * string list) list;
+      (** function name -> benchmark type ids it intends to process.
+          Script-level candidates use the pseudo-name "<script:path>". *)
+}
+
+let make ?(readme = "") ?(stars = 10) ?(truth = []) repo_name description
+    files =
+  { repo_name; description; readme; stars; files; truth }
+
+(** Does [func_name] (as reported by the analyzer) intend to process
+    benchmark type [type_id]?  This is I(F) in the evaluation metric. *)
+let intends repo ~func_name ~type_id =
+  match List.assoc_opt func_name repo.truth with
+  | Some types -> List.mem type_id types
+  | None -> false
+
+let parse_all repo : (Minilang.Ast.program list, string) result =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | f :: rest ->
+      (match Minilang.Parser.parse ~file:f.path f.source with
+       | prog -> go (prog :: acc) rest
+       | exception Minilang.Parser.Parse_error (msg, line) ->
+         Error (Printf.sprintf "%s:%d: %s" f.path line msg)
+       | exception Minilang.Lexer.Lex_error (msg, line) ->
+         Error (Printf.sprintf "%s:%d: lex: %s" f.path line msg))
+  in
+  go [] repo.files
+
+(* Parse results are cached per repository: the analyzer and the
+   execution driver both re-load modules many times.  The key includes
+   a content hash so distinct repositories sharing a name (as happens
+   in tests) do not collide. *)
+let parse_cache : (string * int, Minilang.Ast.program list option) Hashtbl.t =
+  Hashtbl.create 64
+
+let programs repo =
+  let key = (repo.repo_name, Hashtbl.hash repo.files) in
+  match Hashtbl.find_opt parse_cache key with
+  | Some progs -> progs
+  | None ->
+    let progs =
+      match parse_all repo with Ok p -> Some p | Error _ -> None
+    in
+    Hashtbl.add parse_cache key progs;
+    progs

@@ -1,0 +1,33 @@
+(** The repository model of the simulated open-source ecosystem. *)
+
+type file = { path : string; source : string }
+
+type t = {
+  repo_name : string;  (** "owner/project" *)
+  description : string;
+  readme : string;
+  stars : int;
+  files : file list;
+  truth : (string * string list) list;
+      (** function name → benchmark type ids it intends to process;
+          this is the ground truth behind the human intention score
+          I(F) of Section 8.1 and is never visible to the pipeline *)
+}
+
+val make :
+  ?readme:string ->
+  ?stars:int ->
+  ?truth:(string * string list) list ->
+  string ->
+  string ->
+  file list ->
+  t
+
+val intends : t -> func_name:string -> type_id:string -> bool
+(** I(F): does the named function intend to process the type? *)
+
+val parse_all : t -> (Minilang.Ast.program list, string) result
+
+val programs : t -> Minilang.Ast.program list option
+(** Cached parse of all files; [None] when any file fails to parse
+    (the paper keeps only repositories that compile). *)

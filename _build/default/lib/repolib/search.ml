@@ -1,0 +1,133 @@
+(** Keyword search over the repository store.
+
+    Simulates the paper's Section 4.1 setup: the type name is issued as a
+    query to both the GitHub search API and the Bing search API
+    ("keyword site:github.com"), and the union of the top-k results of
+    both engines is taken.  Our two engines are two TF-IDF scorers with
+    different field weightings — the "github" engine favours repository
+    names and descriptions, the "bing" engine also indexes README and
+    code bodies — which reproduces the complementary-results effect the
+    paper relies on, as well as its failure modes (an ambiguous query
+    like "SWIFT" ranks the language repos above the banking ones). *)
+
+(* Light plural stemming, as any real search engine applies: "codes"
+   and "code", "messages" and "message" should match. *)
+let stem tok =
+  let n = String.length tok in
+  if n > 3 && tok.[n - 1] = 's' && tok.[n - 2] <> 's' then
+    String.sub tok 0 (n - 1)
+  else tok
+
+let tokenize (s : string) : string list =
+  let buf = Buffer.create 16 in
+  let out = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := stem (String.lowercase_ascii (Buffer.contents buf)) :: !out;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+      then Buffer.add_char buf c
+      else flush ())
+    s;
+  flush ();
+  List.rev !out
+
+type doc = {
+  repo : Repo.t;
+  title_tokens : string list;  (** name + description *)
+  body_tokens : string list;   (** readme + sources *)
+}
+
+type index = {
+  docs : doc list;
+  df : (string, int) Hashtbl.t;  (** document frequency over all fields *)
+  n_docs : int;
+}
+
+let build_index (repos : Repo.t list) : index =
+  let docs =
+    List.map
+      (fun (r : Repo.t) ->
+        let title_tokens =
+          tokenize r.Repo.repo_name @ tokenize r.Repo.description
+        in
+        let body_tokens =
+          tokenize r.Repo.readme
+          @ List.concat_map (fun f -> tokenize f.Repo.source) r.Repo.files
+        in
+        { repo = r; title_tokens; body_tokens })
+      repos
+  in
+  let df = Hashtbl.create 1024 in
+  List.iter
+    (fun d ->
+      let seen = Hashtbl.create 64 in
+      List.iter
+        (fun t ->
+          if not (Hashtbl.mem seen t) then begin
+            Hashtbl.add seen t ();
+            Hashtbl.replace df t (1 + Option.value ~default:0 (Hashtbl.find_opt df t))
+          end)
+        (d.title_tokens @ d.body_tokens))
+    docs;
+  { docs; df; n_docs = List.length docs }
+
+let idf index tok =
+  let df = Option.value ~default:0 (Hashtbl.find_opt index.df tok) in
+  log (float_of_int (index.n_docs + 1) /. float_of_int (df + 1)) +. 1.0
+
+let count tok toks = List.length (List.filter (String.equal tok) toks)
+
+type engine = Github_api | Bing_api
+
+(** TF-IDF score of a query against one document under an engine's field
+    weighting. *)
+let score index engine query_tokens d =
+  let tfidf =
+    List.fold_left
+      (fun acc tok ->
+        let tf_title = float_of_int (count tok d.title_tokens) in
+        let tf_body = float_of_int (count tok d.body_tokens) in
+        let w_title, w_body =
+          match engine with
+          | Github_api -> (5.0, 0.3)  (* names and descriptions dominate *)
+          | Bing_api -> (2.0, 1.0)    (* full-text crawl *)
+        in
+        let tf = (w_title *. tf_title) +. (w_body *. tf_body) in
+        if tf > 0.0 then acc +. ((1.0 +. log tf) *. idf index tok) else acc)
+      0.0 query_tokens
+  in
+  (* Stars act only as a weak prior among repos that match at all. *)
+  if tfidf > 0.0 then
+    tfidf +. (0.01 *. log (float_of_int (1 + d.repo.Repo.stars)))
+  else 0.0
+
+let top_k index engine ~k query =
+  let qt = tokenize query in
+  index.docs
+  |> List.filter_map (fun d ->
+         let s = score index engine qt d in
+         if s > 0.0 then Some (d.repo, s) else None)
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.filteri (fun i _ -> i < k)
+  |> List.map fst
+
+(** Union of both engines' top-k, preserving best-rank order
+    (Section 4.1 takes the union of top-40 of GitHub and Bing). *)
+let search index ?(k = 40) query : Repo.t list =
+  let a = top_k index Github_api ~k query in
+  let b = top_k index Bing_api ~k query in
+  let seen = Hashtbl.create 32 in
+  List.filter
+    (fun (r : Repo.t) ->
+      if Hashtbl.mem seen r.Repo.repo_name then false
+      else begin
+        Hashtbl.add seen r.Repo.repo_name ();
+        true
+      end)
+    (a @ b)

@@ -1,0 +1,34 @@
+(** Keyword search over the repository store (Section 4.1): two TF-IDF
+    engines with different field weightings stand in for the GitHub
+    search API and the Bing API; results are the union of both top-k
+    lists. *)
+
+val stem : string -> string
+(** Light plural stemming ("messages" → "message"). *)
+
+val tokenize : string -> string list
+(** Lowercased, stemmed alphanumeric tokens. *)
+
+type doc = {
+  repo : Repo.t;
+  title_tokens : string list;  (** name + description *)
+  body_tokens : string list;  (** readme + sources *)
+}
+
+type index
+
+val build_index : Repo.t list -> index
+
+type engine =
+  | Github_api  (** names and descriptions dominate *)
+  | Bing_api  (** full-text crawl *)
+
+val score : index -> engine -> string list -> doc -> float
+(** TF-IDF score with a weak star prior among matching repos; exactly
+    0 for repos matching no query token. *)
+
+val top_k : index -> engine -> k:int -> string -> Repo.t list
+
+val search : index -> ?k:int -> string -> Repo.t list
+(** Union of both engines' top-[k] (default 40), best-rank order,
+    deduplicated. *)

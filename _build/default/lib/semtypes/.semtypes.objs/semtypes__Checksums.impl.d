@@ -1,0 +1,1 @@
+lib/semtypes/checksums.ml: Array Buffer Char List String

@@ -1,0 +1,1 @@
+lib/semtypes/checksums.mli:

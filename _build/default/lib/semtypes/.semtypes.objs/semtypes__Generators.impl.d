@@ -1,0 +1,1 @@
+lib/semtypes/generators.ml: Array Buffer Char Checksums Hashtbl List Printf Random String Validators

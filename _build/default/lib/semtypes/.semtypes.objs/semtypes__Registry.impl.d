@@ -1,0 +1,1 @@
+lib/semtypes/registry.ml: Checksums Generators List Printf Tail Validators

@@ -1,0 +1,1 @@
+lib/semtypes/registry.mli: Generators

@@ -1,0 +1,1 @@
+lib/semtypes/tail.ml: Checksums Generators List Printf Random Seq String

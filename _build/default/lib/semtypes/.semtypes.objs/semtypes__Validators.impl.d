@@ -1,0 +1,1 @@
+lib/semtypes/validators.ml: Array Buffer Char Checksums List Printf Seq String

@@ -1,0 +1,350 @@
+(** Checksum algorithms used by rich semantic data types.
+
+    These are the ground-truth implementations against which both the
+    example generators and the mined-corpus MiniScript code are tested.
+    Each returns [false] (rather than raising) on malformed input so they
+    can serve directly as validators. *)
+
+let digit_val c = Char.code c - Char.code '0'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let all_digits s = s <> "" && String.for_all is_digit s
+
+(** Luhn (mod-10) sum of a digit string, doubling every second digit from
+    the right. Used by credit cards, IMEI, NPI. *)
+let luhn_sum s =
+  let n = String.length s in
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    let d = digit_val s.[n - 1 - i] in
+    let d = if i mod 2 = 1 then d * 2 else d in
+    total := !total + (if d > 9 then d - 9 else d)
+  done;
+  !total
+
+let luhn_valid s = all_digits s && luhn_sum s mod 10 = 0
+
+(** The Luhn check digit that must be appended to [body]. *)
+let luhn_check_digit body =
+  (* Digits shift parity once the check digit is appended. *)
+  let n = String.length body in
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    let d = digit_val body.[n - 1 - i] in
+    let d = if i mod 2 = 0 then d * 2 else d in
+    total := !total + (if d > 9 then d - 9 else d)
+  done;
+  (10 - (!total mod 10)) mod 10
+
+(** GS1 (mod-10, weights 3/1 from the right) check digit computation,
+    shared by EAN-13, EAN-8, UPC-A, ISBN-13, GTIN and GLN. *)
+let gs1_check_digit body =
+  let n = String.length body in
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    let d = digit_val body.[n - 1 - i] in
+    total := !total + (d * if i mod 2 = 0 then 3 else 1)
+  done;
+  (10 - (!total mod 10)) mod 10
+
+let gs1_valid s =
+  all_digits s
+  && String.length s >= 2
+  &&
+  let body = String.sub s 0 (String.length s - 1) in
+  let check = digit_val s.[String.length s - 1] in
+  gs1_check_digit body = check
+
+(** ISBN-10: weighted sum with weights 10..1; check digit may be 'X'. *)
+let isbn10_valid s =
+  String.length s = 10
+  && all_digits (String.sub s 0 9)
+  &&
+  let sum = ref 0 in
+  for i = 0 to 8 do
+    sum := !sum + ((10 - i) * digit_val s.[i])
+  done;
+  let last = s.[9] in
+  let check = if last = 'X' || last = 'x' then 10 else if is_digit last then digit_val last else -1 in
+  check >= 0 && (!sum + check) mod 11 = 0
+
+let isbn10_check_digit body9 =
+  let sum = ref 0 in
+  for i = 0 to 8 do
+    sum := !sum + ((10 - i) * digit_val body9.[i])
+  done;
+  let c = (11 - (!sum mod 11)) mod 11 in
+  if c = 10 then "X" else string_of_int c
+
+(** ISSN: 8 characters, weighted 8..2, check digit may be 'X'. *)
+let issn_valid s =
+  String.length s = 8
+  && all_digits (String.sub s 0 7)
+  &&
+  let sum = ref 0 in
+  for i = 0 to 6 do
+    sum := !sum + ((8 - i) * digit_val s.[i])
+  done;
+  let last = s.[7] in
+  let check = if last = 'X' || last = 'x' then 10 else if is_digit last then digit_val last else -1 in
+  check >= 0 && (!sum + check) mod 11 = 0
+
+let issn_check_digit body7 =
+  let sum = ref 0 in
+  for i = 0 to 6 do
+    sum := !sum + ((8 - i) * digit_val body7.[i])
+  done;
+  let c = (11 - (!sum mod 11)) mod 11 in
+  if c = 10 then "X" else string_of_int c
+
+(** ISIN: 12 chars, 2-letter country prefix, alphanumeric body, Luhn over
+    the digit expansion (A=10 … Z=35). *)
+let isin_expand s =
+  let buf = Buffer.create 24 in
+  String.iter
+    (fun c ->
+      if is_digit c then Buffer.add_char buf c
+      else if c >= 'A' && c <= 'Z' then
+        Buffer.add_string buf (string_of_int (Char.code c - Char.code 'A' + 10))
+      else Buffer.add_char buf '?')
+    s;
+  Buffer.contents buf
+
+let isin_valid s =
+  String.length s = 12
+  && s.[0] >= 'A' && s.[0] <= 'Z'
+  && s.[1] >= 'A' && s.[1] <= 'Z'
+  && String.for_all (fun c -> is_digit c || (c >= 'A' && c <= 'Z')) s
+  &&
+  let expanded = isin_expand s in
+  (not (String.contains expanded '?')) && luhn_valid expanded
+
+let isin_check_digit body11 =
+  let expanded = isin_expand body11 in
+  luhn_check_digit expanded
+
+(** VIN (ISO 3779): 17 chars, no I/O/Q, weighted transliterated sum mod 11;
+    position 9 is the check digit ('X' for 10). *)
+let vin_translit c =
+  match c with
+  | '0' .. '9' -> digit_val c
+  | 'A' | 'J' -> 1
+  | 'B' | 'K' | 'S' -> 2
+  | 'C' | 'L' | 'T' -> 3
+  | 'D' | 'M' | 'U' -> 4
+  | 'E' | 'N' | 'V' -> 5
+  | 'F' | 'W' -> 6
+  | 'G' | 'P' | 'X' -> 7
+  | 'H' | 'Y' -> 8
+  | 'R' | 'Z' -> 9
+  | _ -> -1
+
+let vin_weights = [| 8; 7; 6; 5; 4; 3; 2; 10; 0; 9; 8; 7; 6; 5; 4; 3; 2 |]
+
+let vin_valid s =
+  String.length s = 17
+  && (not (String.exists (fun c -> c = 'I' || c = 'O' || c = 'Q') s))
+  && String.for_all
+       (fun c -> is_digit c || (c >= 'A' && c <= 'Z'))
+       s
+  &&
+  let sum = ref 0 and ok = ref true in
+  String.iteri
+    (fun i c ->
+      if i <> 8 then begin
+        let v = vin_translit c in
+        if v < 0 then ok := false else sum := !sum + (v * vin_weights.(i))
+      end)
+    s;
+  !ok
+  &&
+  let rem = !sum mod 11 in
+  let expected = if rem = 10 then 'X' else Char.chr (rem + Char.code '0') in
+  s.[8] = expected
+
+let vin_check_digit body17_with_placeholder =
+  let sum = ref 0 in
+  String.iteri
+    (fun i c ->
+      if i <> 8 then sum := !sum + (vin_translit c * vin_weights.(i)))
+    body17_with_placeholder;
+  let rem = !sum mod 11 in
+  if rem = 10 then 'X' else Char.chr (rem + Char.code '0')
+
+(** IBAN: move first 4 chars to the end, transliterate letters to numbers
+    (A=10…), the big number mod 97 must equal 1.  Length checked against a
+    small per-country table. *)
+let iban_lengths =
+  [ ("DE", 22); ("GB", 22); ("FR", 27); ("ES", 24); ("IT", 27); ("NL", 18);
+    ("BE", 16); ("CH", 21); ("AT", 20); ("PT", 25); ("SE", 24); ("NO", 15);
+    ("DK", 18); ("FI", 18); ("PL", 28); ("IE", 22); ("LU", 20) ]
+
+let mod97_of_string digits =
+  (* Streaming mod 97 so arbitrarily long numerals fit in an int. *)
+  String.fold_left
+    (fun acc c ->
+      if is_digit c then ((acc * 10) + digit_val c) mod 97 else -1000000)
+    0 digits
+
+let iban_valid s =
+  let s = String.uppercase_ascii s in
+  String.length s >= 15
+  && String.length s <= 34
+  && String.for_all (fun c -> is_digit c || (c >= 'A' && c <= 'Z')) s
+  &&
+  let cc = String.sub s 0 2 in
+  (match List.assoc_opt cc iban_lengths with
+   | Some l -> String.length s = l
+   | None -> false)
+  &&
+  let rearranged = String.sub s 4 (String.length s - 4) ^ String.sub s 0 4 in
+  let buf = Buffer.create 64 in
+  String.iter
+    (fun c ->
+      if is_digit c then Buffer.add_char buf c
+      else Buffer.add_string buf (string_of_int (Char.code c - Char.code 'A' + 10)))
+    rearranged;
+  mod97_of_string (Buffer.contents buf) = 1
+
+(** ABA routing number: 9 digits, weights 3-7-1 repeating, sum mod 10 = 0. *)
+let aba_valid s =
+  String.length s = 9
+  && all_digits s
+  &&
+  let w = [| 3; 7; 1; 3; 7; 1; 3; 7; 1 |] in
+  let sum = ref 0 in
+  String.iteri (fun i c -> sum := !sum + (w.(i) * digit_val c)) s;
+  !sum mod 10 = 0
+
+(** CUSIP: 9 chars; char values 0-9, A=10…Z=35, '*'=36, '@'=37, '#'=38;
+    modified Luhn over first 8, 9th is check digit. *)
+let cusip_char_val c =
+  if is_digit c then digit_val c
+  else if c >= 'A' && c <= 'Z' then Char.code c - Char.code 'A' + 10
+  else if c = '*' then 36
+  else if c = '@' then 37
+  else if c = '#' then 38
+  else -1
+
+let cusip_check_digit body8 =
+  let sum = ref 0 in
+  String.iteri
+    (fun i c ->
+      let v = cusip_char_val c in
+      let v = if i mod 2 = 1 then v * 2 else v in
+      sum := !sum + (v / 10) + (v mod 10))
+    body8;
+  (10 - (!sum mod 10)) mod 10
+
+let cusip_valid s =
+  String.length s = 9
+  && String.for_all (fun c -> cusip_char_val c >= 0) s
+  && is_digit s.[8]
+  && cusip_check_digit (String.sub s 0 8) = digit_val s.[8]
+
+(** SEDOL: 7 chars, weights 1,3,1,7,3,9,1; vowels excluded; sum mod 10 = 0. *)
+let sedol_char_val c =
+  if is_digit c then digit_val c
+  else if c >= 'B' && c <= 'Z' && not (List.mem c [ 'A'; 'E'; 'I'; 'O'; 'U' ])
+  then Char.code c - Char.code 'A' + 10
+  else -1
+
+let sedol_weights = [| 1; 3; 1; 7; 3; 9; 1 |]
+
+let sedol_valid s =
+  String.length s = 7
+  && (let ok = ref true in
+      String.iteri
+        (fun i c ->
+          let valid_char =
+            if i = 6 then is_digit c else sedol_char_val c >= 0
+          in
+          if not valid_char then ok := false)
+        s;
+      !ok)
+  &&
+  let sum = ref 0 in
+  String.iteri
+    (fun i c ->
+      let v = if is_digit c then digit_val c else sedol_char_val c in
+      sum := !sum + (v * sedol_weights.(i)))
+    s;
+  !sum mod 10 = 0
+
+let sedol_check_digit body6 =
+  let sum = ref 0 in
+  String.iteri
+    (fun i c -> sum := !sum + (sedol_char_val c * sedol_weights.(i)))
+    body6;
+  (10 - (!sum mod 10)) mod 10
+
+(** NHS number: 10 digits, weights 10..2 over first 9, check = 11 - sum mod
+    11 (11→0, 10 invalid). *)
+let nhs_valid s =
+  String.length s = 10
+  && all_digits s
+  &&
+  let sum = ref 0 in
+  for i = 0 to 8 do
+    sum := !sum + ((10 - i) * digit_val s.[i])
+  done;
+  let c = 11 - (!sum mod 11) in
+  let c = if c = 11 then 0 else c in
+  c <> 10 && c = digit_val s.[9]
+
+let nhs_check_digit body9 =
+  let sum = ref 0 in
+  for i = 0 to 8 do
+    sum := !sum + ((10 - i) * digit_val body9.[i])
+  done;
+  let c = 11 - (!sum mod 11) in
+  if c = 11 then Some 0 else if c = 10 then None else Some c
+
+(** IMEI: 15 digits, plain Luhn. *)
+let imei_valid s = String.length s = 15 && luhn_valid s
+
+(** ORCID: 16 digits displayed as XXXX-XXXX-XXXX-XXXX, ISO 7064 mod 11-2;
+    check char may be X. *)
+let orcid_checksum body15 =
+  let total = ref 0 in
+  String.iter (fun c -> total := ((!total + digit_val c) * 2) mod 11) body15;
+  let result = (12 - (!total mod 11)) mod 11 in
+  if result = 10 then 'X' else Char.chr (result + Char.code '0')
+
+let orcid_valid_compact s =
+  String.length s = 16
+  && all_digits (String.sub s 0 15)
+  && (is_digit s.[15] || s.[15] = 'X')
+  && orcid_checksum (String.sub s 0 15) = s.[15]
+
+(** Chinese resident ID: 18 chars, ISO 7064 mod 11-2 with explicit
+    weights; check char may be X. *)
+let cn_id_weights = [| 7; 9; 10; 5; 8; 4; 2; 1; 6; 3; 7; 9; 10; 5; 8; 4; 2 |]
+
+let cn_id_check_char body17 =
+  let sum = ref 0 in
+  String.iteri (fun i c -> sum := !sum + (digit_val c * cn_id_weights.(i))) body17;
+  let m = !sum mod 11 in
+  "10X98765432".[m]
+
+let cn_id_valid s =
+  String.length s = 18
+  && all_digits (String.sub s 0 17)
+  && cn_id_check_char (String.sub s 0 17) = Char.uppercase_ascii s.[17]
+
+(** GS1-based composites reused directly. *)
+let ean13_valid s = String.length s = 13 && gs1_valid s
+let ean8_valid s = String.length s = 8 && gs1_valid s
+let upca_valid s = String.length s = 12 && gs1_valid s
+let isbn13_valid s =
+  String.length s = 13
+  && (String.length s >= 3
+      && (String.sub s 0 3 = "978" || String.sub s 0 3 = "979"))
+  && gs1_valid s
+let gln_valid s = String.length s = 13 && gs1_valid s
+let gtin14_valid s = String.length s = 14 && gs1_valid s
+
+(** NPI: 10 digits; Luhn over "80840" ^ number. *)
+let npi_valid s =
+  String.length s = 10 && all_digits s && luhn_valid ("80840" ^ s)

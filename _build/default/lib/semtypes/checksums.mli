@@ -1,0 +1,77 @@
+(** Checksum algorithms used by rich semantic data types — the ground
+    truth against which generators and mined corpus code are tested.
+    Validators return [false] on malformed input rather than raising. *)
+
+val digit_val : char -> int
+val is_digit : char -> bool
+val all_digits : string -> bool
+
+(** {2 Luhn (mod 10)} — credit cards, IMEI, NPI *)
+
+val luhn_sum : string -> int
+val luhn_valid : string -> bool
+val luhn_check_digit : string -> int
+(** The digit to append to make the body Luhn-valid. *)
+
+(** {2 GS1 (mod 10, weights 3/1)} — EAN, UPC, ISBN-13, GTIN, GLN, ISMN *)
+
+val gs1_check_digit : string -> int
+val gs1_valid : string -> bool
+val ean13_valid : string -> bool
+val ean8_valid : string -> bool
+val upca_valid : string -> bool
+val isbn13_valid : string -> bool
+val gln_valid : string -> bool
+val gtin14_valid : string -> bool
+
+(** {2 Mod-11 families} *)
+
+val isbn10_valid : string -> bool
+val isbn10_check_digit : string -> string
+(** May be "X". *)
+
+val issn_valid : string -> bool
+val issn_check_digit : string -> string
+
+val nhs_valid : string -> bool
+val nhs_check_digit : string -> int option
+(** [None] when the body has no valid check digit (remainder 10). *)
+
+(** {2 Alphanumeric expansions} *)
+
+val isin_expand : string -> string
+val isin_valid : string -> bool
+val isin_check_digit : string -> int
+
+val vin_translit : char -> int
+val vin_weights : int array
+val vin_valid : string -> bool
+val vin_check_digit : string -> char
+(** Computed over a 17-char string whose position 9 is a placeholder. *)
+
+(** {2 Mod-97 (ISO 7064)} — IBAN, LEI *)
+
+val iban_lengths : (string * int) list
+val mod97_of_string : string -> int
+val iban_valid : string -> bool
+
+(** {2 Other weighted schemes} *)
+
+val aba_valid : string -> bool
+val cusip_char_val : char -> int
+val cusip_check_digit : string -> int
+val cusip_valid : string -> bool
+val sedol_char_val : char -> int
+val sedol_weights : int array
+val sedol_valid : string -> bool
+val sedol_check_digit : string -> int
+val imei_valid : string -> bool
+val npi_valid : string -> bool
+
+(** {2 ISO 7064 mod 11-2} — ORCID, ISNI, Chinese resident ID *)
+
+val orcid_checksum : string -> char
+val orcid_valid_compact : string -> bool
+val cn_id_weights : int array
+val cn_id_check_char : string -> char
+val cn_id_valid : string -> bool

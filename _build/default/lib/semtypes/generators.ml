@@ -1,0 +1,654 @@
+(** Seeded positive-example generators for the benchmark types.
+
+    Each generator produces values that the corresponding ground-truth
+    validator accepts, playing the role of the "around 20 positive
+    examples taken randomly from the web" of Section 8.1. *)
+
+type rng = Random.State.t
+
+let make_rng seed = Random.State.make [| seed |]
+
+let pick rng xs = List.nth xs (Random.State.int rng (List.length xs))
+
+let digits rng n = String.init n (fun _ -> Char.chr (Char.code '0' + Random.State.int rng 10))
+
+let upper_letters rng n =
+  String.init n (fun _ -> Char.chr (Char.code 'A' + Random.State.int rng 26))
+
+let lower_letters rng n =
+  String.init n (fun _ -> Char.chr (Char.code 'a' + Random.State.int rng 26))
+
+let hex_digits rng n =
+  String.init n (fun _ ->
+      let v = Random.State.int rng 16 in
+      if v < 10 then Char.chr (Char.code '0' + v)
+      else Char.chr (Char.code 'a' + v - 10))
+
+let from_alphabet rng alphabet n =
+  String.init n (fun _ -> alphabet.[Random.State.int rng (String.length alphabet)])
+
+let int_in rng lo hi = lo + Random.State.int rng (hi - lo + 1)
+
+(* --------------------------- checksummed -------------------------- *)
+
+let credit_card rng =
+  let prefix = pick rng [ "4"; "51"; "52"; "53"; "54"; "55"; "34"; "37"; "6011" ] in
+  let total_len = if String.length prefix = 2 && prefix.[0] = '3' then 15 else 16 in
+  let body = prefix ^ digits rng (total_len - 1 - String.length prefix) in
+  body ^ string_of_int (Checksums.luhn_check_digit body)
+
+let credit_card_formatted rng =
+  let c = credit_card rng in
+  if String.length c = 16 && Random.State.bool rng then
+    String.concat " "
+      [ String.sub c 0 4; String.sub c 4 4; String.sub c 8 4; String.sub c 12 4 ]
+  else c
+
+let isbn13 rng =
+  let body = pick rng [ "978"; "979" ] ^ digits rng 9 in
+  body ^ string_of_int (Checksums.gs1_check_digit body)
+
+let isbn13_hyphenated rng =
+  let raw = isbn13 rng in
+  Printf.sprintf "%s-%s-%s-%s-%s" (String.sub raw 0 3) (String.sub raw 3 1)
+    (String.sub raw 4 2) (String.sub raw 6 6) (String.sub raw 12 1)
+
+let isbn10 rng =
+  let body = digits rng 9 in
+  body ^ Checksums.isbn10_check_digit body
+
+let issn rng =
+  let body = digits rng 7 in
+  let raw = body ^ Checksums.issn_check_digit body in
+  String.sub raw 0 4 ^ "-" ^ String.sub raw 4 4
+
+let issn_compact rng =
+  let body = digits rng 7 in
+  body ^ Checksums.issn_check_digit body
+
+let ean13 rng =
+  let body = digits rng 12 in
+  body ^ string_of_int (Checksums.gs1_check_digit body)
+
+let ean8 rng =
+  let body = digits rng 7 in
+  body ^ string_of_int (Checksums.gs1_check_digit body)
+
+let upca rng =
+  let body = digits rng 11 in
+  body ^ string_of_int (Checksums.gs1_check_digit body)
+
+let gtin14 rng =
+  let body = digits rng 13 in
+  body ^ string_of_int (Checksums.gs1_check_digit body)
+
+let gln rng = ean13 rng
+
+let isin rng =
+  let cc = pick rng [ "US"; "GB"; "DE"; "FR"; "JP"; "CH"; "NL"; "CA" ] in
+  let body =
+    cc
+    ^ String.init 9 (fun _ ->
+          if Random.State.bool rng then Char.chr (Char.code '0' + Random.State.int rng 10)
+          else Char.chr (Char.code 'A' + Random.State.int rng 26))
+  in
+  body ^ string_of_int (Checksums.isin_check_digit body)
+
+let vin rng =
+  let alphabet = "ABCDEFGHJKLMNPRSTUVWXYZ0123456789" in
+  let raw =
+    String.init 17 (fun i ->
+        if i = 8 then '0' else alphabet.[Random.State.int rng (String.length alphabet)])
+  in
+  let check = Checksums.vin_check_digit raw in
+  String.mapi (fun i c -> if i = 8 then check else c) raw
+
+let iban rng =
+  (* Build a valid IBAN by solving the mod-97 congruence for check digits. *)
+  let cc, len = pick rng (List.filteri (fun i _ -> i < 8) Checksums.iban_lengths) in
+  let bban = digits rng (len - 4) in
+  let expand s =
+    let buf = Buffer.create 48 in
+    String.iter
+      (fun c ->
+        if c >= '0' && c <= '9' then Buffer.add_char buf c
+        else Buffer.add_string buf (string_of_int (Char.code c - Char.code 'A' + 10)))
+      s;
+    Buffer.contents buf
+  in
+  let rem = Checksums.mod97_of_string (expand (bban ^ cc ^ "00")) in
+  let check = 98 - rem in
+  Printf.sprintf "%s%02d%s" cc check bban
+
+let aba_routing rng =
+  let first8 = digits rng 8 in
+  let w = [| 3; 7; 1; 3; 7; 1; 3; 7 |] in
+  let sum = ref 0 in
+  String.iteri (fun i c -> sum := !sum + (w.(i) * (Char.code c - Char.code '0'))) first8;
+  let last = (10 - (!sum mod 10)) mod 10 in
+  first8 ^ string_of_int last
+
+let cusip rng =
+  let body =
+    String.init 8 (fun _ ->
+        if Random.State.int rng 3 = 0 then Char.chr (Char.code 'A' + Random.State.int rng 26)
+        else Char.chr (Char.code '0' + Random.State.int rng 10))
+  in
+  body ^ string_of_int (Checksums.cusip_check_digit body)
+
+let sedol rng =
+  let consonants = "BCDFGHJKLMNPQRSTVWXYZ0123456789" in
+  let body = String.init 6 (fun _ -> consonants.[Random.State.int rng (String.length consonants)]) in
+  body ^ string_of_int (Checksums.sedol_check_digit body)
+
+let imei rng =
+  let body = digits rng 14 in
+  body ^ string_of_int (Checksums.luhn_check_digit body)
+
+let npi rng =
+  let rec try_once () =
+    let body = digits rng 9 in
+    let check = Checksums.luhn_check_digit ("80840" ^ body) in
+    let c = "80840" ^ body ^ string_of_int check in
+    if Checksums.luhn_valid c then body ^ string_of_int check else try_once ()
+  in
+  try_once ()
+
+let nhs rng =
+  let rec go () =
+    let body = digits rng 9 in
+    match Checksums.nhs_check_digit body with
+    | Some c -> body ^ string_of_int c
+    | None -> go ()
+  in
+  go ()
+
+let orcid rng =
+  let body = digits rng 15 in
+  let c = Checksums.orcid_checksum body in
+  Printf.sprintf "%s-%s-%s-%s%c" (String.sub body 0 4) (String.sub body 4 4)
+    (String.sub body 8 4) (String.sub body 12 3) c
+
+let cn_resident_id rng =
+  let region = pick rng [ "110101"; "310104"; "440305"; "330106"; "510107" ] in
+  let y = int_in rng 1950 2005 in
+  let m = int_in rng 1 12 in
+  let d = int_in rng 1 28 in
+  let seq = digits rng 3 in
+  let body17 = Printf.sprintf "%s%04d%02d%02d%s" region y m d seq in
+  body17 ^ String.make 1 (Checksums.cn_id_check_char body17)
+
+let imo rng =
+  let rec go () =
+    let first6 = digits rng 6 in
+    let sum = ref 0 in
+    for i = 0 to 5 do
+      sum := !sum + ((7 - i) * (Char.code first6.[i] - Char.code '0'))
+    done;
+    let candidate = "IMO " ^ first6 ^ string_of_int (!sum mod 10) in
+    if Validators.imo_number candidate then candidate else go ()
+  in
+  go ()
+
+let iso6346 rng =
+  let owner = upper_letters rng 3 ^ "U" in
+  let serial = digits rng 6 in
+  let body = owner ^ serial in
+  let sum = ref 0 in
+  String.iteri
+    (fun i c -> sum := !sum + (Validators.iso6346_char_val c * (1 lsl i)))
+    body;
+  body ^ string_of_int (!sum mod 11 mod 10)
+
+let cas rng =
+  let a = string_of_int (int_in rng 50 9_999_999) in
+  let b = digits rng 2 in
+  let dgs = a ^ b in
+  let n = String.length dgs in
+  let sum = ref 0 in
+  String.iteri (fun i c -> sum := !sum + ((n - i) * (Char.code c - Char.code '0'))) dgs;
+  Printf.sprintf "%s-%s-%d" a b (!sum mod 10)
+
+let lei rng =
+  (* 18 alnum then check digits making mod-97 = 1. *)
+  let lou = pick rng [ "5493"; "2138"; "9695"; "3157" ] in
+  let body = lou ^ upper_letters rng 2 ^ digits rng 12 in
+  let expand s =
+    let buf = Buffer.create 40 in
+    String.iter
+      (fun c ->
+        if c >= '0' && c <= '9' then Buffer.add_char buf c
+        else Buffer.add_string buf (string_of_int (Char.code c - Char.code 'A' + 10)))
+      s;
+    Buffer.contents buf
+  in
+  let rem = Checksums.mod97_of_string (expand (body ^ "00")) in
+  Printf.sprintf "%s%02d" body (98 - rem)
+
+let dea rng =
+  let letters = "AB" in
+  let l1 = letters.[Random.State.int rng 2] in
+  let l2 = Char.chr (Char.code 'A' + Random.State.int rng 26) in
+  let d6 = digits rng 6 in
+  let d i = Char.code d6.[i] - Char.code '0' in
+  let sum = d 0 + d 2 + d 4 + (2 * (d 1 + d 3 + d 5)) in
+  Printf.sprintf "%c%c%s%d" l1 l2 d6 (sum mod 10)
+
+let nmea rng =
+  let lat = Printf.sprintf "%02d%05.2f" (int_in rng 0 89) (Random.State.float rng 59.99) in
+  let lon = Printf.sprintf "%03d%05.2f" (int_in rng 0 179) (Random.State.float rng 59.99) in
+  let body =
+    Printf.sprintf "GPGGA,123519,%s,N,%s,W,1,08,0.9,545.4,M,46.9,M,," lat lon
+  in
+  let sum = ref 0 in
+  String.iter (fun c -> sum := !sum lxor Char.code c) body;
+  Printf.sprintf "$%s*%02X" body !sum
+
+(* --------------------------- format-based ------------------------- *)
+
+let ipv4 rng =
+  Printf.sprintf "%d.%d.%d.%d" (int_in rng 1 254) (int_in rng 0 255)
+    (int_in rng 0 255) (int_in rng 1 254)
+
+let ipv6 rng =
+  String.concat ":" (List.init 8 (fun _ -> hex_digits rng (int_in rng 1 4)))
+
+let mac rng =
+  String.concat ":" (List.init 6 (fun _ -> hex_digits rng 2))
+
+let tlds = [ "com"; "org"; "net"; "edu"; "io"; "gov"; "co.uk"; "de" ]
+
+let domain rng =
+  lower_letters rng (int_in rng 3 10) ^ "." ^ pick rng tlds
+
+let url rng =
+  let scheme = pick rng [ "http://"; "https://" ] in
+  let path =
+    match Random.State.int rng 3 with
+    | 0 -> ""
+    | 1 -> "/" ^ lower_letters rng (int_in rng 3 8)
+    | _ ->
+      "/" ^ lower_letters rng (int_in rng 3 8) ^ "/"
+      ^ lower_letters rng (int_in rng 3 8) ^ ".html"
+  in
+  scheme ^ "www." ^ domain rng ^ path
+
+let email rng =
+  let local =
+    match Random.State.int rng 3 with
+    | 0 -> lower_letters rng (int_in rng 3 9)
+    | 1 -> lower_letters rng (int_in rng 3 6) ^ "." ^ lower_letters rng (int_in rng 3 6)
+    | _ -> lower_letters rng (int_in rng 3 6) ^ string_of_int (int_in rng 1 99)
+  in
+  local ^ "@" ^ domain rng
+
+let md5 rng = hex_digits rng 32
+
+let guid rng =
+  Printf.sprintf "%s-%s-%s-%s-%s" (hex_digits rng 8) (hex_digits rng 4)
+    (hex_digits rng 4) (hex_digits rng 4) (hex_digits rng 12)
+
+let oid rng =
+  let n = int_in rng 4 8 in
+  string_of_int (int_in rng 0 2)
+  ^ "."
+  ^ String.concat "." (List.init n (fun _ -> string_of_int (int_in rng 0 999)))
+
+let date_iso rng =
+  Printf.sprintf "%04d-%02d-%02d" (int_in rng 1970 2025) (int_in rng 1 12)
+    (int_in rng 1 28)
+
+let date_us rng =
+  Printf.sprintf "%02d/%02d/%04d" (int_in rng 1 12) (int_in rng 1 28)
+    (int_in rng 1970 2025)
+
+let month_abbrevs =
+  [ "Jan"; "Feb"; "Mar"; "Apr"; "May"; "Jun"; "Jul"; "Aug"; "Sep"; "Oct";
+    "Nov"; "Dec" ]
+
+let date_textual rng =
+  Printf.sprintf "%s %02d, %04d" (pick rng month_abbrevs) (int_in rng 1 28)
+    (int_in rng 1970 2025)
+
+let datetime rng =
+  let d =
+    match Random.State.int rng 3 with
+    | 0 -> date_iso rng
+    | 1 -> date_us rng
+    | _ -> date_textual rng
+  in
+  if Random.State.bool rng then
+    Printf.sprintf "%s %02d:%02d:%02d" d (int_in rng 0 23) (int_in rng 0 59)
+      (int_in rng 0 59)
+  else d
+
+let time_of_day rng =
+  Printf.sprintf "%02d:%02d:%02d" (int_in rng 0 23) (int_in rng 0 59) (int_in rng 0 59)
+
+let unix_time rng = string_of_int (int_in rng 1_000_000_000 1_900_000_000)
+
+let longlat rng =
+  Printf.sprintf "%.4f, %.4f"
+    (Random.State.float rng 180.0 -. 90.0)
+    (Random.State.float rng 360.0 -. 180.0)
+
+let us_zipcode rng =
+  if Random.State.int rng 4 = 0 then digits rng 5 ^ "-" ^ digits rng 4
+  else digits rng 5
+
+let uk_postcode rng =
+  Printf.sprintf "%s%d %d%s" (upper_letters rng (int_in rng 1 2))
+    (int_in rng 1 99) (int_in rng 0 9) (upper_letters rng 2)
+
+let ca_postcode rng =
+  Printf.sprintf "%c%d%c %d%c%d"
+    (Char.chr (Char.code 'A' + Random.State.int rng 26))
+    (int_in rng 0 9)
+    (Char.chr (Char.code 'A' + Random.State.int rng 26))
+    (int_in rng 0 9)
+    (Char.chr (Char.code 'A' + Random.State.int rng 26))
+    (int_in rng 0 9)
+
+let mgrs rng =
+  Printf.sprintf "%d%c%s%s" (int_in rng 1 60)
+    (String.get "CDEFGHJKLMNPQRSTUVWX" (Random.State.int rng 20))
+    (upper_letters rng 2)
+    (digits rng (2 * int_in rng 2 5))
+
+let utm rng =
+  Printf.sprintf "%d%c %s %s" (int_in rng 1 60)
+    (String.get "CDEFGHJKLMNPQRSTUVWX" (Random.State.int rng 20))
+    (digits rng 6) (digits rng 7)
+
+let airport rng = pick rng Validators.airport_codes
+let us_state rng = pick rng Validators.us_states
+let country rng =
+  if Random.State.bool rng then pick rng Validators.country_codes
+  else pick rng Validators.country_names
+
+let geojson rng =
+  let lon = Random.State.float rng 360.0 -. 180.0 in
+  let lat = Random.State.float rng 180.0 -. 90.0 in
+  match Random.State.int rng 3 with
+  | 0 ->
+    Printf.sprintf "{\"type\": \"Point\", \"coordinates\": [%.4f, %.4f]}" lon lat
+  | 1 ->
+    Printf.sprintf
+      "{\"type\": \"LineString\", \"coordinates\": [[%.2f, %.2f], [%.2f, %.2f]]}"
+      lon lat (lon +. 1.0) (lat +. 1.0)
+  | _ ->
+    Printf.sprintf
+      "{\"type\": \"Feature\", \"geometry\": {\"type\": \"Point\", \"coordinates\": [%.3f, %.3f]}}"
+      lon lat
+
+let phone_us rng =
+  let area = int_in rng 201 989 in
+  let ex = int_in rng 100 999 in
+  let num = digits rng 4 in
+  match Random.State.int rng 4 with
+  | 0 -> Printf.sprintf "(%d) %d-%s" area ex num
+  | 1 -> Printf.sprintf "%d-%d-%s" area ex num
+  | 2 -> Printf.sprintf "%d%d%s" area ex num
+  | _ -> Printf.sprintf "+1 %d %d %s" area ex num
+
+let ssn rng =
+  Printf.sprintf "%03d-%02d-%04d" (int_in rng 1 665) (int_in rng 1 99)
+    (int_in rng 1 9999)
+
+let ein rng = Printf.sprintf "%02d-%07d" (int_in rng 10 99) (int_in rng 1 9_999_999)
+
+let msisdn rng =
+  "+" ^ pick rng [ "1"; "44"; "49"; "33"; "81"; "86" ] ^ digits rng 9
+
+let first_names =
+  [ "James"; "Mary"; "Robert"; "Patricia"; "John"; "Jennifer"; "Michael";
+    "Linda"; "David"; "Elizabeth"; "William"; "Susan"; "Carlos"; "Maria";
+    "Wei"; "Yuki"; "Ahmed"; "Fatima"; "Olga"; "Pierre" ]
+
+let last_names =
+  [ "Smith"; "Johnson"; "Williams"; "Brown"; "Jones"; "Garcia"; "Miller";
+    "Davis"; "Martinez"; "Lopez"; "Wilson"; "Anderson"; "Chen"; "Tanaka";
+    "Mueller"; "Dubois"; "Ivanov"; "Kim"; "Patel"; "O'Brien" ]
+
+let person_name rng = pick rng first_names ^ " " ^ pick rng last_names
+
+let street_names =
+  [ "Main"; "Euclid"; "Oak"; "Maple"; "Cedar"; "Washington"; "Lake";
+    "Hill"; "Park"; "Pine"; "Elm"; "Wall"; "Madison"; "Jefferson" ]
+
+let cities =
+  [ ("Utica", "NY", "13501"); ("Seattle", "WA", "98101");
+    ("Austin", "TX", "78701"); ("Salem", "OR", "97301");
+    ("Boston", "MA", "02108"); ("Denver", "CO", "80202");
+    ("Miami", "FL", "33101"); ("Chicago", "IL", "60601") ]
+
+let mailing_address rng =
+  let city, state, zip = pick rng cities in
+  Printf.sprintf "%d %s %s, %s %s %s" (int_in rng 1 9999)
+    (pick rng street_names)
+    (pick rng [ "St"; "Ave"; "Rd"; "Blvd"; "Dr"; "Ln" ])
+    city state zip
+
+let hex_color rng = "#" ^ hex_digits rng 6
+
+let rgb_color rng =
+  Printf.sprintf "rgb(%d, %d, %d)" (int_in rng 0 255) (int_in rng 0 255)
+    (int_in rng 0 255)
+
+let cmyk_color rng =
+  Printf.sprintf "cmyk(%d%%, %d%%, %d%%, %d%%)" (int_in rng 0 100)
+    (int_in rng 0 100) (int_in rng 0 100) (int_in rng 0 100)
+
+let hsl_color rng =
+  Printf.sprintf "hsl(%d, %d%%, %d%%)" (int_in rng 0 360) (int_in rng 0 100)
+    (int_in rng 0 100)
+
+let roman rng =
+  let n = int_in rng 1 3999 in
+  let table =
+    [ (1000, "M"); (900, "CM"); (500, "D"); (400, "CD"); (100, "C");
+      (90, "XC"); (50, "L"); (40, "XL"); (10, "X"); (9, "IX"); (5, "V");
+      (4, "IV"); (1, "I") ]
+  in
+  let buf = Buffer.create 16 in
+  let rec go n = function
+    | [] -> ()
+    | (v, sym) :: rest as t ->
+      if n >= v then begin
+        Buffer.add_string buf sym;
+        go (n - v) t
+      end
+      else go n rest
+  in
+  go n table;
+  Buffer.contents buf
+
+let http_status rng =
+  pick rng [ "200"; "201"; "204"; "301"; "302"; "304"; "400"; "401"; "403";
+             "404"; "405"; "409"; "410"; "418"; "429"; "500"; "502"; "503" ]
+
+let currency rng =
+  let amount = Printf.sprintf "%d.%02d" (int_in rng 1 99999) (int_in rng 0 99) in
+  match Random.State.int rng 3 with
+  | 0 -> "$" ^ amount
+  | 1 -> pick rng [ "USD"; "EUR"; "GBP"; "JPY" ] ^ " " ^ amount
+  | _ -> amount ^ " " ^ pick rng [ "USD"; "EUR"; "GBP"; "CAD" ]
+
+let stock_ticker rng =
+  pick rng
+    [ "AAPL"; "MSFT"; "GOOG"; "AMZN"; "TSLA"; "IBM"; "GE"; "F"; "T"; "KO";
+      "JPM"; "BAC"; "WMT"; "XOM"; "CVX"; "PFE"; "MRK"; "INTC"; "CSCO";
+      "ORCL"; "NKE"; "DIS"; "V"; "MA"; "BRK.A"; "BRK.B" ]
+
+let json_doc rng =
+  match Random.State.int rng 3 with
+  | 0 ->
+    Printf.sprintf "{\"id\": %d, \"name\": \"%s\"}" (int_in rng 1 9999)
+      (lower_letters rng 6)
+  | 1 ->
+    Printf.sprintf "[%d, %d, %d]" (int_in rng 0 99) (int_in rng 0 99)
+      (int_in rng 0 99)
+  | _ ->
+    Printf.sprintf "{\"items\": [{\"k\": \"%s\", \"v\": %d}], \"total\": %d}"
+      (lower_letters rng 4) (int_in rng 0 99) (int_in rng 1 9)
+
+let xml_doc rng =
+  let tag = lower_letters rng (int_in rng 3 7) in
+  Printf.sprintf "<%s><id>%d</id></%s>" tag (int_in rng 1 9999) tag
+
+let html_doc rng =
+  (* Real HTML starts with a doctype and is not well-formed XML. *)
+  match Random.State.int rng 3 with
+  | 0 ->
+    Printf.sprintf "<!DOCTYPE html><html><body><p>%s</p></body></html>"
+      (lower_letters rng 8)
+  | 1 ->
+    Printf.sprintf
+      "<!DOCTYPE html><html><head><title>%s</title></head><body><div>%s<br></div></body></html>"
+      (lower_letters rng 6) (lower_letters rng 10)
+  | _ ->
+    Printf.sprintf "<!DOCTYPE html><html><body><p>%s</p><p>%s</p></body></html>"
+      (lower_letters rng 7) (lower_letters rng 9)
+
+let gene_sequence rng = from_alphabet rng "ACGT" (int_in rng 12 40)
+
+let fasta rng =
+  Printf.sprintf ">seq%d %s\n%s\n%s" (int_in rng 1 999) (lower_letters rng 5)
+    (from_alphabet rng "ACGT" 40) (from_alphabet rng "ACGT" (int_in rng 10 40))
+
+let fastq rng =
+  let n = int_in rng 12 30 in
+  Printf.sprintf "@read%d\n%s\n+\n%s" (int_in rng 1 9999)
+    (from_alphabet rng "ACGTN" n)
+    (from_alphabet rng "!#$%&'()*+,-.IJFGH" n)
+
+let chemical_formula rng =
+  pick rng
+    [ "H2O"; "CO2"; "C6H12O6"; "NaCl"; "H2SO4"; "CaCO3"; "C2H5OH"; "NH3";
+      "CH4"; "C8H10N4O2"; "Fe2O3"; "KMnO4"; "C6H6"; "HNO3"; "MgSO4";
+      "C12H22O11"; "AgNO3"; "CuSO4"; "TiO2"; "ZnO" ]
+
+let inchi rng =
+  "InChI=1S/" ^ pick rng [ "H2O/h1H2"; "CH4/h1H4"; "C2H6O/c1-2-3/h3H,2H2,1H3";
+                           "CO2/c2-1-3"; "C6H6/c1-2-4-6-5-3-1/h1-6H" ]
+
+let smile rng =
+  pick rng
+    [ "CCO"; "C1CCCCC1"; "c1ccccc1"; "CC(=O)O"; "CC(C)O"; "O=C=O"; "C#N";
+      "CCN(CC)CC"; "CC(=O)Nc1ccc(O)cc1"; "CN1C=NC2=C1C(=O)N(C)C(=O)N2C" ]
+
+let uniprot rng =
+  Printf.sprintf "%c%d%s%d"
+    (String.get "PQO" (Random.State.int rng 3))
+    (int_in rng 0 9)
+    (upper_letters rng 3)
+    (int_in rng 0 9)
+
+let ensembl rng = "ENSG" ^ digits rng 11
+
+let lsid rng =
+  Printf.sprintf "urn:lsid:%s.org:%s:%d" (lower_letters rng 6)
+    (lower_letters rng 5) (int_in rng 1 99999)
+
+let doi rng =
+  Printf.sprintf "10.%04d/%s.%d" (int_in rng 1000 9999) (lower_letters rng 6)
+    (int_in rng 1 9999)
+
+let bibcode rng =
+  Printf.sprintf "%04dApJ...%03d..%03d%c" (int_in rng 1950 2020)
+    (int_in rng 100 999) (int_in rng 100 999)
+    (Char.chr (Char.code 'A' + Random.State.int rng 26))
+
+let isrc rng =
+  Printf.sprintf "US%s%02d%05d" (upper_letters rng 3) (int_in rng 0 99)
+    (int_in rng 0 99999)
+
+let ismn rng =
+  let body = "9790" ^ digits rng 8 in
+  body ^ string_of_int (Checksums.gs1_check_digit body)
+
+let icd9 rng =
+  if Random.State.bool rng then Printf.sprintf "%03d.%d" (int_in rng 1 999) (int_in rng 0 9)
+  else Printf.sprintf "%03d" (int_in rng 1 999)
+
+let icd10 rng =
+  let letter = Char.chr (Char.code 'A' + Random.State.int rng 26) in
+  if Random.State.bool rng then
+    Printf.sprintf "%c%02d.%d" letter (int_in rng 0 99) (int_in rng 0 9)
+  else Printf.sprintf "%c%02d" letter (int_in rng 0 99)
+
+let hcpcs rng =
+  Printf.sprintf "%c%04d" (Char.chr (Char.code 'A' + Random.State.int rng 26))
+    (int_in rng 0 9999)
+
+let swift rng =
+  upper_letters rng 4 ^ pick rng Validators.country_codes
+  ^ (if Random.State.bool rng then "2L" else "33")
+  ^ (if Random.State.bool rng then "XXX" else "")
+
+let bitcoin rng =
+  let base58 = "123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz" in
+  String.make 1 (if Random.State.bool rng then '1' else '3')
+  ^ from_alphabet rng base58 (int_in rng 25 33)
+
+let asin rng = "B0" ^ from_alphabet rng "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ" 8
+
+let pubchem rng = string_of_int (int_in rng 100 99_999_999)
+
+let uic_wagon rng = digits rng 12  (* uncovered type; generator for registry only *)
+
+let sql_query rng =
+  match Random.State.int rng 3 with
+  | 0 -> Printf.sprintf "SELECT %s FROM %s WHERE id = %d"
+           (lower_letters rng 4) (lower_letters rng 6) (int_in rng 1 999)
+  | 1 -> Printf.sprintf "INSERT INTO %s VALUES (%d)" (lower_letters rng 6) (int_in rng 1 99)
+  | _ -> Printf.sprintf "UPDATE %s SET %s = %d" (lower_letters rng 6) (lower_letters rng 4) (int_in rng 1 99)
+
+let taf rng =
+  Printf.sprintf "TAF K%s %02d%02d%02dZ %02d%02d/%02d%02d %05dKT P6SM"
+    (upper_letters rng 3) (int_in rng 1 28) (int_in rng 0 23) (int_in rng 0 59)
+    (int_in rng 1 28) (int_in rng 0 23) (int_in rng 1 28) (int_in rng 0 23)
+    (int_in rng 10000 35099)
+
+let isni rng =
+  let body = digits rng 15 in
+  Printf.sprintf "%s %s %s %s%c" (String.sub body 0 4) (String.sub body 4 4)
+    (String.sub body 8 4) (String.sub body 12 3) (Checksums.orcid_checksum body)
+
+let ric rng =
+  pick rng [ "IBM.N"; "MSFT.O"; "VOD.L"; "AAPL.O"; "BARC.L"; "7203.T";
+             "BMWG.DE"; "TOTF.PA"; "NESN.S"; "GAZP.MM" ]
+
+(* --------------------------- noise -------------------------------- *)
+
+(** Strings drawn from "the wild": typical web-table cell values that are
+    none of the benchmark types.  Used for the 1000 truly-negative test
+    examples of Section 8.1 and for dirty cells in synthetic tables. *)
+let wild_cell rng =
+  match Random.State.int rng 10 with
+  | 0 -> string_of_int (int_in rng 0 99999)
+  | 1 -> lower_letters rng (int_in rng 3 10)
+  | 2 -> pick rng [ "N/A"; "-"; ""; "unknown"; "TBD"; "none"; "null" ]
+  | 3 -> Printf.sprintf "%d-%d" (int_in rng 1 20) (int_in rng 1 30)
+  | 4 -> Printf.sprintf "%.2f" (Random.State.float rng 1000.0)
+  | 5 ->
+    String.concat " " (List.init (int_in rng 2 5) (fun _ -> lower_letters rng (int_in rng 2 8)))
+  | 6 -> Printf.sprintf "v%d.%d.%d" (int_in rng 0 9) (int_in rng 0 99) (int_in rng 0 9)
+  | 7 -> upper_letters rng (int_in rng 2 6)
+  | 8 -> Printf.sprintf "%d%%" (int_in rng 0 100)
+  | _ -> lower_letters rng 4 ^ string_of_int (int_in rng 0 999)
+
+(** [samples rng gen n] draws [n] examples, deduplicated best-effort. *)
+let samples rng gen n =
+  let seen = Hashtbl.create 64 in
+  let rec go acc k tries =
+    if k = 0 || tries > n * 50 then List.rev acc
+    else
+      let x = gen rng in
+      if Hashtbl.mem seen x then go acc k (tries + 1)
+      else begin
+        Hashtbl.add seen x ();
+        go (x :: acc) (k - 1) (tries + 1)
+      end
+  in
+  go [] n 0

@@ -1,0 +1,333 @@
+(** The 112-type benchmark registry (Appendix A of the paper).
+
+    Each entry records the canonical search keyword, alternative keywords
+    (Appendix I / Table 4), the domain grouping, whether the type is one
+    of the 20 "popular" types used in the sensitivity and table-detection
+    experiments, its coverage status (Section 8.2.2: 84 covered, 24 with
+    no usable Python code of which 12 exist in other languages, 4 needing
+    complex invocations), and — for covered types — the ground-truth
+    validator and positive-example generator. *)
+
+type coverage =
+  | Covered
+  | No_code  (** niche type: no relevant code found at all *)
+  | Other_language  (** validation code exists but not in the mined language *)
+  | Complex_invocation  (** code exists but needs chained multi-step calls *)
+
+type t = {
+  id : string;
+  name : string;  (** canonical search keyword *)
+  alt_keywords : string list;
+  domain : string;
+  popular : bool;
+  coverage : coverage;
+  validator : (string -> bool) option;
+  generator : (Generators.rng -> string) option;
+}
+
+let mk ?(alt = []) ?(popular = false) ?(coverage = Covered) ?validator
+    ?generator id name domain =
+  { id; name; alt_keywords = alt; domain; popular; coverage; validator;
+    generator }
+
+
+
+let all_types : t list =
+  [
+    (* ---------------- Science ---------------- *)
+    mk "smile" "SMILE notation" "science"
+      ~alt:[ "SMILES"; "simplified molecular input line entry" ]
+      ~validator:(Validators.smile) ~generator:(Generators.smile);
+    mk "inchi" "InChI" "science"
+      ~alt:[ "international chemical identifier"; "InChI string" ]
+      ~validator:(Validators.inchi) ~generator:(Generators.inchi);
+    mk "cas-number" "CAS registry number" "science"
+      ~alt:[ "CAS number"; "chemical abstracts service" ]
+      ~validator:(Validators.cas_number) ~generator:(Generators.cas);
+    mk "fasta" "FASTA sequence" "science"
+      ~alt:[ "FASTA gene sequence"; "FASTA" ]
+      ~validator:(Validators.fasta) ~generator:(Generators.fasta);
+    mk "fastq" "FASTQ sequence" "science" ~alt:[ "FASTQ gene sequence" ]
+      ~validator:(Validators.fastq) ~generator:(Generators.fastq);
+    mk "chemical-formula" "chemical formula" "science"
+      ~alt:[ "molecular formula"; "Hill notation" ]
+      ~validator:(Validators.chemical_formula)
+      ~generator:(Generators.chemical_formula);
+    mk "uniprot" "Uniprot ID" "science" ~alt:[ "uniprot accession" ]
+      ~validator:(Validators.uniprot) ~generator:(Generators.uniprot);
+    mk "ensembl-gene" "Ensembl gene ID" "science" ~alt:[ "ensembl identifier" ]
+      ~validator:(Validators.ensembl_gene) ~generator:(Generators.ensembl);
+    mk "lsid" "Life Science Identifier" "science" ~alt:[ "LSID"; "urn lsid" ]
+      ~validator:(Validators.lsid) ~generator:(Generators.lsid);
+    mk "iupac" "IUPAC number" "science" ~coverage:Other_language;
+    mk "evmpd" "EVMPD code" "science" ~coverage:Other_language;
+    mk "atc-code" "Anatomical Therapeutic Chemical" "science"
+      ~alt:[ "ATC code"; "ATC classification" ] ~validator:(Tail.atc_valid)
+      ~generator:(Tail.atc_gen);
+    mk "snpid" "SNPID number" "science" ~alt:[ "SNP ID"; "rs number" ]
+      ~validator:(Tail.snpid_valid) ~generator:(Tail.snpid_gen);
+    mk "iczn" "International Code of Zoological Nomenclature" "science"
+      ~coverage:Other_language;
+    (* ---------------- Health ---------------- *)
+    mk "drug-name" "drug name" "health" ~alt:[ "medication name" ]
+      ~validator:(Tail.drug_name_valid) ~generator:(Tail.drug_name_gen);
+    mk "dea-number" "DEA number" "health" ~alt:[ "DEA registration" ]
+      ~validator:(Validators.dea_number) ~generator:(Generators.dea);
+    mk "icd9" "ICD9 code" "health" ~alt:[ "ICD-9"; "diagnosis code icd9" ]
+      ~validator:(Validators.icd9) ~generator:(Generators.icd9);
+    mk "icd10" "ICD10 code" "health" ~alt:[ "ICD-10" ]
+      ~validator:(Validators.icd10) ~generator:(Generators.icd10);
+    mk "hl7" "HL7 message" "health" ~coverage:No_code;
+    mk "hcpcs" "HCPCS code" "health" ~alt:[ "healthcare procedure code" ]
+      ~validator:(Validators.hcpcs) ~generator:(Generators.hcpcs);
+    mk "fda-ndc" "FDA drug code" "health" ~alt:[ "national drug code"; "NDC" ]
+      ~validator:(Tail.ndc_valid) ~generator:(Tail.ndc_gen);
+    mk "aig-number" "Active Ingredient Group number" "health"
+      ~coverage:No_code;
+    (* ---------------- Financial & commerce ---------------- *)
+    mk "sedol" "SEDOL" "financial"
+      ~alt:[ "stock exchange daily official list"; "SEDOL number" ]
+      ~validator:(Checksums.sedol_valid) ~generator:(Generators.sedol);
+    mk "upc" "UPC barcode" "financial" ~popular:true
+      ~alt:[ "UPC code"; "universal product code" ]
+      ~validator:(Tail.upc_valid) ~generator:(Generators.upca);
+    mk "cusip" "CUSIP number" "financial" ~alt:[ "CUSIP securities" ]
+      ~validator:(Checksums.cusip_valid) ~generator:(Generators.cusip);
+    mk "stock-ticker" "stock ticker" "financial" ~popular:true
+      ~alt:[ "stock symbol"; "ticker symbol" ]
+      ~validator:(Validators.stock_ticker)
+      ~generator:(Generators.stock_ticker);
+    mk "aba-routing" "ABA routing number" "financial"
+      ~alt:[ "bank routing number"; "routing transit number" ]
+      ~validator:(Checksums.aba_valid) ~generator:(Generators.aba_routing);
+    mk "ean" "EAN barcode" "financial" ~popular:true
+      ~alt:[ "EAN code"; "european article number"; "EAN13" ]
+      ~validator:(Tail.ean_valid) ~generator:(Generators.ean13);
+    mk "asin" "ASIN book number" "financial" ~alt:[ "amazon ASIN" ]
+      ~validator:(Validators.asin) ~generator:(Generators.asin);
+    mk "iban" "IBAN number" "financial" ~popular:true
+      ~alt:[ "international bank account number"; "IBAN" ]
+      ~validator:(Tail.iban_valid) ~generator:(Generators.iban);
+    mk "bitcoin-address" "bitcoin address" "financial" ~alt:[ "BTC address" ]
+      ~validator:(Validators.bitcoin_address)
+      ~generator:(Generators.bitcoin);
+    mk "edifact" "EDIFACT message" "financial" ~coverage:No_code;
+    mk "fix-message" "FIX message" "financial" ~coverage:No_code;
+    mk "gtin" "GTIN number" "financial" ~alt:[ "global trade item number" ]
+      ~validator:(Checksums.gtin14_valid) ~generator:(Generators.gtin14);
+    mk "credit-card" "credit card" "financial" ~popular:true
+      ~alt:[ "credit card number"; "card number" ]
+      ~validator:(Tail.credit_card_valid)
+      ~generator:(Generators.credit_card_formatted);
+    mk "currency" "currency" "financial" ~popular:true
+      ~alt:[ "currency amount"; "money amount" ]
+      ~validator:(Validators.currency) ~generator:(Generators.currency);
+    mk "swift-code" "SWIFT message" "financial"
+      ~alt:[ "Society for Worldwide Interbank Financial Telecommunication";
+             "SWIFT" ]
+      ~validator:(Validators.swift_code) ~generator:(Generators.swift);
+    mk "nato-stock" "NATO stock number" "financial" ~coverage:Other_language;
+    (* ---------------- Technology & communication ---------------- *)
+    mk "ipv4" "IPv4" "technology" ~popular:true
+      ~alt:[ "IPv4 address"; "ip address v4" ]
+      ~validator:(Validators.ipv4) ~generator:(Generators.ipv4);
+    mk "ipv6" "IPv6 address" "technology" ~popular:true ~alt:[ "IPv6" ]
+      ~validator:(Validators.ipv6) ~generator:(Generators.ipv6);
+    mk "url" "url" "technology" ~popular:true ~alt:[ "website"; "web address" ]
+      ~validator:(Validators.url) ~generator:(Generators.url);
+    mk "imei" "IMEI number" "technology" ~alt:[ "IMEI code" ]
+      ~validator:(Tail.imei_valid) ~generator:(Generators.imei);
+    mk "mac-address" "MAC address" "technology" ~alt:[ "hardware address" ]
+      ~validator:(Validators.mac_address) ~generator:(Generators.mac);
+    mk "md5" "MD5 hash" "technology" ~alt:[ "MD5" ]
+      ~validator:(Validators.md5_hash) ~generator:(Generators.md5);
+    mk "msisdn" "MSISDN" "technology" ~alt:[ "mobile subscriber number" ]
+      ~validator:(Validators.msisdn) ~generator:(Generators.msisdn);
+    mk "notam" "Notice To Airmen" "technology" ~coverage:No_code;
+    mk "ais-message" "AIS message" "technology" ~coverage:Other_language;
+    mk "nmea0183" "NMEA 0183" "technology" ~alt:[ "NMEA sentence" ]
+      ~validator:(Validators.nmea0183) ~generator:(Generators.nmea);
+    mk "istc" "International Standard Text Code" "technology"
+      ~coverage:Other_language;
+    (* ---------------- Transportation ---------------- *)
+    mk "vin" "VIN" "transportation" ~popular:true
+      ~alt:[ "Vehicle Identification Number"; "VIN number" ]
+      ~validator:(Tail.vin_valid) ~generator:(Generators.vin);
+    mk "iso6346" "shipping container code" "transportation"
+      ~alt:[ "ISO 6346"; "container number" ]
+      ~validator:(Validators.iso6346_container)
+      ~generator:(Generators.iso6346);
+    mk "uic-wagon" "UIC wagon number" "transportation" ~coverage:No_code;
+    mk "imo-number" "IMO number" "transportation"
+      ~alt:[ "International Maritime Organization number"; "maritime ship identifier" ]
+      ~validator:(Validators.imo_number) ~generator:(Generators.imo);
+    (* ---------------- Geo location ---------------- *)
+    mk "longlat" "longitude latitude" "geo" ~alt:[ "long/lat"; "coordinates" ]
+      ~validator:(Validators.longlat) ~generator:(Generators.longlat);
+    mk "us-zipcode" "US zipcode" "geo" ~popular:true
+      ~alt:[ "zipcode"; "US postal code" ]
+      ~validator:(Validators.us_zipcode) ~generator:(Generators.us_zipcode);
+    mk "uk-postcode" "UK postal code" "geo" ~alt:[ "UK postcode" ]
+      ~validator:(Validators.uk_postcode) ~generator:(Generators.uk_postcode);
+    mk "ca-postcode" "Canada postal code" "geo" ~alt:[ "canadian postcode" ]
+      ~validator:(Validators.ca_postcode) ~generator:(Generators.ca_postcode);
+    mk "mgrs" "MGRS coordinate" "geo" ~alt:[ "military grid reference system" ]
+      ~validator:(Validators.mgrs) ~generator:(Generators.mgrs);
+    mk "gln" "Global Location Number" "geo" ~alt:[ "GLN" ]
+      ~validator:(Checksums.gln_valid) ~generator:(Generators.gln);
+    mk "utm" "UTM coordinates" "geo" ~alt:[ "universal transverse mercator" ]
+      ~validator:(Validators.utm) ~generator:(Generators.utm);
+    mk "airport-code" "airport code" "geo" ~popular:true
+      ~alt:[ "IATA code"; "airport IATA" ]
+      ~validator:(Validators.airport_code) ~generator:(Generators.airport);
+    mk "us-state" "us state abbreviation" "geo" ~alt:[ "state code" ]
+      ~validator:(Validators.us_state) ~generator:(Generators.us_state);
+    mk "country-code" "country code" "geo" ~popular:true
+      ~alt:[ "country"; "ISO country code" ]
+      ~validator:(Validators.country) ~generator:(Generators.country);
+    mk "geojson" "geojson" "geo" ~alt:[ "geo json geometry" ]
+      ~validator:(Validators.geojson) ~generator:(Generators.geojson);
+    mk "taf" "TAF message" "geo" ~coverage:Complex_invocation
+      ~validator:(Tail.taf_valid) ~generator:(Generators.taf);
+    mk "igsn" "International Geo Sample Number" "geo"
+      ~coverage:Other_language;
+    (* ---------------- Publication ---------------- *)
+    mk "isbn" "ISBN" "publication" ~popular:true
+      ~alt:[ "international standard book number"; "ISBN13" ]
+      ~validator:(Tail.isbn_valid) ~generator:(Generators.isbn13);
+    mk "isin" "ISIN" "publication" ~popular:true
+      ~alt:[ "ISIN number"; "international securities identification number" ]
+      ~validator:(Checksums.isin_valid) ~generator:(Generators.isin);
+    mk "issn" "ISSN" "publication" ~popular:true
+      ~alt:[ "international standard serial number" ]
+      ~validator:(Tail.issn_valid) ~generator:(Generators.issn);
+    mk "bibcode" "Bibcode" "publication" ~alt:[ "astronomy bibcode" ]
+      ~validator:(Validators.bibcode) ~generator:(Generators.bibcode);
+    mk "isan" "ISAN" "publication" ~coverage:Other_language;
+    mk "iswc" "ISWC" "publication" ~coverage:Other_language;
+    mk "doi" "DOI identifier" "publication"
+      ~alt:[ "digital object identifier"; "DOI number" ]
+      ~validator:(Validators.doi) ~generator:(Generators.doi);
+    mk "isrc" "ISRC" "publication"
+      ~alt:[ "international standard recording code" ]
+      ~validator:(Validators.isrc) ~generator:(Generators.isrc);
+    mk "ismn" "ISMN" "publication"
+      ~alt:[ "international standard music number" ]
+      ~validator:(Validators.ismn) ~generator:(Generators.ismn);
+    mk "orcid" "ORCID" "publication" ~alt:[ "ORCID identifier" ]
+      ~validator:(Tail.orcid_valid) ~generator:(Generators.orcid);
+    mk "onix" "ONIX publishing protocol" "publication" ~coverage:No_code;
+    mk "lcc" "Library of Congress Classification" "publication"
+      ~coverage:No_code;
+    mk "iso690" "ISO 690 citation" "publication" ~coverage:No_code;
+    mk "apa-citation" "APA citation" "publication" ~coverage:No_code;
+    mk "nbn" "National Bibliography Number" "publication"
+      ~coverage:Other_language;
+    mk "ettn" "Electronic Textbook Track Number" "publication"
+      ~coverage:Other_language;
+    (* ---------------- Personal information ---------------- *)
+    mk "phone" "phone number" "personal" ~popular:true
+      ~alt:[ "telephone number"; "phone" ]
+      ~validator:(Validators.phone_us) ~generator:(Generators.phone_us);
+    mk "email" "email address" "personal" ~popular:true ~alt:[ "email"; "e-mail" ]
+      ~validator:(Validators.email) ~generator:(Generators.email);
+    mk "person-name" "person name" "personal" ~alt:[ "full name" ]
+      ~validator:(Validators.person_name)
+      ~generator:(Generators.person_name);
+    mk "address" "mailing address" "personal" ~popular:true
+      ~alt:[ "street address"; "address" ]
+      ~validator:(Validators.mailing_address)
+      ~generator:(Generators.mailing_address);
+    mk "lei" "Legal Entity Identifier" "personal" ~alt:[ "LEI code" ]
+      ~validator:(Validators.lei) ~generator:(Generators.lei);
+    mk "ssn" "US Social Security Number" "personal" ~alt:[ "SSN" ]
+      ~validator:(Validators.ssn) ~generator:(Generators.ssn);
+    mk "cn-resident-id" "Chinese Resident ID" "personal"
+      ~alt:[ "china ID card number" ]
+      ~validator:(Checksums.cn_id_valid)
+      ~generator:(Generators.cn_resident_id);
+    mk "ein" "Employer Identification Number" "personal" ~alt:[ "EIN" ]
+      ~validator:(Validators.ein) ~generator:(Generators.ein);
+    mk "nhs-number" "NHS number" "personal"
+      ~validator:(Checksums.nhs_valid) ~generator:(Generators.nhs);
+    mk "pubchem" "PubChem ID" "personal" ~alt:[ "pubchem CID" ]
+      ~validator:(Validators.pubchem_id) ~generator:(Generators.pubchem);
+    mk "pii" "Personal Identifiable Information" "personal" ~coverage:No_code;
+    mk "npi" "National Provider Identifier" "personal"
+      ~coverage:Other_language ~validator:(Checksums.npi_valid)
+      ~generator:(Generators.npi);
+    mk "fei" "FEI identifier" "personal" ~validator:(Tail.fei_valid)
+      ~generator:(Tail.fei_gen);
+    (* ---------------- Other ---------------- *)
+    mk "book-name" "book name" "other" ~coverage:No_code;
+    mk "hex-color" "HEX color format" "other" ~alt:[ "hex color code" ]
+      ~validator:(Validators.hex_color) ~generator:(Generators.hex_color);
+    mk "rgb-color" "RGB color format" "other"
+      ~alt:[ "RGB color"; "RGB"; "RGB color code" ]
+      ~validator:(Validators.rgb_color) ~generator:(Generators.rgb_color);
+    mk "cmyk-color" "CMYK color format" "other" ~alt:[ "CMYK color" ]
+      ~validator:(Validators.cmyk_color) ~generator:(Generators.cmyk_color);
+    mk "hsl-color" "HSL color format" "other" ~alt:[ "HSL color" ]
+      ~validator:(Validators.hsl_color) ~generator:(Generators.hsl_color);
+    mk "unix-time" "UNIX time" "other" ~alt:[ "epoch timestamp" ]
+      ~validator:(Validators.unix_time) ~generator:(Generators.unix_time);
+    mk "http-status" "http status code" "other"
+      ~validator:(Validators.http_status)
+      ~generator:(Generators.http_status);
+    mk "roman-numeral" "roman number" "other" ~alt:[ "roman numeral" ]
+      ~validator:(Validators.roman_numeral) ~generator:(Generators.roman);
+    mk "html" "HTML" "other" ~alt:[ "html document" ]
+      ~validator:(Validators.html_doc) ~generator:(Generators.html_doc);
+    mk "json" "JSON" "other" ~alt:[ "json document" ]
+      ~validator:(Validators.json_doc) ~generator:(Generators.json_doc);
+    mk "xml" "XML" "other" ~alt:[ "xml document" ]
+      ~validator:(Validators.xml_doc) ~generator:(Generators.xml_doc);
+    mk "datetime" "date time" "other" ~popular:true
+      ~alt:[ "date"; "timestamp" ]
+      ~validator:(Validators.datetime) ~generator:(Generators.datetime);
+    mk "sql" "SQL statement" "other" ~coverage:Complex_invocation
+      ~validator:(Validators.sql_query) ~generator:(Generators.sql_query);
+    mk "reuters-ric" "Reuters instrument code" "other"
+      ~coverage:Complex_invocation ~validator:(Tail.ric_valid)
+      ~generator:(Generators.ric);
+    mk "oid" "OID number" "other" ~alt:[ "object identifier" ]
+      ~validator:(Validators.oid) ~generator:(Generators.oid);
+    mk "guid" "Global Unique Identifier" "other" ~alt:[ "GUID"; "UUID" ]
+      ~validator:(Validators.guid) ~generator:(Generators.guid);
+    mk "isni" "International Standard Name Identifier" "other"
+      ~coverage:Complex_invocation ~validator:(Tail.isni_valid)
+      ~generator:(Generators.isni);
+  ]
+
+let count = List.length all_types
+
+let find id = List.find_opt (fun t -> t.id = id) all_types
+
+let find_exn id =
+  match find id with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "Registry.find_exn: unknown type %s" id)
+
+let covered = List.filter (fun t -> t.coverage = Covered) all_types
+
+let popular = List.filter (fun t -> t.popular) all_types
+
+let coverage_counts () =
+  let count p = List.length (List.filter p all_types) in
+  ( count (fun t -> t.coverage = Covered),
+    count (fun t -> t.coverage = No_code),
+    count (fun t -> t.coverage = Other_language),
+    count (fun t -> t.coverage = Complex_invocation) )
+
+(** Around 20 positive examples, matching the experimental setup of
+    Section 8.1. *)
+let positive_examples ?(n = 20) ~seed ty =
+  match ty.generator with
+  | Some gen -> Generators.samples (Generators.make_rng seed) gen n
+  | None -> []
+
+let coverage_to_string = function
+  | Covered -> "covered"
+  | No_code -> "no-code"
+  | Other_language -> "other-language"
+  | Complex_invocation -> "complex-invocation"

@@ -1,0 +1,40 @@
+(** The 112-type benchmark registry (Appendix A of the paper).
+
+    84 types are covered by corpus code; of the remaining 28, twelve
+    have no relevant code at all, twelve have validation code only in
+    other languages, and four need complex chained invocations the
+    analyzer (like the paper's) does not support (Section 8.2.2). *)
+
+type coverage =
+  | Covered
+  | No_code
+  | Other_language
+  | Complex_invocation
+
+type t = {
+  id : string;  (** stable slug, e.g. "credit-card" *)
+  name : string;  (** canonical search keyword *)
+  alt_keywords : string list;  (** Appendix I / Table 4 alternates *)
+  domain : string;
+  popular : bool;  (** one of the 20 popular types of Appendix I *)
+  coverage : coverage;
+  validator : (string -> bool) option;  (** ground truth *)
+  generator : (Generators.rng -> string) option;  (** positive examples *)
+}
+
+val all_types : t list
+val count : int
+
+val find : string -> t option
+val find_exn : string -> t
+
+val covered : t list
+val popular : t list
+
+val coverage_counts : unit -> int * int * int * int
+(** (covered, no-code, other-language, complex-invocation). *)
+
+val positive_examples : ?n:int -> seed:int -> t -> string list
+(** Around 20 deterministic positive examples (Section 8.1). *)
+
+val coverage_to_string : coverage -> string

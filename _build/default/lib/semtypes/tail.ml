@@ -1,0 +1,124 @@
+(** Validators and generators for the remaining "tail" benchmark types
+    that are not covered by {!Validators}/{!Generators}, plus
+    normalizing wrappers used by the registry (e.g. ISSN with or without
+    the hyphen). *)
+
+let is_digit c = c >= '0' && c <= '9'
+let is_upper c = c >= 'A' && c <= 'Z'
+let all p s = s <> "" && String.for_all p s
+let int_in = Generators.int_in
+let digits = Generators.digits
+
+let strip_chars chars s =
+  String.to_seq s
+  |> Seq.filter (fun c -> not (String.contains chars c))
+  |> String.of_seq
+
+(* ATC code: letter, 2 digits, 2 letters, 2 digits — e.g. A10BA02. *)
+let atc_valid s =
+  String.length s = 7
+  && is_upper s.[0]
+  && is_digit s.[1] && is_digit s.[2]
+  && is_upper s.[3] && is_upper s.[4]
+  && is_digit s.[5] && is_digit s.[6]
+
+let atc_gen rng =
+  Printf.sprintf "%c%02d%s%02d"
+    (String.get "ABCDGHJLMNPRSV" (Random.State.int rng 14))
+    (int_in rng 1 16)
+    (Generators.upper_letters rng 2)
+    (int_in rng 1 99)
+
+(* SNP ID: "rs" followed by 3-9 digits. *)
+let snpid_valid s =
+  String.length s >= 5
+  && String.length s <= 11
+  && String.sub s 0 2 = "rs"
+  && all is_digit (String.sub s 2 (String.length s - 2))
+
+let snpid_gen rng = "rs" ^ digits rng (int_in rng 3 9)
+
+(* FDA National Drug Code: 5-4-2 digit segments. *)
+let ndc_valid s =
+  match String.split_on_char '-' s with
+  | [ a; b; c ] ->
+    String.length a = 5 && String.length b = 4 && String.length c = 2
+    && all is_digit a && all is_digit b && all is_digit c
+  | _ -> false
+
+let ndc_gen rng =
+  Printf.sprintf "%s-%s-%s" (digits rng 5) (digits rng 4) (digits rng 2)
+
+(* Drug names: a lookup list, like the corpus code that resolves names
+   against a reference table (the "web service lookup" pattern). *)
+let drug_names =
+  [ "Aspirin"; "Ibuprofen"; "Acetaminophen"; "Amoxicillin"; "Lisinopril";
+    "Metformin"; "Atorvastatin"; "Omeprazole"; "Amlodipine"; "Metoprolol";
+    "Simvastatin"; "Losartan"; "Gabapentin"; "Sertraline"; "Furosemide";
+    "Prednisone"; "Tramadol"; "Citalopram"; "Warfarin"; "Insulin";
+    "Azithromycin"; "Hydrochlorothiazide"; "Levothyroxine"; "Alprazolam";
+    "Ciprofloxacin"; "Doxycycline"; "Naproxen"; "Pantoprazole" ]
+
+let drug_name_valid s = List.mem s drug_names
+let drug_name_gen rng = Generators.pick rng drug_names
+
+(* FDA Establishment Identifier: 7 or 10 digits, 10-digit form starts 30. *)
+let fei_valid s =
+  (String.length s = 7 && all is_digit s)
+  || (String.length s = 10 && all is_digit s && String.sub s 0 2 = "30")
+
+let fei_gen rng =
+  if Random.State.bool rng then digits rng 7 else "30" ^ digits rng 8
+
+(* --------------------- normalizing wrappers ----------------------- *)
+
+let credit_card_valid s =
+  let c = strip_chars " -" s in
+  let n = String.length c in
+  n >= 13 && n <= 19 && Checksums.luhn_valid c
+  && (c.[0] = '3' || c.[0] = '4' || c.[0] = '5' || c.[0] = '6')
+
+let isbn_valid s =
+  let c = strip_chars "- " s in
+  Checksums.isbn13_valid c || Checksums.isbn10_valid c
+
+let issn_valid s =
+  let c = strip_chars "-" s in
+  Checksums.issn_valid c
+
+let orcid_valid s =
+  let c = strip_chars "-" s in
+  Checksums.orcid_valid_compact c
+
+let isni_valid s =
+  let c = strip_chars " " s in
+  Checksums.orcid_valid_compact c  (* same ISO 7064 mod 11-2 scheme *)
+
+let iban_valid s = Checksums.iban_valid (strip_chars " " s)
+
+let vin_valid s = Checksums.vin_valid (String.uppercase_ascii s)
+
+let imei_valid s = Checksums.imei_valid (strip_chars " -" s)
+
+let upc_valid s = Checksums.upca_valid (strip_chars " " s)
+
+let ean_valid s =
+  let c = strip_chars " -" s in
+  Checksums.ean13_valid c || Checksums.ean8_valid c
+
+(* TAF aviation forecast (uncovered type; ground truth only). *)
+let taf_valid s =
+  String.length s > 4
+  && String.sub s 0 4 = "TAF "
+  && String.length s > 10
+
+(* Reuters Instrument Code (uncovered; complex invocation in the paper). *)
+let ric_valid s =
+  match String.index_opt s '.' with
+  | Some i when i >= 1 && i < String.length s - 1 ->
+    let base = String.sub s 0 i in
+    let ex = String.sub s (i + 1) (String.length s - i - 1) in
+    all (fun c -> is_upper c || is_digit c) base
+    && String.length ex >= 1 && String.length ex <= 2
+    && all is_upper ex
+  | _ -> false

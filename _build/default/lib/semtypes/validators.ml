@@ -1,0 +1,1030 @@
+(** Ground-truth validators for format-based (non-checksum) semantic
+    types.  Used to verify the corpus code, to label synthetic web-table
+    columns, and as the "ground-truth algorithms" of Section 9.1's
+    evaluation protocol. *)
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+let is_upper c = c >= 'A' && c <= 'Z'
+let all p s = s <> "" && String.for_all p s
+
+let split_on = String.split_on_char
+
+let int_opt s = int_of_string_opt s
+
+(* --------------------------- network ------------------------------ *)
+
+let ipv4 s =
+  let parts = split_on '.' s in
+  List.length parts = 4
+  && List.for_all
+       (fun p ->
+         all is_digit p
+         && String.length p <= 3
+         && (match int_opt p with
+             | Some v -> v >= 0 && v <= 255
+             | None -> false)
+         (* Reject leading zeros like "01" (common strict behaviour). *)
+         && (String.length p = 1 || p.[0] <> '0'))
+       parts
+
+let ipv6 s =
+  (* Full or ::-compressed groups of 1-4 hex digits. *)
+  let s = String.lowercase_ascii s in
+  let valid_group g =
+    g <> "" && String.length g <= 4 && String.for_all is_hex g
+  in
+  let has_compress =
+    let rec count i acc =
+      if i + 1 >= String.length s then acc
+      else if s.[i] = ':' && s.[i + 1] = ':' then count (i + 1) (acc + 1)
+      else count (i + 1) acc
+    in
+    count 0 0
+  in
+  if has_compress > 1 then false
+  else if has_compress = 1 then begin
+    (* split once on "::" *)
+    let idx =
+      let rec go i =
+        if i + 1 >= String.length s then -1
+        else if s.[i] = ':' && s.[i + 1] = ':' then i
+        else go (i + 1)
+      in
+      go 0
+    in
+    let left = String.sub s 0 idx in
+    let right = String.sub s (idx + 2) (String.length s - idx - 2) in
+    let groups side =
+      if side = "" then []
+      else split_on ':' side
+    in
+    let lg = groups left and rg = groups right in
+    List.for_all valid_group lg
+    && List.for_all valid_group rg
+    && List.length lg + List.length rg <= 7
+  end
+  else
+    let groups = split_on ':' s in
+    List.length groups = 8 && List.for_all valid_group groups
+
+let mac_address s =
+  let sep_groups sep =
+    let parts = split_on sep s in
+    List.length parts = 6
+    && List.for_all
+         (fun p -> String.length p = 2 && String.for_all is_hex p)
+         parts
+  in
+  sep_groups ':' || sep_groups '-'
+
+let url s =
+  let has_prefix p =
+    String.length s > String.length p
+    && String.lowercase_ascii (String.sub s 0 (String.length p)) = p
+  in
+  (has_prefix "http://" || has_prefix "https://" || has_prefix "ftp://")
+  &&
+  let rest =
+    let i = String.index s '/' + 2 in
+    String.sub s i (String.length s - i)
+  in
+  let host = match String.index_opt rest '/' with
+    | Some i -> String.sub rest 0 i
+    | None -> (match String.index_opt rest '?' with
+               | Some i -> String.sub rest 0 i
+               | None -> rest)
+  in
+  let host = match String.index_opt host ':' with
+    | Some i -> String.sub host 0 i
+    | None -> host
+  in
+  host <> ""
+  && String.contains host '.'
+  && String.for_all (fun c -> is_alpha c || is_digit c || c = '.' || c = '-') host
+  && (not (String.length host > 0 && (host.[0] = '.' || host.[String.length host - 1] = '.')))
+
+let email s =
+  match String.index_opt s '@' with
+  | None -> false
+  | Some i ->
+    let local = String.sub s 0 i in
+    let domain = String.sub s (i + 1) (String.length s - i - 1) in
+    local <> ""
+    && (not (String.contains domain '@'))
+    && String.for_all
+         (fun c ->
+           is_alpha c || is_digit c || c = '.' || c = '_' || c = '-'
+           || c = '+' || c = '%')
+         local
+    && String.contains domain '.'
+    && domain.[0] <> '.'
+    && domain.[String.length domain - 1] <> '.'
+    && String.for_all (fun c -> is_alpha c || is_digit c || c = '.' || c = '-') domain
+    && (let parts = split_on '.' domain in
+        List.for_all (fun p -> p <> "") parts
+        && (match List.rev parts with
+            | tld :: _ -> String.length tld >= 2 && all is_alpha tld
+            | [] -> false))
+
+let md5_hash s = String.length s = 32 && all is_hex s
+
+let guid s =
+  (* 8-4-4-4-12 hex with dashes. *)
+  let parts = split_on '-' s in
+  match List.map String.length parts with
+  | [ 8; 4; 4; 4; 12 ] ->
+    List.for_all (fun p -> String.for_all is_hex p) parts
+  | _ -> false
+
+let oid s =
+  let parts = split_on '.' s in
+  List.length parts >= 2
+  && List.for_all (fun p -> all is_digit p) parts
+  && (match parts with
+      | first :: _ ->
+        (match int_opt first with Some v -> v <= 2 | None -> false)
+      | [] -> false)
+
+(* --------------------------- date/time ---------------------------- *)
+
+let month_names =
+  [ "jan"; "feb"; "mar"; "apr"; "may"; "jun"; "jul"; "aug"; "sep"; "oct";
+    "nov"; "dec" ]
+
+let month_full =
+  [ "january"; "february"; "march"; "april"; "may"; "june"; "july";
+    "august"; "september"; "october"; "november"; "december" ]
+
+let days_in_month y m =
+  match m with
+  | 1 | 3 | 5 | 7 | 8 | 10 | 12 -> 31
+  | 4 | 6 | 9 | 11 -> 30
+  | 2 ->
+    if (y mod 4 = 0 && y mod 100 <> 0) || y mod 400 = 0 then 29 else 28
+  | _ -> 0
+
+let valid_ymd y m d =
+  y >= 1000 && y <= 2999 && m >= 1 && m <= 12 && d >= 1 && d <= days_in_month y m
+
+(** ISO "2017-01-31"; also accepts '/' as separator. *)
+let date_iso s =
+  let try_sep sep =
+    match split_on sep s with
+    | [ y; m; d ] ->
+      String.length y = 4 && all is_digit y && all is_digit m && all is_digit d
+      && String.length m <= 2 && String.length d <= 2
+      && (match (int_opt y, int_opt m, int_opt d) with
+          | Some y, Some m, Some d -> valid_ymd y m d
+          | _ -> false)
+    | _ -> false
+  in
+  try_sep '-' || try_sep '/'
+
+(** US "01/31/2017" or "1/31/17". *)
+let date_us s =
+  match split_on '/' s with
+  | [ m; d; y ] ->
+    all is_digit m && all is_digit d && all is_digit y
+    && (String.length y = 4 || String.length y = 2)
+    && (match (int_opt m, int_opt d, int_opt y) with
+        | Some m, Some d, Some y ->
+          let y = if y < 100 then 2000 + y else y in
+          valid_ymd y m d
+        | _ -> false)
+  | _ -> false
+
+(** Textual "Jan 01, 2017" / "January 1, 2017" / "15 Sep 2011". *)
+let date_textual s =
+  let lower = String.lowercase_ascii s in
+  let tokens =
+    String.map (fun c -> if c = ',' then ' ' else c) lower
+    |> split_on ' '
+    |> List.filter (fun t -> t <> "")
+  in
+  let month_of tok =
+    let rec idx i = function
+      | [] -> None
+      | m :: rest -> if m = tok then Some (i + 1) else idx (i + 1) rest
+    in
+    match idx 0 month_full with
+    | Some m -> Some m
+    | None -> idx 0 month_names
+  in
+  let check mon d y =
+    match (month_of mon, int_opt d, int_opt y) with
+    | Some m, Some d, Some y -> valid_ymd y m d
+    | _ -> false
+  in
+  match tokens with
+  | [ a; b; y ] -> check a b y || check b a y
+  | _ -> false
+
+let datetime s =
+  (* Any of the three date formats, optionally followed by HH:MM[:SS]. *)
+  let time_ok t =
+    match split_on ':' t with
+    | [ h; m ] | [ h; m; _ ] ->
+      all is_digit h && all is_digit m
+      && (match (int_opt h, int_opt m) with
+          | Some h, Some m -> h < 24 && m < 60
+          | _ -> false)
+    | _ -> false
+  in
+  let date_ok d = date_iso d || date_us d || date_textual d in
+  if date_ok s then true
+  else
+    (* Split a trailing time component off the last space. *)
+    match String.rindex_opt s ' ' with
+    | Some i ->
+      let d = String.sub s 0 i
+      and t = String.sub s (i + 1) (String.length s - i - 1) in
+      date_ok d && time_ok t
+    | None -> false
+
+let time_of_day s =
+  match split_on ':' s with
+  | [ h; m ] | [ h; m; _ ] ->
+    all is_digit h && all is_digit m
+    && (match (int_opt h, int_opt m) with
+        | Some h, Some m -> h < 24 && m < 60
+        | _ -> false)
+  | _ -> false
+
+let unix_time s =
+  all is_digit s
+  && (String.length s = 10 || String.length s = 13)
+  && (match int_opt (String.sub s 0 10) with
+      | Some v -> v > 100_000_000 && v < 4_102_444_800
+      | None -> false)
+
+(* --------------------------- geo ---------------------------------- *)
+
+let float_in lo hi s =
+  match float_of_string_opt s with
+  | Some v -> v >= lo && v <= hi && (String.contains s '.' || all is_digit (
+      if s <> "" && (s.[0] = '-' || s.[0] = '+') then String.sub s 1 (String.length s - 1) else s))
+  | None -> false
+
+let longlat s =
+  let parts =
+    split_on ',' s |> List.map String.trim
+  in
+  match parts with
+  | [ lat; lon ] -> float_in (-90.) 90. lat && float_in (-180.) 180. lon
+  | _ -> false
+
+let us_zipcode s =
+  (String.length s = 5 && all is_digit s)
+  || (String.length s = 10 && s.[5] = '-'
+      && all is_digit (String.sub s 0 5)
+      && all is_digit (String.sub s 6 4))
+
+let uk_postcode s =
+  (* Outward (A9, A99, AA9, AA99, A9A, AA9A) space inward (9AA). *)
+  match split_on ' ' s with
+  | [ out; inw ] ->
+    let ol = String.length out in
+    ol >= 2 && ol <= 4
+    && is_upper out.[0]
+    && String.length inw = 3
+    && is_digit inw.[0]
+    && is_upper inw.[1] && is_upper inw.[2]
+    && String.for_all (fun c -> is_upper c || is_digit c) out
+    && String.exists is_digit out
+  | _ -> false
+
+let ca_postcode s =
+  (* A1A 1A1 *)
+  String.length s = 7
+  && s.[3] = ' '
+  && is_upper s.[0] && is_digit s.[1] && is_upper s.[2]
+  && is_digit s.[4] && is_upper s.[5] && is_digit s.[6]
+
+let mgrs s =
+  (* e.g. 18SUJ2348306479: zone 1-60, band letter, two letters, even-length digits *)
+  let n = String.length s in
+  n >= 7
+  &&
+  let zone_len = if is_digit s.[1] then 2 else 1 in
+  (match int_opt (String.sub s 0 zone_len) with
+   | Some z -> z >= 1 && z <= 60
+   | None -> false)
+  && n > zone_len + 3
+  && is_upper s.[zone_len] && is_upper s.[zone_len + 1] && is_upper s.[zone_len + 2]
+  &&
+  let digits = String.sub s (zone_len + 3) (n - zone_len - 3) in
+  all is_digit digits && String.length digits mod 2 = 0
+  && String.length digits <= 10
+
+let utm s =
+  (* "18N 585628 4511322" *)
+  match split_on ' ' s |> List.filter (fun t -> t <> "") with
+  | [ zone; easting; northing ] ->
+    String.length zone >= 2
+    && is_upper zone.[String.length zone - 1]
+    && (match int_opt (String.sub zone 0 (String.length zone - 1)) with
+        | Some z -> z >= 1 && z <= 60
+        | None -> false)
+    && all is_digit easting && all is_digit northing
+    && String.length easting >= 5 && String.length easting <= 7
+    && String.length northing >= 6 && String.length northing <= 8
+  | _ -> false
+
+let airport_codes =
+  [ "SEA"; "SFO"; "LAX"; "JFK"; "ORD"; "ATL"; "DFW"; "DEN"; "PHX"; "IAH";
+    "MIA"; "BOS"; "LGA"; "EWR"; "MSP"; "DTW"; "PHL"; "CLT"; "LAS"; "MCO";
+    "SLC"; "BWI"; "DCA"; "IAD"; "SAN"; "TPA"; "PDX"; "STL"; "MDW"; "HNL";
+    "LHR"; "CDG"; "FRA"; "AMS"; "MAD"; "FCO"; "ZRH"; "VIE"; "CPH"; "ARN";
+    "NRT"; "HND"; "ICN"; "PEK"; "PVG"; "HKG"; "SIN"; "BKK"; "SYD"; "MEL";
+    "YYZ"; "YVR"; "GRU"; "MEX"; "DXB"; "DOH"; "IST"; "SVO"; "DEL"; "BOM" ]
+
+let airport_code s = List.mem s airport_codes
+
+let us_states =
+  [ "AL"; "AK"; "AZ"; "AR"; "CA"; "CO"; "CT"; "DE"; "FL"; "GA"; "HI"; "ID";
+    "IL"; "IN"; "IA"; "KS"; "KY"; "LA"; "ME"; "MD"; "MA"; "MI"; "MN"; "MS";
+    "MO"; "MT"; "NE"; "NV"; "NH"; "NJ"; "NM"; "NY"; "NC"; "ND"; "OH"; "OK";
+    "OR"; "PA"; "RI"; "SC"; "SD"; "TN"; "TX"; "UT"; "VT"; "VA"; "WA"; "WV";
+    "WI"; "WY"; "DC" ]
+
+let us_state s = List.mem s us_states
+
+let country_codes =
+  [ "US"; "GB"; "DE"; "FR"; "IT"; "ES"; "NL"; "BE"; "CH"; "AT"; "SE"; "NO";
+    "DK"; "FI"; "PL"; "IE"; "PT"; "GR"; "CZ"; "HU"; "RO"; "BG"; "HR"; "SK";
+    "CA"; "MX"; "BR"; "AR"; "CL"; "CO"; "PE"; "JP"; "CN"; "KR"; "IN"; "AU";
+    "NZ"; "SG"; "HK"; "TW"; "TH"; "MY"; "ID"; "PH"; "VN"; "RU"; "TR"; "ZA";
+    "EG"; "NG"; "KE"; "IL"; "SA"; "AE"; "QA" ]
+
+let country_names =
+  [ "United States"; "United Kingdom"; "Germany"; "France"; "Italy";
+    "Spain"; "Netherlands"; "Belgium"; "Switzerland"; "Austria"; "Sweden";
+    "Norway"; "Denmark"; "Finland"; "Poland"; "Ireland"; "Portugal";
+    "Greece"; "Canada"; "Mexico"; "Brazil"; "Argentina"; "Japan"; "China";
+    "South Korea"; "India"; "Australia"; "New Zealand"; "Singapore";
+    "Thailand"; "Malaysia"; "Indonesia"; "Philippines"; "Vietnam";
+    "Russia"; "Turkey"; "South Africa"; "Egypt"; "Nigeria"; "Kenya";
+    "Israel"; "Saudi Arabia" ]
+
+let country s = List.mem s country_codes || List.mem s country_names
+
+let geojson s =
+  (* Loose structural check: a JSON object with a "type" member whose value
+     is a GeoJSON kind. *)
+  let has_sub sub =
+    let nl = String.length sub and hl = String.length s in
+    let rec go i = i + nl <= hl && (String.sub s i nl = sub || go (i + 1)) in
+    nl <= hl && go 0
+  in
+  String.length s >= 2
+  && s.[0] = '{'
+  && s.[String.length s - 1] = '}'
+  && has_sub "\"type\""
+  && List.exists has_sub
+       [ "\"Point\""; "\"LineString\""; "\"Polygon\""; "\"MultiPoint\"";
+         "\"MultiPolygon\""; "\"Feature\""; "\"FeatureCollection\"" ]
+
+(* --------------------------- personal ----------------------------- *)
+
+let phone_us s =
+  (* (502) 107-2133, 502-107-2133, 5021072133, +1 502 107 2133 *)
+  let digits =
+    String.to_seq s
+    |> Seq.filter is_digit
+    |> String.of_seq
+  in
+  let punct_ok =
+    String.for_all
+      (fun c -> is_digit c || c = ' ' || c = '-' || c = '(' || c = ')' || c = '+' || c = '.')
+      s
+  in
+  punct_ok
+  && (String.length digits = 10
+      || (String.length digits = 11 && digits.[0] = '1'))
+  && (let d = if String.length digits = 11 then String.sub digits 1 10 else digits in
+      d.[0] <> '0' && d.[0] <> '1')
+
+let ssn s =
+  match split_on '-' s with
+  | [ a; b; c ] ->
+    String.length a = 3 && String.length b = 2 && String.length c = 4
+    && all is_digit a && all is_digit b && all is_digit c
+    && a <> "000" && a <> "666"
+    && (match int_opt a with Some v -> v < 900 | None -> false)
+    && b <> "00" && c <> "0000"
+  | _ -> false
+
+let ein s =
+  match split_on '-' s with
+  | [ a; b ] ->
+    String.length a = 2 && String.length b = 7 && all is_digit a && all is_digit b
+  | _ -> false
+
+let person_name s =
+  let tokens = split_on ' ' s |> List.filter (fun t -> t <> "") in
+  List.length tokens >= 2
+  && List.length tokens <= 4
+  && List.for_all
+       (fun t ->
+         String.length t >= 1
+         && is_upper t.[0]
+         && String.for_all (fun c -> is_alpha c || c = '\'' || c = '-' || c = '.') t)
+       tokens
+
+let street_suffixes =
+  [ "St"; "St."; "Street"; "Ave"; "Ave."; "Avenue"; "Rd"; "Rd."; "Road";
+    "Blvd"; "Blvd."; "Boulevard"; "Dr"; "Dr."; "Drive"; "Ln"; "Ln."; "Lane";
+    "Way"; "Ct"; "Ct."; "Court"; "Pl"; "Pl."; "Place" ]
+
+let mailing_address s =
+  (* "459 Euclid Rd, Utica NY 13501" — number, street with suffix, comma,
+     city + state + zip. *)
+  match String.index_opt s ',' with
+  | None -> false
+  | Some i ->
+    let street = String.sub s 0 i in
+    let rest = String.trim (String.sub s (i + 1) (String.length s - i - 1)) in
+    let street_toks = split_on ' ' street |> List.filter (fun t -> t <> "") in
+    let rest_toks = split_on ' ' rest |> List.filter (fun t -> t <> "") in
+    (match street_toks with
+     | num :: (_ :: _ as more) ->
+       all is_digit num
+       && List.exists (fun t -> List.mem t street_suffixes) more
+     | _ -> false)
+    &&
+    (match List.rev rest_toks with
+     | zip :: state :: _ :: _ ->
+       us_zipcode zip && us_state state
+     | [ zip; state ] -> us_zipcode zip && us_state state
+     | _ ->
+       (* Also accept "Utica NY" without zip. *)
+       (match List.rev rest_toks with
+        | state :: _ :: _ -> us_state state
+        | _ -> false))
+
+(* --------------------------- colors, misc ------------------------- *)
+
+let hex_color s =
+  String.length s >= 1
+  && s.[0] = '#'
+  && (let body = String.sub s 1 (String.length s - 1) in
+      (String.length body = 6 || String.length body = 3)
+      && all is_hex body)
+
+let rgb_color s =
+  let strip_prefix p s =
+    if
+      String.length s > String.length p
+      && String.lowercase_ascii (String.sub s 0 (String.length p)) = p
+    then Some (String.sub s (String.length p) (String.length s - String.length p))
+    else None
+  in
+  match strip_prefix "rgb(" s with
+  | Some rest when String.length rest > 0 && rest.[String.length rest - 1] = ')' ->
+    let body = String.sub rest 0 (String.length rest - 1) in
+    let parts = split_on ',' body |> List.map String.trim in
+    List.length parts = 3
+    && List.for_all
+         (fun p ->
+           all is_digit p
+           && (match int_opt p with Some v -> v <= 255 | None -> false))
+         parts
+  | _ -> false
+
+let cmyk_color s =
+  (* "cmyk(0%, 20%, 60%, 10%)" or "0,20,60,10" percentages *)
+  let body =
+    if String.length s > 5
+       && String.lowercase_ascii (String.sub s 0 5) = "cmyk("
+       && s.[String.length s - 1] = ')'
+    then Some (String.sub s 5 (String.length s - 6))
+    else None
+  in
+  match body with
+  | Some b ->
+    let parts = split_on ',' b |> List.map String.trim in
+    List.length parts = 4
+    && List.for_all
+         (fun p ->
+           let p =
+             if String.length p > 0 && p.[String.length p - 1] = '%' then
+               String.sub p 0 (String.length p - 1)
+             else p
+           in
+           all is_digit p
+           && (match int_opt p with Some v -> v <= 100 | None -> false))
+         parts
+  | None -> false
+
+let hsl_color s =
+  if String.length s > 4
+     && String.lowercase_ascii (String.sub s 0 4) = "hsl("
+     && s.[String.length s - 1] = ')'
+  then begin
+    let b = String.sub s 4 (String.length s - 5) in
+    let parts = split_on ',' b |> List.map String.trim in
+    match parts with
+    | [ h; sat; l ] ->
+      let pct p =
+        String.length p > 1
+        && p.[String.length p - 1] = '%'
+        && all is_digit (String.sub p 0 (String.length p - 1))
+        && (match int_opt (String.sub p 0 (String.length p - 1)) with
+            | Some v -> v <= 100
+            | None -> false)
+      in
+      all is_digit h
+      && (match int_opt h with Some v -> v <= 360 | None -> false)
+      && pct sat && pct l
+    | _ -> false
+  end
+  else false
+
+let roman_numeral s =
+  s <> ""
+  && String.for_all (fun c -> String.contains "IVXLCDM" c) s
+  &&
+  (* Parse with subtractive rules; value must round-trip. *)
+  let value_of c =
+    match c with
+    | 'I' -> 1 | 'V' -> 5 | 'X' -> 10 | 'L' -> 50
+    | 'C' -> 100 | 'D' -> 500 | 'M' -> 1000 | _ -> 0
+  in
+  let n = String.length s in
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    let v = value_of s.[i] in
+    if i + 1 < n && v < value_of s.[i + 1] then total := !total - v
+    else total := !total + v
+  done;
+  let to_roman n =
+    let table =
+      [ (1000, "M"); (900, "CM"); (500, "D"); (400, "CD"); (100, "C");
+        (90, "XC"); (50, "L"); (40, "XL"); (10, "X"); (9, "IX"); (5, "V");
+        (4, "IV"); (1, "I") ]
+    in
+    let buf = Buffer.create 16 in
+    let rec go n table =
+      match table with
+      | [] -> ()
+      | (v, sym) :: rest ->
+        if n >= v then begin
+          Buffer.add_string buf sym;
+          go (n - v) table
+        end
+        else go n rest
+    in
+    go n table;
+    Buffer.contents buf
+  in
+  !total >= 1 && !total <= 3999 && to_roman !total = s
+
+let http_status s =
+  String.length s = 3
+  && all is_digit s
+  && (match int_opt s with
+      | Some v -> v >= 100 && v <= 599
+      | None -> false)
+
+let currency s =
+  (* "$1,234.56", "EUR 12.00", "1234.56 USD", "£99" *)
+  let codes = [ "USD"; "EUR"; "GBP"; "JPY"; "CHF"; "CAD"; "AUD"; "CNY" ] in
+  let symbols = [ "$"; "\xc2\xa3"; "\xe2\x82\xac"; "\xc2\xa5" ] in
+  let amount_ok a =
+    a <> ""
+    && String.for_all (fun c -> is_digit c || c = ',' || c = '.') a
+    && String.exists is_digit a
+    && (match split_on '.' a with
+        | [ _ ] -> true
+        | [ _; cents ] -> String.length cents <= 2 && all is_digit cents
+        | _ -> false)
+    && (let groups = split_on ',' (List.hd (split_on '.' a)) in
+        match groups with
+        | [ _ ] -> true
+        | first :: rest ->
+          String.length first >= 1 && String.length first <= 3
+          && List.for_all (fun g -> String.length g = 3) rest
+        | [] -> false)
+  in
+  let starts_with p =
+    String.length s > String.length p && String.sub s 0 (String.length p) = p
+  in
+  let ends_with p =
+    let pl = String.length p and sl = String.length s in
+    sl > pl && String.sub s (sl - pl) pl = p
+  in
+  List.exists (fun sym -> starts_with sym && amount_ok (String.sub s (String.length sym) (String.length s - String.length sym))) symbols
+  || List.exists
+       (fun c ->
+         (starts_with (c ^ " ") && amount_ok (String.sub s 4 (String.length s - 4)))
+         || (ends_with (" " ^ c) && amount_ok (String.sub s 0 (String.length s - 4))))
+       codes
+
+let stock_ticker s =
+  (* NYSE/NASDAQ style: 1-5 uppercase letters, optionally ".X" suffix. *)
+  let base, suffix =
+    match String.index_opt s '.' with
+    | Some i ->
+      (String.sub s 0 i, Some (String.sub s (i + 1) (String.length s - i - 1)))
+    | None -> (s, None)
+  in
+  String.length base >= 1
+  && String.length base <= 5
+  && all is_upper base
+  && (match suffix with
+      | None -> true
+      | Some x -> String.length x = 1 && is_upper x.[0])
+
+let json_doc s =
+  (* Balanced braces/brackets with quoted keys; a loose structural check. *)
+  let n = String.length s in
+  n >= 2
+  && (s.[0] = '{' || s.[0] = '[')
+  &&
+  let depth = ref 0 and ok = ref true and in_str = ref false in
+  String.iteri
+    (fun i c ->
+      if !in_str then begin
+        if c = '"' && (i = 0 || s.[i - 1] <> '\\') then in_str := false
+      end
+      else
+        match c with
+        | '"' -> in_str := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' ->
+          decr depth;
+          if !depth < 0 then ok := false
+        | _ -> ())
+    s;
+  !ok && !depth = 0 && (not !in_str)
+  && (s.[n - 1] = '}' || s.[n - 1] = ']')
+
+let xml_doc s =
+  let n = String.length s in
+  n >= 7
+  && s.[0] = '<'
+  && s.[n - 1] = '>'
+  &&
+  (* First tag name must re-appear as a closing tag. *)
+  let tag_end =
+    let rec go i = if i >= n then n else if s.[i] = '>' || s.[i] = ' ' then i else go (i + 1) in
+    go 1
+  in
+  let tag = String.sub s 1 (tag_end - 1) in
+  tag <> "" && tag.[0] <> '/'
+  && (let closing = "</" ^ tag ^ ">" in
+      let cl = String.length closing in
+      cl <= n && String.sub s (n - cl) cl = closing)
+
+let html_doc s =
+  let lower = String.lowercase_ascii s in
+  let has_sub sub =
+    let nl = String.length sub and hl = String.length lower in
+    let rec go i = i + nl <= hl && (String.sub lower i nl = sub || go (i + 1)) in
+    nl <= hl && go 0
+  in
+  has_sub "<html" || has_sub "<!doctype html" || (has_sub "<body" && has_sub "</body>")
+  || (has_sub "<div" && has_sub "</div>") || (has_sub "<p>" && has_sub "</p>")
+
+(* --------------------------- science ------------------------------ *)
+
+let fasta s =
+  String.length s > 1
+  && s.[0] = '>'
+  && String.contains s '\n'
+  &&
+  let lines = split_on '\n' s in
+  (match lines with
+   | _header :: (_ :: _ as seqs) ->
+     List.for_all
+       (fun l ->
+         l = ""
+         || String.for_all
+              (fun c -> String.contains "ACGTUNacgtun-*" c)
+              l)
+       seqs
+     && List.exists (fun l -> l <> "") seqs
+   | _ -> false)
+
+let gene_sequence s =
+  String.length s >= 8
+  && all (fun c -> String.contains "ACGT" c) s
+
+let fastq s =
+  let lines = split_on '\n' s in
+  match lines with
+  | [ h; seq; plus; qual ] ->
+    String.length h > 0 && h.[0] = '@'
+    && String.length plus > 0 && plus.[0] = '+'
+    && all (fun c -> String.contains "ACGTN" c) seq
+    && String.length qual = String.length seq
+  | _ -> false
+
+let cas_number s =
+  (* NNNNNNN-NN-N with its mod-10 weighted checksum. *)
+  match split_on '-' s with
+  | [ a; b; c ] ->
+    String.length a >= 2 && String.length a <= 7
+    && String.length b = 2 && String.length c = 1
+    && all is_digit a && all is_digit b && all is_digit c
+    &&
+    let digits = a ^ b in
+    let n = String.length digits in
+    let sum = ref 0 in
+    String.iteri
+      (fun i ch -> sum := !sum + ((n - i) * (Char.code ch - Char.code '0')))
+      digits;
+    !sum mod 10 = Char.code c.[0] - Char.code '0'
+  | _ -> false
+
+let chemical_formula s =
+  (* Sequence of element symbols (Upper[lower]) each followed by an
+     optional count. Validated against a list of real element symbols. *)
+  let elements =
+    [ "H"; "He"; "Li"; "Be"; "B"; "C"; "N"; "O"; "F"; "Ne"; "Na"; "Mg";
+      "Al"; "Si"; "P"; "S"; "Cl"; "Ar"; "K"; "Ca"; "Fe"; "Cu"; "Zn"; "Br";
+      "Ag"; "I"; "Au"; "Hg"; "Pb"; "Sn"; "Mn"; "Cr"; "Ni"; "Co"; "Ti" ]
+  in
+  let n = String.length s in
+  let rec go i matched =
+    if i >= n then matched
+    else if is_digit s.[i] then
+      if matched then begin
+        let j = ref i in
+        while !j < n && is_digit s.[!j] do incr j done;
+        go !j matched
+      end
+      else false
+    else if is_upper s.[i] then begin
+      let two =
+        if i + 1 < n && s.[i + 1] >= 'a' && s.[i + 1] <= 'z' then
+          Some (String.sub s i 2)
+        else None
+      in
+      match two with
+      | Some sym when List.mem sym elements -> go (i + 2) true
+      | _ ->
+        if List.mem (String.make 1 s.[i]) elements then go (i + 1) true
+        else false
+    end
+    else false
+  in
+  n > 0 && go 0 false
+
+let inchi s =
+  String.length s > 9
+  && String.sub s 0 9 = "InChI=1S/"
+
+let smile s =
+  (* Very loose: SMILES alphabet with balanced parentheses and rings. *)
+  s <> ""
+  && String.for_all
+       (fun c ->
+         is_alpha c || is_digit c
+         || String.contains "()[]=#+-@/\\%." c)
+       s
+  && String.exists is_alpha s
+  &&
+  let depth = ref 0 and ok = ref true in
+  String.iter
+    (fun c ->
+      if c = '(' then incr depth
+      else if c = ')' then begin
+        decr depth;
+        if !depth < 0 then ok := false
+      end)
+    s;
+  !ok && !depth = 0
+
+let uniprot s =
+  (* e.g. P12345, Q9H0H5, A0A024R161 *)
+  let n = String.length s in
+  (n = 6 || n = 10)
+  && is_upper s.[0]
+  && String.for_all (fun c -> is_upper c || is_digit c) s
+  && is_digit s.[n - 1]
+  && is_digit s.[1]
+
+let ensembl_gene s =
+  String.length s = 15
+  && String.sub s 0 4 = "ENSG"
+  && all is_digit (String.sub s 4 11)
+
+let lsid s =
+  let lower = String.lowercase_ascii s in
+  String.length lower > 9
+  && String.sub lower 0 9 = "urn:lsid:"
+  && List.length (split_on ':' lower) >= 5
+
+let drug_name _s = false  (* enumerable; out of scope per Section 2 *)
+
+(* --------------------------- identifiers -------------------------- *)
+
+let imo_number s =
+  (* "IMO 9074729": 7 digits; sum of first 6 digits × weights 7..2,
+     last digit of the sum equals digit 7. *)
+  let num =
+    if String.length s > 4 && String.sub s 0 4 = "IMO " then
+      String.sub s 4 (String.length s - 4)
+    else s
+  in
+  String.length num = 7
+  && all is_digit num
+  &&
+  let sum = ref 0 in
+  for i = 0 to 5 do
+    sum := !sum + ((7 - i) * (Char.code num.[i] - Char.code '0'))
+  done;
+  !sum mod 10 = Char.code num.[6] - Char.code '0'
+
+let bitcoin_address s =
+  (* Base58, starts with 1 or 3, length 26-35; no 0OIl characters. *)
+  let n = String.length s in
+  n >= 26 && n <= 35
+  && (s.[0] = '1' || s.[0] = '3')
+  && String.for_all
+       (fun c ->
+         (is_digit c || is_alpha c)
+         && not (c = '0' || c = 'O' || c = 'I' || c = 'l'))
+       s
+
+(* ISO 6346 letter values skip multiples of 11 (11, 22, 33). *)
+let iso6346_letter_values =
+  [| 10; 12; 13; 14; 15; 16; 17; 18; 19; 20; 21; 23; 24; 25; 26; 27; 28; 29;
+     30; 31; 32; 34; 35; 36; 37; 38 |]
+
+let iso6346_char_val c =
+  if is_digit c then Char.code c - Char.code '0'
+  else if is_upper c then iso6346_letter_values.(Char.code c - Char.code 'A')
+  else -1
+
+let iso6346_container s =
+  (* 4 letters (4th is U/J/Z) + 6 digits + check digit. *)
+  String.length s = 11
+  && all is_upper (String.sub s 0 4)
+  && (s.[3] = 'U' || s.[3] = 'J' || s.[3] = 'Z')
+  && all is_digit (String.sub s 4 7)
+  &&
+  let sum = ref 0 in
+  for i = 0 to 9 do
+    sum := !sum + (iso6346_char_val s.[i] * (1 lsl i))
+  done;
+  !sum mod 11 mod 10 = Char.code s.[10] - Char.code '0'
+
+let swift_code s =
+  (* BIC: 4 letters bank, 2 letters country (validated), 2 alnum location,
+     optional 3 alnum branch. *)
+  let n = String.length s in
+  (n = 8 || n = 11)
+  && all is_upper (String.sub s 0 4)
+  && List.mem (String.sub s 4 2) country_codes
+  && String.for_all (fun c -> is_upper c || is_digit c) (String.sub s 6 (n - 6))
+
+let lei s =
+  (* 20 chars: 18 alnum + 2 check digits, ISO 7064 mod 97-10. *)
+  String.length s = 20
+  && String.for_all (fun c -> is_digit c || is_upper c) s
+  && all is_digit (String.sub s 18 2)
+  &&
+  let buf = Buffer.create 40 in
+  String.iter
+    (fun c ->
+      if is_digit c then Buffer.add_char buf c
+      else Buffer.add_string buf (string_of_int (Char.code c - Char.code 'A' + 10)))
+    s;
+  Checksums.mod97_of_string (Buffer.contents buf) = 1
+
+let doi s =
+  String.length s > 8
+  && String.sub s 0 3 = "10."
+  && String.contains s '/'
+  &&
+  let slash = String.index s '/' in
+  let prefix = String.sub s 3 (slash - 3) in
+  all is_digit prefix
+  && String.length prefix >= 4
+  && slash < String.length s - 1
+
+let isrc s =
+  (* CC-XXX-YY-NNNNN possibly without dashes: 12 chars. *)
+  let compact = String.concat "" (split_on '-' s) in
+  String.length compact = 12
+  && List.mem (String.sub compact 0 2) country_codes
+  && String.for_all (fun c -> is_upper c || is_digit c) (String.sub compact 2 3)
+  && all is_digit (String.sub compact 5 2)
+  && all is_digit (String.sub compact 7 5)
+
+let ismn s =
+  (* 13-digit ISMN: 9790 prefix + GS1 checksum. *)
+  String.length s = 13
+  && String.sub s 0 4 = "9790"
+  && Checksums.gs1_valid s
+
+let bibcode s =
+  (* YYYYJJJJJVVVVMPPPPA: 19 chars, year + journal + volume + page + author *)
+  String.length s = 19
+  && all is_digit (String.sub s 0 4)
+  && (match int_opt (String.sub s 0 4) with
+      | Some y -> y >= 1800 && y <= 2100
+      | None -> false)
+  && is_alpha s.[18]
+
+let icd9 s =
+  (* 3 digits, optional .N or .NN; E/V codes allowed. *)
+  let body, rest =
+    match String.index_opt s '.' with
+    | Some i -> (String.sub s 0 i, Some (String.sub s (i + 1) (String.length s - i - 1)))
+    | None -> (s, None)
+  in
+  let body_ok =
+    (String.length body = 3 && all is_digit body)
+    || (String.length body = 4 && body.[0] = 'E' && all is_digit (String.sub body 1 3))
+    || (String.length body = 3 && body.[0] = 'V' && all is_digit (String.sub body 1 2))
+  in
+  body_ok
+  && (match rest with
+      | None -> true
+      | Some r -> String.length r >= 1 && String.length r <= 2 && all is_digit r)
+
+let icd10 s =
+  (* Letter + 2 digits, optional . + 1-4 alnum. *)
+  let body, rest =
+    match String.index_opt s '.' with
+    | Some i -> (String.sub s 0 i, Some (String.sub s (i + 1) (String.length s - i - 1)))
+    | None -> (s, None)
+  in
+  String.length body = 3
+  && is_upper body.[0]
+  && is_digit body.[1] && is_digit body.[2]
+  && (match rest with
+      | None -> true
+      | Some r ->
+        String.length r >= 1 && String.length r <= 4
+        && String.for_all (fun c -> is_digit c || is_upper c) r)
+
+let dea_number s =
+  (* 2 letters + 7 digits; checksum: (d1+d3+d5) + 2*(d2+d4+d6) last digit = d7 *)
+  String.length s = 9
+  && is_upper s.[0] && (is_upper s.[1] || s.[1] = '9')
+  && all is_digit (String.sub s 2 7)
+  &&
+  let d i = Char.code s.[i + 2] - Char.code '0' in
+  let sum = d 0 + d 2 + d 4 + (2 * (d 1 + d 3 + d 5)) in
+  sum mod 10 = d 6
+
+let hcpcs s =
+  String.length s = 5
+  && is_upper s.[0]
+  && all is_digit (String.sub s 1 4)
+
+let msisdn s =
+  (* International number: optional +, 10-15 digits, no leading 0. *)
+  let body = if String.length s > 0 && s.[0] = '+' then String.sub s 1 (String.length s - 1) else s in
+  String.length body >= 10 && String.length body <= 15
+  && all is_digit body
+  && body.[0] <> '0'
+
+let asin s =
+  String.length s = 10
+  && ((String.sub s 0 2 = "B0"
+       && String.for_all (fun c -> is_upper c || is_digit c) s)
+      || Checksums.isbn10_valid s)
+
+let uic_wagon _s = false  (* modeled as uncovered (niche) *)
+
+let nmea0183 s =
+  (* $GPxxx,...*hh with XOR checksum. *)
+  String.length s > 7
+  && s.[0] = '$'
+  &&
+  match String.index_opt s '*' with
+  | None -> false
+  | Some star ->
+    String.length s = star + 3
+    &&
+    let sum = ref 0 in
+    for i = 1 to star - 1 do
+      sum := !sum lxor Char.code s.[i]
+    done;
+    let hex = Printf.sprintf "%02X" !sum in
+    String.uppercase_ascii (String.sub s (star + 1) 2) = hex
+
+let pubchem_id s =
+  (* CID followed by digits, or plain digits with moderate length. *)
+  if String.length s > 4 && String.sub s 0 4 = "CID:" then
+    all is_digit (String.sub s 4 (String.length s - 4))
+  else all is_digit s && String.length s >= 2 && String.length s <= 9
+
+let iupac_number _s = false  (* modeled via chemical_formula family; niche *)
+
+let sql_query s =
+  let lower = String.lowercase_ascii s in
+  let starts p =
+    String.length lower >= String.length p
+    && String.sub lower 0 (String.length p) = p
+  in
+  starts "select " || starts "insert " || starts "update " || starts "delete "
+
+let book_name _s = false  (* enumerable / semantics, uncovered *)

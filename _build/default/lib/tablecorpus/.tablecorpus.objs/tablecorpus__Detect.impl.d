@@ -1,0 +1,1 @@
+lib/tablecorpus/detect.ml: Autotype_core Corpus Eval Hashtbl List Option Regex_infer Semtypes String Webtables

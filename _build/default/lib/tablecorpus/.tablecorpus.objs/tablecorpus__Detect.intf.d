@@ -1,0 +1,1 @@
+lib/tablecorpus/detect.mli: Eval Semtypes Webtables

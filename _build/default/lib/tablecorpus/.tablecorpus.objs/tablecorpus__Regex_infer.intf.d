@@ -1,0 +1,1 @@
+lib/tablecorpus/regex_infer.mli:

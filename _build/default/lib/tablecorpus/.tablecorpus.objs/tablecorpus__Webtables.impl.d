@@ -1,0 +1,1 @@
+lib/tablecorpus/webtables.ml: Array List Option Printf Random Semtypes

@@ -1,0 +1,1 @@
+lib/tablecorpus/webtables.mli:

@@ -1,0 +1,196 @@
+(** Column-type detection over the web-table corpus (Section 9):
+    DNF-S (synthesized top-1 function, 80% value threshold), KW (header
+    keyword match) and REGEX (Potter's-Wheel inferred pattern, 80%
+    threshold). *)
+
+type method_ = DNF_S | KW | REGEX
+
+let method_to_string = function
+  | DNF_S -> "DNF-S"
+  | KW -> "KW"
+  | REGEX -> "REGEX"
+
+let all_methods = [ DNF_S; KW; REGEX ]
+
+(* Header keywords per type for the KW baseline ("we choose a number of
+   search keywords for each type, e.g. url and website for type url"). *)
+let header_keywords =
+  [ ("datetime", [ "date"; "time"; "published"; "updated" ]);
+    ("address", [ "address"; "location" ]);
+    ("country-code", [ "country"; "nation" ]);
+    ("phone", [ "phone"; "telephone"; "mobile"; "fax" ]);
+    ("currency", [ "price"; "cost"; "amount" ]);
+    ("email", [ "email"; "e-mail"; "mail" ]);
+    ("us-zipcode", [ "zip"; "zipcode"; "postal" ]);
+    ("url", [ "url"; "website"; "link"; "homepage" ]);
+    ("ipv4", [ "ip"; "ip address" ]);
+    ("isbn", [ "isbn" ]);
+    ("upc", [ "upc" ]);
+    ("ean", [ "ean" ]);
+    ("isin", [ "isin" ]);
+    ("issn", [ "issn" ]);
+    ("credit-card", [ "card"; "cc number" ]);
+    ("ipv6", [ "ipv6" ]);
+    ("iban", [ "iban" ]);
+    ("vin", [ "vin" ]);
+    ("stock-ticker", [ "ticker"; "symbol" ]);
+    ("airport-code", [ "airport" ]) ]
+
+let detection_threshold = 0.8
+
+(** A per-type detector, built once and applied to every column. *)
+type detector = {
+  type_id : string;
+  accepts : string -> bool;  (** value-level predicate *)
+  usable : bool;  (** REGEX inference can fail on heterogeneous input *)
+}
+
+let fraction_accepted det values =
+  match values with
+  | [] -> 0.0
+  | _ ->
+    let n = List.length (List.filter det values) in
+    float_of_int n /. float_of_int (List.length values)
+
+(** Build the DNF-S detector for a type: run the full synthesis pipeline
+    and wrap the top-1 synthesized function. *)
+let dnf_detector ?(seed = 11) (ty : Semtypes.Registry.t) : detector =
+  let positives = Semtypes.Registry.positive_examples ~n:20 ~seed ty in
+  let outcome =
+    Autotype_core.Pipeline.synthesize ~index:(Corpus.search_index ())
+      ~query:ty.Semtypes.Registry.name ~positives ()
+  in
+  match Autotype_core.Pipeline.best outcome with
+  | Some syn ->
+    {
+      type_id = ty.Semtypes.Registry.id;
+      accepts = Autotype_core.Synthesis.validate syn;
+      usable = true;
+    }
+  | None ->
+    { type_id = ty.Semtypes.Registry.id; accepts = (fun _ -> false);
+      usable = false }
+
+(** REGEX detector: Potter's-Wheel inference from the same positives. *)
+let regex_detector ?(seed = 11) (ty : Semtypes.Registry.t) : detector =
+  let positives = Semtypes.Registry.positive_examples ~n:20 ~seed ty in
+  match Regex_infer.infer positives with
+  | Some pattern ->
+    {
+      type_id = ty.Semtypes.Registry.id;
+      accepts = Regex_infer.matches pattern;
+      usable = true;
+    }
+  | None ->
+    { type_id = ty.Semtypes.Registry.id; accepts = (fun _ -> false);
+      usable = false }
+
+let header_matches type_id (header : string option) =
+  match header with
+  | None -> false
+  | Some h ->
+    let h = String.lowercase_ascii h in
+    let keywords =
+      Option.value (List.assoc_opt type_id header_keywords) ~default:[]
+    in
+    List.exists
+      (fun kw ->
+        let kl = String.length kw and hl = String.length h in
+        kl <= hl
+        &&
+        let rec go i =
+          i + kl <= hl && (String.sub h i kl = kw || go (i + 1))
+        in
+        go 0)
+      keywords
+
+(** Detect columns of [type_id] with a value-level detector. *)
+let detect_with_values (det : detector) (columns : Webtables.column list) :
+    Webtables.column list =
+  if not det.usable then []
+  else
+    List.filter
+      (fun (c : Webtables.column) ->
+        fraction_accepted det.accepts c.Webtables.values > detection_threshold)
+      columns
+
+let detect_with_headers type_id (columns : Webtables.column list) :
+    Webtables.column list =
+  List.filter
+    (fun (c : Webtables.column) -> header_matches type_id c.Webtables.header)
+    columns
+
+(** Score detected columns against column truth. *)
+let score type_id ~(detected : Webtables.column list)
+    ~(columns : Webtables.column list) : Eval.Metrics.prf =
+  let is_truth (c : Webtables.column) = c.Webtables.truth = Some type_id in
+  let tp = List.length (List.filter is_truth detected) in
+  let fp = List.length detected - tp in
+  let fn =
+    List.length (List.filter is_truth columns)
+    - tp
+  in
+  { Eval.Metrics.tp; fp; fn }
+
+type per_type_result = {
+  type_id : string;
+  method_ : method_;
+  detected : int;
+  true_positives : int;
+  precision : float;
+  relative_recall : float;  (** filled in after pooling *)
+  f1 : float;
+}
+
+(** Run all three methods on all 20 popular types over a column corpus.
+    Relative recall per type uses the union of correct columns found by
+    the three methods as ground truth (Section 9.1). *)
+let run ?(seed = 11) (columns : Webtables.column list) :
+    per_type_result list =
+  let popular = Semtypes.Registry.popular in
+  List.concat_map
+    (fun (ty : Semtypes.Registry.t) ->
+      let type_id = ty.Semtypes.Registry.id in
+      let dnf = dnf_detector ~seed ty in
+      let regex = regex_detector ~seed ty in
+      let detections =
+        [ (DNF_S, detect_with_values dnf columns);
+          (KW, detect_with_headers type_id columns);
+          (REGEX, detect_with_values regex columns) ]
+      in
+      (* Pool of correct columns across methods (relative recall). *)
+      let correct (cols : Webtables.column list) =
+        List.filter (fun c -> c.Webtables.truth = Some type_id) cols
+      in
+      let pool =
+        let tbl = Hashtbl.create 64 in
+        List.iter
+          (fun (_, cols) ->
+            List.iter
+              (fun (c : Webtables.column) -> Hashtbl.replace tbl c ())
+              (correct cols))
+          detections;
+        Hashtbl.length tbl
+      in
+      List.map
+        (fun (m, detected) ->
+          let prf = score type_id ~detected ~columns in
+          let tp = prf.Eval.Metrics.tp in
+          let rr =
+            if pool = 0 then 0.0 else float_of_int tp /. float_of_int pool
+          in
+          let p = Eval.Metrics.precision prf in
+          let f1 =
+            if p +. rr = 0.0 then 0.0 else 2.0 *. p *. rr /. (p +. rr)
+          in
+          {
+            type_id;
+            method_ = m;
+            detected = List.length detected;
+            true_positives = tp;
+            precision = p;
+            relative_recall = rr;
+            f1;
+          })
+        detections)
+    popular

@@ -1,0 +1,56 @@
+(** Column-type detection over the web-table corpus (Section 9): the
+    synthesized-function method (DNF-S), the header-keyword baseline
+    (KW) and the inferred-regex baseline (REGEX). *)
+
+type method_ = DNF_S | KW | REGEX
+
+val method_to_string : method_ -> string
+val all_methods : method_ list
+
+val header_keywords : (string * string list) list
+(** Per-type header keywords for the KW baseline. *)
+
+val detection_threshold : float
+(** A column is detected when more than this fraction of values pass
+    (0.8, per Section 9.1). *)
+
+type detector = {
+  type_id : string;
+  accepts : string -> bool;
+  usable : bool;  (** REGEX inference can fail on heterogeneous input *)
+}
+
+val fraction_accepted : (string -> bool) -> string list -> float
+
+val dnf_detector : ?seed:int -> Semtypes.Registry.t -> detector
+(** Full synthesis pipeline, wrapping the top-1 synthesized function. *)
+
+val regex_detector : ?seed:int -> Semtypes.Registry.t -> detector
+(** Potter's-Wheel inference from the same positive examples. *)
+
+val header_matches : string -> string option -> bool
+
+val detect_with_values :
+  detector -> Webtables.column list -> Webtables.column list
+
+val detect_with_headers :
+  string -> Webtables.column list -> Webtables.column list
+
+val score :
+  string ->
+  detected:Webtables.column list ->
+  columns:Webtables.column list ->
+  Eval.Metrics.prf
+
+type per_type_result = {
+  type_id : string;
+  method_ : method_;
+  detected : int;
+  true_positives : int;
+  precision : float;
+  relative_recall : float;  (** vs. the union of all methods' correct finds *)
+  f1 : float;
+}
+
+val run : ?seed:int -> Webtables.column list -> per_type_result list
+(** All three methods on all 20 popular types (Figure 11 / Table 2). *)

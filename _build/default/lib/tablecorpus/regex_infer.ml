@@ -1,0 +1,141 @@
+(** Potter's-Wheel-style structure inference (Raman & Hellerstein,
+    VLDB 2001), used by the REGEX baseline of Section 9.1: "we
+    automatically generate regex from positive examples P ... using
+    techniques described in Potter's Wheel."
+
+    Each example is abstracted into a sequence of structure tokens
+    (digit runs, letter runs, punctuation literals).  Signatures are
+    unified across examples: runs of the same class merge their length
+    ranges; examples whose token sequences disagree yield a disjunction.
+    If the examples are too heterogeneous (more than [max_disjuncts]
+    distinct shapes), inference fails — reproducing the paper's finding
+    that mixed-format inputs defeat the regex approach. *)
+
+type token =
+  | Digits of int * int  (** length range *)
+  | Letters of int * int
+  | Alnum of int * int
+  | Punct of char  (** literal punctuation character *)
+
+type signature = token list
+
+type t = { disjuncts : signature list }
+
+let max_disjuncts = 4
+
+let classify c =
+  if c >= '0' && c <= '9' then `Digit
+  else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') then `Letter
+  else `Punct
+
+let tokenize (s : string) : signature =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      match classify s.[i] with
+      | `Punct -> go (i + 1) (Punct s.[i] :: acc)
+      | (`Digit | `Letter) as cls ->
+        let j = ref (i + 1) in
+        while !j < n && classify s.[!j] = cls do incr j done;
+        let len = !j - i in
+        let tok =
+          match cls with
+          | `Digit -> Digits (len, len)
+          | `Letter -> Letters (len, len)
+        in
+        go !j (tok :: acc)
+  in
+  go 0 []
+
+(* Can two signatures be unified token-by-token? *)
+let rec unify (a : signature) (b : signature) : signature option =
+  match (a, b) with
+  | [], [] -> Some []
+  | Punct x :: ta, Punct y :: tb when x = y ->
+    Option.map (fun rest -> Punct x :: rest) (unify ta tb)
+  | Digits (l1, h1) :: ta, Digits (l2, h2) :: tb ->
+    Option.map (fun rest -> Digits (min l1 l2, max h1 h2) :: rest) (unify ta tb)
+  | Letters (l1, h1) :: ta, Letters (l2, h2) :: tb ->
+    Option.map (fun rest -> Letters (min l1 l2, max h1 h2) :: rest)
+      (unify ta tb)
+  | Alnum (l1, h1) :: ta, Alnum (l2, h2) :: tb
+  | Alnum (l1, h1) :: ta, Digits (l2, h2) :: tb
+  | Digits (l1, h1) :: ta, Alnum (l2, h2) :: tb
+  | Alnum (l1, h1) :: ta, Letters (l2, h2) :: tb
+  | Letters (l1, h1) :: ta, Alnum (l2, h2) :: tb ->
+    Option.map (fun rest -> Alnum (min l1 l2, max h1 h2) :: rest) (unify ta tb)
+  | _ -> None
+
+(** Infer a structure pattern from examples.  [None] when the examples
+    are too heterogeneous. *)
+let infer (examples : string list) : t option =
+  let sigs = List.map tokenize examples in
+  let disjuncts =
+    List.fold_left
+      (fun acc s ->
+        let rec insert = function
+          | [] -> [ s ]
+          | d :: rest ->
+            (match unify d s with
+             | Some merged -> merged :: rest
+             | None -> d :: insert rest)
+        in
+        insert acc)
+      [] sigs
+  in
+  if disjuncts = [] || List.length disjuncts > max_disjuncts then None
+  else Some { disjuncts }
+
+let token_matches tok (s : string) (i : int) : int list =
+  (* Returns the possible end offsets for this token starting at i. *)
+  let n = String.length s in
+  match tok with
+  | Punct c -> if i < n && s.[i] = c then [ i + 1 ] else []
+  | Digits (lo, hi) | Letters (lo, hi) | Alnum (lo, hi) ->
+    let ok c =
+      match tok with
+      | Digits _ -> classify c = `Digit
+      | Letters _ -> classify c = `Letter
+      | Alnum _ -> classify c <> `Punct
+      | Punct _ -> false
+    in
+    let max_run =
+      let j = ref i in
+      while !j < n && ok s.[!j] do incr j done;
+      !j - i
+    in
+    if max_run < lo then []
+    else
+      List.init (min hi max_run - lo + 1) (fun k -> i + lo + k)
+      |> List.rev  (* prefer the longest run: greedy first *)
+
+let signature_matches (sg : signature) (s : string) : bool =
+  let rec go toks i =
+    match toks with
+    | [] -> i = String.length s
+    | tok :: rest ->
+      List.exists (fun j -> go rest j) (token_matches tok s i)
+  in
+  go sg 0
+
+let matches (t : t) (s : string) : bool =
+  List.exists (fun sg -> signature_matches sg s) t.disjuncts
+
+let token_to_string = function
+  | Digits (lo, hi) ->
+    if lo = hi then Printf.sprintf "\\d{%d}" lo
+    else Printf.sprintf "\\d{%d,%d}" lo hi
+  | Letters (lo, hi) ->
+    if lo = hi then Printf.sprintf "[A-Za-z]{%d}" lo
+    else Printf.sprintf "[A-Za-z]{%d,%d}" lo hi
+  | Alnum (lo, hi) ->
+    if lo = hi then Printf.sprintf "\\w{%d}" lo
+    else Printf.sprintf "\\w{%d,%d}" lo hi
+  | Punct c -> Printf.sprintf "%c" c
+
+let to_string (t : t) =
+  String.concat " | "
+    (List.map
+       (fun sg -> String.concat "" (List.map token_to_string sg))
+       t.disjuncts)

@@ -1,0 +1,32 @@
+(** Potter's-Wheel-style structure inference (Raman & Hellerstein,
+    VLDB 2001) — the REGEX baseline of Section 9.1.
+
+    Examples are abstracted into token sequences (digit runs, letter
+    runs, punctuation literals); sequences unify across examples by
+    widening run-length ranges; heterogeneous example sets (more than a
+    few distinct shapes) make inference fail, reproducing the paper's
+    finding for mixed-format inputs. *)
+
+type token =
+  | Digits of int * int  (** run of digits, length range *)
+  | Letters of int * int
+  | Alnum of int * int
+  | Punct of char
+
+type signature = token list
+
+type t
+(** An inferred pattern: a small disjunction of signatures. *)
+
+val max_disjuncts : int
+
+val tokenize : string -> signature
+
+val unify : signature -> signature -> signature option
+
+val infer : string list -> t option
+(** [None] when the examples are too heterogeneous. *)
+
+val matches : t -> string -> bool
+
+val to_string : t -> string

@@ -1,0 +1,31 @@
+(** Synthetic web-table column corpus (Section 9.1), replacing the
+    paper's 60K-column sample of Bing's web-table index.  Type counts
+    follow Table 2's union-all proportions; headers may be descriptive,
+    generic, missing or misleading; traps reproduce the paper's
+    false-positive and false-negative analyses. *)
+
+type column = {
+  header : string option;
+  values : string list;
+  truth : string option;  (** benchmark type id; [None] for untyped *)
+  note : string;  (** generator provenance, for error analysis *)
+}
+
+val type_weights : (string * int) list
+(** Per-type column weights proportional to Table 2's union-all row. *)
+
+val absent_popular_types : string list
+(** The 5 popular types with no columns in the corpus (the paper finds
+    valid columns for only 15 of 20 types). *)
+
+type config = {
+  n_columns : int;
+  values_per_column : int;
+  dirty_fraction : float;
+  seed : int;
+}
+
+val default_config : config
+
+val generate : ?config:config -> unit -> column list
+(** Deterministic in [config.seed]. *)

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Autotype_core List Minilang Printf QCheck QCheck_alcotest Random Semtypes String

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Corpus Hashtbl List Minilang Repolib Semtypes String

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Autotype_core Eval Float List Option QCheck QCheck_alcotest Semtypes

@@ -1,0 +1,1 @@
+test/test_minilang.ml: Alcotest Ast Interp Lexer List Minilang Option Parser Printf QCheck QCheck_alcotest Trace Value

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Autotype_core Corpus List Printf Repolib Semtypes String

@@ -1,0 +1,1 @@
+test/test_regexlite.ml: Alcotest Char List Printf QCheck QCheck_alcotest Regexlite Seq String

@@ -1,0 +1,1 @@
+test/test_repolib.ml: Alcotest List Minilang Repolib

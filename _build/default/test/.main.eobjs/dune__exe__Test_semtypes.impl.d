@@ -1,0 +1,1 @@
+test/test_semtypes.ml: Alcotest Char List Option QCheck QCheck_alcotest Semtypes String

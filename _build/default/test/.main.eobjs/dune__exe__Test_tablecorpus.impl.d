@@ -1,0 +1,1 @@
+test/test_tablecorpus.ml: Alcotest Eval List Semtypes Tablecorpus

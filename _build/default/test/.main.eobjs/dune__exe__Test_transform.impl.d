@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Autotype_core Char Corpus List Repolib Semtypes String

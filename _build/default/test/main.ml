@@ -1,0 +1,12 @@
+let () =
+  Alcotest.run "autotype"
+    [ ("minilang", Test_minilang.suite);
+      ("regexlite", Test_regexlite.suite);
+      ("semtypes", Test_semtypes.suite);
+      ("core", Test_core.suite);
+      ("repolib", Test_repolib.suite);
+      ("corpus", Test_corpus.suite);
+      ("pipeline", Test_pipeline.suite);
+      ("eval", Test_eval.suite);
+      ("transform", Test_transform.suite);
+      ("tablecorpus", Test_tablecorpus.suite) ]

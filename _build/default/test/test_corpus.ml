@@ -1,0 +1,156 @@
+(** Tests for the simulated code corpus: every repository parses, loads
+    and yields candidates; corpus validators agree with ground truth. *)
+
+let check = Alcotest.check
+
+let test_all_repos_parse () =
+  match Corpus.parse_failures () with
+  | [] -> ()
+  | failures ->
+    Alcotest.failf "repos fail to parse: %s"
+      (String.concat "; "
+         (List.map (fun (r, m) -> r ^ " (" ^ m ^ ")") failures))
+
+let test_repo_names_unique () =
+  let names =
+    List.map (fun r -> r.Repolib.Repo.repo_name) Corpus.all_repos
+  in
+  Alcotest.(check int)
+    "unique repo names"
+    (List.length names)
+    (List.length (List.sort_uniq String.compare names))
+
+let test_candidates_found () =
+  let candidates = Corpus.all_candidates () in
+  (* The corpus should yield a substantial candidate pool. *)
+  if List.length candidates < 100 then
+    Alcotest.failf "only %d candidates extracted" (List.length candidates)
+
+let test_every_covered_type_has_intended_code () =
+  let missing =
+    List.filter
+      (fun (t : Semtypes.Registry.t) ->
+        Corpus.intended_candidates t.Semtypes.Registry.id = [])
+      Semtypes.Registry.covered
+  in
+  match missing with
+  | [] -> ()
+  | _ ->
+    Alcotest.failf "covered types without corpus code: %s"
+      (String.concat ", "
+         (List.map (fun t -> t.Semtypes.Registry.id) missing))
+
+let test_truth_labels_resolve () =
+  (* Every truth entry must name a real extracted candidate, otherwise
+     the label is dead (typo in a function name). *)
+  let candidates = Corpus.all_candidates () in
+  let names_by_repo = Hashtbl.create 64 in
+  List.iter
+    (fun (c : Repolib.Candidate.t) ->
+      Hashtbl.add names_by_repo
+        c.Repolib.Candidate.repo.Repolib.Repo.repo_name
+        c.Repolib.Candidate.func_name)
+    candidates;
+  List.iter
+    (fun (r : Repolib.Repo.t) ->
+      List.iter
+        (fun (fname, types) ->
+          if types <> [] then
+            let found =
+              List.exists
+                (String.equal fname)
+                (Hashtbl.find_all names_by_repo r.Repolib.Repo.repo_name)
+            in
+            if not found then
+              Alcotest.failf "%s: truth label %s matches no candidate"
+                r.Repolib.Repo.repo_name fname)
+        r.Repolib.Repo.truth)
+    Corpus.all_repos
+
+(** Core agreement property: for a sample of covered types, at least one
+    ground-truth-relevant corpus function must accept (execute normally
+    on) every generated positive example while erroring or diverging on
+    clearly foreign input. *)
+let test_relevant_functions_execute_positives () =
+  (* Every covered type: at least one ground-truth-relevant function must
+     execute cleanly on all its generated positives. *)
+  let sample =
+    List.map (fun t -> t.Semtypes.Registry.id) Semtypes.Registry.covered
+  in
+  List.iter
+    (fun type_id ->
+      let ty = Semtypes.Registry.find_exn type_id in
+      let positives = Semtypes.Registry.positive_examples ~n:8 ~seed:5 ty in
+      let cands = Corpus.intended_candidates type_id in
+      let some_accepts_all =
+        List.exists
+          (fun c ->
+            List.for_all
+              (fun p ->
+                match (Repolib.Driver.run_safe c p).Minilang.Interp.outcome with
+                | Minilang.Interp.Finished v ->
+                  (* Functions returning a boolean must return True. *)
+                  (match v with
+                   | Minilang.Value.Vbool b -> b
+                   | _ -> true)
+                | Minilang.Interp.Errored _ | Minilang.Interp.Hit_limit _ ->
+                  false)
+              positives)
+          cands
+      in
+      if not some_accepts_all then
+        Alcotest.failf "%s: no intended function accepts all positives"
+          type_id)
+    sample
+
+let test_search_finds_relevant_repo () =
+  let index = Corpus.search_index () in
+  let cases =
+    [ ("credit card", "mpaz/cardcheck");
+      ("ISBN", "booktech/isbn-tools");
+      ("IPv4 address", "netkit/netaddr-lite");
+      ("IBAN", "bankkit/iban-tools");
+      ("VIN number", "autoparts/vin-decoder") ]
+  in
+  List.iter
+    (fun (query, expected_repo) ->
+      let results = Repolib.Search.search index ~k:20 query in
+      let names = List.map (fun r -> r.Repolib.Repo.repo_name) results in
+      if not (List.mem expected_repo names) then
+        Alcotest.failf "query %S does not retrieve %s (got: %s)" query
+          expected_repo
+          (String.concat ", " (List.filteri (fun i _ -> i < 8) names)))
+    cases
+
+let test_swift_ambiguity () =
+  (* Appendix J: the bare query "SWIFT" is dominated by the programming
+     language repos; "SWIFT message" disambiguates. *)
+  let index = Corpus.search_index () in
+  let top_for q =
+    match Repolib.Search.search index ~k:5 q with
+    | r :: _ -> r.Repolib.Repo.repo_name
+    | [] -> "<none>"
+  in
+  let bare = top_for "swift" in
+  check Alcotest.bool "bare swift hits a language repo" true
+    (bare = "swift-community/swift-examples"
+    || bare = "learn-swift/swift-tutorial");
+  let precise = Repolib.Search.search index ~k:10 "SWIFT message" in
+  check Alcotest.bool "SWIFT message retrieves the BIC repo" true
+    (List.exists
+       (fun r -> r.Repolib.Repo.repo_name = "payments-eu/swift-bic")
+       precise)
+
+let suite =
+  [
+    ("all repos parse", `Quick, test_all_repos_parse);
+    ("repo names unique", `Quick, test_repo_names_unique);
+    ("candidate extraction", `Quick, test_candidates_found);
+    ("covered types have corpus code", `Quick,
+     test_every_covered_type_has_intended_code);
+    ("truth labels resolve", `Quick, test_truth_labels_resolve);
+    ("relevant functions accept positives", `Slow,
+     test_relevant_functions_execute_positives);
+    ("search finds relevant repos", `Quick, test_search_finds_relevant_repo);
+    ("swift keyword ambiguity", `Quick, test_swift_ambiguity);
+  ]

@@ -1,0 +1,107 @@
+(** Tests for the evaluation layer: IR metrics and the benchmark
+    machinery. *)
+
+module M = Eval.Metrics
+
+let rel i q = { M.intention = i; quality = q }
+
+let test_precision_at_k () =
+  let ranked = [ rel true 1.0; rel false 1.0; rel true 0.9; rel true 0.3 ] in
+  Alcotest.(check (float 1e-9)) "p@1" 1.0 (M.precision_at_k ranked 1);
+  Alcotest.(check (float 1e-9)) "p@2" 0.5 (M.precision_at_k ranked 2);
+  (* rel = I·Q: the 4th item intends the type but fails unit tests. *)
+  Alcotest.(check (float 1e-9)) "p@4" 0.5 (M.precision_at_k ranked 4);
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (M.precision_at_k [] 3)
+
+let test_ndcg () =
+  (* Perfect ranking has NDCG 1. *)
+  let perfect = [ rel true 1.0; rel true 0.8; rel false 0.9 ] in
+  Alcotest.(check (float 1e-9)) "perfect" 1.0 (M.ndcg_at_p perfect 3);
+  (* Swapping the best to the bottom lowers NDCG strictly. *)
+  let swapped = [ rel false 0.9; rel true 0.8; rel true 1.0 ] in
+  let v = M.ndcg_at_p swapped 3 in
+  Alcotest.(check bool) "worse ranking, lower ndcg" true (v < 1.0 && v > 0.0)
+
+let test_relative_recall () =
+  let a = [ ("f1", rel true 1.0); ("f2", rel true 1.0) ] in
+  let b = [ ("f1", rel true 1.0); ("f3", rel false 1.0) ] in
+  let recalls = M.relative_recall ~pool_k:7 [ ("A", a); ("B", b) ] in
+  (* Pool = {f1, f2}; A finds both, B finds f1 only. *)
+  Alcotest.(check (float 1e-9)) "A recall" 1.0 (List.assoc "A" recalls);
+  Alcotest.(check (float 1e-9)) "B recall" 0.5 (List.assoc "B" recalls)
+
+let test_quality_score () =
+  Alcotest.(check (float 1e-9)) "perfect" 1.0
+    (M.quality_score ~pass_pos:10 ~n_pos:10 ~reject_neg:100 ~n_neg:100);
+  Alcotest.(check (float 1e-9)) "accepts everything" 0.5
+    (M.quality_score ~pass_pos:10 ~n_pos:10 ~reject_neg:0 ~n_neg:100);
+  Alcotest.(check (float 1e-9)) "rejects everything" 0.5
+    (M.quality_score ~pass_pos:0 ~n_pos:10 ~reject_neg:100 ~n_neg:100)
+
+let test_f_score () =
+  let prf = { M.tp = 8; fp = 2; fn = 2 } in
+  Alcotest.(check (float 1e-9)) "precision" 0.8 (M.precision prf);
+  Alcotest.(check (float 1e-9)) "recall" 0.8 (M.recall prf);
+  Alcotest.(check (float 1e-9)) "f1" 0.8 (M.f_score prf);
+  let zero = { M.tp = 0; fp = 0; fn = 0 } in
+  Alcotest.(check (float 1e-9)) "empty f1" 0.0 (M.f_score zero)
+
+let test_negative_pool_is_truly_negative () =
+  let ty = Semtypes.Registry.find_exn "credit-card" in
+  let pool = Eval.Benchmark.negative_test_pool ~n:100 ~seed:3 ty in
+  Alcotest.(check int) "pool size" 100 (List.length pool);
+  let validate = Option.get ty.Semtypes.Registry.validator in
+  List.iter
+    (fun v ->
+      if validate v then Alcotest.failf "pool contains a valid card: %S" v)
+    pool
+
+let test_benchmark_single_type () =
+  let ty = Semtypes.Registry.find_exn "aba-routing" in
+  let r = Eval.Benchmark.run_type ty in
+  Alcotest.(check bool) "candidates found" true (r.Eval.Benchmark.n_candidates > 0);
+  let graded =
+    List.assoc Autotype_core.Ranking.DNF_S r.Eval.Benchmark.per_method
+  in
+  (match graded with
+   | top :: _ ->
+     Alcotest.(check bool) "top-1 relevant" true
+       (M.is_relevant top.Eval.Benchmark.relevance)
+   | [] -> Alcotest.fail "empty ranking");
+  Alcotest.(check bool) "relevant functions counted" true
+    (r.Eval.Benchmark.n_relevant_found >= 1)
+
+let prop_ndcg_bounded =
+  QCheck.Test.make ~count:200 ~name:"NDCG in [0, 1]"
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 10)
+              (pair bool (QCheck.float_range 0.0 1.0)))
+    (fun items ->
+      let ranked = List.map (fun (i, q) -> rel i (Float.abs q)) items in
+      let v = M.ndcg_at_p ranked 7 in
+      v >= 0.0 && v <= 1.0 +. 1e-9)
+
+let prop_precision_monotone_pool =
+  QCheck.Test.make ~count:200 ~name:"P@K counts only above-floor relevance"
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 10) (QCheck.float_range 0.0 1.0))
+    (fun qs ->
+      let ranked = List.map (fun q -> rel true (Float.abs q)) qs in
+      let k = List.length ranked in
+      let expected =
+        float_of_int
+          (List.length (List.filter (fun q -> Float.abs q > 0.5) qs))
+        /. float_of_int k
+      in
+      Float.abs (M.precision_at_k ranked k -. expected) < 1e-9)
+
+let suite =
+  [
+    ("precision@k", `Quick, test_precision_at_k);
+    ("ndcg", `Quick, test_ndcg);
+    ("relative recall pooling", `Quick, test_relative_recall);
+    ("quality score", `Quick, test_quality_score);
+    ("f-score", `Quick, test_f_score);
+    ("negative test pool", `Quick, test_negative_pool_is_truly_negative);
+    ("benchmark single type", `Slow, test_benchmark_single_type);
+    QCheck_alcotest.to_alcotest prop_ndcg_bounded;
+    QCheck_alcotest.to_alcotest prop_precision_monotone_pool;
+  ]

@@ -1,0 +1,126 @@
+(** End-to-end tests of the synthesis pipeline (Figure 6): search →
+    candidates → negative generation → DNF ranking → synthesized
+    validator. *)
+
+let synthesize ?config type_id =
+  let ty = Semtypes.Registry.find_exn type_id in
+  let positives = Semtypes.Registry.positive_examples ~n:20 ~seed:11 ty in
+  Autotype_core.Pipeline.synthesize ?config
+    ~index:(Corpus.search_index ())
+    ~query:ty.Semtypes.Registry.name ~positives ()
+
+let top_is_relevant type_id (o : Autotype_core.Pipeline.outcome) =
+  match o.Autotype_core.Pipeline.ranked with
+  | [] -> false
+  | r :: _ ->
+    let c = r.Autotype_core.Ranking.traced.Autotype_core.Ranking.candidate in
+    Repolib.Repo.intends c.Repolib.Candidate.repo
+      ~func_name:c.Repolib.Candidate.func_name ~type_id
+
+let test_credit_card_end_to_end () =
+  let o = synthesize "credit-card" in
+  Alcotest.(check bool) "found functions" true (o.ranked <> []);
+  Alcotest.(check bool) "top-1 is a credit-card function" true
+    (top_is_relevant "credit-card" o);
+  (* Checksum types are separated already by S1 mutations (Section 6). *)
+  (match o.strategy_used with
+   | Some Autotype_core.Negative.S1 -> ()
+   | Some s ->
+     Alcotest.failf "expected S1 for credit card, got %s"
+       (Autotype_core.Negative.strategy_to_string s)
+   | None -> Alcotest.fail "no strategy recorded");
+  (* The synthesized validator generalizes to held-out data. *)
+  match Autotype_core.Pipeline.best o with
+  | None -> Alcotest.fail "no synthesized function"
+  | Some syn ->
+    let ty = Semtypes.Registry.find_exn "credit-card" in
+    let held_out = Semtypes.Registry.positive_examples ~n:10 ~seed:99 ty in
+    List.iter
+      (fun p ->
+        if not (Autotype_core.Synthesis.validate syn p) then
+          Alcotest.failf "held-out positive %S rejected" p)
+      held_out;
+    (* Wild negatives are rejected. *)
+    let rng = Semtypes.Generators.make_rng 123 in
+    let wild = List.init 50 (fun _ -> Semtypes.Generators.wild_cell rng) in
+    let accepted =
+      List.length (List.filter (Autotype_core.Synthesis.validate syn) wild)
+    in
+    if accepted > 5 then
+      Alcotest.failf "synthesized card validator accepted %d/50 wild cells"
+        accepted
+
+let test_ipv6_uses_s2 () =
+  (* Example 6: S1 keeps ':' structure and produces positives, so IPv6
+     requires escalation to S2 (mutating punctuation). *)
+  let o = synthesize "ipv6" in
+  match o.strategy_used with
+  | Some Autotype_core.Negative.S2 | Some Autotype_core.Negative.S1 ->
+    (* S1 can occasionally suffice when hex-digit mutations produce
+       group-length violations; S2 is the expected common case. *)
+    Alcotest.(check bool) "top is relevant" true (top_is_relevant "ipv6" o)
+  | Some s ->
+    Alcotest.failf "unexpected strategy %s"
+      (Autotype_core.Negative.strategy_to_string s)
+  | None -> Alcotest.fail "ipv6: no functions found"
+
+let test_gene_sequence_needs_s3 () =
+  (* Types whose alphabet has no punctuation and closed content (FASTA
+     bodies, roman numerals) defeat S1/S2: mutations stay in-alphabet. *)
+  let ty = Semtypes.Registry.find_exn "roman-numeral" in
+  let positives = Semtypes.Registry.positive_examples ~n:20 ~seed:3 ty in
+  let alpha = Autotype_core.Negative.infer_alphabet positives in
+  (* Roman numerals: the inferred alphabet is a subset of IVXLCDM. *)
+  List.iter
+    (fun c ->
+      if not (String.contains "IVXLCDM" c) then
+        Alcotest.failf "unexpected alphabet char %c" c)
+    alpha.Autotype_core.Negative.full;
+  let o = synthesize "roman-numeral" in
+  (match o.strategy_used with
+   | Some s ->
+     Printf.printf "roman numerals separated at %s\n"
+       (Autotype_core.Negative.strategy_to_string s)
+   | None -> Alcotest.fail "roman: no functions found");
+  Alcotest.(check bool) "top is relevant" true
+    (top_is_relevant "roman-numeral" o)
+
+let test_several_popular_types () =
+  List.iter
+    (fun type_id ->
+      let o = synthesize type_id in
+      if o.Autotype_core.Pipeline.ranked = [] then
+        Alcotest.failf "%s: nothing synthesized" type_id;
+      if not (top_is_relevant type_id o) then
+        let top =
+          match o.ranked with
+          | r :: _ ->
+            Repolib.Candidate.describe
+              r.Autotype_core.Ranking.traced.Autotype_core.Ranking.candidate
+          | [] -> "<none>"
+        in
+        Alcotest.failf "%s: top-1 not relevant (%s)" type_id top)
+    [ "isbn"; "ipv4"; "email"; "iban"; "vin" ]
+
+let test_synthesized_handles_format_variants () =
+  (* Section 9.2: functions are robust to formatting (hyphenated ISBNs)
+     where inferred regexes are not. *)
+  let o = synthesize "isbn" in
+  match Autotype_core.Pipeline.best o with
+  | None -> Alcotest.fail "no ISBN function"
+  | Some syn ->
+    let rng = Semtypes.Generators.make_rng 7 in
+    for _ = 1 to 10 do
+      let hyphenated = Semtypes.Generators.isbn13_hyphenated rng in
+      if not (Autotype_core.Synthesis.validate syn hyphenated) then
+        Alcotest.failf "hyphenated ISBN %S rejected" hyphenated
+    done
+
+let suite =
+  [
+    ("credit card end-to-end", `Slow, test_credit_card_end_to_end);
+    ("ipv6 escalates to S2", `Slow, test_ipv6_uses_s2);
+    ("closed-alphabet types escalate", `Slow, test_gene_sequence_needs_s3);
+    ("several popular types", `Slow, test_several_popular_types);
+    ("format variants", `Slow, test_synthesized_handles_format_variants);
+  ]

@@ -1,0 +1,131 @@
+(** Unit and property tests for the regexlite engine. *)
+
+let m pattern s = Regexlite.string_matches pattern s
+
+let test_literals () =
+  Alcotest.(check bool) "exact" true (m "abc" "abc");
+  Alcotest.(check bool) "prefix not full" false (m "abc" "abcd");
+  Alcotest.(check bool) "dot" true (m "a.c" "axc");
+  Alcotest.(check bool) "dot no newline skip" false (m "a.c" "ac");
+  Alcotest.(check bool) "escaped dot" false (m "a\\.c" "axc");
+  Alcotest.(check bool) "escaped dot literal" true (m "a\\.c" "a.c")
+
+let test_classes () =
+  Alcotest.(check bool) "digit" true (m "\\d+" "12345");
+  Alcotest.(check bool) "digit rejects alpha" false (m "\\d+" "12a45");
+  Alcotest.(check bool) "word" true (m "\\w+" "ab_9");
+  Alcotest.(check bool) "space" true (m "a\\sb" "a b");
+  Alcotest.(check bool) "range" true (m "[a-f]+" "cafe");
+  Alcotest.(check bool) "range rejects" false (m "[a-f]+" "cage");
+  Alcotest.(check bool) "negated" true (m "[^0-9]+" "abc");
+  Alcotest.(check bool) "negated rejects" false (m "[^0-9]+" "ab1");
+  Alcotest.(check bool) "class with dash last" true (m "[a-c-]+" "a-b");
+  Alcotest.(check bool) "class escape" true (m "[\\d.]+" "1.2")
+
+let test_quantifiers () =
+  Alcotest.(check bool) "star empty" true (m "a*" "");
+  Alcotest.(check bool) "star many" true (m "a*" "aaaa");
+  Alcotest.(check bool) "plus needs one" false (m "a+" "");
+  Alcotest.(check bool) "opt present" true (m "ab?c" "abc");
+  Alcotest.(check bool) "opt absent" true (m "ab?c" "ac");
+  Alcotest.(check bool) "exact count" true (m "a{3}" "aaa");
+  Alcotest.(check bool) "exact count rejects" false (m "a{3}" "aa");
+  Alcotest.(check bool) "range count" true (m "a{2,4}" "aaa");
+  Alcotest.(check bool) "range count hi" false (m "a{2,4}" "aaaaa");
+  Alcotest.(check bool) "open range" true (m "a{2,}" "aaaaaa");
+  Alcotest.(check bool) "group star" true (m "(ab)+" "ababab");
+  Alcotest.(check bool) "group star partial" false (m "(ab)+" "ababa")
+
+let test_alternation () =
+  Alcotest.(check bool) "alt left" true (m "cat|dog" "cat");
+  Alcotest.(check bool) "alt right" true (m "cat|dog" "dog");
+  Alcotest.(check bool) "alt neither" false (m "cat|dog" "cow");
+  Alcotest.(check bool) "nested" true (m "a(b|c)d" "acd");
+  Alcotest.(check bool) "anchored alt" true (m "^(ab|cd)$" "cd")
+
+let test_realistic_patterns () =
+  let ipv4 =
+    "^(25[0-5]|2[0-4][0-9]|1[0-9][0-9]|[1-9]?[0-9])(\\.(25[0-5]|2[0-4][0-9]|1[0-9][0-9]|[1-9]?[0-9])){3}$"
+  in
+  Alcotest.(check bool) "ipv4 ok" true (m ipv4 "192.168.0.1");
+  Alcotest.(check bool) "ipv4 256" false (m ipv4 "256.1.1.1");
+  Alcotest.(check bool) "ipv4 three" false (m ipv4 "1.2.3");
+  let email = "^[a-zA-Z0-9._%+-]+@[a-zA-Z0-9.-]+\\.[a-zA-Z]{2,}$" in
+  Alcotest.(check bool) "email ok" true (m email "a.b@x.co.uk");
+  Alcotest.(check bool) "email bad" false (m email "a@@b.com");
+  let ssn = "^[0-9]{3}-[0-9]{2}-[0-9]{4}$" in
+  Alcotest.(check bool) "ssn" true (m ssn "123-45-6789");
+  Alcotest.(check bool) "ssn short" false (m ssn "123-45-678")
+
+let test_search_and_prefix () =
+  let re = Regexlite.parse "\\d+" in
+  (match Regexlite.search re "ab123cd" with
+   | Some (2, 5) -> ()
+   | Some (i, j) -> Alcotest.failf "search found (%d, %d)" i j
+   | None -> Alcotest.fail "search failed");
+  (match Regexlite.match_prefix re "12ab" with
+   | Some 2 -> ()
+   | _ -> Alcotest.fail "prefix match");
+  match Regexlite.match_prefix re "ab12" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "prefix must anchor at 0"
+
+let test_parse_errors () =
+  List.iter
+    (fun p ->
+      match Regexlite.parse p with
+      | _ -> Alcotest.failf "expected parse error for %S" p
+      | exception Regexlite.Parse_error _ -> ())
+    [ "a{3"; "[abc"; "(ab"; "*a"; "a{4,2}"; "a\\" ]
+
+let test_fuel_bound () =
+  (* Catastrophic backtracking is bounded, not hanging. *)
+  let re = Regexlite.parse "(a+)+b" in
+  let s = String.make 40 'a' ^ "c" in
+  Alcotest.(check bool) "pathological input returns" false
+    (Regexlite.full_match re s)
+
+(* Property: a literal string always matches itself once special
+   characters are escaped. *)
+let prop_escaped_self_match =
+  QCheck.Test.make ~count:200 ~name:"escaped literal matches itself"
+    QCheck.(string_of_size (QCheck.Gen.int_range 1 15))
+    (fun s ->
+      let escaped =
+        String.to_seq s
+        |> Seq.map (fun c ->
+               if
+                 (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+                 || (c >= '0' && c <= '9')
+               then String.make 1 c
+               else if Char.code c >= 32 && Char.code c < 127 then
+                 "\\" ^ String.make 1 c
+               else "x")
+        |> List.of_seq |> String.concat ""
+      in
+      let s =
+        String.map (fun c -> if Char.code c < 32 || Char.code c >= 127 then 'x' else c) s
+      in
+      m escaped s)
+
+let prop_digit_class =
+  QCheck.Test.make ~count:200 ~name:"\\d{n} matches exactly n digits"
+    QCheck.(int_range 1 12)
+    (fun n ->
+      let digits = String.init n (fun i -> Char.chr (Char.code '0' + (i mod 10))) in
+      m (Printf.sprintf "\\d{%d}" n) digits
+      && (not (m (Printf.sprintf "\\d{%d}" n) (digits ^ "1"))))
+
+let suite =
+  [
+    ("literals", `Quick, test_literals);
+    ("character classes", `Quick, test_classes);
+    ("quantifiers", `Quick, test_quantifiers);
+    ("alternation", `Quick, test_alternation);
+    ("realistic patterns", `Quick, test_realistic_patterns);
+    ("search and prefix", `Quick, test_search_and_prefix);
+    ("parse errors", `Quick, test_parse_errors);
+    ("fuel bound", `Quick, test_fuel_bound);
+    QCheck_alcotest.to_alcotest prop_escaped_self_match;
+    QCheck_alcotest.to_alcotest prop_digit_class;
+  ]

@@ -1,0 +1,307 @@
+(** Tests for the ground-truth layer: checksums, validators, generators
+    and the 112-type registry. *)
+
+let check = Alcotest.check
+let bool_c = Alcotest.bool
+
+(* ------------------------- checksums ------------------------------ *)
+
+let test_luhn () =
+  check bool_c "known valid card" true (Semtypes.Checksums.luhn_valid "4111111111111111");
+  check bool_c "mutated card" false (Semtypes.Checksums.luhn_valid "4111111111111112");
+  check bool_c "amex" true (Semtypes.Checksums.luhn_valid "371449635398431");
+  check bool_c "discover" true (Semtypes.Checksums.luhn_valid "6011016011016011");
+  check bool_c "non-digit" false (Semtypes.Checksums.luhn_valid "41111x11");
+  check bool_c "empty" false (Semtypes.Checksums.luhn_valid "")
+
+let test_luhn_check_digit () =
+  (* Appending the computed check digit always yields a Luhn-valid string. *)
+  let rng = Semtypes.Generators.make_rng 7 in
+  for _ = 1 to 50 do
+    let body = Semtypes.Generators.digits rng 15 in
+    let d = Semtypes.Checksums.luhn_check_digit body in
+    check bool_c "body+check valid" true
+      (Semtypes.Checksums.luhn_valid (body ^ string_of_int d))
+  done
+
+let test_gs1 () =
+  check bool_c "real EAN-13" true (Semtypes.Checksums.ean13_valid "4006381333931");
+  check bool_c "bad EAN-13" false (Semtypes.Checksums.ean13_valid "4006381333932");
+  check bool_c "real UPC-A" true (Semtypes.Checksums.upca_valid "036000291452");
+  check bool_c "real ISBN-13" true (Semtypes.Checksums.isbn13_valid "9784063641561");
+  check bool_c "ISBN-13 wrong prefix" false
+    (Semtypes.Checksums.isbn13_valid "5784063641566")
+
+let test_isbn10 () =
+  check bool_c "known" true (Semtypes.Checksums.isbn10_valid "0306406152");
+  check bool_c "X check digit" true (Semtypes.Checksums.isbn10_valid "097522980X");
+  check bool_c "bad" false (Semtypes.Checksums.isbn10_valid "0306406153")
+
+let test_issn () =
+  check bool_c "nature ISSN" true (Semtypes.Checksums.issn_valid "00280836");
+  check bool_c "bad" false (Semtypes.Checksums.issn_valid "00280837")
+
+let test_isin () =
+  check bool_c "apple ISIN" true (Semtypes.Checksums.isin_valid "US0378331005");
+  check bool_c "bad" false (Semtypes.Checksums.isin_valid "US0378331006");
+  check bool_c "lowercase rejected" false
+    (Semtypes.Checksums.isin_valid "us0378331005")
+
+let test_vin () =
+  check bool_c "known VIN" true (Semtypes.Checksums.vin_valid "1M8GDM9AXKP042788");
+  check bool_c "11111111111111111" true
+    (Semtypes.Checksums.vin_valid "11111111111111111");
+  check bool_c "bad check" false (Semtypes.Checksums.vin_valid "1M8GDM9A1KP042788");
+  check bool_c "contains I" false (Semtypes.Checksums.vin_valid "IM8GDM9AXKP042788")
+
+let test_iban () =
+  check bool_c "DE example" true
+    (Semtypes.Checksums.iban_valid "DE89370400440532013000");
+  check bool_c "GB example" true
+    (Semtypes.Checksums.iban_valid "GB82WEST12345698765432");
+  check bool_c "mutated" false
+    (Semtypes.Checksums.iban_valid "DE89370400440532013001");
+  check bool_c "wrong length" false
+    (Semtypes.Checksums.iban_valid "DE8937040044053201300")
+
+let test_aba () =
+  check bool_c "known routing" true (Semtypes.Checksums.aba_valid "111000025");
+  check bool_c "bad" false (Semtypes.Checksums.aba_valid "111000026")
+
+let test_cusip () =
+  check bool_c "apple CUSIP" true (Semtypes.Checksums.cusip_valid "037833100");
+  check bool_c "bad" false (Semtypes.Checksums.cusip_valid "037833101")
+
+let test_sedol () =
+  check bool_c "known SEDOL" true (Semtypes.Checksums.sedol_valid "0263494");
+  check bool_c "bad" false (Semtypes.Checksums.sedol_valid "0263495")
+
+let test_nhs () =
+  check bool_c "known NHS" true (Semtypes.Checksums.nhs_valid "9434765919");
+  check bool_c "bad" false (Semtypes.Checksums.nhs_valid "9434765918")
+
+let test_imo () =
+  check bool_c "known IMO" true (Semtypes.Validators.imo_number "IMO 9074729");
+  check bool_c "bare digits" true (Semtypes.Validators.imo_number "9074729");
+  check bool_c "bad" false (Semtypes.Validators.imo_number "IMO 9074728")
+
+let test_orcid () =
+  check bool_c "known ORCID" true (Semtypes.Tail.orcid_valid "0000-0002-1825-0097");
+  check bool_c "bad" false (Semtypes.Tail.orcid_valid "0000-0002-1825-0098")
+
+let test_mod97 () =
+  Alcotest.(check int) "mod97 simple" (123456 mod 97)
+    (Semtypes.Checksums.mod97_of_string "123456")
+
+(* ------------------------- validators ----------------------------- *)
+
+let test_ipv4 () =
+  let valid = [ "192.168.0.1"; "8.8.8.8"; "255.255.255.255"; "0.0.0.0" ] in
+  let invalid = [ "256.1.1.1"; "1.2.3"; "1.2.3.4.5"; "a.b.c.d"; "01.2.3.4"; "7.74.0.0.0" ] in
+  List.iter (fun s -> check bool_c s true (Semtypes.Validators.ipv4 s)) valid;
+  List.iter (fun s -> check bool_c s false (Semtypes.Validators.ipv4 s)) invalid
+
+let test_ipv6 () =
+  check bool_c "full" true
+    (Semtypes.Validators.ipv6 "2001:0db8:85a3:0000:0000:8a2e:0370:7334");
+  check bool_c "compressed" true (Semtypes.Validators.ipv6 "2001:db8::1");
+  check bool_c "paper example" true
+    (Semtypes.Validators.ipv6 "4f:45b6:336:d336:e41b:8df4:696:e2");
+  check bool_c "too many groups" false
+    (Semtypes.Validators.ipv6 "1:2:3:4:5:6:7:8:9");
+  check bool_c "bad chars" false (Semtypes.Validators.ipv6 "2001:db8::g1")
+
+let test_email () =
+  check bool_c "plain" true (Semtypes.Validators.email "john.doe@example.com");
+  check bool_c "plus" true (Semtypes.Validators.email "a+b@x.co.uk");
+  check bool_c "no at" false (Semtypes.Validators.email "john.doe.example.com");
+  check bool_c "no tld" false (Semtypes.Validators.email "a@b");
+  check bool_c "double dot domain ok" false (Semtypes.Validators.email "a@b..com")
+
+let test_url () =
+  check bool_c "http" true (Semtypes.Validators.url "http://www.example.com/x");
+  check bool_c "https" true (Semtypes.Validators.url "https://a.io");
+  check bool_c "no scheme" false (Semtypes.Validators.url "www.example.com");
+  check bool_c "no dot" false (Semtypes.Validators.url "http://localhost")
+
+let test_dates () =
+  check bool_c "iso" true (Semtypes.Validators.datetime "2017-01-31");
+  check bool_c "us" true (Semtypes.Validators.datetime "01/31/2017");
+  check bool_c "textual" true (Semtypes.Validators.datetime "Jan 01, 2017");
+  check bool_c "textual full" true (Semtypes.Validators.datetime "September 15, 2011");
+  check bool_c "with time" true (Semtypes.Validators.datetime "2017-01-31 23:59:00");
+  check bool_c "bad month" false (Semtypes.Validators.datetime "2017-13-01");
+  check bool_c "bad month name" false (Semtypes.Validators.datetime "Abc 01, 2017");
+  check bool_c "feb 30" false (Semtypes.Validators.datetime "2017-02-30");
+  check bool_c "leap ok" true (Semtypes.Validators.datetime "2016-02-29");
+  check bool_c "non-leap" false (Semtypes.Validators.datetime "2017-02-29");
+  check bool_c "temperature range" false (Semtypes.Validators.datetime "4-11")
+
+let test_phone () =
+  check bool_c "paren" true (Semtypes.Validators.phone_us "(502) 107-2133");
+  check bool_c "dashes" true (Semtypes.Validators.phone_us "502-107-2133");
+  check bool_c "bare" true (Semtypes.Validators.phone_us "5021072133");
+  check bool_c "too short" false (Semtypes.Validators.phone_us "107-2133");
+  check bool_c "letters" false (Semtypes.Validators.phone_us "502-CALL-NOW")
+
+let test_roman () =
+  List.iter
+    (fun s -> check bool_c s true (Semtypes.Validators.roman_numeral s))
+    [ "I"; "IV"; "XIV"; "MCMXCIV"; "MMXXVI"; "CDXLIV" ];
+  List.iter
+    (fun s -> check bool_c s false (Semtypes.Validators.roman_numeral s))
+    [ "IIII"; "VX"; "ABC"; ""; "IXIX"; "MMMM" ]
+
+let test_misc_formats () =
+  check bool_c "mac" true (Semtypes.Validators.mac_address "00:1b:44:11:3a:b7");
+  check bool_c "mac dash" true (Semtypes.Validators.mac_address "00-1B-44-11-3A-B7");
+  check bool_c "mac bad" false (Semtypes.Validators.mac_address "00:1b:44:11:3a");
+  check bool_c "hex color" true (Semtypes.Validators.hex_color "#a3f2c1");
+  check bool_c "hex short" true (Semtypes.Validators.hex_color "#fff");
+  check bool_c "hex bad" false (Semtypes.Validators.hex_color "a3f2c1");
+  check bool_c "rgb" true (Semtypes.Validators.rgb_color "rgb(1, 2, 3)");
+  check bool_c "rgb range" false (Semtypes.Validators.rgb_color "rgb(256, 2, 3)");
+  check bool_c "zip" true (Semtypes.Validators.us_zipcode "98101");
+  check bool_c "zip+4" true (Semtypes.Validators.us_zipcode "98101-1234");
+  check bool_c "zip bad" false (Semtypes.Validators.us_zipcode "9810");
+  check bool_c "guid" true
+    (Semtypes.Validators.guid "123e4567-e89b-12d3-a456-426614174000");
+  check bool_c "ssn" true (Semtypes.Validators.ssn "123-45-6789");
+  check bool_c "ssn 000" false (Semtypes.Validators.ssn "000-45-6789");
+  check bool_c "json" true (Semtypes.Validators.json_doc "{\"a\": 1}");
+  check bool_c "json unbalanced" false (Semtypes.Validators.json_doc "{\"a\": 1");
+  check bool_c "xml" true (Semtypes.Validators.xml_doc "<a><b>1</b></a>");
+  check bool_c "xml bad close" false (Semtypes.Validators.xml_doc "<a><b>1</b></c>");
+  check bool_c "address" true
+    (Semtypes.Validators.mailing_address "459 Euclid Rd, Utica NY 13501");
+  check bool_c "address mutated" false
+    (Semtypes.Validators.mailing_address "459 Euclid Xq, Utica QQ 13501");
+  check bool_c "container" true (Semtypes.Validators.iso6346_container "CSQU3054383");
+  check bool_c "nmea" true
+    (Semtypes.Validators.nmea0183 "$GPGLL,4916.45,N,12311.12,W,225444,A,*1D")
+
+(* ------------------- registry + generators ------------------------ *)
+
+let test_registry_counts () =
+  Alcotest.(check int) "112 types" 112 Semtypes.Registry.count;
+  let covered, no_code, other_lang, complex = Semtypes.Registry.coverage_counts () in
+  Alcotest.(check int) "84 covered" 84 covered;
+  Alcotest.(check int) "28 uncovered" 28 (no_code + other_lang + complex);
+  Alcotest.(check int) "12 other-language" 12 other_lang;
+  Alcotest.(check int) "4 complex invocation" 4 complex;
+  Alcotest.(check int) "20 popular" 20
+    (List.length Semtypes.Registry.popular)
+
+let test_registry_unique_ids () =
+  let ids = List.map (fun t -> t.Semtypes.Registry.id) Semtypes.Registry.all_types in
+  let sorted = List.sort_uniq String.compare ids in
+  Alcotest.(check int) "ids unique" (List.length ids) (List.length sorted)
+
+let test_covered_have_ground_truth () =
+  List.iter
+    (fun t ->
+      let open Semtypes.Registry in
+      Alcotest.(check bool)
+        (t.id ^ " has validator") true
+        (Option.is_some t.validator);
+      Alcotest.(check bool)
+        (t.id ^ " has generator") true
+        (Option.is_some t.generator))
+    Semtypes.Registry.covered
+
+(** Every covered type's generator output passes its own validator —
+    the linchpin of the whole benchmark. *)
+let test_generators_agree_with_validators () =
+  List.iter
+    (fun t ->
+      let open Semtypes.Registry in
+      match (t.validator, t.generator) with
+      | Some validate, Some _gen ->
+        let examples = positive_examples ~n:30 ~seed:42 t in
+        List.iter
+          (fun e ->
+            if not (validate e) then
+              Alcotest.failf "%s: generated %S fails its validator" t.id e)
+          examples
+      | _ -> ())
+    Semtypes.Registry.covered
+
+let test_generators_deterministic () =
+  let t = Semtypes.Registry.find_exn "credit-card" in
+  let a = Semtypes.Registry.positive_examples ~n:10 ~seed:1 t in
+  let b = Semtypes.Registry.positive_examples ~n:10 ~seed:1 t in
+  Alcotest.(check (list string)) "same seed, same examples" a b
+
+(* ----------------------- qcheck properties ------------------------ *)
+
+let prop_luhn_mutation =
+  QCheck.Test.make ~count:200 ~name:"single-digit mutation breaks Luhn ~90%"
+    QCheck.(pair (int_bound 1000000) (int_bound 15))
+    (fun (seed, pos) ->
+      let rng = Semtypes.Generators.make_rng seed in
+      let card = Semtypes.Generators.credit_card rng in
+      let pos = pos mod String.length card in
+      let old_d = card.[pos] in
+      let new_d = Char.chr (Char.code '0' + ((Char.code old_d - Char.code '0' + 1) mod 10)) in
+      let mutated = String.mapi (fun i c -> if i = pos then new_d else c) card in
+      (* A different digit in one position always breaks the Luhn sum. *)
+      not (Semtypes.Checksums.luhn_valid mutated))
+
+let prop_gs1_check_digit_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"gs1 check digit round-trips"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Semtypes.Generators.make_rng seed in
+      let body = Semtypes.Generators.digits rng 12 in
+      let d = Semtypes.Checksums.gs1_check_digit body in
+      Semtypes.Checksums.gs1_valid (body ^ string_of_int d))
+
+let prop_roman_generator_valid =
+  QCheck.Test.make ~count:200 ~name:"roman generator always validates"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Semtypes.Generators.make_rng seed in
+      Semtypes.Validators.roman_numeral (Semtypes.Generators.roman rng))
+
+let prop_iban_generator_valid =
+  QCheck.Test.make ~count:100 ~name:"iban generator always validates"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Semtypes.Generators.make_rng seed in
+      Semtypes.Checksums.iban_valid (Semtypes.Generators.iban rng))
+
+let suite =
+  [
+    ("luhn", `Quick, test_luhn);
+    ("luhn check digit", `Quick, test_luhn_check_digit);
+    ("gs1 family", `Quick, test_gs1);
+    ("isbn10", `Quick, test_isbn10);
+    ("issn", `Quick, test_issn);
+    ("isin", `Quick, test_isin);
+    ("vin", `Quick, test_vin);
+    ("iban", `Quick, test_iban);
+    ("aba", `Quick, test_aba);
+    ("cusip", `Quick, test_cusip);
+    ("sedol", `Quick, test_sedol);
+    ("nhs", `Quick, test_nhs);
+    ("imo", `Quick, test_imo);
+    ("orcid", `Quick, test_orcid);
+    ("mod97", `Quick, test_mod97);
+    ("ipv4", `Quick, test_ipv4);
+    ("ipv6", `Quick, test_ipv6);
+    ("email", `Quick, test_email);
+    ("url", `Quick, test_url);
+    ("dates", `Quick, test_dates);
+    ("phone", `Quick, test_phone);
+    ("roman", `Quick, test_roman);
+    ("misc formats", `Quick, test_misc_formats);
+    ("registry counts", `Quick, test_registry_counts);
+    ("registry unique ids", `Quick, test_registry_unique_ids);
+    ("covered types have ground truth", `Quick, test_covered_have_ground_truth);
+    ("generators agree with validators", `Quick, test_generators_agree_with_validators);
+    ("generators deterministic", `Quick, test_generators_deterministic);
+    QCheck_alcotest.to_alcotest prop_luhn_mutation;
+    QCheck_alcotest.to_alcotest prop_gs1_check_digit_roundtrip;
+    QCheck_alcotest.to_alcotest prop_roman_generator_valid;
+    QCheck_alcotest.to_alcotest prop_iban_generator_valid;
+  ]

@@ -1,0 +1,118 @@
+(** Tests for the web-table substrate: Potter's-Wheel regex inference,
+    corpus generation and column detection. *)
+
+module R = Tablecorpus.Regex_infer
+
+let test_infer_homogeneous () =
+  match R.infer [ "123-45-6789"; "987-65-4321"; "555-12-0000" ] with
+  | None -> Alcotest.fail "homogeneous examples must infer"
+  | Some p ->
+    Alcotest.(check bool) "matches same shape" true (R.matches p "111-22-3333");
+    Alcotest.(check bool) "rejects other shape" false (R.matches p "11-222-3333");
+    Alcotest.(check bool) "rejects letters" false (R.matches p "abc-de-fghi")
+
+let test_infer_length_ranges () =
+  match R.infer [ "ab12"; "abcd1"; "a123" ] with
+  | None -> Alcotest.fail "must unify letter/digit runs"
+  | Some p ->
+    Alcotest.(check bool) "in range" true (R.matches p "xyz99");
+    Alcotest.(check bool) "letters too long" false (R.matches p "abcde123")
+
+let test_infer_heterogeneous_fails () =
+  (* Mixed formats defeat regex inference (Section 9.2): more distinct
+     shapes than the disjunct budget. *)
+  let mixed =
+    [ "2017-01-31"; "Jan 01, 2017"; "01/31/2017"; "31.01.2017";
+      "2017 Jan 31"; "20170131T00" ]
+  in
+  (match R.infer mixed with
+   | None -> ()
+   | Some p ->
+     (* If it infers, the pattern must at least be a disjunction and not
+        match everything. *)
+     Alcotest.(check bool) "does not match arbitrary text" false
+       (R.matches p "hello world 42"))
+
+let test_regex_fails_on_unseen_variant () =
+  (* The paper's ISBN example: trained on compact digits, a regex cannot
+     recognize the hyphenated variant, while reused code can. *)
+  let rng = Semtypes.Generators.make_rng 5 in
+  let compact = List.init 20 (fun _ -> Semtypes.Generators.isbn13 rng) in
+  match R.infer compact with
+  | None -> Alcotest.fail "compact ISBNs are homogeneous"
+  | Some p ->
+    Alcotest.(check bool) "accepts compact" true
+      (R.matches p (Semtypes.Generators.isbn13 rng));
+    Alcotest.(check bool) "rejects hyphenated" false
+      (R.matches p (Semtypes.Generators.isbn13_hyphenated rng))
+
+let test_corpus_generation () =
+  let config =
+    { Tablecorpus.Webtables.default_config with n_columns = 500 }
+  in
+  let columns = Tablecorpus.Webtables.generate ~config () in
+  Alcotest.(check int) "column count" 500 (List.length columns);
+  let typed =
+    List.filter
+      (fun c -> c.Tablecorpus.Webtables.truth <> None)
+      columns
+  in
+  Alcotest.(check bool) "typed columns exist" true (List.length typed > 50);
+  (* datetime dominates, per Table 2's proportions. *)
+  let count ty =
+    List.length
+      (List.filter (fun c -> c.Tablecorpus.Webtables.truth = Some ty) columns)
+  in
+  Alcotest.(check bool) "datetime most frequent" true
+    (count "datetime" > count "address");
+  (* None of the 5 absent popular types occur. *)
+  List.iter
+    (fun ty ->
+      Alcotest.(check int) (ty ^ " absent") 0 (count ty))
+    Tablecorpus.Webtables.absent_popular_types;
+  (* Determinism. *)
+  let columns2 = Tablecorpus.Webtables.generate ~config () in
+  Alcotest.(check bool) "generation deterministic" true (columns = columns2)
+
+let test_header_matching () =
+  Alcotest.(check bool) "direct" true
+    (Tablecorpus.Detect.header_matches "email" (Some "Email"));
+  Alcotest.(check bool) "substring" true
+    (Tablecorpus.Detect.header_matches "email" (Some "contact e-mail"));
+  Alcotest.(check bool) "missing header" false
+    (Tablecorpus.Detect.header_matches "email" None);
+  Alcotest.(check bool) "unrelated" false
+    (Tablecorpus.Detect.header_matches "email" (Some "price"))
+
+let test_detection_small_corpus () =
+  (* End-to-end detection on a small corpus: DNF-S finds ISBN columns
+     with high precision; the version-number trap is not detected as
+     IPv4 by value... (it is ambiguous, Section 9.2) — but the range
+     trap must never be detected as ISBN. *)
+  let config =
+    { Tablecorpus.Webtables.default_config with n_columns = 400 }
+  in
+  let columns = Tablecorpus.Webtables.generate ~config () in
+  let ty = Semtypes.Registry.find_exn "isbn" in
+  let det = Tablecorpus.Detect.dnf_detector ty in
+  Alcotest.(check bool) "isbn detector usable" true
+    det.Tablecorpus.Detect.usable;
+  let detected = Tablecorpus.Detect.detect_with_values det columns in
+  let prf = Tablecorpus.Detect.score "isbn" ~detected ~columns in
+  Alcotest.(check bool) "finds isbn columns" true (prf.Eval.Metrics.tp > 0);
+  List.iter
+    (fun (c : Tablecorpus.Webtables.column) ->
+      if c.Tablecorpus.Webtables.note = "range-looks-like-date" then
+        Alcotest.fail "range column detected as ISBN")
+    detected
+
+let suite =
+  [
+    ("regex inference: homogeneous", `Quick, test_infer_homogeneous);
+    ("regex inference: length ranges", `Quick, test_infer_length_ranges);
+    ("regex inference: heterogeneous", `Quick, test_infer_heterogeneous_fails);
+    ("regex fails on unseen variant", `Quick, test_regex_fails_on_unseen_variant);
+    ("webtable generation", `Quick, test_corpus_generation);
+    ("header matching", `Quick, test_header_matching);
+    ("detection end-to-end", `Slow, test_detection_small_corpus);
+  ]

@@ -1,0 +1,132 @@
+(** Tests for semantic-transformation harvesting (Section 7.1) and the
+    synthesized-validator layer (Section 5.3). *)
+
+let find_candidate func_name =
+  List.find
+    (fun c -> c.Repolib.Candidate.func_name = func_name)
+    (Corpus.all_candidates ())
+
+let test_harvest_card_brand () =
+  let c = find_candidate "CreditCard.read_from_number" in
+  let rng = Semtypes.Generators.make_rng 5 in
+  let positives = List.init 6 (fun _ -> Semtypes.Generators.credit_card rng) in
+  let ts = Autotype_core.Transform.harvest c ~positives in
+  let vars = List.map (fun t -> t.Autotype_core.Transform.variable) ts in
+  Alcotest.(check bool) "card brand harvested" true
+    (List.mem "self.card_brand" vars);
+  Alcotest.(check bool) "issuer bank harvested" true
+    (List.mem "self.issuer_bank" vars);
+  (* Brand values are real brand names. *)
+  let brand = List.find (fun t -> t.Autotype_core.Transform.variable = "self.card_brand") ts in
+  List.iter
+    (fun (_, v) ->
+      if not (List.mem v [ "Visa"; "Mastercard"; "Amex"; "Discover"; "" ]) then
+        Alcotest.failf "unexpected brand %S" v)
+    brand.Autotype_core.Transform.values
+
+let test_harvest_filters () =
+  (* Low-entropy and identity columns are dropped. *)
+  let repo =
+    Repolib.Repo.make "t/transform" "transform filters"
+      [
+        { Repolib.Repo.path = "tf/mod.py";
+          source =
+            {|
+def process(s):
+    constant = "always the same"
+    echo = s
+    derived = len(s)
+    return derived
+|} };
+      ]
+  in
+  let c = List.hd (Repolib.Analyzer.candidates_of_repo repo) in
+  let positives = [ "alpha"; "bravo!"; "charlie77" ] in
+  let ts = Autotype_core.Transform.harvest c ~positives in
+  let vars = List.map (fun t -> t.Autotype_core.Transform.variable) ts in
+  Alcotest.(check bool) "constant dropped" false (List.mem "constant" vars);
+  Alcotest.(check bool) "identity dropped" false (List.mem "echo" vars);
+  Alcotest.(check bool) "derived kept" true (List.mem "derived" vars)
+
+let test_to_table_shape () =
+  let ts =
+    [ { Autotype_core.Transform.variable = "x";
+        values = [ ("a", "1"); ("b", "2") ] } ]
+  in
+  match Autotype_core.Transform.to_table [ "a"; "b" ] ts with
+  | [ header; row_a; row_b ] ->
+    Alcotest.(check (list string)) "header" [ "input"; "x" ] header;
+    Alcotest.(check (list string)) "row a" [ "a"; "1" ] row_a;
+    Alcotest.(check (list string)) "row b" [ "b"; "2" ] row_b
+  | _ -> Alcotest.fail "table shape"
+
+let test_synthesized_validator_rejects_kinds () =
+  (* A synthesized credit-card validator rejects other numeric types. *)
+  let ty = Semtypes.Registry.find_exn "credit-card" in
+  let positives = Semtypes.Registry.positive_examples ~n:20 ~seed:11 ty in
+  let outcome =
+    Autotype_core.Pipeline.synthesize ~index:(Corpus.search_index ())
+      ~query:"credit card" ~positives ()
+  in
+  match Autotype_core.Pipeline.best outcome with
+  | None -> Alcotest.fail "no card validator"
+  | Some syn ->
+    let rng = Semtypes.Generators.make_rng 9 in
+    (* 16-digit strings failing Luhn: rejected. *)
+    for _ = 1 to 10 do
+      let bad =
+        let c = Semtypes.Generators.credit_card rng in
+        (* Flip the final digit to break Luhn. *)
+        let last = c.[String.length c - 1] in
+        let flipped =
+          Char.chr (Char.code '0' + ((Char.code last - Char.code '0' + 5) mod 10))
+        in
+        String.mapi
+          (fun i ch -> if i = String.length c - 1 then flipped else ch)
+          c
+      in
+      if Autotype_core.Synthesis.validate syn bad then
+        Alcotest.failf "accepted Luhn-invalid %S" bad
+    done;
+    (* Valid UPC-A codes (12-digit GS1) are not credit cards. *)
+    for _ = 1 to 10 do
+      let upc = Semtypes.Generators.upca rng in
+      if Autotype_core.Synthesis.validate syn upc then
+        Alcotest.failf "accepted UPC %S as credit card" upc
+    done
+
+let test_dnf_e_stricter_than_concise () =
+  (* DNF-E accepts a subset of what the concise DNF accepts. *)
+  let ty = Semtypes.Registry.find_exn "ipv4" in
+  let positives = Semtypes.Registry.positive_examples ~n:20 ~seed:11 ty in
+  let outcome =
+    Autotype_core.Pipeline.synthesize ~index:(Corpus.search_index ())
+      ~query:"IPv4" ~positives ()
+  in
+  match Autotype_core.Pipeline.best outcome with
+  | None -> Alcotest.fail "no ipv4 validator"
+  | Some syn ->
+    let rng = Semtypes.Generators.make_rng 4 in
+    let inputs =
+      List.init 30 (fun i ->
+          if i mod 2 = 0 then Semtypes.Generators.ipv4 rng
+          else Semtypes.Generators.wild_cell rng)
+    in
+    List.iter
+      (fun input ->
+        let extended = Autotype_core.Synthesis.validate syn input in
+        let concise = Autotype_core.Synthesis.validate_concise syn input in
+        if extended && not concise then
+          Alcotest.failf "DNF-E accepted %S but concise DNF did not" input)
+      inputs
+
+let suite =
+  [
+    ("harvest card brand", `Quick, test_harvest_card_brand);
+    ("harvest filters", `Quick, test_harvest_filters);
+    ("transformation table shape", `Quick, test_to_table_shape);
+    ("validator rejects near-miss types", `Slow,
+     test_synthesized_validator_rejects_kinds);
+    ("DNF-E is at least as strict as concise", `Slow,
+     test_dnf_e_stricter_than_concise);
+  ]
