@@ -1,0 +1,21 @@
+.PHONY: all build test check clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Full gate: build, test suites, and smoke-run the observability paths
+# (CLI --stats and the machine-readable bench JSON).
+check: build test
+	dune exec bin/autotype_cli.exe -- synth --type credit-card --stats
+	dune exec bench/main.exe -- pipeline
+	@test -s BENCH_pipeline.json || { echo "BENCH_pipeline.json missing or empty"; exit 1; }
+	@echo "check: OK"
+
+clean:
+	dune clean
+	rm -f BENCH_pipeline.json

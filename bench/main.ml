@@ -511,6 +511,78 @@ let micro () =
   List.iter run_test [ test_interp; test_mutate; test_dnf; test_regex ]
 
 (* ------------------------------------------------------------------ *)
+(* Pipeline stage timings → BENCH_pipeline.json                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-stage wall-clock baseline for future optimisation PRs: runs the
+   full synthesis pipeline for a few representative types under
+   telemetry and writes machine-readable per-stage timings. *)
+let pipeline_bench () =
+  section "Pipeline stage timings (BENCH_pipeline.json)";
+  let type_ids = [ "credit-card"; "ipv4"; "email"; "isbn" ] in
+  let stages =
+    [ "pipeline.search"; "pipeline.analyze"; "pipeline.probe";
+      "pipeline.negatives"; "pipeline.trace"; "pipeline.rank";
+      "pipeline.synthesize" ]
+  in
+  Telemetry.enable ();
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun id ->
+      let ty = Semtypes.Registry.find_exn id in
+      let positives = Semtypes.Registry.positive_examples ~n:20 ~seed:11 ty in
+      ignore
+        (Autotype_core.Pipeline.synthesize ~index:(Corpus.search_index ())
+           ~query:ty.Semtypes.Registry.name ~positives ()))
+    type_ids;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Telemetry.disable ();
+  let stage_stats =
+    List.map
+      (fun name ->
+        let spans = Telemetry.spans_named name in
+        let total_s = Int64.to_float (Telemetry.total_ns name) /. 1e9 in
+        (name, List.length spans, total_s))
+      stages
+  in
+  let snap = Telemetry.snapshot () in
+  print_table
+    [ "stage"; "spans"; "total" ]
+    (List.map
+       (fun (name, n, total_s) ->
+         [ name; string_of_int n; Printf.sprintf "%.1fms" (1e3 *. total_s) ])
+       stage_stats);
+  Printf.printf "interpreter: %d runs, %d steps, %d branch events\n"
+    (Telemetry.find_counter snap "interp.runs")
+    (Telemetry.find_counter snap "interp.steps")
+    (Telemetry.find_counter snap "interp.branch_events");
+  let json =
+    let stage_json =
+      String.concat ","
+        (List.map
+           (fun (name, n, total_s) ->
+             Printf.sprintf "\"%s\":{\"spans\":%d,\"total_s\":%.6f}" name n
+               total_s)
+           stage_stats)
+    in
+    let counter_json =
+      String.concat ","
+        (List.map
+           (fun (name, v) -> Printf.sprintf "\"%s\":%d" name v)
+           snap.Telemetry.counters)
+    in
+    Printf.sprintf
+      "{\"types\":[%s],\"elapsed_s\":%.6f,\"stages\":{%s},\"counters\":{%s}}\n"
+      (String.concat "," (List.map (Printf.sprintf "\"%s\"") type_ids))
+      elapsed stage_json counter_json
+  in
+  let oc = open_out "BENCH_pipeline.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_pipeline.json (%d types, %.1fs elapsed)\n"
+    (List.length type_ids) elapsed
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -542,7 +614,7 @@ let targets : (string * (unit -> unit)) list =
     ("fig10c", fig10c); ("fig11", fig11); ("table2", table2);
     ("table3", table3); ("fig12", fig12); ("fig13", fig13); ("fig14", fig14);
     ("sec83", sec83); ("subtypes", subtypes); ("ablation", ablation);
-    ("micro", micro) ]
+    ("micro", micro); ("pipeline", pipeline_bench) ]
 
 let () =
   let requested =

@@ -15,20 +15,88 @@
 
 open Cmdliner
 
-let read_lines path =
-  let ic = open_in path in
-  let rec go acc =
-    match input_line ic with
-    | line ->
-      let line = String.trim line in
-      go (if line = "" then acc else line :: acc)
-    | exception End_of_file -> close_in ic; List.rev acc
+(** Read non-empty trimmed lines; [Error] on unreadable/missing files
+    instead of an uncaught [Sys_error] backtrace. *)
+let read_lines path : (string list, string) result =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let rec go acc =
+      match input_line ic with
+      | line ->
+        let line = String.trim line in
+        go (if line = "" then acc else line :: acc)
+      | exception End_of_file -> close_in ic; List.rev acc
+      | exception Sys_error msg -> close_in_noerr ic; failwith msg
+    in
+    (match go [] with
+     | lines -> Ok lines
+     | exception Failure msg -> Error msg)
+
+(* ------------------------------ telemetry --------------------------- *)
+
+let stats_arg =
+  Arg.(value & flag
+       & info [ "stats" ]
+           ~doc:"Print a table of telemetry counters and histograms after \
+                 the command.")
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record stage spans and write them to $(docv) as JSON \
+                 Lines (one object per span).")
+
+(** Run [f] with telemetry enabled when [--stats]/[--trace] ask for it,
+    then print the metrics table and/or write the JSONL trace. *)
+let with_telemetry ~stats ~trace_file f =
+  let wanted = stats || trace_file <> None in
+  if wanted then Telemetry.enable ();
+  let code = f () in
+  if wanted then begin
+    Telemetry.disable ();
+    (match trace_file with
+     | Some path ->
+       (match Telemetry.write_jsonl path with
+        | Ok () ->
+          Printf.printf "wrote %d spans to %s\n"
+            (List.length (Telemetry.spans ())) path
+        | Error msg -> Printf.eprintf "cannot write trace: %s\n" msg)
+     | None -> ());
+    if stats then begin
+      print_newline ();
+      print_string (Telemetry.render_metrics (Telemetry.snapshot ()))
+    end
+  end;
+  code
+
+(** One-line per-stage wall-clock summary of a synthesize run. *)
+let print_stage_summary () =
+  let stage name =
+    match Telemetry.total_ns name with
+    | 0L -> None
+    | ns ->
+      let short =
+        match String.rindex_opt name '.' with
+        | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+        | None -> name
+      in
+      Some (Printf.sprintf "%s %s" short (Telemetry.format_ns ns))
   in
-  go []
+  let parts =
+    List.filter_map stage
+      [ "pipeline.search"; "pipeline.analyze"; "pipeline.probe";
+        "pipeline.negatives"; "pipeline.trace"; "pipeline.rank" ]
+  in
+  if parts <> [] then
+    Printf.printf "stages: %s\n" (String.concat " | " parts)
 
 let positives_for ~type_id ~examples_file ~query =
   match (examples_file, type_id) with
-  | Some path, _ -> Ok (read_lines path, Option.value query ~default:"data value")
+  | Some path, _ ->
+    (match read_lines path with
+     | Ok lines -> Ok (lines, Option.value query ~default:"data value")
+     | Error msg -> Error (Printf.sprintf "cannot read %s: %s" path msg))
   | None, Some id ->
     (match Semtypes.Registry.find id with
      | Some ty ->
@@ -67,13 +135,15 @@ let top_arg =
   Arg.(value & opt int 5 & info [ "top" ] ~docv:"N" ~doc:"Show the top N functions.")
 
 let synth_cmd =
-  let run type_id examples_file query top =
+  let run type_id examples_file query top stats trace_file =
+    with_telemetry ~stats ~trace_file @@ fun () ->
     match synthesize_outcome ~type_id ~examples_file ~query with
     | Error e -> prerr_endline e; 1
     | Ok outcome ->
       Printf.printf "searched %d repositories, %d candidate functions\n"
         outcome.Autotype_core.Pipeline.repos_searched
         outcome.Autotype_core.Pipeline.candidates_tried;
+      if Telemetry.enabled () then print_stage_summary ();
       (match outcome.Autotype_core.Pipeline.strategy_used with
        | Some s ->
          Printf.printf "negatives: mutation strategy %s\n"
@@ -92,7 +162,8 @@ let synth_cmd =
       0
   in
   Cmd.v (Cmd.info "synth" ~doc:"Synthesize type-detection functions")
-    Term.(const run $ type_arg $ examples_arg $ query_arg $ top_arg)
+    Term.(const run $ type_arg $ examples_arg $ query_arg $ top_arg
+          $ stats_arg $ trace_arg)
 
 (* ------------------------------ validate --------------------------- *)
 
@@ -100,7 +171,8 @@ let values_arg =
   Arg.(value & pos_all string [] & info [] ~docv:"VALUE")
 
 let validate_cmd =
-  let run type_id examples_file query values =
+  let run type_id examples_file query values stats trace_file =
+    with_telemetry ~stats ~trace_file @@ fun () ->
     match synthesize_outcome ~type_id ~examples_file ~query with
     | Error e -> prerr_endline e; 1
     | Ok outcome ->
@@ -119,7 +191,8 @@ let validate_cmd =
   in
   Cmd.v
     (Cmd.info "validate" ~doc:"Validate values with a synthesized function")
-    Term.(const run $ type_arg $ examples_arg $ query_arg $ values_arg)
+    Term.(const run $ type_arg $ examples_arg $ query_arg $ values_arg
+          $ stats_arg $ trace_arg)
 
 (* ------------------------------- detect ---------------------------- *)
 
@@ -128,10 +201,14 @@ let column_arg =
        & info [ "column" ] ~docv:"FILE" ~doc:"File with one column value per line.")
 
 let detect_cmd =
-  let run column =
-    let values = read_lines column in
-    if values = [] then begin prerr_endline "empty column"; 1 end
-    else begin
+  let run column stats trace_file =
+    with_telemetry ~stats ~trace_file @@ fun () ->
+    match read_lines column with
+    | Error msg ->
+      Printf.eprintf "cannot read %s: %s\n" column msg;
+      1
+    | Ok [] -> prerr_endline "empty column"; 1
+    | Ok values -> begin
       Printf.printf "column of %d values; scanning %d popular types...\n"
         (List.length values)
         (List.length Semtypes.Registry.popular);
@@ -148,9 +225,11 @@ let detect_cmd =
             else None)
           Semtypes.Registry.popular
       in
+      Telemetry.incr (Telemetry.counter "detect.columns_scanned");
       (match hits with
        | [] -> print_endline "no rich semantic type detected"
        | hits ->
+         Telemetry.incr (Telemetry.counter "detect.columns_detected");
          List.iter
            (fun (id, frac) ->
              Printf.printf "detected type %s (%.0f%% of values pass)\n" id
@@ -160,7 +239,7 @@ let detect_cmd =
     end
   in
   Cmd.v (Cmd.info "detect" ~doc:"Detect the semantic type of a column")
-    Term.(const run $ column_arg)
+    Term.(const run $ column_arg $ stats_arg $ trace_arg)
 
 (* -------------------------------- types ---------------------------- *)
 

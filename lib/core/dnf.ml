@@ -119,6 +119,9 @@ let neg_count inst bs =
    covering more positives are preferred. *)
 let max_representatives = 40
 
+let m_covers = Telemetry.counter "dnf.covers_computed"
+let m_clauses_considered = Telemetry.counter "dnf.clauses_considered"
+
 (** Greedy Best-k-Concise-DNF-Cover.  [theta] is the negative-coverage
     budget fraction; [k] the clause-length cap. *)
 let best_k_concise ?(k = 3) ?(theta = 0.3) (inst : instance) : result =
@@ -156,6 +159,8 @@ let best_k_concise ?(k = 3) ?(theta = 0.3) (inst : instance) : result =
     done;
     dfs 0 [] full 0;
     let conjs = Array.of_list !conjunctions in
+    Telemetry.incr m_covers;
+    Telemetry.incr ~by:(Array.length conjs) m_clauses_considered;
     (* Greedy selection. *)
     let covered = Bitset.create n_total in
     let chosen = ref [] in
@@ -242,6 +247,8 @@ let best_complete ?(theta = 0.3) (inst : instance) : result =
     let cands =
       Hashtbl.fold (fun _ s acc -> (s, clause_cov s) :: acc) distinct []
     in
+    Telemetry.incr m_covers;
+    Telemetry.incr ~by:(List.length cands) m_clauses_considered;
     let covered = Bitset.create n_total in
     let chosen = ref [] in
     let continue = ref true in

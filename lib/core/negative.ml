@@ -92,15 +92,29 @@ let mutate ?(p = 0.25) rng (alpha : alphabet) (strategy : strategy)
     go 0
   end
 
+let m_generated_s1 = Telemetry.counter "negative.generated.S1"
+let m_generated_s2 = Telemetry.counter "negative.generated.S2"
+let m_generated_s3 = Telemetry.counter "negative.generated.S3"
+
+let generated_counter = function
+  | S1 -> m_generated_s1
+  | S2 -> m_generated_s2
+  | S3 -> m_generated_s3
+
 (** Generate-N-by-Mutation (Algorithm 2's subroutine): a large number of
     likely-negative examples per positive example. *)
 let generate ?(per_positive = 8) ?(p = 0.25) ~seed (strategy : strategy)
     (positives : string list) : string list =
   let rng = Random.State.make [| seed; Hashtbl.hash strategy |]
   and alpha = infer_alphabet positives in
-  List.concat_map
-    (fun s -> List.init per_positive (fun _ -> mutate ~p rng alpha strategy s))
-    positives
+  let negatives =
+    List.concat_map
+      (fun s ->
+        List.init per_positive (fun _ -> mutate ~p rng alpha strategy s))
+      positives
+  in
+  Telemetry.incr ~by:(List.length negatives) (generated_counter strategy);
+  negatives
 
 (** The naive baseline of Figure 10(c): random strings unrelated to P,
     like the paper's "ABC123.?" example. *)

@@ -45,15 +45,43 @@ type outcome = {
   repos_searched : int;
 }
 
+let m_runs = Telemetry.counter "pipeline.runs"
+let m_candidates_probed = Telemetry.counter "pipeline.candidates_probed"
+let m_candidates_kept = Telemetry.counter "pipeline.candidates_kept"
+let m_candidates_rejected = Telemetry.counter "pipeline.candidates_rejected"
+let m_strategy_attempts = Telemetry.counter "pipeline.strategy_attempts"
+
 (** Search + static analysis + executability probing: everything up to
     (but excluding) example-driven ranking. *)
 let gather_candidates ~(index : Repolib.Search.index) ~(config : config)
     ~query ~probe () : Repolib.Candidate.t list * int =
-  let repos = Repolib.Search.search index ~k:config.top_repos query in
-  let candidates =
-    List.concat_map Repolib.Analyzer.candidates_of_repo repos
-    |> List.filter (fun c -> Repolib.Driver.executable c ~probe)
+  let repos =
+    Telemetry.with_span "pipeline.search" (fun () ->
+        let repos = Repolib.Search.search index ~k:config.top_repos query in
+        Telemetry.add_attr "repos" (Telemetry.I (List.length repos));
+        repos)
   in
+  let raw =
+    Telemetry.with_span "pipeline.analyze" (fun () ->
+        let cs = List.concat_map Repolib.Analyzer.candidates_of_repo repos in
+        Telemetry.add_attr "candidates" (Telemetry.I (List.length cs));
+        cs)
+  in
+  let candidates =
+    Telemetry.with_span "pipeline.probe" (fun () ->
+        let kept =
+          List.filter (fun c -> Repolib.Driver.executable c ~probe) raw
+        in
+        Telemetry.add_attr "kept" (Telemetry.I (List.length kept));
+        Telemetry.add_attr "rejected"
+          (Telemetry.I (List.length raw - List.length kept));
+        kept)
+  in
+  Telemetry.incr ~by:(List.length raw) m_candidates_probed;
+  Telemetry.incr ~by:(List.length candidates) m_candidates_kept;
+  Telemetry.incr
+    ~by:(List.length raw - List.length candidates)
+    m_candidates_rejected;
   (candidates, List.length repos)
 
 let found_enough config (dnf : Dnf.result) =
@@ -67,6 +95,12 @@ let found_enough config (dnf : Dnf.result) =
 let synthesize ?(config = default_config) ?negatives_override
     ~(index : Repolib.Search.index) ~query ~(positives : string list) () :
     outcome =
+  Telemetry.with_span "pipeline.synthesize"
+    ~attrs:
+      [ ("query", Telemetry.S query);
+        ("positives", Telemetry.I (List.length positives)) ]
+  @@ fun () ->
+  Telemetry.incr m_runs;
   match positives with
   | [] ->
     { query; positives; strategy_used = None; negatives = []; ranked = [];
@@ -75,16 +109,38 @@ let synthesize ?(config = default_config) ?negatives_override
     let candidates, repos_searched =
       gather_candidates ~index ~config ~query ~probe ()
     in
+    let generate_with strategy =
+      Telemetry.with_span "pipeline.negatives"
+        ~attrs:
+          [ ("strategy", Telemetry.S (Negative.strategy_to_string strategy)) ]
+        (fun () ->
+          let negatives =
+            Negative.generate ~per_positive:config.neg_per_positive
+              ~p:config.mutation_p ~seed:config.seed strategy positives
+          in
+          Telemetry.add_attr "negatives" (Telemetry.I (List.length negatives));
+          negatives)
+    in
     let trace_with negatives =
-      List.map
-        (fun c -> Ranking.trace_candidate c ~positives ~negatives)
-        candidates
+      Telemetry.with_span "pipeline.trace"
+        ~attrs:[ ("candidates", Telemetry.I (List.length candidates)) ]
+        (fun () ->
+          List.map
+            (fun c -> Ranking.trace_candidate c ~positives ~negatives)
+            candidates)
     in
     let rank traceds =
-      Ranking.rank_one ~k:config.k ~theta:config.theta Ranking.DNF_S ~query
-        traceds
+      Telemetry.with_span "pipeline.rank" (fun () ->
+          Ranking.rank_one ~k:config.k ~theta:config.theta Ranking.DNF_S
+            ~query traceds)
     in
     let finish strategy_used negatives traceds ranked =
+      (match strategy_used with
+       | Some s ->
+         Telemetry.add_attr "strategy"
+           (Telemetry.S (Negative.strategy_to_string s))
+       | None -> ());
+      Telemetry.add_attr "ranked" (Telemetry.I (List.length ranked));
       {
         query;
         positives;
@@ -107,26 +163,36 @@ let synthesize ?(config = default_config) ?negatives_override
          | [] ->
            (* No strategy produced informative negatives; report the
               last attempt (S3) with whatever ranking it gave. *)
-           let negatives =
-             Negative.generate ~per_positive:config.neg_per_positive
-               ~p:config.mutation_p ~seed:config.seed Negative.S3 positives
-           in
+           let negatives = generate_with Negative.S3 in
            let traceds = trace_with negatives in
            finish None negatives traceds (rank traceds)
          | s :: rest ->
-           let negatives =
-             Negative.generate ~per_positive:config.neg_per_positive
-               ~p:config.mutation_p ~seed:config.seed s positives
+           Telemetry.incr m_strategy_attempts;
+           let attempt =
+             Telemetry.with_span "pipeline.attempt"
+               ~attrs:
+                 [ ("strategy",
+                    Telemetry.S (Negative.strategy_to_string s)) ]
+               (fun () ->
+                 let negatives = generate_with s in
+                 let traceds = trace_with negatives in
+                 let ranked = rank traceds in
+                 let informative =
+                   List.exists
+                     (fun r -> found_enough config r.Ranking.dnf)
+                     ranked
+                 in
+                 Telemetry.add_attr "informative" (Telemetry.B informative);
+                 if informative then Some (negatives, traceds, ranked)
+                 else None)
            in
-           let traceds = trace_with negatives in
-           let ranked = rank traceds in
-           let informative =
-             List.exists (fun r -> found_enough config r.Ranking.dnf) ranked
-           in
-           if informative then
-             finish (Some s) negatives traceds
-               (List.filter (fun r -> found_enough config r.Ranking.dnf) ranked)
-           else try_strategies rest
+           (match attempt with
+            | Some (negatives, traceds, ranked) ->
+              finish (Some s) negatives traceds
+                (List.filter
+                   (fun r -> found_enough config r.Ranking.dnf)
+                   ranked)
+            | None -> try_strategies rest)
        in
        try_strategies [ Negative.S1; Negative.S2; Negative.S3 ])
 

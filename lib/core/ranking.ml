@@ -35,10 +35,15 @@ let run_examples ?config (c : Repolib.Candidate.t) (examples : string list) :
   in
   (traces, !steps)
 
+let m_candidates_traced = Telemetry.counter "ranking.candidates_traced"
+let h_steps_per_candidate = Telemetry.histogram "ranking.steps_per_candidate"
+
 let trace_candidate ?config (c : Repolib.Candidate.t) ~positives ~negatives :
     traced =
   let pos_raw, s1 = run_examples ?config c positives in
   let neg_raw, s2 = run_examples ?config c negatives in
+  Telemetry.incr m_candidates_traced;
+  Telemetry.observe h_steps_per_candidate (float_of_int (s1 + s2));
   { candidate = c; pos_raw; neg_raw; steps = s1 + s2 }
 
 let featurized ?(mode = `All) (t : traced) :
@@ -60,6 +65,11 @@ let dnf_score (r : Dnf.result) =
 
 let rank_one ?(k = 3) ?(theta = 0.3) (method_ : method_) ~query
     (traceds : traced list) : ranked list =
+  Telemetry.with_span "ranking.rank_one"
+    ~attrs:
+      [ ("method", Telemetry.S (method_to_string method_));
+        ("candidates", Telemetry.I (List.length traceds)) ]
+  @@ fun () ->
   let with_dnf mode compute =
     List.map
       (fun t ->

@@ -1182,6 +1182,17 @@ type run_result = {
   printed : string list;
 }
 
+(* Per-execution telemetry (no-ops until Telemetry.enable): updated once
+   per run_traced, never inside the evaluation loop. *)
+let m_runs = Telemetry.counter "interp.runs"
+let m_steps = Telemetry.counter "interp.steps"
+let m_branch_events = Telemetry.counter "interp.branch_events"
+let m_return_events = Telemetry.counter "interp.return_events"
+let m_fuel_exhausted = Telemetry.counter "interp.fuel_exhausted"
+let m_limit_hits = Telemetry.counter "interp.limit_hits"
+let m_errored = Telemetry.counter "interp.errored_runs"
+let h_steps = Telemetry.histogram "interp.steps_per_run"
+
 let module_frame scope = { scope; global_names = Hashtbl.create 1 }
 
 (** Execute a whole parsed file into [scope].  Used both to load
@@ -1230,6 +1241,19 @@ let run_traced ?(config = default_config) ?(record_assigns = false)
       Errored ("SyntaxError", "break outside loop")
     | Stack_overflow -> Hit_limit "native stack overflow"
   in
+  if Telemetry.enabled () then begin
+    Telemetry.incr m_runs;
+    Telemetry.incr ~by:ctx.steps m_steps;
+    Telemetry.incr ~by:collector.Trace.n_branches m_branch_events;
+    Telemetry.incr ~by:collector.Trace.n_returns m_return_events;
+    Telemetry.observe h_steps (float_of_int ctx.steps);
+    (match outcome with
+     | Hit_limit msg ->
+       Telemetry.incr m_limit_hits;
+       if msg = "step budget exhausted" then Telemetry.incr m_fuel_exhausted
+     | Errored _ -> Telemetry.incr m_errored
+     | Finished _ -> ())
+  end;
   {
     outcome;
     trace = Trace.finish collector;

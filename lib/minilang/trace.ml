@@ -66,14 +66,21 @@ type t = event list  (** in execution order *)
 type collector = {
   mutable events : event list;  (** reversed *)
   mutable n_events : int;
+  mutable n_branches : int;  (** all Branch emissions, even past the cap *)
+  mutable n_returns : int;  (** all Return emissions, even past the cap *)
   max_events : int;
   record_assigns : bool;
 }
 
 let create_collector ?(max_events = 200_000) ?(record_assigns = false) () =
-  { events = []; n_events = 0; max_events; record_assigns }
+  { events = []; n_events = 0; n_branches = 0; n_returns = 0; max_events;
+    record_assigns }
 
 let emit c ev =
+  (match ev with
+   | Branch _ -> c.n_branches <- c.n_branches + 1
+   | Return _ -> c.n_returns <- c.n_returns + 1
+   | Exception _ | Assign _ -> ());
   if c.n_events < c.max_events then begin
     c.events <- ev :: c.events;
     c.n_events <- c.n_events + 1

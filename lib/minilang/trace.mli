@@ -38,6 +38,8 @@ type t = event list
 type collector = {
   mutable events : event list;  (** reversed *)
   mutable n_events : int;
+  mutable n_branches : int;  (** all Branch emissions, even past the cap *)
+  mutable n_returns : int;  (** all Return emissions, even past the cap *)
   max_events : int;
   record_assigns : bool;
 }

@@ -123,9 +123,16 @@ let required_params (f : func) =
 
 (** Extract every candidate from one repository.  Returns [] if any file
     fails to parse (the paper only keeps repositories that compile). *)
+let m_repos_analyzed = Telemetry.counter "analyzer.repos_analyzed"
+let m_candidates_found = Telemetry.counter "analyzer.candidates_found"
+let m_unparseable = Telemetry.counter "analyzer.unparseable_repos"
+
 let candidates_of_repo (repo : Repo.t) : Candidate.t list =
+  Telemetry.incr m_repos_analyzed;
   match Repo.programs repo with
-  | None -> []
+  | None ->
+    Telemetry.incr m_unparseable;
+    []
   | Some progs ->
     let acc = ref [] in
     let add file func_name invocation doc_text =
@@ -217,4 +224,5 @@ let candidates_of_repo (repo : Repo.t) : Candidate.t list =
               (Candidate.Script_stdin file) "main script stdin"
         end)
       progs;
+    Telemetry.incr ~by:(List.length !acc) m_candidates_found;
     List.rev !acc

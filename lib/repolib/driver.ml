@@ -20,6 +20,11 @@ exception Infra_failure of string
 (** The invocation machinery itself failed (callable not defined, etc.),
     as opposed to the function failing on the input. *)
 
+let m_runs = Telemetry.counter "driver.runs"
+let m_infra_failures = Telemetry.counter "driver.infra_failures"
+let m_probes = Telemetry.counter "driver.probes"
+let m_rejected = Telemetry.counter "driver.rejected_unexecutable"
+
 let rewrite_script_var ~var (prog : Ast.program) : Ast.program =
   let body =
     List.map
@@ -47,6 +52,7 @@ let load_scope ?(skip_file = "") (repo : Repo.t) : Value.scope option =
 
 let run ?(config = default_config) ?(record_assigns = false)
     (c : Candidate.t) (input : string) : Interp.run_result =
+  Telemetry.incr m_runs;
   let fail_infra msg = raise (Infra_failure msg) in
   let find_prog file =
     match Repo.programs c.Candidate.repo with
@@ -147,9 +153,12 @@ let run ?(config = default_config) ?(record_assigns = false)
     invocation machinery does not even reach the function (the paper's
     "compilable and executable" filter). *)
 let executable (c : Candidate.t) ~probe : bool =
+  Telemetry.incr m_probes;
   match run c probe with
   | _result -> true
-  | exception Infra_failure _ -> false
+  | exception Infra_failure _ ->
+    Telemetry.incr m_rejected;
+    false
 
 (** Convenience used throughout the pipeline: run and swallow
     infrastructure failures into an error outcome. *)
@@ -157,6 +166,7 @@ let run_safe ?config ?record_assigns c input : Interp.run_result =
   match run ?config ?record_assigns c input with
   | r -> r
   | exception Infra_failure msg ->
+    Telemetry.incr m_infra_failures;
     {
       Interp.outcome = Errored ("InfraError", msg);
       trace = [ Minilang.Trace.Exception "InfraError" ];

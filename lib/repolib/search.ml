@@ -117,17 +117,29 @@ let top_k index engine ~k query =
   |> List.filteri (fun i _ -> i < k)
   |> List.map fst
 
+let m_queries = Telemetry.counter "search.queries"
+let m_repos_returned = Telemetry.counter "search.repos_returned"
+
 (** Union of both engines' top-k, preserving best-rank order
     (Section 4.1 takes the union of top-40 of GitHub and Bing). *)
 let search index ?(k = 40) query : Repo.t list =
-  let a = top_k index Github_api ~k query in
-  let b = top_k index Bing_api ~k query in
-  let seen = Hashtbl.create 32 in
-  List.filter
-    (fun (r : Repo.t) ->
-      if Hashtbl.mem seen r.Repo.repo_name then false
-      else begin
-        Hashtbl.add seen r.Repo.repo_name ();
-        true
-      end)
-    (a @ b)
+  Telemetry.with_span "search.search"
+    ~attrs:[ ("query", Telemetry.S query); ("k", Telemetry.I k) ]
+    (fun () ->
+      let a = top_k index Github_api ~k query in
+      let b = top_k index Bing_api ~k query in
+      let seen = Hashtbl.create 32 in
+      let results =
+        List.filter
+          (fun (r : Repo.t) ->
+            if Hashtbl.mem seen r.Repo.repo_name then false
+            else begin
+              Hashtbl.add seen r.Repo.repo_name ();
+              true
+            end)
+          (a @ b)
+      in
+      Telemetry.incr m_queries;
+      Telemetry.incr ~by:(List.length results) m_repos_returned;
+      Telemetry.add_attr "repos" (Telemetry.I (List.length results));
+      results)

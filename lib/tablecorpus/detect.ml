@@ -52,9 +52,17 @@ let fraction_accepted det values =
     let n = List.length (List.filter det values) in
     float_of_int n /. float_of_int (List.length values)
 
+let m_detectors_built = Telemetry.counter "detect.detectors_built"
+let m_columns_scanned = Telemetry.counter "detect.columns_scanned"
+let m_columns_detected = Telemetry.counter "detect.columns_detected"
+
 (** Build the DNF-S detector for a type: run the full synthesis pipeline
     and wrap the top-1 synthesized function. *)
 let dnf_detector ?(seed = 11) (ty : Semtypes.Registry.t) : detector =
+  Telemetry.with_span "detect.synthesize"
+    ~attrs:[ ("type", Telemetry.S ty.Semtypes.Registry.id) ]
+  @@ fun () ->
+  Telemetry.incr m_detectors_built;
   let positives = Semtypes.Registry.positive_examples ~n:20 ~seed ty in
   let outcome =
     Autotype_core.Pipeline.synthesize ~index:(Corpus.search_index ())
@@ -68,11 +76,16 @@ let dnf_detector ?(seed = 11) (ty : Semtypes.Registry.t) : detector =
       usable = true;
     }
   | None ->
+    Telemetry.add_attr "usable" (Telemetry.B false);
     { type_id = ty.Semtypes.Registry.id; accepts = (fun _ -> false);
       usable = false }
 
 (** REGEX detector: Potter's-Wheel inference from the same positives. *)
 let regex_detector ?(seed = 11) (ty : Semtypes.Registry.t) : detector =
+  Telemetry.with_span "detect.regex_infer"
+    ~attrs:[ ("type", Telemetry.S ty.Semtypes.Registry.id) ]
+  @@ fun () ->
+  Telemetry.incr m_detectors_built;
   let positives = Semtypes.Registry.positive_examples ~n:20 ~seed ty in
   match Regex_infer.infer positives with
   | Some pattern ->
@@ -82,6 +95,7 @@ let regex_detector ?(seed = 11) (ty : Semtypes.Registry.t) : detector =
       usable = true;
     }
   | None ->
+    Telemetry.add_attr "usable" (Telemetry.B false);
     { type_id = ty.Semtypes.Registry.id; accepts = (fun _ -> false);
       usable = false }
 
@@ -108,11 +122,18 @@ let header_matches type_id (header : string option) =
 let detect_with_values (det : detector) (columns : Webtables.column list) :
     Webtables.column list =
   if not det.usable then []
-  else
-    List.filter
-      (fun (c : Webtables.column) ->
-        fraction_accepted det.accepts c.Webtables.values > detection_threshold)
-      columns
+  else begin
+    Telemetry.incr ~by:(List.length columns) m_columns_scanned;
+    let detected =
+      List.filter
+        (fun (c : Webtables.column) ->
+          fraction_accepted det.accepts c.Webtables.values
+          > detection_threshold)
+        columns
+    in
+    Telemetry.incr ~by:(List.length detected) m_columns_detected;
+    detected
+  end
 
 let detect_with_headers type_id (columns : Webtables.column list) :
     Webtables.column list =
@@ -147,6 +168,9 @@ type per_type_result = {
     the three methods as ground truth (Section 9.1). *)
 let run ?(seed = 11) (columns : Webtables.column list) :
     per_type_result list =
+  Telemetry.with_span "detect.run"
+    ~attrs:[ ("columns", Telemetry.I (List.length columns)) ]
+  @@ fun () ->
   let popular = Semtypes.Registry.popular in
   List.concat_map
     (fun (ty : Semtypes.Registry.t) ->

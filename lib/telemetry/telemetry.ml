@@ -1,0 +1,315 @@
+(** Telemetry recorder: spans, counters, histograms, JSONL export.
+
+    A single global recorder, disabled by default.  Every probe first
+    checks [on] — a plain bool ref — so instrumentation left in hot
+    paths costs one branch when telemetry is off.  Durations come from
+    CLOCK_MONOTONIC (bechamel's stubs), not the wall clock. *)
+
+let now_ns () : int64 = Monotonic_clock.now ()
+
+(* ------------------------------------------------------------------ *)
+(* State                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type attr_value =
+  | S of string
+  | I of int
+  | F of float
+  | B of bool
+
+type attr = string * attr_value
+
+type span = {
+  sp_id : int;
+  sp_parent : int option;
+  sp_name : string;
+  sp_start_ns : int64;
+  sp_dur_ns : int64;
+  sp_attrs : attr list;
+}
+
+type open_span = {
+  o_id : int;
+  o_parent : int option;
+  o_name : string;
+  o_start : int64;  (** absolute monotonic time *)
+  mutable o_attrs : attr list;  (** reversed *)
+}
+
+type counter = { c_name : string; mutable c_value : int }
+
+type histogram = {
+  g_name : string;
+  mutable g_count : int;
+  mutable g_sum : float;
+  mutable g_min : float;
+  mutable g_max : float;
+}
+
+let on = ref false
+let t0 = ref 0L
+let next_id = ref 0
+let stack : open_span list ref = ref []
+let finished : span list ref = ref []  (* reversed completion order *)
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let enabled () = !on
+
+let reset () =
+  next_id := 0;
+  stack := [];
+  finished := [];
+  t0 := now_ns ();
+  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
+  Hashtbl.iter
+    (fun _ g ->
+      g.g_count <- 0;
+      g.g_sum <- 0.0;
+      g.g_min <- 0.0;
+      g.g_max <- 0.0)
+    histograms
+
+let enable () =
+  reset ();
+  on := true
+
+let disable () = on := false
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let with_span ?(attrs = []) name f =
+  if not !on then f ()
+  else begin
+    let id = !next_id in
+    incr next_id;
+    let parent = match !stack with [] -> None | o :: _ -> Some o.o_id in
+    let o =
+      { o_id = id; o_parent = parent; o_name = name; o_start = now_ns ();
+        o_attrs = List.rev attrs }
+    in
+    stack := o :: !stack;
+    let finish () =
+      let dur = Int64.sub (now_ns ()) o.o_start in
+      (* Pop this frame; tolerate a stack perturbed by exceptions. *)
+      stack := List.filter (fun x -> x.o_id <> id) !stack;
+      finished :=
+        { sp_id = id; sp_parent = o.o_parent; sp_name = name;
+          sp_start_ns = Int64.sub o.o_start !t0; sp_dur_ns = dur;
+          sp_attrs = List.rev o.o_attrs }
+        :: !finished
+    in
+    Fun.protect ~finally:finish f
+  end
+
+let add_attr key value =
+  if !on then
+    match !stack with
+    | [] -> ()
+    | o :: _ -> o.o_attrs <- (key, value) :: o.o_attrs
+
+let spans () =
+  List.sort
+    (fun a b ->
+      match Int64.compare a.sp_start_ns b.sp_start_ns with
+      | 0 -> compare a.sp_id b.sp_id
+      | c -> c)
+    !finished
+
+let spans_named name = List.filter (fun s -> s.sp_name = name) !finished
+
+let total_ns name =
+  List.fold_left
+    (fun acc s -> Int64.add acc s.sp_dur_ns)
+    0L (spans_named name)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; c_value = 0 } in
+    Hashtbl.add counters name c;
+    c
+
+let histogram name =
+  match Hashtbl.find_opt histograms name with
+  | Some g -> g
+  | None ->
+    let g = { g_name = name; g_count = 0; g_sum = 0.0; g_min = 0.0; g_max = 0.0 } in
+    Hashtbl.add histograms name g;
+    g
+
+let incr ?(by = 1) c = if !on then c.c_value <- c.c_value + by
+
+let observe g v =
+  if !on then begin
+    if g.g_count = 0 then begin
+      g.g_min <- v;
+      g.g_max <- v
+    end
+    else begin
+      if v < g.g_min then g.g_min <- v;
+      if v > g.g_max then g.g_max <- v
+    end;
+    g.g_count <- g.g_count + 1;
+    g.g_sum <- g.g_sum +. v
+  end
+
+type hist_snapshot = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_mean : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  histograms : (string * hist_snapshot) list;
+}
+
+let snapshot () =
+  let cs =
+    Hashtbl.fold (fun name c acc -> (name, c.c_value) :: acc) counters []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let hs =
+    Hashtbl.fold
+      (fun name g acc ->
+        ( name,
+          { h_count = g.g_count; h_sum = g.g_sum; h_min = g.g_min;
+            h_max = g.g_max;
+            h_mean = (if g.g_count = 0 then 0.0
+                      else g.g_sum /. float_of_int g.g_count) } )
+        :: acc)
+      histograms []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  { counters = cs; histograms = hs }
+
+let find_counter snap name =
+  Option.value ~default:0 (List.assoc_opt name snap.counters)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering and export                                                *)
+(* ------------------------------------------------------------------ *)
+
+let format_ns ns =
+  let f = Int64.to_float ns in
+  if f < 1e3 then Printf.sprintf "%.0fns" f
+  else if f < 1e6 then Printf.sprintf "%.1fus" (f /. 1e3)
+  else if f < 1e9 then Printf.sprintf "%.1fms" (f /. 1e6)
+  else Printf.sprintf "%.2fs" (f /. 1e9)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 32 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let attr_value_to_json = function
+  | S s -> Printf.sprintf "\"%s\"" (json_escape s)
+  | I i -> string_of_int i
+  | F f -> Printf.sprintf "%g" f
+  | B b -> if b then "true" else "false"
+
+let attrs_to_json attrs =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) ->
+           Printf.sprintf "\"%s\":%s" (json_escape k) (attr_value_to_json v))
+         attrs)
+  ^ "}"
+
+let ms ns = Int64.to_float ns /. 1e6
+
+let span_to_json s =
+  Printf.sprintf
+    "{\"name\":\"%s\",\"id\":%d,\"parent\":%s,\"start_ms\":%.3f,\"dur_ms\":%.3f,\"attrs\":%s}"
+    (json_escape s.sp_name) s.sp_id
+    (match s.sp_parent with None -> "null" | Some p -> string_of_int p)
+    (ms s.sp_start_ns) (ms s.sp_dur_ns)
+    (attrs_to_json s.sp_attrs)
+
+let write_jsonl path =
+  match open_out path with
+  | exception Sys_error msg -> Error msg
+  | oc ->
+    List.iter
+      (fun s ->
+        output_string oc (span_to_json s);
+        output_char oc '\n')
+      (spans ());
+    close_out oc;
+    Ok ()
+
+let attr_to_string (k, v) =
+  k ^ "="
+  ^ (match v with
+     | S s -> Printf.sprintf "%S" s
+     | I i -> string_of_int i
+     | F f -> Printf.sprintf "%g" f
+     | B b -> string_of_bool b)
+
+let render_tree () =
+  let all = spans () in
+  let buf = Buffer.create 1024 in
+  let children parent =
+    List.filter (fun s -> s.sp_parent = parent) all
+  in
+  let rec go depth s =
+    Buffer.add_string buf
+      (Printf.sprintf "%s%-*s %9s%s\n"
+         (String.make (2 * depth) ' ')
+         (max 1 (36 - (2 * depth)))
+         s.sp_name
+         (format_ns s.sp_dur_ns)
+         (match s.sp_attrs with
+          | [] -> ""
+          | attrs ->
+            "  " ^ String.concat " " (List.map attr_to_string attrs)));
+    List.iter (go (depth + 1)) (children (Some s.sp_id))
+  in
+  List.iter (go 0) (children None);
+  Buffer.contents buf
+
+let render_metrics snap =
+  let buf = Buffer.create 1024 in
+  if snap.counters <> [] then begin
+    Buffer.add_string buf
+      (Printf.sprintf "%-42s %14s\n" "counter" "value");
+    List.iter
+      (fun (name, v) ->
+        Buffer.add_string buf (Printf.sprintf "%-42s %14d\n" name v))
+      snap.counters
+  end;
+  let active = List.filter (fun (_, h) -> h.h_count > 0) snap.histograms in
+  if active <> [] then begin
+    Buffer.add_string buf
+      (Printf.sprintf "%-42s %8s %12s %10s %10s\n" "histogram" "count"
+         "mean" "min" "max");
+    List.iter
+      (fun (name, h) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%-42s %8d %12.1f %10.1f %10.1f\n" name h.h_count
+             h.h_mean h.h_min h.h_max))
+      active
+  end;
+  Buffer.contents buf

@@ -1,0 +1,127 @@
+(** Telemetry for the synthesis pipeline: nestable timed spans, counters
+    and histograms, and JSONL trace export.
+
+    The subsystem is a process-wide recorder that is {e disabled} by
+    default: every instrumentation call ([with_span], [incr], [observe])
+    first checks a single boolean, so instrumented code pays effectively
+    nothing until {!enable} is called.  The CLI turns it on for
+    [--stats]/[--trace], the bench harness for its [pipeline] target,
+    and tests enable it around individual assertions.
+
+    Timing uses the OS monotonic clock (CLOCK_MONOTONIC via bechamel's
+    stubs), so span durations are immune to wall-clock adjustments.
+
+    The recorder is a single global (the pipeline is single-domain);
+    spans nest along the dynamic call stack of the enabling thread. *)
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+val enabled : unit -> bool
+
+val enable : unit -> unit
+(** Turn telemetry on and start a fresh run: clears recorded spans and
+    zeroes every registered metric. *)
+
+val disable : unit -> unit
+(** Turn telemetry off.  Recorded data is kept so it can still be
+    snapshotted or exported after the measured region. *)
+
+val reset : unit -> unit
+(** Clear recorded spans and zero all metrics without changing the
+    enabled flag. *)
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type attr_value =
+  | S of string
+  | I of int
+  | F of float
+  | B of bool
+
+type attr = string * attr_value
+
+type span = {
+  sp_id : int;
+  sp_parent : int option;  (** id of the enclosing span, if any *)
+  sp_name : string;
+  sp_start_ns : int64;  (** monotonic ns since {!enable} *)
+  sp_dur_ns : int64;
+  sp_attrs : attr list;  (** in insertion order *)
+}
+
+val with_span : ?attrs:attr list -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a named span.  The span is recorded when the
+    thunk returns or raises; when telemetry is disabled this is just a
+    call to the thunk. *)
+
+val add_attr : string -> attr_value -> unit
+(** Attach an attribute to the innermost open span (no-op when disabled
+    or outside any span). *)
+
+val spans : unit -> span list
+(** Finished spans in start order. *)
+
+val spans_named : string -> span list
+
+val total_ns : string -> int64
+(** Sum of durations of all finished spans with the given name. *)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type counter
+type histogram
+
+val counter : string -> counter
+(** Find or register a counter.  Handles are typically created once at
+    module initialisation and survive {!reset} (which only zeroes the
+    value). *)
+
+val histogram : string -> histogram
+
+val incr : ?by:int -> counter -> unit
+val observe : histogram -> float -> unit
+
+type hist_snapshot = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_mean : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  histograms : (string * hist_snapshot) list;  (** sorted by name *)
+}
+
+val snapshot : unit -> snapshot
+val find_counter : snapshot -> string -> int
+(** Value of a counter in a snapshot; 0 when absent. *)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering and export                                                *)
+(* ------------------------------------------------------------------ *)
+
+val format_ns : int64 -> string
+(** Human duration: "412ns", "3.2us", "15.4ms", "2.31s". *)
+
+val span_to_json : span -> string
+(** One-line JSON object: name, id, parent (null at top level), start_ms,
+    dur_ms and an attrs object. *)
+
+val write_jsonl : string -> (unit, string) result
+(** Write every finished span, one JSON object per line, to a file.
+    [Error msg] if the file cannot be written. *)
+
+val render_tree : unit -> string
+(** Indented tree of the recorded spans with durations and attributes. *)
+
+val render_metrics : snapshot -> string
+(** Fixed-width table of every registered counter (zeroes included, so
+    absence-of-events is visible) and every non-empty histogram. *)

@@ -9,4 +9,5 @@ let () =
       ("pipeline", Test_pipeline.suite);
       ("eval", Test_eval.suite);
       ("transform", Test_transform.suite);
-      ("tablecorpus", Test_tablecorpus.suite) ]
+      ("tablecorpus", Test_tablecorpus.suite);
+      ("telemetry", Test_telemetry.suite) ]

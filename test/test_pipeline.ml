@@ -116,9 +116,52 @@ let test_synthesized_handles_format_variants () =
         Alcotest.failf "hyphenated ISBN %S rejected" hyphenated
     done
 
+let test_telemetry_instrumentation () =
+  (* A synthesize run under telemetry records every stage span, and the
+     counters agree with the outcome record. *)
+  Telemetry.enable ();
+  let o = synthesize "credit-card" in
+  Telemetry.disable ();
+  let snap = Telemetry.snapshot () in
+  List.iter
+    (fun name ->
+      if Telemetry.spans_named name = [] then
+        Alcotest.failf "no %S span recorded" name)
+    [ "pipeline.synthesize"; "pipeline.search"; "pipeline.analyze";
+      "pipeline.probe"; "pipeline.attempt"; "pipeline.negatives";
+      "pipeline.trace"; "pipeline.rank"; "search.search";
+      "ranking.rank_one" ];
+  Alcotest.(check int) "exactly one synthesize span" 1
+    (List.length (Telemetry.spans_named "pipeline.synthesize"));
+  Alcotest.(check int) "pipeline.runs" 1
+    (Telemetry.find_counter snap "pipeline.runs");
+  Alcotest.(check int) "candidates_kept agrees with outcome" o.candidates_tried
+    (Telemetry.find_counter snap "pipeline.candidates_kept");
+  Alcotest.(check int) "repos agree with outcome" o.repos_searched
+    (Telemetry.find_counter snap "search.repos_returned");
+  Alcotest.(check bool) "candidates were traced" true
+    (Telemetry.find_counter snap "ranking.candidates_traced" > 0);
+  Alcotest.(check bool) "interpreter ran" true
+    (Telemetry.find_counter snap "interp.runs" > 0);
+  Alcotest.(check bool) "interpreter counted steps" true
+    (Telemetry.find_counter snap "interp.steps" > 0);
+  (* Stage spans nest under the synthesize root. *)
+  let root = List.hd (Telemetry.spans_named "pipeline.synthesize") in
+  List.iter
+    (fun name ->
+      List.iter
+        (fun (s : Telemetry.span) ->
+          if s.Telemetry.sp_parent <> Some root.Telemetry.sp_id then
+            Alcotest.failf "%S span not nested under pipeline.synthesize" name)
+        (Telemetry.spans_named name))
+    [ "pipeline.search"; "pipeline.analyze"; "pipeline.probe";
+      "pipeline.attempt" ];
+  Telemetry.reset ()
+
 let suite =
   [
     ("credit card end-to-end", `Slow, test_credit_card_end_to_end);
+    ("telemetry instrumentation", `Slow, test_telemetry_instrumentation);
     ("ipv6 escalates to S2", `Slow, test_ipv6_uses_s2);
     ("closed-alphabet types escalate", `Slow, test_gene_sequence_needs_s3);
     ("several popular types", `Slow, test_several_popular_types);

@@ -1,0 +1,166 @@
+(** Tests of the telemetry subsystem: span nesting and durations,
+    counter/histogram snapshots, the disabled no-op mode, and the JSONL
+    export shape. *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_span_nesting () =
+  Telemetry.enable ();
+  let result =
+    Telemetry.with_span "outer" ~attrs:[ ("who", Telemetry.S "test") ]
+      (fun () ->
+        Telemetry.with_span "inner" (fun () -> ());
+        Telemetry.with_span "inner" (fun () -> ());
+        42)
+  in
+  Telemetry.disable ();
+  Alcotest.(check int) "with_span returns the thunk's value" 42 result;
+  let spans = Telemetry.spans () in
+  Alcotest.(check int) "three spans recorded" 3 (List.length spans);
+  let outer =
+    List.find (fun s -> s.Telemetry.sp_name = "outer") spans
+  in
+  let inners = Telemetry.spans_named "inner" in
+  Alcotest.(check int) "two inner spans" 2 (List.length inners);
+  List.iter
+    (fun (i : Telemetry.span) ->
+      Alcotest.(check bool) "inner's parent is outer" true
+        (i.Telemetry.sp_parent = Some outer.Telemetry.sp_id);
+      (* Duration monotonicity: a child span cannot run longer than its
+         enclosing span, and no duration is negative. *)
+      Alcotest.(check bool) "child duration <= parent duration" true
+        (Int64.compare i.Telemetry.sp_dur_ns outer.Telemetry.sp_dur_ns <= 0);
+      Alcotest.(check bool) "child starts after parent" true
+        (Int64.compare outer.Telemetry.sp_start_ns i.Telemetry.sp_start_ns
+         <= 0))
+    inners;
+  Alcotest.(check bool) "no negative durations" true
+    (List.for_all (fun s -> Int64.compare s.Telemetry.sp_dur_ns 0L >= 0) spans);
+  Alcotest.(check bool) "outer has no parent" true
+    (outer.Telemetry.sp_parent = None);
+  Alcotest.(check bool) "outer kept its attribute" true
+    (List.mem_assoc "who" outer.Telemetry.sp_attrs)
+
+let test_span_survives_exception () =
+  Telemetry.enable ();
+  (try
+     Telemetry.with_span "failing" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Telemetry.disable ();
+  Alcotest.(check int) "span recorded despite the exception" 1
+    (List.length (Telemetry.spans_named "failing"))
+
+let test_metrics_snapshot () =
+  Telemetry.enable ();
+  let c = Telemetry.counter "test.counter" in
+  let h = Telemetry.histogram "test.histogram" in
+  Telemetry.incr c;
+  Telemetry.incr ~by:9 c;
+  List.iter (Telemetry.observe h) [ 2.0; 4.0; 6.0 ];
+  let snap = Telemetry.snapshot () in
+  Telemetry.disable ();
+  Alcotest.(check int) "counter accumulated" 10
+    (Telemetry.find_counter snap "test.counter");
+  Alcotest.(check int) "unknown counter defaults to 0" 0
+    (Telemetry.find_counter snap "test.no-such-counter");
+  let hs = List.assoc "test.histogram" snap.Telemetry.histograms in
+  Alcotest.(check int) "histogram count" 3 hs.Telemetry.h_count;
+  Alcotest.(check (float 1e-9)) "histogram mean" 4.0 hs.Telemetry.h_mean;
+  Alcotest.(check (float 1e-9)) "histogram min" 2.0 hs.Telemetry.h_min;
+  Alcotest.(check (float 1e-9)) "histogram max" 6.0 hs.Telemetry.h_max;
+  (* enable() resets values but keeps registered handles. *)
+  Telemetry.enable ();
+  let snap2 = Telemetry.snapshot () in
+  Telemetry.disable ();
+  Alcotest.(check int) "enable() zeroes counters" 0
+    (Telemetry.find_counter snap2 "test.counter")
+
+let test_noop_when_disabled () =
+  Telemetry.disable ();
+  Telemetry.reset ();
+  let c = Telemetry.counter "test.disabled-counter" in
+  let h = Telemetry.histogram "test.disabled-histogram" in
+  let v =
+    Telemetry.with_span "disabled-span" (fun () ->
+        Telemetry.incr ~by:100 c;
+        Telemetry.observe h 5.0;
+        Telemetry.add_attr "k" (Telemetry.I 1);
+        "through")
+  in
+  Alcotest.(check string) "thunk still runs" "through" v;
+  Alcotest.(check int) "no spans recorded" 0
+    (List.length (Telemetry.spans ()));
+  let snap = Telemetry.snapshot () in
+  Alcotest.(check int) "counter untouched" 0
+    (Telemetry.find_counter snap "test.disabled-counter");
+  let hs = List.assoc "test.disabled-histogram" snap.Telemetry.histograms in
+  Alcotest.(check int) "histogram untouched" 0 hs.Telemetry.h_count
+
+let test_jsonl_export () =
+  Telemetry.enable ();
+  Telemetry.with_span "export.root"
+    ~attrs:[ ("q", Telemetry.S "say \"hi\""); ("n", Telemetry.I 7) ]
+    (fun () -> Telemetry.with_span "export.child" (fun () -> ()));
+  Telemetry.disable ();
+  let path = Filename.temp_file "telemetry" ".jsonl" in
+  (match Telemetry.write_jsonl path with
+   | Ok () -> ()
+   | Error msg -> Alcotest.failf "write_jsonl failed: %s" msg);
+  let ic = open_in path in
+  let rec read acc =
+    match input_line ic with
+    | l -> read (l :: acc)
+    | exception End_of_file -> close_in ic; List.rev acc
+  in
+  let lines = read [] in
+  Sys.remove path;
+  Alcotest.(check int) "one line per span" 2 (List.length lines);
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) "line is a JSON object" true
+        (String.length line > 1 && line.[0] = '{'
+         && line.[String.length line - 1] = '}');
+      List.iter
+        (fun field ->
+          Alcotest.(check bool) (field ^ " present") true
+            (contains ~needle:("\"" ^ field ^ "\":") line))
+        [ "name"; "id"; "parent"; "start_ms"; "dur_ms"; "attrs" ])
+    lines;
+  let root = List.hd lines in
+  Alcotest.(check bool) "root parent is null" true
+    (contains ~needle:"\"parent\":null" root);
+  Alcotest.(check bool) "string attr is escaped" true
+    (contains ~needle:"say \\\"hi\\\"" root);
+  let child = List.nth lines 1 in
+  Alcotest.(check bool) "child parent is the root id" true
+    (contains ~needle:"\"parent\":0" child)
+
+let test_render () =
+  Telemetry.enable ();
+  let c = Telemetry.counter "test.render-counter" in
+  Telemetry.incr ~by:3 c;
+  Telemetry.with_span "render.root" (fun () ->
+      Telemetry.with_span "render.leaf" (fun () -> ()));
+  let tree = Telemetry.render_tree () in
+  let metrics = Telemetry.render_metrics (Telemetry.snapshot ()) in
+  Telemetry.disable ();
+  Alcotest.(check bool) "tree lists both spans" true
+    (contains ~needle:"render.root" tree
+     && contains ~needle:"render.leaf" tree);
+  Alcotest.(check bool) "leaf is indented under root" true
+    (contains ~needle:"\n  render.leaf" tree);
+  Alcotest.(check bool) "metrics table has the counter" true
+    (contains ~needle:"test.render-counter" metrics)
+
+let suite =
+  [ Alcotest.test_case "span nesting and durations" `Quick test_span_nesting;
+    Alcotest.test_case "span survives exception" `Quick
+      test_span_survives_exception;
+    Alcotest.test_case "counter and histogram snapshots" `Quick
+      test_metrics_snapshot;
+    Alcotest.test_case "no-op when disabled" `Quick test_noop_when_disabled;
+    Alcotest.test_case "jsonl export shape" `Quick test_jsonl_export;
+    Alcotest.test_case "tree and metrics rendering" `Quick test_render ]
