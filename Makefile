@@ -1,4 +1,4 @@
-.PHONY: all build test check clean
+.PHONY: all build test check bench-compare clean
 
 all: build
 
@@ -8,9 +8,16 @@ build:
 test:
 	dune runtest
 
+# Sequential-vs-parallel pipeline comparison: runs the same synthesis
+# workload at jobs=1 and jobs=4 and fails if the ranked outputs diverge
+# (the bench exits non-zero on any divergence).
+bench-compare:
+	dune exec bench/main.exe -- pipeline --jobs 4
+
 # Full gate: build, test suites, and smoke-run the observability paths
-# (CLI --stats and the machine-readable bench JSON).
-check: build test
+# (CLI --stats and the machine-readable bench JSON).  Opt into the
+# parallel-determinism gate with BENCH=1.
+check: build test $(if $(BENCH),bench-compare)
 	dune exec bin/autotype_cli.exe -- synth --type credit-card --stats
 	dune exec bench/main.exe -- pipeline
 	@test -s BENCH_pipeline.json || { echo "BENCH_pipeline.json missing or empty"; exit 1; }

@@ -514,27 +514,64 @@ let micro () =
 (* Pipeline stage timings → BENCH_pipeline.json                         *)
 (* ------------------------------------------------------------------ *)
 
-(* Per-stage wall-clock baseline for future optimisation PRs: runs the
-   full synthesis pipeline for a few representative types under
-   telemetry and writes machine-readable per-stage timings. *)
-let pipeline_bench () =
-  section "Pipeline stage timings (BENCH_pipeline.json)";
-  let type_ids = [ "credit-card"; "ipv4"; "email"; "isbn" ] in
-  let stages =
-    [ "pipeline.search"; "pipeline.analyze"; "pipeline.probe";
-      "pipeline.negatives"; "pipeline.trace"; "pipeline.rank";
-      "pipeline.synthesize" ]
+(* Per-stage wall-clock baseline for optimisation PRs: runs the full
+   synthesis pipeline for a few representative types under telemetry,
+   once sequentially (jobs=1) and once on the execution engine
+   (--jobs N, default auto), verifies the ranked outputs are identical,
+   and writes machine-readable timings + speedups.  Exits non-zero when
+   the parallel run diverges from the sequential one. *)
+
+let bench_jobs = ref 0  (* 0 = auto (Exec.default_jobs) *)
+
+let pipeline_stage_names =
+  [ "pipeline.search"; "pipeline.analyze"; "pipeline.probe";
+    "pipeline.negatives"; "pipeline.trace"; "pipeline.rank";
+    "pipeline.synthesize" ]
+
+(* Everything observable about an outcome that optimisation must not
+   change: strategy, negative set, and the ranked list down to exact
+   scores and DNFs. *)
+let outcome_fingerprint (o : Autotype_core.Pipeline.outcome) : string =
+  let strategy =
+    match o.Autotype_core.Pipeline.strategy_used with
+    | Some s -> Autotype_core.Negative.strategy_to_string s
+    | None -> "-"
   in
+  let ranked =
+    List.map
+      (fun (r : Autotype_core.Ranking.ranked) ->
+        Printf.sprintf "%s|%s|%.17g"
+          (Repolib.Candidate.id
+             r.Autotype_core.Ranking.traced.Autotype_core.Ranking.candidate)
+          (Autotype_core.Dnf.to_string r.Autotype_core.Ranking.dnf)
+          r.Autotype_core.Ranking.score)
+      o.Autotype_core.Pipeline.ranked
+  in
+  String.concat "\n"
+    ((strategy :: o.Autotype_core.Pipeline.negatives) @ ranked)
+
+(* One telemetry-instrumented pass over [type_ids]; returns per-type
+   fingerprints, wall-clock, per-stage totals, and the counter
+   snapshot. *)
+let pipeline_pass ?pool type_ids =
+  Telemetry.reset ();
   Telemetry.enable ();
   let t0 = Unix.gettimeofday () in
-  List.iter
-    (fun id ->
-      let ty = Semtypes.Registry.find_exn id in
-      let positives = Semtypes.Registry.positive_examples ~n:20 ~seed:11 ty in
-      ignore
-        (Autotype_core.Pipeline.synthesize ~index:(Corpus.search_index ())
-           ~query:ty.Semtypes.Registry.name ~positives ()))
-    type_ids;
+  let fingerprints =
+    List.map
+      (fun id ->
+        let ty = Semtypes.Registry.find_exn id in
+        let positives =
+          Semtypes.Registry.positive_examples ~n:20 ~seed:11 ty
+        in
+        let outcome =
+          Autotype_core.Pipeline.synthesize ?pool
+            ~index:(Corpus.search_index ())
+            ~query:ty.Semtypes.Registry.name ~positives ()
+        in
+        (id, outcome_fingerprint outcome))
+      type_ids
+  in
   let elapsed = Unix.gettimeofday () -. t0 in
   Telemetry.disable ();
   let stage_stats =
@@ -543,9 +580,12 @@ let pipeline_bench () =
         let spans = Telemetry.spans_named name in
         let total_s = Int64.to_float (Telemetry.total_ns name) /. 1e9 in
         (name, List.length spans, total_s))
-      stages
+      pipeline_stage_names
   in
-  let snap = Telemetry.snapshot () in
+  (fingerprints, elapsed, stage_stats, Telemetry.snapshot ())
+
+let print_pass_report label (elapsed, stage_stats, snap) =
+  Printf.printf "\n-- %s --\n" label;
   print_table
     [ "stage"; "spans"; "total" ]
     (List.map
@@ -556,31 +596,91 @@ let pipeline_bench () =
     (Telemetry.find_counter snap "interp.runs")
     (Telemetry.find_counter snap "interp.steps")
     (Telemetry.find_counter snap "interp.branch_events");
+  Printf.printf
+    "trace cache: %d hits, %d misses; %d candidates pruned\n"
+    (Telemetry.find_counter snap "ranking.trace_cache_hits")
+    (Telemetry.find_counter snap "ranking.trace_cache_misses")
+    (Telemetry.find_counter snap "pipeline.candidates_pruned");
+  Printf.printf "wall-clock: %.2fs\n" elapsed
+
+let pass_json (elapsed, stage_stats, snap) =
+  let stage_json =
+    String.concat ","
+      (List.map
+         (fun (name, n, total_s) ->
+           Printf.sprintf "\"%s\":{\"spans\":%d,\"total_s\":%.6f}" name n
+             total_s)
+         stage_stats)
+  in
+  let counter_json =
+    String.concat ","
+      (List.map
+         (fun (name, v) -> Printf.sprintf "\"%s\":%d" name v)
+         snap.Telemetry.counters)
+  in
+  Printf.sprintf "{\"elapsed_s\":%.6f,\"stages\":{%s},\"counters\":{%s}}"
+    elapsed stage_json counter_json
+
+let pipeline_bench () =
+  section "Pipeline stage timings (BENCH_pipeline.json)";
+  let type_ids = [ "credit-card"; "ipv4"; "email"; "isbn" ] in
+  let jobs = if !bench_jobs <= 0 then Exec.default_jobs () else !bench_jobs in
+  let recommended = Domain.recommended_domain_count () in
+  Printf.printf "jobs=%d (recommended domain count: %d)\n" jobs recommended;
+  let seq_fp, seq_elapsed, seq_stages, seq_snap =
+    pipeline_pass ?pool:None type_ids
+  in
+  let par_fp, par_elapsed, par_stages, par_snap =
+    Exec.Pool.with_pool ~jobs (fun pool -> pipeline_pass ~pool type_ids)
+  in
+  print_pass_report "sequential (jobs=1)" (seq_elapsed, seq_stages, seq_snap);
+  print_pass_report
+    (Printf.sprintf "parallel (jobs=%d)" jobs)
+    (par_elapsed, par_stages, par_snap);
+  let identical = seq_fp = par_fp in
+  if not identical then begin
+    List.iter2
+      (fun (id, s) (_, p) ->
+        if s <> p then
+          Printf.eprintf "DIVERGENCE on %s:\n-- sequential --\n%s\n-- parallel --\n%s\n"
+            id s p)
+      seq_fp par_fp;
+    prerr_endline "parallel run diverged from sequential run"
+  end;
+  let stage_total name stats =
+    List.fold_left
+      (fun acc (n, _, total_s) -> if n = name then total_s else acc)
+      0.0 stats
+  in
+  let speedup seq par = if par > 0.0 then seq /. par else 0.0 in
+  let trace_speedup =
+    speedup
+      (stage_total "pipeline.trace" seq_stages)
+      (stage_total "pipeline.trace" par_stages)
+  in
+  let elapsed_speedup = speedup seq_elapsed par_elapsed in
+  Printf.printf
+    "\nspeedup (sequential/parallel): trace %.2fx, elapsed %.2fx; ranked outputs %s\n"
+    trace_speedup elapsed_speedup
+    (if identical then "identical" else "DIVERGED");
   let json =
-    let stage_json =
-      String.concat ","
-        (List.map
-           (fun (name, n, total_s) ->
-             Printf.sprintf "\"%s\":{\"spans\":%d,\"total_s\":%.6f}" name n
-               total_s)
-           stage_stats)
-    in
-    let counter_json =
-      String.concat ","
-        (List.map
-           (fun (name, v) -> Printf.sprintf "\"%s\":%d" name v)
-           snap.Telemetry.counters)
-    in
     Printf.sprintf
-      "{\"types\":[%s],\"elapsed_s\":%.6f,\"stages\":{%s},\"counters\":{%s}}\n"
+      "{\"types\":[%s],\"jobs\":%d,\"recommended_domains\":%d,\
+       \"sequential\":%s,\"parallel\":%s,\
+       \"trace_speedup\":%.3f,\"elapsed_speedup\":%.3f,\
+       \"ranked_identical\":%b}\n"
       (String.concat "," (List.map (Printf.sprintf "\"%s\"") type_ids))
-      elapsed stage_json counter_json
+      jobs recommended
+      (pass_json (seq_elapsed, seq_stages, seq_snap))
+      (pass_json (par_elapsed, par_stages, par_snap))
+      trace_speedup elapsed_speedup identical
   in
   let oc = open_out "BENCH_pipeline.json" in
   output_string oc json;
   close_out oc;
-  Printf.printf "wrote BENCH_pipeline.json (%d types, %.1fs elapsed)\n"
-    (List.length type_ids) elapsed
+  Printf.printf "wrote BENCH_pipeline.json (%d types, seq %.1fs / par %.1fs)\n"
+    (List.length type_ids) seq_elapsed par_elapsed;
+  if not identical then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
@@ -617,10 +717,29 @@ let targets : (string * (unit -> unit)) list =
     ("micro", micro); ("pipeline", pipeline_bench) ]
 
 let () =
-  let requested =
+  let args =
     Array.to_list Sys.argv |> List.tl
     |> List.filter (fun a -> a <> "--")
   in
+  let set_jobs s =
+    match int_of_string_opt s with
+    | Some n -> bench_jobs := n
+    | None ->
+      Printf.eprintf "--jobs expects an integer, got %S\n" s;
+      exit 1
+  in
+  let rec strip_jobs acc = function
+    | [] -> List.rev acc
+    | "--jobs" :: n :: rest -> set_jobs n; strip_jobs acc rest
+    | [ "--jobs" ] ->
+      prerr_endline "--jobs expects an argument";
+      exit 1
+    | a :: rest when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
+      set_jobs (String.sub a 7 (String.length a - 7));
+      strip_jobs acc rest
+    | a :: rest -> strip_jobs (a :: acc) rest
+  in
+  let requested = strip_jobs [] args in
   let requested = if requested = [] then [ "all" ] else requested in
   let to_run =
     if List.mem "all" requested then List.map fst targets

@@ -47,6 +47,20 @@ let trace_arg =
            ~doc:"Record stage spans and write them to $(docv) as JSON \
                  Lines (one object per span).")
 
+let jobs_arg =
+  Arg.(value & opt int 0
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Trace candidates on $(docv) domains (0 = auto, capped at \
+                 the machine's recommended domain count; 1 = sequential). \
+                 Results are identical at any job count.")
+
+(** Resolve [--jobs] and run [f] with a pool when N > 1.  [None] keeps
+    the sequential path free of any pool machinery. *)
+let with_jobs jobs f =
+  let jobs = if jobs <= 0 then Exec.default_jobs () else jobs in
+  if jobs = 1 then f None
+  else Exec.Pool.with_pool ~jobs (fun pool -> f (Some pool))
+
 (** Run [f] with telemetry enabled when [--stats]/[--trace] ask for it,
     then print the metrics table and/or write the JSONL trace. *)
 let with_telemetry ~stats ~trace_file f =
@@ -106,15 +120,15 @@ let positives_for ~type_id ~examples_file ~query =
      | None -> Error (Printf.sprintf "unknown benchmark type %S" id))
   | None, None -> Error "provide --examples FILE or --type ID"
 
-let synthesize_outcome ~type_id ~examples_file ~query =
+let synthesize_outcome ?pool ~type_id ~examples_file ~query () =
   match positives_for ~type_id ~examples_file ~query with
   | Error e -> Error e
   | Ok (positives, q) ->
     if positives = [] then Error "no positive examples"
     else
       Ok
-        (Autotype_core.Pipeline.synthesize ~index:(Corpus.search_index ())
-           ~query:q ~positives ())
+        (Autotype_core.Pipeline.synthesize ?pool
+           ~index:(Corpus.search_index ()) ~query:q ~positives ())
 
 (* ------------------------------- synth ----------------------------- *)
 
@@ -135,9 +149,10 @@ let top_arg =
   Arg.(value & opt int 5 & info [ "top" ] ~docv:"N" ~doc:"Show the top N functions.")
 
 let synth_cmd =
-  let run type_id examples_file query top stats trace_file =
+  let run type_id examples_file query top stats trace_file jobs =
     with_telemetry ~stats ~trace_file @@ fun () ->
-    match synthesize_outcome ~type_id ~examples_file ~query with
+    with_jobs jobs @@ fun pool ->
+    match synthesize_outcome ?pool ~type_id ~examples_file ~query () with
     | Error e -> prerr_endline e; 1
     | Ok outcome ->
       Printf.printf "searched %d repositories, %d candidate functions\n"
@@ -163,7 +178,7 @@ let synth_cmd =
   in
   Cmd.v (Cmd.info "synth" ~doc:"Synthesize type-detection functions")
     Term.(const run $ type_arg $ examples_arg $ query_arg $ top_arg
-          $ stats_arg $ trace_arg)
+          $ stats_arg $ trace_arg $ jobs_arg)
 
 (* ------------------------------ validate --------------------------- *)
 
@@ -171,9 +186,10 @@ let values_arg =
   Arg.(value & pos_all string [] & info [] ~docv:"VALUE")
 
 let validate_cmd =
-  let run type_id examples_file query values stats trace_file =
+  let run type_id examples_file query values stats trace_file jobs =
     with_telemetry ~stats ~trace_file @@ fun () ->
-    match synthesize_outcome ~type_id ~examples_file ~query with
+    with_jobs jobs @@ fun pool ->
+    match synthesize_outcome ?pool ~type_id ~examples_file ~query () with
     | Error e -> prerr_endline e; 1
     | Ok outcome ->
       (match Autotype_core.Pipeline.best outcome with
@@ -192,7 +208,7 @@ let validate_cmd =
   Cmd.v
     (Cmd.info "validate" ~doc:"Validate values with a synthesized function")
     Term.(const run $ type_arg $ examples_arg $ query_arg $ values_arg
-          $ stats_arg $ trace_arg)
+          $ stats_arg $ trace_arg $ jobs_arg)
 
 (* ------------------------------- detect ---------------------------- *)
 
@@ -201,8 +217,9 @@ let column_arg =
        & info [ "column" ] ~docv:"FILE" ~doc:"File with one column value per line.")
 
 let detect_cmd =
-  let run column stats trace_file =
+  let run column stats trace_file jobs =
     with_telemetry ~stats ~trace_file @@ fun () ->
+    with_jobs jobs @@ fun pool ->
     match read_lines column with
     | Error msg ->
       Printf.eprintf "cannot read %s: %s\n" column msg;
@@ -215,7 +232,7 @@ let detect_cmd =
       let hits =
         List.filter_map
           (fun (ty : Semtypes.Registry.t) ->
-            let det = Tablecorpus.Detect.dnf_detector ty in
+            let det = Tablecorpus.Detect.dnf_detector ?pool ty in
             let frac =
               Tablecorpus.Detect.fraction_accepted
                 det.Tablecorpus.Detect.accepts values
@@ -239,7 +256,7 @@ let detect_cmd =
     end
   in
   Cmd.v (Cmd.info "detect" ~doc:"Detect the semantic type of a column")
-    Term.(const run $ column_arg $ stats_arg $ trace_arg)
+    Term.(const run $ column_arg $ stats_arg $ trace_arg $ jobs_arg)
 
 (* -------------------------------- types ---------------------------- *)
 

@@ -91,8 +91,14 @@ let found_enough config (dnf : Dnf.result) =
 
 (** Run the full pipeline.  [negatives_override] forces a fixed negative
     set (used by the Figure 10(c) ablations); otherwise Algorithm 2's
-    S1→S2→S3 escalation is applied. *)
-let synthesize ?(config = default_config) ?negatives_override
+    S1→S2→S3 escalation is applied.
+
+    [pool] traces candidates in parallel on the execution engine's
+    domains — the output is identical to the sequential run because
+    [Exec.Pool.parallel_map] is order-preserving and candidates share no
+    state.  [cache] is the per-(candidate, input) trace memo; a fresh
+    one is created per call unless the caller threads its own. *)
+let synthesize ?(config = default_config) ?negatives_override ?pool ?cache
     ~(index : Repolib.Search.index) ~query ~(positives : string list) () :
     outcome =
   Telemetry.with_span "pipeline.synthesize"
@@ -121,12 +127,20 @@ let synthesize ?(config = default_config) ?negatives_override
           Telemetry.add_attr "negatives" (Telemetry.I (List.length negatives));
           negatives)
     in
+    let cache =
+      match cache with Some c -> c | None -> Ranking.cache_create ()
+    in
+    let jobs = match pool with None -> 1 | Some p -> Exec.Pool.jobs p in
     let trace_with negatives =
       Telemetry.with_span "pipeline.trace"
-        ~attrs:[ ("candidates", Telemetry.I (List.length candidates)) ]
+        ~attrs:
+          [ ("candidates", Telemetry.I (List.length candidates));
+            ("jobs", Telemetry.I jobs) ]
         (fun () ->
-          List.map
-            (fun c -> Ranking.trace_candidate c ~positives ~negatives)
+          Exec.map ?pool
+            (fun c ->
+              Ranking.trace_candidate ~cache ~prune:true c ~positives
+                ~negatives)
             candidates)
     in
     let rank traceds =
@@ -159,16 +173,25 @@ let synthesize ?(config = default_config) ?negatives_override
      | None ->
        (* Algorithm 2: escalate S1 → S2 → S3 until some function can
           tell P and N apart. *)
-       let rec try_strategies = function
+       let rec try_strategies last = function
          | [] ->
            (* No strategy produced informative negatives; report the
-              last attempt (S3) with whatever ranking it gave. *)
-           let negatives = generate_with Negative.S3 in
-           let traceds = trace_with negatives in
-           finish None negatives traceds (rank traceds)
+              last attempt (S3) with whatever ranking it gave.  The
+              attempt already did this exact work — generation and
+              tracing are deterministic — so reuse it instead of
+              regenerating and re-tracing every candidate. *)
+           (match last with
+            | Some (negatives, traceds, ranked) ->
+              finish None negatives traceds ranked
+            | None ->
+              (* Unreachable with the S1→S2→S3 list below; kept for an
+                 empty strategy list. *)
+              let negatives = generate_with Negative.S3 in
+              let traceds = trace_with negatives in
+              finish None negatives traceds (rank traceds))
          | s :: rest ->
            Telemetry.incr m_strategy_attempts;
-           let attempt =
+           let negatives, traceds, ranked, informative =
              Telemetry.with_span "pipeline.attempt"
                ~attrs:
                  [ ("strategy",
@@ -183,18 +206,16 @@ let synthesize ?(config = default_config) ?negatives_override
                      ranked
                  in
                  Telemetry.add_attr "informative" (Telemetry.B informative);
-                 if informative then Some (negatives, traceds, ranked)
-                 else None)
+                 (negatives, traceds, ranked, informative))
            in
-           (match attempt with
-            | Some (negatives, traceds, ranked) ->
-              finish (Some s) negatives traceds
-                (List.filter
-                   (fun r -> found_enough config r.Ranking.dnf)
-                   ranked)
-            | None -> try_strategies rest)
+           if informative then
+             finish (Some s) negatives traceds
+               (List.filter
+                  (fun r -> found_enough config r.Ranking.dnf)
+                  ranked)
+           else try_strategies (Some (negatives, traceds, ranked)) rest
        in
-       try_strategies [ Negative.S1; Negative.S2; Negative.S3 ])
+       try_strategies None [ Negative.S1; Negative.S2; Negative.S3 ])
 
 (** Top-ranked synthesized validation function, if any. *)
 let best (o : outcome) : Synthesis.t option =

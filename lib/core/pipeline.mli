@@ -44,13 +44,23 @@ val found_enough : config -> Dnf.result -> bool
 val synthesize :
   ?config:config ->
   ?negatives_override:string list ->
+  ?pool:Exec.Pool.t ->
+  ?cache:Ranking.cache ->
   index:Repolib.Search.index ->
   query:string ->
   positives:string list ->
   unit ->
   outcome
 (** Run the full pipeline.  [negatives_override] bypasses Algorithm 2
-    (used by the Figure 10(c) ablations). *)
+    (used by the Figure 10(c) ablations).
+
+    [pool] traces candidates on the execution engine's domains; the
+    outcome is byte-identical to the sequential run because
+    [Exec.Pool.parallel_map] preserves order and candidates share no
+    state.  [cache] is the per-(candidate, input) trace memo threaded
+    through the S1→S2→S3 attempts — positives are interpreted at most
+    once per candidate per call; pass your own cache to share traces
+    across calls with the same candidate pool. *)
 
 val best : outcome -> Synthesis.t option
 (** The top-ranked synthesized validation function. *)

@@ -16,20 +16,41 @@ type traced = {
   pos_raw : Minilang.Trace.t list;
   neg_raw : Minilang.Trace.t list;
   steps : int;  (** interpreter steps across all runs (Figure 14) *)
+  pruned : bool;
+      (** negative tracing was skipped because every positive run
+          errored (see [trace_candidate]'s [prune]); such a candidate is
+          ranked with an empty DNF *)
 }
 
 val run_examples :
   ?config:Minilang.Interp.config ->
   Repolib.Candidate.t -> string list -> Minilang.Trace.t list * int
 
+type cache
+(** Memo of per-(candidate, input) traces.  The interpreter is
+    deterministic, so a pair always yields the same trace and step
+    count; a cache threaded through repeated [trace_candidate] calls
+    (e.g. across S1→S2→S3 strategy attempts) executes each pair at most
+    once.  Safe to share across the execution engine's domains as long
+    as no two domains trace the {e same} candidate concurrently. *)
+
+val cache_create : unit -> cache
+
 val trace_candidate :
   ?config:Minilang.Interp.config ->
+  ?cache:cache ->
+  ?prune:bool ->
   Repolib.Candidate.t ->
   positives:string list ->
   negatives:string list ->
   traced
 (** Execute the candidate on every example once; by far the dominant
-    cost, so traces are shared across all ranking methods. *)
+    cost, so traces are shared across all ranking methods.  [cache]
+    serves repeated (candidate, input) pairs — duplicate examples and
+    re-attempts — from memory.  [prune] (default false) skips negative
+    tracing entirely when every positive run errored, marking the
+    result [pruned] (counted by the [pipeline.candidates_pruned]
+    counter). *)
 
 val featurized :
   ?mode:Feature.mode ->

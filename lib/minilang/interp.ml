@@ -572,15 +572,20 @@ let dict_method d name args =
 (* Regex bridge (the "re" module)                                      *)
 (* ------------------------------------------------------------------ *)
 
-let compiled_regex_cache : (string, Regexlite.t) Hashtbl.t = Hashtbl.create 64
+(* Domain-local so concurrent interpreter runs (lib/exec tracing pool)
+   never contend on — or corrupt — a shared table; each domain compiles
+   a pattern at most once. *)
+let compiled_regex_cache : (string, Regexlite.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
 
 let compile_regex pat =
-  match Hashtbl.find_opt compiled_regex_cache pat with
+  let cache = Domain.DLS.get compiled_regex_cache in
+  match Hashtbl.find_opt cache pat with
   | Some re -> Some re
   | None ->
     (match Regexlite.parse pat with
      | re ->
-       Hashtbl.add compiled_regex_cache pat re;
+       Hashtbl.add cache pat re;
        Some re
      | exception Regexlite.Parse_error _ -> None)
 

@@ -47,17 +47,29 @@ let parse_all repo : (Minilang.Ast.program list, string) result =
 (* Parse results are cached per repository: the analyzer and the
    execution driver both re-load modules many times.  The key includes
    a content hash so distinct repositories sharing a name (as happens
-   in tests) do not collide. *)
+   in tests) do not collide.  A mutex guards the table because the
+   execution engine (lib/exec) traces candidates from several domains;
+   parsing itself happens outside the lock, so two domains may parse
+   the same repository once concurrently — benign, the results are
+   equal and the first insert wins. *)
 let parse_cache : (string * int, Minilang.Ast.program list option) Hashtbl.t =
   Hashtbl.create 64
 
+let parse_cache_lock = Mutex.create ()
+
 let programs repo =
   let key = (repo.repo_name, Hashtbl.hash repo.files) in
+  Mutex.lock parse_cache_lock;
   match Hashtbl.find_opt parse_cache key with
-  | Some progs -> progs
+  | Some progs ->
+    Mutex.unlock parse_cache_lock;
+    progs
   | None ->
+    Mutex.unlock parse_cache_lock;
     let progs =
       match parse_all repo with Ok p -> Some p | Error _ -> None
     in
-    Hashtbl.add parse_cache key progs;
+    Mutex.lock parse_cache_lock;
+    if not (Hashtbl.mem parse_cache key) then Hashtbl.add parse_cache key progs;
+    Mutex.unlock parse_cache_lock;
     progs

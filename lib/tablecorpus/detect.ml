@@ -58,14 +58,14 @@ let m_columns_detected = Telemetry.counter "detect.columns_detected"
 
 (** Build the DNF-S detector for a type: run the full synthesis pipeline
     and wrap the top-1 synthesized function. *)
-let dnf_detector ?(seed = 11) (ty : Semtypes.Registry.t) : detector =
+let dnf_detector ?(seed = 11) ?pool (ty : Semtypes.Registry.t) : detector =
   Telemetry.with_span "detect.synthesize"
     ~attrs:[ ("type", Telemetry.S ty.Semtypes.Registry.id) ]
   @@ fun () ->
   Telemetry.incr m_detectors_built;
   let positives = Semtypes.Registry.positive_examples ~n:20 ~seed ty in
   let outcome =
-    Autotype_core.Pipeline.synthesize ~index:(Corpus.search_index ())
+    Autotype_core.Pipeline.synthesize ?pool ~index:(Corpus.search_index ())
       ~query:ty.Semtypes.Registry.name ~positives ()
   in
   match Autotype_core.Pipeline.best outcome with
@@ -166,7 +166,7 @@ type per_type_result = {
 (** Run all three methods on all 20 popular types over a column corpus.
     Relative recall per type uses the union of correct columns found by
     the three methods as ground truth (Section 9.1). *)
-let run ?(seed = 11) (columns : Webtables.column list) :
+let run ?(seed = 11) ?pool (columns : Webtables.column list) :
     per_type_result list =
   Telemetry.with_span "detect.run"
     ~attrs:[ ("columns", Telemetry.I (List.length columns)) ]
@@ -175,7 +175,7 @@ let run ?(seed = 11) (columns : Webtables.column list) :
   List.concat_map
     (fun (ty : Semtypes.Registry.t) ->
       let type_id = ty.Semtypes.Registry.id in
-      let dnf = dnf_detector ~seed ty in
+      let dnf = dnf_detector ~seed ?pool ty in
       let regex = regex_detector ~seed ty in
       let detections =
         [ (DNF_S, detect_with_values dnf columns);

@@ -22,8 +22,10 @@ type detector = {
 
 val fraction_accepted : (string -> bool) -> string list -> float
 
-val dnf_detector : ?seed:int -> Semtypes.Registry.t -> detector
-(** Full synthesis pipeline, wrapping the top-1 synthesized function. *)
+val dnf_detector :
+  ?seed:int -> ?pool:Exec.Pool.t -> Semtypes.Registry.t -> detector
+(** Full synthesis pipeline, wrapping the top-1 synthesized function.
+    [pool] parallelizes candidate tracing (see {!Exec.Pool}). *)
 
 val regex_detector : ?seed:int -> Semtypes.Registry.t -> detector
 (** Potter's-Wheel inference from the same positive examples. *)
@@ -52,5 +54,9 @@ type per_type_result = {
   f1 : float;
 }
 
-val run : ?seed:int -> Webtables.column list -> per_type_result list
-(** All three methods on all 20 popular types (Figure 11 / Table 2). *)
+val run :
+  ?seed:int -> ?pool:Exec.Pool.t -> Webtables.column list ->
+  per_type_result list
+(** All three methods on all 20 popular types (Figure 11 / Table 2).
+    [pool] parallelizes the per-type synthesis runs' candidate
+    tracing. *)

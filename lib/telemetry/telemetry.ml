@@ -1,9 +1,20 @@
 (** Telemetry recorder: spans, counters, histograms, JSONL export.
 
     A single global recorder, disabled by default.  Every probe first
-    checks [on] — a plain bool ref — so instrumentation left in hot
-    paths costs one branch when telemetry is off.  Durations come from
-    CLOCK_MONOTONIC (bechamel's stubs), not the wall clock. *)
+    checks [on] — one atomic load and a branch — so instrumentation left
+    in hot paths costs effectively nothing when telemetry is off.
+    Durations come from CLOCK_MONOTONIC (bechamel's stubs), not the wall
+    clock.
+
+    Domain safety: counters are atomics; histograms accumulate into
+    per-domain shards (registered once per domain per histogram, then
+    updated without synchronization) merged at snapshot time; the span
+    stack is domain-local storage, with finished spans appended under a
+    mutex.  Probes may therefore fire concurrently from any domain —
+    the execution engine (lib/exec) traces candidates in parallel while
+    the interpreter counts runs and steps.  [enable]/[disable]/[reset]
+    remain orchestration operations: call them from the controlling
+    domain while no parallel region is in flight. *)
 
 let now_ns () : int64 = Monotonic_clock.now ()
 
@@ -36,55 +47,86 @@ type open_span = {
   mutable o_attrs : attr list;  (** reversed *)
 }
 
-type counter = { c_name : string; mutable c_value : int }
+type counter = { c_name : string; c_value : int Atomic.t }
 
-type histogram = {
-  g_name : string;
-  mutable g_count : int;
-  mutable g_sum : float;
-  mutable g_min : float;
-  mutable g_max : float;
+(* One domain's private accumulator for one histogram.  Only the owning
+   domain writes it; mutable word-sized fields cannot tear, so the
+   merging snapshot reads are safe (and exact once the domain has
+   quiesced). *)
+type hist_shard = {
+  mutable s_count : int;
+  mutable s_sum : float;
+  mutable s_min : float;
+  mutable s_max : float;
 }
 
-let on = ref false
+type histogram = {
+  g_id : int;
+  g_name : string;
+  g_lock : Mutex.t;  (** guards [g_shards] *)
+  mutable g_shards : hist_shard list;
+}
+
+let on = Atomic.make false
 let t0 = ref 0L
-let next_id = ref 0
-let stack : open_span list ref = ref []
+let next_id = Atomic.make 0
+
+(* [generation] is bumped by [reset] so domain-local shard handles from
+   a previous run are abandoned rather than double-counted. *)
+let generation = Atomic.make 0
+
+(* Per-domain span stack: spans nest along each domain's own dynamic
+   call stack. *)
+let stack_key : open_span list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let finished_lock = Mutex.create ()
 let finished : span list ref = ref []  (* reversed completion order *)
+
+let registry_lock = Mutex.create ()
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+let next_hist_id = ref 0
 
-let enabled () = !on
+(* Per-domain shard handles: histogram id -> (generation, shard). *)
+let shards_key : (int, int * hist_shard) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let enabled () = Atomic.get on
 
 let reset () =
-  next_id := 0;
-  stack := [];
+  Atomic.incr generation;
+  Atomic.set next_id 0;
+  Domain.DLS.get stack_key := [];
+  Mutex.lock finished_lock;
   finished := [];
+  Mutex.unlock finished_lock;
   t0 := now_ns ();
-  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
+  Mutex.lock registry_lock;
+  Hashtbl.iter (fun _ c -> Atomic.set c.c_value 0) counters;
   Hashtbl.iter
     (fun _ g ->
-      g.g_count <- 0;
-      g.g_sum <- 0.0;
-      g.g_min <- 0.0;
-      g.g_max <- 0.0)
-    histograms
+      Mutex.lock g.g_lock;
+      g.g_shards <- [];
+      Mutex.unlock g.g_lock)
+    histograms;
+  Mutex.unlock registry_lock
 
 let enable () =
   reset ();
-  on := true
+  Atomic.set on true
 
-let disable () = on := false
+let disable () = Atomic.set on false
 
 (* ------------------------------------------------------------------ *)
 (* Spans                                                               *)
 (* ------------------------------------------------------------------ *)
 
 let with_span ?(attrs = []) name f =
-  if not !on then f ()
+  if not (Atomic.get on) then f ()
   else begin
-    let id = !next_id in
-    incr next_id;
+    let stack = Domain.DLS.get stack_key in
+    let id = Atomic.fetch_and_add next_id 1 in
     let parent = match !stack with [] -> None | o :: _ -> Some o.o_id in
     let o =
       { o_id = id; o_parent = parent; o_name = name; o_start = now_ns ();
@@ -95,20 +137,29 @@ let with_span ?(attrs = []) name f =
       let dur = Int64.sub (now_ns ()) o.o_start in
       (* Pop this frame; tolerate a stack perturbed by exceptions. *)
       stack := List.filter (fun x -> x.o_id <> id) !stack;
-      finished :=
+      let sp =
         { sp_id = id; sp_parent = o.o_parent; sp_name = name;
           sp_start_ns = Int64.sub o.o_start !t0; sp_dur_ns = dur;
           sp_attrs = List.rev o.o_attrs }
-        :: !finished
+      in
+      Mutex.lock finished_lock;
+      finished := sp :: !finished;
+      Mutex.unlock finished_lock
     in
     Fun.protect ~finally:finish f
   end
 
 let add_attr key value =
-  if !on then
-    match !stack with
+  if Atomic.get on then
+    match !(Domain.DLS.get stack_key) with
     | [] -> ()
     | o :: _ -> o.o_attrs <- (key, value) :: o.o_attrs
+
+let all_finished () =
+  Mutex.lock finished_lock;
+  let all = !finished in
+  Mutex.unlock finished_lock;
+  all
 
 let spans () =
   List.sort
@@ -116,9 +167,10 @@ let spans () =
       match Int64.compare a.sp_start_ns b.sp_start_ns with
       | 0 -> compare a.sp_id b.sp_id
       | c -> c)
-    !finished
+    (all_finished ())
 
-let spans_named name = List.filter (fun s -> s.sp_name = name) !finished
+let spans_named name =
+  List.filter (fun s -> s.sp_name = name) (all_finished ())
 
 let total_ns name =
   List.fold_left
@@ -130,35 +182,63 @@ let total_ns name =
 (* ------------------------------------------------------------------ *)
 
 let counter name =
-  match Hashtbl.find_opt counters name with
-  | Some c -> c
-  | None ->
-    let c = { c_name = name; c_value = 0 } in
-    Hashtbl.add counters name c;
-    c
+  Mutex.lock registry_lock;
+  let c =
+    match Hashtbl.find_opt counters name with
+    | Some c -> c
+    | None ->
+      let c = { c_name = name; c_value = Atomic.make 0 } in
+      Hashtbl.add counters name c;
+      c
+  in
+  Mutex.unlock registry_lock;
+  c
 
 let histogram name =
-  match Hashtbl.find_opt histograms name with
-  | Some g -> g
-  | None ->
-    let g = { g_name = name; g_count = 0; g_sum = 0.0; g_min = 0.0; g_max = 0.0 } in
-    Hashtbl.add histograms name g;
-    g
+  Mutex.lock registry_lock;
+  let g =
+    match Hashtbl.find_opt histograms name with
+    | Some g -> g
+    | None ->
+      let g =
+        { g_id = !next_hist_id; g_name = name; g_lock = Mutex.create ();
+          g_shards = [] }
+      in
+      incr next_hist_id;
+      Hashtbl.add histograms name g;
+      g
+  in
+  Mutex.unlock registry_lock;
+  g
 
-let incr ?(by = 1) c = if !on then c.c_value <- c.c_value + by
+let incr ?(by = 1) c =
+  if Atomic.get on then ignore (Atomic.fetch_and_add c.c_value by)
 
 let observe g v =
-  if !on then begin
-    if g.g_count = 0 then begin
-      g.g_min <- v;
-      g.g_max <- v
+  if Atomic.get on then begin
+    let tbl = Domain.DLS.get shards_key in
+    let gen = Atomic.get generation in
+    let shard =
+      match Hashtbl.find_opt tbl g.g_id with
+      | Some (gen', s) when gen' = gen -> s
+      | _ ->
+        let s = { s_count = 0; s_sum = 0.0; s_min = 0.0; s_max = 0.0 } in
+        Mutex.lock g.g_lock;
+        g.g_shards <- s :: g.g_shards;
+        Mutex.unlock g.g_lock;
+        Hashtbl.replace tbl g.g_id (gen, s);
+        s
+    in
+    if shard.s_count = 0 then begin
+      shard.s_min <- v;
+      shard.s_max <- v
     end
     else begin
-      if v < g.g_min then g.g_min <- v;
-      if v > g.g_max then g.g_max <- v
+      if v < shard.s_min then shard.s_min <- v;
+      if v > shard.s_max then shard.s_max <- v
     end;
-    g.g_count <- g.g_count + 1;
-    g.g_sum <- g.g_sum +. v
+    shard.s_count <- shard.s_count + 1;
+    shard.s_sum <- shard.s_sum +. v
   end
 
 type hist_snapshot = {
@@ -169,26 +249,40 @@ type hist_snapshot = {
   h_mean : float;
 }
 
+let merge_shards g : hist_snapshot =
+  Mutex.lock g.g_lock;
+  let shards = List.rev g.g_shards in  (* registration order *)
+  Mutex.unlock g.g_lock;
+  let count, sum, mn, mx =
+    List.fold_left
+      (fun (count, sum, mn, mx) s ->
+        if s.s_count = 0 then (count, sum, mn, mx)
+        else
+          ( count + s.s_count,
+            sum +. s.s_sum,
+            (if count = 0 then s.s_min else Float.min mn s.s_min),
+            if count = 0 then s.s_max else Float.max mx s.s_max ))
+      (0, 0.0, 0.0, 0.0) shards
+  in
+  { h_count = count; h_sum = sum; h_min = mn; h_max = mx;
+    h_mean = (if count = 0 then 0.0 else sum /. float_of_int count) }
+
 type snapshot = {
   counters : (string * int) list;
   histograms : (string * hist_snapshot) list;
 }
 
 let snapshot () =
+  Mutex.lock registry_lock;
+  let counter_list = Hashtbl.fold (fun name c acc -> (name, c) :: acc) counters [] in
+  let hist_list = Hashtbl.fold (fun name g acc -> (name, g) :: acc) histograms [] in
+  Mutex.unlock registry_lock;
   let cs =
-    Hashtbl.fold (fun name c acc -> (name, c.c_value) :: acc) counters []
+    List.map (fun (name, c) -> (name, Atomic.get c.c_value)) counter_list
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
   let hs =
-    Hashtbl.fold
-      (fun name g acc ->
-        ( name,
-          { h_count = g.g_count; h_sum = g.g_sum; h_min = g.g_min;
-            h_max = g.g_max;
-            h_mean = (if g.g_count = 0 then 0.0
-                      else g.g_sum /. float_of_int g.g_count) } )
-        :: acc)
-      histograms []
+    List.map (fun (name, g) -> (name, merge_shards g)) hist_list
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
   { counters = cs; histograms = hs }

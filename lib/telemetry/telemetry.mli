@@ -11,8 +11,13 @@
     Timing uses the OS monotonic clock (CLOCK_MONOTONIC via bechamel's
     stubs), so span durations are immune to wall-clock adjustments.
 
-    The recorder is a single global (the pipeline is single-domain);
-    spans nest along the dynamic call stack of the enabling thread. *)
+    The recorder is a single global and is safe to probe from any
+    domain: counters are atomics, histograms accumulate into per-domain
+    shards merged at {!snapshot}, and spans nest along each domain's own
+    dynamic call stack (finished spans are appended to one shared list).
+    {!enable}, {!disable} and {!reset} are orchestration operations —
+    call them from the controlling domain while no parallel region is
+    in flight. *)
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle                                                           *)

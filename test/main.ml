@@ -10,4 +10,5 @@ let () =
       ("eval", Test_eval.suite);
       ("transform", Test_transform.suite);
       ("tablecorpus", Test_tablecorpus.suite);
-      ("telemetry", Test_telemetry.suite) ]
+      ("telemetry", Test_telemetry.suite);
+      ("exec", Test_exec.suite) ]

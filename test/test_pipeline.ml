@@ -2,10 +2,10 @@
     candidates → negative generation → DNF ranking → synthesized
     validator. *)
 
-let synthesize ?config type_id =
+let synthesize ?config ?pool type_id =
   let ty = Semtypes.Registry.find_exn type_id in
   let positives = Semtypes.Registry.positive_examples ~n:20 ~seed:11 ty in
-  Autotype_core.Pipeline.synthesize ?config
+  Autotype_core.Pipeline.synthesize ?config ?pool
     ~index:(Corpus.search_index ())
     ~query:ty.Semtypes.Registry.name ~positives ()
 
@@ -158,10 +158,84 @@ let test_telemetry_instrumentation () =
       "pipeline.attempt" ];
   Telemetry.reset ()
 
+(* What optimisation must not change about an outcome: the strategy,
+   the negative set, and the full ranked list down to exact scores. *)
+let outcome_signature (o : Autotype_core.Pipeline.outcome) =
+  let strategy =
+    match o.Autotype_core.Pipeline.strategy_used with
+    | Some s -> Autotype_core.Negative.strategy_to_string s
+    | None -> "-"
+  in
+  let ranked =
+    List.map
+      (fun (r : Autotype_core.Ranking.ranked) ->
+        Printf.sprintf "%s|%s|%.17g"
+          (Repolib.Candidate.id
+             r.Autotype_core.Ranking.traced.Autotype_core.Ranking.candidate)
+          (Autotype_core.Dnf.to_string r.Autotype_core.Ranking.dnf)
+          r.Autotype_core.Ranking.score)
+      o.Autotype_core.Pipeline.ranked
+  in
+  (strategy, o.Autotype_core.Pipeline.negatives, ranked)
+
+let test_parallel_matches_sequential () =
+  (* The execution engine's order-preserving pool must leave the
+     synthesize outcome byte-identical at any job count. *)
+  List.iter
+    (fun type_id ->
+      let seq = synthesize type_id in
+      let par =
+        Exec.Pool.with_pool ~jobs:4 (fun pool -> synthesize ~pool type_id)
+      in
+      let s_strategy, s_negs, s_ranked = outcome_signature seq in
+      let p_strategy, p_negs, p_ranked = outcome_signature par in
+      Alcotest.(check string)
+        (type_id ^ ": strategy") s_strategy p_strategy;
+      Alcotest.(check (list string))
+        (type_id ^ ": negatives") s_negs p_negs;
+      Alcotest.(check (list string))
+        (type_id ^ ": ranked list") s_ranked p_ranked)
+    [ "credit-card"; "ipv4" ]
+
+let test_positives_traced_once () =
+  (* The trace cache must interpret each positive at most once per
+     candidate per synthesize call, across every S1→S2→S3 attempt, and
+     duplicate negatives must be served from the cache. *)
+  Telemetry.reset ();
+  Telemetry.enable ();
+  let o = synthesize "email" in
+  Telemetry.disable ();
+  let snap = Telemetry.snapshot () in
+  let counter = Telemetry.find_counter snap in
+  let attempts = counter "pipeline.strategy_attempts" in
+  Alcotest.(check bool) "email escalates past S1" true (attempts >= 2);
+  (* Positives run exactly once per candidate even though [attempts]
+     strategy rounds each asked for their traces. *)
+  Alcotest.(check int) "positive runs = candidates * positives"
+    (o.Autotype_core.Pipeline.candidates_tried * 20)
+    (counter "ranking.positive_runs");
+  Alcotest.(check bool) "cache served repeat traces" true
+    (counter "ranking.trace_cache_hits" > 0);
+  (* Every interpreter run is accounted for: executability probes plus
+     cache misses, minus runs aborted by infrastructure failures (their
+     telemetry never flushes). *)
+  let expected_runs =
+    counter "driver.probes"
+    - counter "driver.rejected_unexecutable"
+    + counter "ranking.positive_runs"
+    + counter "ranking.negative_runs"
+    - counter "driver.infra_failures"
+  in
+  Alcotest.(check int) "interp.runs fully accounted" expected_runs
+    (counter "interp.runs");
+  Telemetry.reset ()
+
 let suite =
   [
     ("credit card end-to-end", `Slow, test_credit_card_end_to_end);
     ("telemetry instrumentation", `Slow, test_telemetry_instrumentation);
+    ("parallel matches sequential", `Slow, test_parallel_matches_sequential);
+    ("positives traced once", `Slow, test_positives_traced_once);
     ("ipv6 escalates to S2", `Slow, test_ipv6_uses_s2);
     ("closed-alphabet types escalate", `Slow, test_gene_sequence_needs_s3);
     ("several popular types", `Slow, test_several_popular_types);

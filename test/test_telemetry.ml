@@ -155,8 +155,38 @@ let test_render () =
   Alcotest.(check bool) "metrics table has the counter" true
     (contains ~needle:"test.render-counter" metrics)
 
+let test_multi_domain_metrics () =
+  (* Counters and histograms accept concurrent updates from several
+     domains without losing any (atomics / per-domain shards). *)
+  Telemetry.reset ();
+  Telemetry.enable ();
+  let c = Telemetry.counter "test.domains-counter" in
+  let h = Telemetry.histogram "test.domains-histogram" in
+  let per_domain = 1_000 in
+  let worker d () =
+    for _ = 1 to per_domain do
+      Telemetry.incr c;
+      Telemetry.observe h (float_of_int (d + 1))
+    done
+  in
+  let domains = List.init 4 (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join domains;
+  let snap = Telemetry.snapshot () in
+  Telemetry.disable ();
+  Alcotest.(check int) "no lost counter increments" (4 * per_domain)
+    (Telemetry.find_counter snap "test.domains-counter");
+  let hs = List.assoc "test.domains-histogram" snap.Telemetry.histograms in
+  Alcotest.(check int) "no lost observations" (4 * per_domain)
+    hs.Telemetry.h_count;
+  Alcotest.(check (float 1e-9)) "min across domains" 1.0 hs.Telemetry.h_min;
+  Alcotest.(check (float 1e-9)) "max across domains" 4.0 hs.Telemetry.h_max;
+  Alcotest.(check (float 1e-6)) "mean across domains" 2.5 hs.Telemetry.h_mean;
+  Telemetry.reset ()
+
 let suite =
   [ Alcotest.test_case "span nesting and durations" `Quick test_span_nesting;
+    Alcotest.test_case "multi-domain counters and histograms" `Quick
+      test_multi_domain_metrics;
     Alcotest.test_case "span survives exception" `Quick
       test_span_survives_exception;
     Alcotest.test_case "counter and histogram snapshots" `Quick
