@@ -1,4 +1,4 @@
-.PHONY: all build test check bench-compare clean
+.PHONY: all build test lint check bench-compare clean
 
 all: build
 
@@ -7,6 +7,12 @@ build:
 
 test:
 	dune runtest
+
+# Static analysis over every corpus repository; fails on any
+# error-severity diagnostic (warnings are gated separately by the
+# corpus-hygiene test's allowlist).
+lint:
+	dune exec bin/autotype_cli.exe -- lint --strict --all-corpus
 
 # Sequential-vs-parallel pipeline comparison: runs the same synthesis
 # workload at jobs=1 and jobs=4 and fails if the ranked outputs diverge
@@ -17,7 +23,7 @@ bench-compare:
 # Full gate: build, test suites, and smoke-run the observability paths
 # (CLI --stats and the machine-readable bench JSON).  Opt into the
 # parallel-determinism gate with BENCH=1.
-check: build test $(if $(BENCH),bench-compare)
+check: build test lint $(if $(BENCH),bench-compare)
 	dune exec bin/autotype_cli.exe -- synth --type credit-card --stats
 	dune exec bench/main.exe -- pipeline
 	@test -s BENCH_pipeline.json || { echo "BENCH_pipeline.json missing or empty"; exit 1; }

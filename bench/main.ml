@@ -524,9 +524,9 @@ let micro () =
 let bench_jobs = ref 0  (* 0 = auto (Exec.default_jobs) *)
 
 let pipeline_stage_names =
-  [ "pipeline.search"; "pipeline.analyze"; "pipeline.probe";
-    "pipeline.negatives"; "pipeline.trace"; "pipeline.rank";
-    "pipeline.synthesize" ]
+  [ "pipeline.search"; "pipeline.analyze"; "pipeline.staticcheck";
+    "pipeline.probe"; "pipeline.negatives"; "pipeline.trace";
+    "pipeline.rank"; "pipeline.synthesize" ]
 
 (* Everything observable about an outcome that optimisation must not
    change: strategy, negative set, and the ranked list down to exact
@@ -553,9 +553,10 @@ let outcome_fingerprint (o : Autotype_core.Pipeline.outcome) : string =
 (* One telemetry-instrumented pass over [type_ids]; returns per-type
    fingerprints, wall-clock, per-stage totals, and the counter
    snapshot. *)
-let pipeline_pass ?pool type_ids =
+let pipeline_pass ?pool ?(staticcheck = true) type_ids =
   Telemetry.reset ();
   Telemetry.enable ();
+  let config = { Autotype_core.Pipeline.default_config with staticcheck } in
   let t0 = Unix.gettimeofday () in
   let fingerprints =
     List.map
@@ -565,7 +566,7 @@ let pipeline_pass ?pool type_ids =
           Semtypes.Registry.positive_examples ~n:20 ~seed:11 ty
         in
         let outcome =
-          Autotype_core.Pipeline.synthesize ?pool
+          Autotype_core.Pipeline.synthesize ~config ?pool
             ~index:(Corpus.search_index ())
             ~query:ty.Semtypes.Registry.name ~positives ()
         in
@@ -601,6 +602,9 @@ let print_pass_report label (elapsed, stage_stats, snap) =
     (Telemetry.find_counter snap "ranking.trace_cache_hits")
     (Telemetry.find_counter snap "ranking.trace_cache_misses")
     (Telemetry.find_counter snap "pipeline.candidates_pruned");
+  Printf.printf "staticcheck: %d candidates pruned, %d diagnostics\n"
+    (Telemetry.find_counter snap "staticcheck.pruned")
+    (Telemetry.find_counter snap "staticcheck.diagnostics");
   Printf.printf "wall-clock: %.2fs\n" elapsed
 
 let pass_json (elapsed, stage_stats, snap) =
@@ -633,10 +637,18 @@ let pipeline_bench () =
   let par_fp, par_elapsed, par_stages, par_snap =
     Exec.Pool.with_pool ~jobs (fun pool -> pipeline_pass ~pool type_ids)
   in
+  (* A third pass with static pruning disabled: the ranked output must
+     be byte-identical (the pruned candidates can never rank), and the
+     delta in interpreter work is the optimisation's payoff. *)
+  let nos_fp, nos_elapsed, nos_stages, nos_snap =
+    pipeline_pass ?pool:None ~staticcheck:false type_ids
+  in
   print_pass_report "sequential (jobs=1)" (seq_elapsed, seq_stages, seq_snap);
   print_pass_report
     (Printf.sprintf "parallel (jobs=%d)" jobs)
     (par_elapsed, par_stages, par_snap);
+  print_pass_report "no staticcheck (jobs=1)"
+    (nos_elapsed, nos_stages, nos_snap);
   let identical = seq_fp = par_fp in
   if not identical then begin
     List.iter2
@@ -646,6 +658,17 @@ let pipeline_bench () =
             id s p)
       seq_fp par_fp;
     prerr_endline "parallel run diverged from sequential run"
+  end;
+  let static_identical = seq_fp = nos_fp in
+  if not static_identical then begin
+    List.iter2
+      (fun (id, s) (_, n) ->
+        if s <> n then
+          Printf.eprintf
+            "DIVERGENCE on %s:\n-- staticcheck --\n%s\n-- no staticcheck --\n%s\n"
+            id s n)
+      seq_fp nos_fp;
+    prerr_endline "static pruning changed the ranked output"
   end;
   let stage_total name stats =
     List.fold_left
@@ -663,24 +686,44 @@ let pipeline_bench () =
     "\nspeedup (sequential/parallel): trace %.2fx, elapsed %.2fx; ranked outputs %s\n"
     trace_speedup elapsed_speedup
     (if identical then "identical" else "DIVERGED");
+  let pruned = Telemetry.find_counter seq_snap "staticcheck.pruned" in
+  let diags = Telemetry.find_counter seq_snap "staticcheck.diagnostics" in
+  let runs_static = Telemetry.find_counter seq_snap "interp.runs" in
+  let runs_nostatic = Telemetry.find_counter nos_snap "interp.runs" in
+  let trace_static = stage_total "pipeline.trace" seq_stages in
+  let trace_nostatic = stage_total "pipeline.trace" nos_stages in
+  Printf.printf
+    "staticcheck: %d candidates pruned, %d diagnostics; interp runs %d -> %d, \
+     trace %.1fms -> %.1fms; ranked outputs %s\n"
+    pruned diags runs_nostatic runs_static (1e3 *. trace_nostatic)
+    (1e3 *. trace_static)
+    (if static_identical then "identical" else "DIVERGED");
   let json =
     Printf.sprintf
       "{\"types\":[%s],\"jobs\":%d,\"recommended_domains\":%d,\
-       \"sequential\":%s,\"parallel\":%s,\
+       \"sequential\":%s,\"parallel\":%s,\"nostatic\":%s,\
        \"trace_speedup\":%.3f,\"elapsed_speedup\":%.3f,\
-       \"ranked_identical\":%b}\n"
+       \"ranked_identical\":%b,\
+       \"staticcheck\":{\"pruned\":%d,\"diagnostics\":%d,\
+       \"interp_runs_static\":%d,\"interp_runs_nostatic\":%d,\
+       \"trace_s_static\":%.6f,\"trace_s_nostatic\":%.6f,\
+       \"trace_delta_s\":%.6f,\"ranked_identical\":%b}}\n"
       (String.concat "," (List.map (Printf.sprintf "\"%s\"") type_ids))
       jobs recommended
       (pass_json (seq_elapsed, seq_stages, seq_snap))
       (pass_json (par_elapsed, par_stages, par_snap))
-      trace_speedup elapsed_speedup identical
+      (pass_json (nos_elapsed, nos_stages, nos_snap))
+      trace_speedup elapsed_speedup identical pruned diags runs_static
+      runs_nostatic trace_static trace_nostatic
+      (trace_nostatic -. trace_static)
+      static_identical
   in
   let oc = open_out "BENCH_pipeline.json" in
   output_string oc json;
   close_out oc;
   Printf.printf "wrote BENCH_pipeline.json (%d types, seq %.1fs / par %.1fs)\n"
     (List.length type_ids) seq_elapsed par_elapsed;
-  if not identical then exit 1
+  if not (identical && static_identical) then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                               *)

@@ -9,6 +9,9 @@
       with the synthesized top-1 function;
     - [autotype detect --column file.txt] reads one column of values and
       reports which benchmark types match;
+    - [autotype lint] runs the static analyzer over corpus MiniScript
+      sources ([--repo NAME], [--query KW], or the whole corpus;
+      [--strict] exits non-zero on errors);
     - [autotype types] lists the 112-type benchmark registry;
     - [autotype transforms --type credit-card] prints harvested semantic
       transformations. *)
@@ -99,8 +102,9 @@ let print_stage_summary () =
   in
   let parts =
     List.filter_map stage
-      [ "pipeline.search"; "pipeline.analyze"; "pipeline.probe";
-        "pipeline.negatives"; "pipeline.trace"; "pipeline.rank" ]
+      [ "pipeline.search"; "pipeline.analyze"; "pipeline.staticcheck";
+        "pipeline.probe"; "pipeline.negatives"; "pipeline.trace";
+        "pipeline.rank" ]
   in
   if parts <> [] then
     Printf.printf "stages: %s\n" (String.concat " | " parts)
@@ -258,6 +262,70 @@ let detect_cmd =
   Cmd.v (Cmd.info "detect" ~doc:"Detect the semantic type of a column")
     Term.(const run $ column_arg $ stats_arg $ trace_arg $ jobs_arg)
 
+(* -------------------------------- lint ----------------------------- *)
+
+let lint_repo_arg =
+  Arg.(value & opt (some string) None
+       & info [ "repo" ] ~docv:"NAME"
+           ~doc:"Lint only the corpus repository named $(docv).")
+
+let all_corpus_arg =
+  Arg.(value & flag
+       & info [ "all-corpus" ]
+           ~doc:"Lint every repository in the corpus (the default when \
+                 neither $(b,--repo) nor $(b,--query) is given).")
+
+let strict_arg =
+  Arg.(value & flag
+       & info [ "strict" ]
+           ~doc:"Exit non-zero when any error-severity diagnostic is found.")
+
+let lint_cmd =
+  let run repo_name query all_corpus strict =
+    ignore all_corpus;
+    let repos =
+      match (repo_name, query) with
+      | Some name, _ ->
+        (match
+           List.find_opt
+             (fun (r : Repolib.Repo.t) -> r.Repolib.Repo.repo_name = name)
+             Corpus.all_repos
+         with
+         | Some r -> Ok [ r ]
+         | None -> Error (Printf.sprintf "no corpus repository named %S" name))
+      | None, Some q ->
+        Ok (Repolib.Search.search (Corpus.search_index ()) ~k:40 q)
+      | None, None -> Ok Corpus.all_repos
+    in
+    match repos with
+    | Error e -> prerr_endline e; 1
+    | Ok repos ->
+      let errors = ref 0 and warnings = ref 0 and dirty = ref 0 in
+      List.iter
+        (fun (r : Repolib.Repo.t) ->
+          match Repolib.Analyzer.repo_diagnostics r with
+          | [] -> ()
+          | ds ->
+            incr dirty;
+            Printf.printf "== %s ==\n" r.Repolib.Repo.repo_name;
+            List.iter
+              (fun d ->
+                if Staticcheck.Diag.is_error d then incr errors
+                else incr warnings;
+                print_endline (Staticcheck.Diag.to_string d))
+              ds)
+        repos;
+      Printf.printf
+        "%d repositories linted: %d errors, %d warnings (%d clean)\n"
+        (List.length repos) !errors !warnings
+        (List.length repos - !dirty);
+      if strict && !errors > 0 then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Run the static analyzer over corpus MiniScript sources")
+    Term.(const run $ lint_repo_arg $ query_arg $ all_corpus_arg $ strict_arg)
+
 (* -------------------------------- types ---------------------------- *)
 
 let types_cmd =
@@ -308,6 +376,7 @@ let main_cmd =
       ~doc:"Synthesize type-detection logic from open-source code"
   in
   Cmd.group info
-    [ synth_cmd; validate_cmd; detect_cmd; types_cmd; transforms_cmd ]
+    [ synth_cmd; validate_cmd; detect_cmd; lint_cmd; types_cmd;
+      transforms_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

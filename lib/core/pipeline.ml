@@ -18,6 +18,11 @@ type config = {
       (** minimum fraction of P a DNF must cover for the function to
           count as "found" in Algorithm 2's non-empty test *)
   seed : int;
+  staticcheck : bool;
+      (** prune statically-unrankable candidates before tracing and
+          apply static step-budget hints (lib/staticcheck); the ranked
+          output is unchanged — the pruned candidates trace identically
+          on every input, so they can never rank *)
 }
 
 let default_config =
@@ -29,6 +34,7 @@ let default_config =
     mutation_p = 0.25;
     found_fraction = 0.85;
     seed = 17;
+    staticcheck = true;
   }
 
 type outcome = {
@@ -50,6 +56,8 @@ let m_candidates_probed = Telemetry.counter "pipeline.candidates_probed"
 let m_candidates_kept = Telemetry.counter "pipeline.candidates_kept"
 let m_candidates_rejected = Telemetry.counter "pipeline.candidates_rejected"
 let m_strategy_attempts = Telemetry.counter "pipeline.strategy_attempts"
+let m_static_pruned = Telemetry.counter "staticcheck.pruned"
+let m_static_diags = Telemetry.counter "staticcheck.diagnostics"
 
 (** Search + static analysis + executability probing: everything up to
     (but excluding) example-driven ranking. *)
@@ -66,6 +74,31 @@ let gather_candidates ~(index : Repolib.Search.index) ~(config : config)
         let cs = List.concat_map Repolib.Analyzer.candidates_of_repo repos in
         Telemetry.add_attr "candidates" (Telemetry.I (List.length cs));
         cs)
+  in
+  let raw =
+    if not config.staticcheck then raw
+    else
+      Telemetry.with_span "pipeline.staticcheck" (fun () ->
+          (* Input-flow pruning: drop candidates whose trace provably
+             cannot depend on the input.  Sound (over-approximate), so
+             the ranked output is unchanged — see DESIGN.md §8. *)
+          let kept =
+            List.filter
+              (fun c -> (Repolib.Analyzer.verdict c).Repolib.Analyzer.rankable)
+              raw
+          in
+          let pruned = List.length raw - List.length kept in
+          let diags =
+            List.fold_left
+              (fun n repo ->
+                n + List.length (Repolib.Analyzer.repo_diagnostics repo))
+              0 repos
+          in
+          Telemetry.incr ~by:pruned m_static_pruned;
+          Telemetry.incr ~by:diags m_static_diags;
+          Telemetry.add_attr "pruned" (Telemetry.I pruned);
+          Telemetry.add_attr "diagnostics" (Telemetry.I diags);
+          kept)
   in
   let candidates =
     Telemetry.with_span "pipeline.probe" (fun () ->
@@ -139,8 +172,15 @@ let synthesize ?(config = default_config) ?negatives_override ?pool ?cache
         (fun () ->
           Exec.map ?pool
             (fun c ->
-              Ranking.trace_candidate ~cache ~prune:true c ~positives
-                ~negatives)
+              (* Static step-budget hints shrink max_steps for proven
+                 spin loops; Hit_limit emits no trace event, so traces
+                 (and the cache keyed on them) are unaffected. *)
+              let iconfig =
+                if config.staticcheck then Repolib.Driver.config_for c
+                else Repolib.Driver.default_config
+              in
+              Ranking.trace_candidate ~config:iconfig ~cache ~prune:true c
+                ~positives ~negatives)
             candidates)
     in
     let rank traceds =

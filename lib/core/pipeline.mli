@@ -12,6 +12,10 @@ type config = {
       (** minimum positive-coverage fraction for a function to count as
           "found" in Algorithm 2's non-empty test *)
   seed : int;
+  staticcheck : bool;
+      (** prune statically-unrankable candidates before tracing and
+          apply static step-budget hints; on by default.  Sound: the
+          ranked output is unchanged (DESIGN.md §8) *)
 }
 
 val default_config : config

@@ -193,6 +193,31 @@ def average_word_length(text):
 |};
     ]
 
+let audit_log =
+  Repolib.Repo.make "devops/audit-log"
+    "Write-only audit logging: record credit card, email address, IPv4 \
+     and ISBN lookups"
+    ~readme:
+      "Append-only audit trail for lookup services. Values are recorded \
+       verbatim and never inspected: the logger treats a credit card \
+       number, an email address, an IPv4 address or an ISBN identically."
+    ~stars:27
+    ~truth:[]
+    [
+      file "auditlog/log.py"
+        {|def log_value(value):
+    # write-only: the value is recorded, never inspected
+    print("AUDIT")
+    print(value)
+    return True
+
+def log_event(message):
+    line = str(message)
+    print(line)
+    return None
+|};
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* The four complex-invocation repositories (Section 8.2.2): relevant  *)
 (* code exists, but using it requires chained calls like               *)
@@ -293,5 +318,6 @@ def query_ric(session, ric):
 let repos =
   [
     strutils; mathkit; swift_lang; swift_lang_tutorial; csv_tools;
-    temp_conv; word_stats; sql_parser; taf_decoder; isni_registry; ric_feed;
+    temp_conv; word_stats; audit_log; sql_parser; taf_decoder; isni_registry;
+    ric_feed;
   ]

@@ -34,6 +34,14 @@ type outcome =
   | Errored of string * string  (** exception kind, message *)
   | Hit_limit of string
 
+val builtin_names : string list
+(** Names resolvable as builtin free functions at runtime.  Exposed so
+    static analysis (lib/staticcheck) checks against the same table the
+    interpreter dispatches on. *)
+
+val known_exception_kinds : string list
+(** Exception-kind names resolvable as raisable values / except filters. *)
+
 type run_result = {
   outcome : outcome;
   trace : Trace.t;

@@ -121,19 +121,27 @@ let body_opens_param pname (body : block) =
 let required_params (f : func) =
   List.filter (fun p -> not (List.mem_assoc p f.defaults)) f.params
 
-(** Extract every candidate from one repository.  Returns [] if any file
-    fails to parse (the paper only keeps repositories that compile). *)
+(** Extract every candidate from one repository.  Files that fail to
+    parse are skipped (counted in [analyzer.files_skipped]); candidates
+    from the repository's parsable files are kept, mirroring the paper's
+    "execute whatever compiles" behaviour.  A repository where *no* file
+    parses still counts as unparseable and yields []. *)
 let m_repos_analyzed = Telemetry.counter "analyzer.repos_analyzed"
 let m_candidates_found = Telemetry.counter "analyzer.candidates_found"
 let m_unparseable = Telemetry.counter "analyzer.unparseable_repos"
+let m_files_skipped = Telemetry.counter "analyzer.files_skipped"
 
 let candidates_of_repo (repo : Repo.t) : Candidate.t list =
   Telemetry.incr m_repos_analyzed;
-  match Repo.programs repo with
-  | None ->
+  match Repo.parse_each repo with
+  | [], [] -> []
+  | [], _skipped ->
+    Telemetry.incr ~by:(List.length _skipped) m_files_skipped;
     Telemetry.incr m_unparseable;
     []
-  | Some progs ->
+  | progs, skipped ->
+    if skipped <> [] then
+      Telemetry.incr ~by:(List.length skipped) m_files_skipped;
     let acc = ref [] in
     let add file func_name invocation doc_text =
       acc :=
@@ -226,3 +234,193 @@ let candidates_of_repo (repo : Repo.t) : Candidate.t list =
       progs;
     Telemetry.incr ~by:(List.length !acc) m_candidates_found;
     List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Static pre-trace verdicts (lib/staticcheck wiring)                  *)
+(* ------------------------------------------------------------------ *)
+
+type verdict = {
+  rankable : bool;
+      (** false = input provably cannot reach any branch condition,
+          return value, or raise under this invocation plan, so the
+          candidate's trace is input-independent and it can never rank *)
+  budget_hint : int option;
+      (** a smaller [max_steps] for candidates whose entry function is a
+          proven constant-condition spin loop *)
+}
+
+let repo_key (r : Repo.t) = (r.Repo.repo_name, Hashtbl.hash r.Repo.files)
+
+(* Taint analyses are memoized per (repository, input-channel config):
+   every candidate of a repo under the same invocation channel shares
+   one call-graph fixpoint.  Same locking discipline as the parse
+   cache: analysis runs outside the lock, first insert wins. *)
+let taint_cache : (string * int * string, Staticcheck.Taint.t) Hashtbl.t =
+  Hashtbl.create 64
+
+let taint_lock = Mutex.create ()
+
+let taint_for (repo : Repo.t) ~(channel : Staticcheck.Taint.channel)
+    ?global_source () : Staticcheck.Taint.t =
+  let tag =
+    match (channel, global_source) with
+    | Staticcheck.Taint.Chan_none, None -> "none"
+    | Staticcheck.Taint.Chan_none, Some v -> "var:" ^ v
+    | Staticcheck.Taint.Chan_stdin, _ -> "stdin"
+    | Staticcheck.Taint.Chan_argv, _ -> "argv"
+    | Staticcheck.Taint.Chan_file, _ -> "file"
+  in
+  let name, h = repo_key repo in
+  let key = (name, h, tag) in
+  Mutex.lock taint_lock;
+  match Hashtbl.find_opt taint_cache key with
+  | Some t ->
+    Mutex.unlock taint_lock;
+    t
+  | None ->
+    Mutex.unlock taint_lock;
+    let progs, _ = Repo.parse_each repo in
+    let env = Staticcheck.Env.build progs in
+    let t = Staticcheck.Taint.analyze ?global_source ~channel env progs in
+    Mutex.lock taint_lock;
+    if not (Hashtbl.mem taint_cache key) then Hashtbl.add taint_cache key t;
+    Mutex.unlock taint_lock;
+    t
+
+(* The entry function's AST, for loop-budget inference.  Candidates are
+   extracted per file, so prefer the candidate's own file and fall back
+   to any file (Driver.find_prog resolves names repo-wide too). *)
+let find_func (repo : Repo.t) ~file name : func option =
+  let progs, _ = Repo.parse_each repo in
+  let in_prog (p : program) =
+    List.find_map
+      (function Func_def f when f.fname = name -> Some f | _ -> None)
+      p.prog_body
+  in
+  match List.find_opt (fun (p : program) -> p.prog_file = file) progs with
+  | Some p ->
+    (match in_prog p with
+     | Some f -> Some f
+     | None -> List.find_map in_prog progs)
+  | None -> List.find_map in_prog progs
+
+let verdict_cache : (string * int, verdict) Hashtbl.t = Hashtbl.create 256
+let verdict_lock = Mutex.create ()
+
+let compute_verdict (c : Candidate.t) : verdict =
+  let repo = c.Candidate.repo in
+  let hint name =
+    Option.bind (find_func repo ~file:c.Candidate.file name)
+      Staticcheck.Loops.budget_hint
+  in
+  match c.Candidate.invocation with
+  | Candidate.Direct ->
+    let t = taint_for repo ~channel:Staticcheck.Taint.Chan_none () in
+    {
+      rankable =
+        Staticcheck.Taint.func_rankable t ~tainted_args:true
+          c.Candidate.func_name;
+      budget_hint = hint c.Candidate.func_name;
+    }
+  | Candidate.Split_call (fname, _, _) ->
+    (* The driver itself raises ValueError when the input does not
+       split into the expected arity — an input-dependent traced event
+       that happens before the function runs, so a Split_call candidate
+       can rank even when the function ignores its arguments.  Never
+       prunable. *)
+    { rankable = true; budget_hint = hint fname }
+  | Candidate.Class_then_method (cls, meth) ->
+    let t = taint_for repo ~channel:Staticcheck.Taint.Chan_none () in
+    {
+      rankable = Staticcheck.Taint.method_rankable t ~cls ~meth;
+      budget_hint = None;
+    }
+  | Candidate.Ctor_then_method (cls, meth) ->
+    let t = taint_for repo ~channel:Staticcheck.Taint.Chan_none () in
+    {
+      rankable = Staticcheck.Taint.ctor_method_rankable t ~cls ~meth;
+      budget_hint = None;
+    }
+  | Candidate.Via_argv fname ->
+    let t = taint_for repo ~channel:Staticcheck.Taint.Chan_argv () in
+    {
+      rankable = Staticcheck.Taint.func_rankable t ~tainted_args:false fname;
+      budget_hint = hint fname;
+    }
+  | Candidate.Via_stdin fname ->
+    let t = taint_for repo ~channel:Staticcheck.Taint.Chan_stdin () in
+    {
+      rankable = Staticcheck.Taint.func_rankable t ~tainted_args:false fname;
+      budget_hint = hint fname;
+    }
+  | Candidate.Via_file fname ->
+    let t = taint_for repo ~channel:Staticcheck.Taint.Chan_file () in
+    {
+      (* The file *path* argument is untainted; the content read back
+         through it is the input. *)
+      rankable = Staticcheck.Taint.func_rankable t ~tainted_args:false fname;
+      budget_hint = hint fname;
+    }
+  | Candidate.Script_var (path, var) ->
+    let t =
+      taint_for repo ~channel:Staticcheck.Taint.Chan_none ~global_source:var ()
+    in
+    { rankable = Staticcheck.Taint.script_rankable t path; budget_hint = None }
+  | Candidate.Script_argv path ->
+    let t = taint_for repo ~channel:Staticcheck.Taint.Chan_argv () in
+    { rankable = Staticcheck.Taint.script_rankable t path; budget_hint = None }
+  | Candidate.Script_stdin path ->
+    let t = taint_for repo ~channel:Staticcheck.Taint.Chan_stdin () in
+    { rankable = Staticcheck.Taint.script_rankable t path; budget_hint = None }
+
+let verdict (c : Candidate.t) : verdict =
+  (* Candidate.id is unique within a repo snapshot; add the content
+     hash so test repos reusing names do not collide. *)
+  let key = (Candidate.id c, Hashtbl.hash c.Candidate.repo.Repo.files) in
+  Mutex.lock verdict_lock;
+  match Hashtbl.find_opt verdict_cache key with
+  | Some v ->
+    Mutex.unlock verdict_lock;
+    v
+  | None ->
+    Mutex.unlock verdict_lock;
+    let v = compute_verdict c in
+    Mutex.lock verdict_lock;
+    if not (Hashtbl.mem verdict_cache key) then Hashtbl.add verdict_cache key v;
+    Mutex.unlock verdict_lock;
+    v
+
+(* ------------------------------------------------------------------ *)
+(* Repository lint                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let diagnostics_cache : (string * int, Staticcheck.Diag.t list) Hashtbl.t =
+  Hashtbl.create 64
+
+let diagnostics_lock = Mutex.create ()
+
+let repo_diagnostics (repo : Repo.t) : Staticcheck.Diag.t list =
+  let key = repo_key repo in
+  Mutex.lock diagnostics_lock;
+  match Hashtbl.find_opt diagnostics_cache key with
+  | Some ds ->
+    Mutex.unlock diagnostics_lock;
+    ds
+  | None ->
+    Mutex.unlock diagnostics_lock;
+    let progs, skipped = Repo.parse_each repo in
+    let parse_diags =
+      List.map
+        (fun (file, line, msg) ->
+          Staticcheck.Check.parse_error_diag ~file ~line msg)
+        skipped
+    in
+    let ds =
+      List.sort Staticcheck.Diag.compare
+        (parse_diags @ Staticcheck.Check.check_programs progs)
+    in
+    Mutex.lock diagnostics_lock;
+    if not (Hashtbl.mem diagnostics_cache key) then
+      Hashtbl.add diagnostics_cache key ds;
+    Mutex.unlock diagnostics_lock;
+    ds

@@ -4,7 +4,36 @@
     variants, implicit-input functions (argv / stdin / file),
     script-level snippets with hard-coded constants, whole-file scripts
     reading argv or stdin, and multi-parameter functions fed by
-    splitting. *)
+    splitting.
+
+    Also the bridge to {!Staticcheck}: per-candidate pre-trace
+    verdicts (input-flow rankability + step-budget hints) and per-repo
+    lint diagnostics, both memoized. *)
 
 val candidates_of_repo : Repo.t -> Candidate.t list
-(** [] when any file of the repository fails to parse. *)
+(** Candidates from every file that parses.  Files that fail to parse
+    are skipped (counted in the [analyzer.files_skipped] telemetry
+    counter); a repository where no file parses yields []. *)
+
+type verdict = {
+  rankable : bool;
+      (** [false] = the input provably cannot reach any branch
+          condition, return value, or raise under this invocation
+          plan, so the candidate's trace is input-independent and it
+          can never produce a discriminating pattern.  Over-approximate
+          (sound): [true] whenever the analysis is unsure. *)
+  budget_hint : int option;
+      (** a reduced interpreter [max_steps] for candidates whose entry
+          function provably spins in a constant-condition loop *)
+}
+
+val verdict : Candidate.t -> verdict
+(** Static pre-trace verdict for one candidate.  Taint analyses are
+    memoized per (repository, input channel); verdicts per candidate.
+    Thread-safe. *)
+
+val repo_diagnostics : Repo.t -> Staticcheck.Diag.t list
+(** All lint diagnostics for a repository: E100 parse errors for
+    files that fail to parse plus the five {!Staticcheck} passes over
+    the files that do, in stable (file, line, code) order.  Memoized;
+    thread-safe. *)

@@ -41,9 +41,9 @@ let rewrite_script_var ~var (prog : Ast.program) : Ast.program =
     errors in individual files are tolerated, mirroring the paper's
     "execute whatever compiles" behaviour. *)
 let load_scope ?(skip_file = "") (repo : Repo.t) : Value.scope option =
-  match Repo.programs repo with
-  | None -> None
-  | Some progs ->
+  match Repo.parse_each repo with
+  | [], _ -> None
+  | progs, _skipped ->
     let progs =
       List.filter (fun (p : Ast.program) -> p.Ast.prog_file <> skip_file) progs
     in
@@ -55,9 +55,9 @@ let run ?(config = default_config) ?(record_assigns = false)
   Telemetry.incr m_runs;
   let fail_infra msg = raise (Infra_failure msg) in
   let find_prog file =
-    match Repo.programs c.Candidate.repo with
-    | None -> fail_infra "repository does not parse"
-    | Some progs ->
+    match Repo.parse_each c.Candidate.repo with
+    | [], _ -> fail_infra "repository does not parse"
+    | progs, _ ->
       (match
          List.find_opt (fun (p : Ast.program) -> p.Ast.prog_file = file) progs
        with
@@ -159,6 +159,16 @@ let executable (c : Candidate.t) ~probe : bool =
   | exception Infra_failure _ ->
     Telemetry.incr m_rejected;
     false
+
+(** Interpreter config for a candidate, shrinking [max_steps] when the
+    static loop pass proved the entry function spins in a
+    constant-condition loop: the run still hits the limit (same traced
+    events — [Hit_limit] emits none), just [10x] sooner. *)
+let config_for ?(config = default_config) (c : Candidate.t) : Interp.config =
+  match (Analyzer.verdict c).Analyzer.budget_hint with
+  | Some budget when budget < config.Interp.max_steps ->
+    { config with Interp.max_steps = budget }
+  | Some _ | None -> config
 
 (** Convenience used throughout the pipeline: run and swallow
     infrastructure failures into an error outcome. *)

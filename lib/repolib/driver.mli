@@ -27,6 +27,14 @@ val executable : Candidate.t -> probe:string -> bool
 (** The paper's "compilable and executable" filter: try the candidate on
     one probe input; reject it if the invocation machinery fails. *)
 
+val config_for :
+  ?config:Minilang.Interp.config -> Candidate.t -> Minilang.Interp.config
+(** [config] (default {!default_config}) with [max_steps] shrunk to the
+    candidate's static step-budget hint, when {!Analyzer.verdict} proved
+    the entry function spins in a constant-condition loop.  Sound: such
+    a run hits the step limit either way and [Hit_limit] emits no trace
+    event, so the traced behaviour is unchanged — only cheaper. *)
+
 val run_safe :
   ?config:Minilang.Interp.config ->
   ?record_assigns:bool ->

@@ -52,24 +52,41 @@ let parse_all repo : (Minilang.Ast.program list, string) result =
    parsing itself happens outside the lock, so two domains may parse
    the same repository once concurrently — benign, the results are
    equal and the first insert wins. *)
-let parse_cache : (string * int, Minilang.Ast.program list option) Hashtbl.t =
+let parse_cache :
+    ( string * int,
+      Minilang.Ast.program list * (string * int * string) list )
+    Hashtbl.t =
   Hashtbl.create 64
 
 let parse_cache_lock = Mutex.create ()
 
-let programs repo =
+let parse_each repo =
   let key = (repo.repo_name, Hashtbl.hash repo.files) in
   Mutex.lock parse_cache_lock;
   match Hashtbl.find_opt parse_cache key with
-  | Some progs ->
+  | Some result ->
     Mutex.unlock parse_cache_lock;
-    progs
+    result
   | None ->
     Mutex.unlock parse_cache_lock;
-    let progs =
-      match parse_all repo with Ok p -> Some p | Error _ -> None
+    let progs, errs =
+      List.fold_left
+        (fun (progs, errs) f ->
+          match Minilang.Parser.parse ~file:f.path f.source with
+          | prog -> (prog :: progs, errs)
+          | exception Minilang.Parser.Parse_error (msg, line) ->
+            (progs, (f.path, line, msg) :: errs)
+          | exception Minilang.Lexer.Lex_error (msg, line) ->
+            (progs, (f.path, line, "lex: " ^ msg) :: errs))
+        ([], []) repo.files
     in
+    let result = (List.rev progs, List.rev errs) in
     Mutex.lock parse_cache_lock;
-    if not (Hashtbl.mem parse_cache key) then Hashtbl.add parse_cache key progs;
+    if not (Hashtbl.mem parse_cache key) then Hashtbl.add parse_cache key result;
     Mutex.unlock parse_cache_lock;
-    progs
+    result
+
+let programs repo =
+  match parse_each repo with
+  | progs, [] -> Some progs
+  | _, _ :: _ -> None

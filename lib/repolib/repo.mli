@@ -28,6 +28,12 @@ val intends : t -> func_name:string -> type_id:string -> bool
 
 val parse_all : t -> (Minilang.Ast.program list, string) result
 
+val parse_each : t -> Minilang.Ast.program list * (string * int * string) list
+(** Cached per-file parse: the programs that parse, plus a
+    [(path, line, message)] record for each file that does not.  The
+    analyzer and driver use this to keep working candidates from
+    repositories with one broken file. *)
+
 val programs : t -> Minilang.Ast.program list option
 (** Cached parse of all files; [None] when any file fails to parse
     (the paper keeps only repositories that compile). *)

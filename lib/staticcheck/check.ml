@@ -1,0 +1,49 @@
+(** Orchestrator: run every pass over a repository's parsed programs
+    and return diagnostics in stable (file, line, code) order.
+
+    [E100] is reserved for files that fail to parse — emitted by
+    callers (lint CLI, analyzer) that do their own lenient parsing,
+    since this module only sees successfully parsed programs. *)
+
+open Minilang.Ast
+
+let parse_error_diag ~file ~line msg =
+  Diag.error { file; line } "E100" ("parse error: " ^ msg)
+
+(* W405: a function whose arguments provably never reach a branch
+   condition, return value, or raise — it cannot distinguish inputs, so
+   it can never rank (input-flow pass, Chan_none entry). *)
+let input_unused env taint (prog : program) : Diag.t list =
+  ignore env;
+  List.filter_map
+    (fun s ->
+      match s with
+      | Func_def f
+        when f.params <> []
+             && not (Taint.func_rankable taint ~tainted_args:true f.fname) ->
+        Some
+          (Diag.warning f.fpos "W405"
+             (Printf.sprintf
+                "%s(): arguments never reach a branch, return value, or \
+                 raise — the function cannot distinguish inputs"
+                f.fname))
+      | _ -> None)
+    prog.prog_body
+
+(** All five passes over one repository's files.  The environment is
+    repo-wide (Driver loads every file into one scope), so undefined
+    names are judged against the union of the files' definitions. *)
+let check_programs (progs : program list) : Diag.t list =
+  let env = Env.build progs in
+  let taint = Taint.analyze ~channel:Taint.Chan_none env progs in
+  let diags =
+    List.concat_map
+      (fun p ->
+        Names.check env p @ Sigs.check env p @ Flow.check p @ Loops.check p
+        @ input_unused env taint p)
+      progs
+  in
+  List.sort Diag.compare diags
+
+let errors diags = List.filter Diag.is_error diags
+let warnings diags = List.filter (fun d -> not (Diag.is_error d)) diags

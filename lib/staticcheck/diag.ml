@@ -1,0 +1,45 @@
+(** Shared diagnostics type for every staticcheck pass.
+
+    Codes follow a lint-style convention: [E1xx] name resolution,
+    [E0xx]/[E1xx] always error severity, [W2xx] shadowing, [W4xx]
+    flow/reachability findings.  A code is stable across releases so the
+    corpus-hygiene allowlist can pin exact findings. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  severity : severity;
+  site : Minilang.Ast.pos;
+  code : string;  (** e.g. "E101" *)
+  message : string;
+}
+
+let make severity site code message = { severity; site; code; message }
+
+let error site code message = make Error site code message
+let warning site code message = make Warning site code message
+let info site code message = make Info site code message
+
+let is_error d = d.severity = Error
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+(** [file:line [code] message] — the `autotype lint` output format. *)
+let to_string d =
+  Printf.sprintf "%s:%d [%s] %s" d.site.Minilang.Ast.file d.site.Minilang.Ast.line
+    d.code d.message
+
+(* Stable order: file, then line, then code, then message — used both
+   for deterministic lint output and the corpus allowlist. *)
+let compare a b =
+  let c = String.compare a.site.Minilang.Ast.file b.site.Minilang.Ast.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.site.Minilang.Ast.line b.site.Minilang.Ast.line in
+    if c <> 0 then c
+    else
+      let c = String.compare a.code b.code in
+      if c <> 0 then c else String.compare a.message b.message

@@ -1,0 +1,216 @@
+(** Repository-level environment and shared AST helpers for the
+    staticcheck passes.
+
+    Mirrors the interpreter's name-resolution order (locals → module
+    scope → builtins → [re]/[sys]/[argv] → exception kinds): the module
+    environment is the union over every file of a repository because
+    [Driver] loads all files into one scope before invoking a candidate. *)
+
+open Minilang.Ast
+module StrSet = Set.Make (String)
+
+type t = {
+  funcs : (string, func) Hashtbl.t;  (** top-level function defs *)
+  classes : (string, cls) Hashtbl.t;
+  module_vars : StrSet.t;
+      (** names assigned at top level of any file, plus names declared
+          [global] inside any function (the interpreter hoists those
+          writes to module scope) *)
+}
+
+(* Names the interpreter resolves without any definition in scope. *)
+let ambient_names =
+  StrSet.union
+    (StrSet.of_list Minilang.Interp.builtin_names)
+    (StrSet.add "re"
+       (StrSet.add "sys"
+          (StrSet.add "argv"
+             (StrSet.of_list Minilang.Interp.known_exception_kinds))))
+
+let is_ambient n = StrSet.mem n ambient_names
+
+(* Every variable name a target can bind. *)
+let rec target_names = function
+  | Tvar n -> StrSet.singleton n
+  | Tindex _ | Tattr _ -> StrSet.empty
+  | Ttuple ts ->
+    List.fold_left (fun acc t -> StrSet.union acc (target_names t)) StrSet.empty ts
+
+(* Names assigned anywhere in a block, including inside nested control
+   flow, but NOT descending into nested function/class bodies (those
+   have their own scopes).  Nested def/class names themselves bind. *)
+let assigned_names (body : block) : StrSet.t =
+  let rec go acc stmts =
+    List.fold_left
+      (fun acc s ->
+        match s with
+        | Assign (t, _, _) | Aug_assign (t, _, _, _) ->
+          StrSet.union acc (target_names t)
+        | For (t, _, b, _) -> go (StrSet.union acc (target_names t)) b
+        | If (arms, els) ->
+          let acc = List.fold_left (fun acc (_, _, b) -> go acc b) acc arms in
+          (match els with Some b -> go acc b | None -> acc)
+        | While (_, _, b) -> go acc b
+        | Try (b, handlers, fin) ->
+          let acc = go acc b in
+          let acc =
+            List.fold_left
+              (fun acc h ->
+                let acc =
+                  match h.h_bind with
+                  | Some b -> StrSet.add b acc
+                  | None ->
+                    (match h.h_filter with
+                     | Some f when not (is_ambient f) -> StrSet.add f acc
+                     | _ -> acc)
+                in
+                go acc h.h_body)
+              acc handlers
+          in
+          (match fin with Some b -> go acc b | None -> acc)
+        | Func_def f -> StrSet.add f.fname acc
+        | Class_def c -> StrSet.add c.cname acc
+        | Expr_stmt _ | Return _ | Raise _ | Break _ | Continue _ | Pass
+        | Global _ -> acc)
+      acc stmts
+  in
+  go StrSet.empty body
+
+(* Names declared [global] in a block (not descending into nested defs:
+   a nested function's global declarations are its own). *)
+let global_names (body : block) : StrSet.t =
+  let rec go acc stmts =
+    List.fold_left
+      (fun acc s ->
+        match s with
+        | Global names -> List.fold_right StrSet.add names acc
+        | If (arms, els) ->
+          let acc = List.fold_left (fun acc (_, _, b) -> go acc b) acc arms in
+          (match els with Some b -> go acc b | None -> acc)
+        | While (_, _, b) | For (_, _, b, _) -> go acc b
+        | Try (b, handlers, fin) ->
+          let acc = go acc b in
+          let acc =
+            List.fold_left (fun acc h -> go acc h.h_body) acc handlers
+          in
+          (match fin with Some b -> go acc b | None -> acc)
+        | _ -> acc)
+      acc stmts
+  in
+  go StrSet.empty body
+
+(* The function's local names: parameters plus everything its body can
+   bind, minus names it declares global. *)
+let locals_of_func (f : func) : StrSet.t =
+  StrSet.diff
+    (StrSet.union (StrSet.of_list f.params) (assigned_names f.body))
+    (global_names f.body)
+
+let build (progs : program list) : t =
+  let funcs = Hashtbl.create 16 in
+  let classes = Hashtbl.create 8 in
+  let module_vars = ref StrSet.empty in
+  List.iter
+    (fun (p : program) ->
+      (* Top-level bindings of the file, wherever they appear in
+         top-level control flow. *)
+      module_vars := StrSet.union !module_vars (assigned_names p.prog_body);
+      List.iter
+        (fun s ->
+          match s with
+          | Func_def f -> Hashtbl.replace funcs f.fname f
+          | Class_def c -> Hashtbl.replace classes c.cname c
+          | _ -> ())
+        p.prog_body;
+      (* [global x] inside any function makes x writable/readable at
+         module scope once that function runs; treat it as a module var
+         for lenient resolution. *)
+      ignore
+        (fold_stmts
+           (fun () s ->
+             match s with
+             | Func_def f ->
+               module_vars := StrSet.union !module_vars (global_names f.body)
+             | Class_def c ->
+               List.iter
+                 (fun m ->
+                   module_vars :=
+                     StrSet.union !module_vars (global_names m.body))
+                 c.methods
+             | _ -> ())
+           () p.prog_body))
+    progs;
+  { funcs; classes; module_vars = !module_vars }
+
+(* Would [lookup_var] resolve this name with no locals bound? *)
+let resolvable env name =
+  Hashtbl.mem env.funcs name
+  || Hashtbl.mem env.classes name
+  || StrSet.mem name env.module_vars
+  || is_ambient name
+
+(* Iterate over the direct sub-expressions of an expression. *)
+let iter_subexprs f (e : expr) =
+  match e with
+  | Int _ | Float _ | Str _ | Bool _ | None_lit | Var _ -> ()
+  | Binop (_, a, b, _) -> f a; f b
+  | Unop (_, a) -> f a
+  | Call (g, args, _) -> f g; List.iter f args
+  | Method (o, _, args, _) -> f o; List.iter f args
+  | Attr (o, _) -> f o
+  | Index (a, b, _) -> f a; f b
+  | Slice (a, lo, hi, _) -> f a; Option.iter f lo; Option.iter f hi
+  | List_lit es | Tuple_lit es -> List.iter f es
+  | Dict_lit kvs -> List.iter (fun (k, v) -> f k; f v) kvs
+  | Cond (c, a, b, _) -> f c; f a; f b
+
+(* Depth-first visit of an expression tree, parents before children. *)
+let rec iter_expr f e =
+  f e;
+  iter_subexprs (iter_expr f) e
+
+(* All expressions appearing directly in a statement (not in nested
+   statements). *)
+let stmt_exprs (s : stmt) : expr list =
+  match s with
+  | Expr_stmt (e, _) -> [ e ]
+  | Assign (t, e, _) ->
+    let rec texprs = function
+      | Tvar _ -> []
+      | Tindex (a, b) -> [ a; b ]
+      | Tattr (a, _) -> [ a ]
+      | Ttuple ts -> List.concat_map texprs ts
+    in
+    e :: texprs t
+  | Aug_assign (t, _, e, _) ->
+    let base = match t with Tindex (a, b) -> [ a; b ] | Tattr (a, _) -> [ a ] | _ -> [] in
+    e :: base
+  | If (arms, _) -> List.map (fun (c, _, _) -> c) arms
+  | While (c, _, _) -> [ c ]
+  | For (_, e, _, _) -> [ e ]
+  | Return (Some e, _) | Raise (Some e, _) -> [ e ]
+  | Return (None, _) | Raise (None, _) -> []
+  | Try _ | Break _ | Continue _ | Pass | Func_def _ | Class_def _ | Global _ ->
+    []
+
+(* First source position found in a statement, used to anchor
+   "unreachable code" diagnostics. *)
+let rec stmt_pos (s : stmt) : pos option =
+  match s with
+  | Expr_stmt (_, p) | Assign (_, _, p) | Aug_assign (_, _, _, p)
+  | While (_, p, _) | For (_, _, _, p) | Return (_, p) | Raise (_, p)
+  | Break p | Continue p -> Some p
+  | If ((_, p, _) :: _, _) -> Some p
+  | If ([], els) -> (match els with Some b -> block_pos b | None -> None)
+  | Try (b, handlers, fin) ->
+    (match block_pos b with
+     | Some p -> Some p
+     | None ->
+       (match List.find_map (fun h -> block_pos h.h_body) handlers with
+        | Some p -> Some p
+        | None -> (match fin with Some b -> block_pos b | None -> None)))
+  | Func_def f -> Some f.fpos
+  | Class_def c -> Some c.cpos
+  | Pass | Global _ -> None
+
+and block_pos (b : block) : pos option = List.find_map stmt_pos b

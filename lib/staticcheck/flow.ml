@@ -1,0 +1,137 @@
+(** Pass 4 — reachability after constant-condition folding.
+
+    - [W401] a branch or loop whose condition folds to a constant, so
+      one side can never execute;
+    - [W402] statements following an unconditional return/raise/break/
+      continue in the same block;
+    - [W403] a function body that is nothing but [return <literal>] —
+      it traces identically on every input, so it can never separate
+      positives from negatives.
+
+    All warnings: dead code is suspicious, not a runtime error. *)
+
+open Minilang.Ast
+
+(* Fold an expression to a constant truth value where the interpreter
+   guarantees one.  Comparisons fold only between same-kind literals
+   (mixed-kind Lt/Le/Gt/Ge raise TypeError instead of answering). *)
+let rec const_truth (e : expr) : bool option =
+  match e with
+  | Bool b -> Some b
+  | Int i -> Some (i <> 0)
+  | Float f -> Some (f <> 0.0)
+  | Str s -> Some (s <> "")
+  | None_lit -> Some false
+  | List_lit es | Tuple_lit es -> Some (es <> [])
+  | Dict_lit kvs -> Some (kvs <> [])
+  | Unop (Not, a) -> Option.map not (const_truth a)
+  | Binop (And, a, b, _) -> (
+    match const_truth a with
+    | Some false -> Some false
+    | Some true -> const_truth b
+    | None -> None)
+  | Binop (Or, a, b, _) -> (
+    match const_truth a with
+    | Some true -> Some true
+    | Some false -> const_truth b
+    | None -> None)
+  | Binop ((Eq | Neq | Lt | Le | Gt | Ge) as op, a, b, _) -> (
+    let cmp : int option =
+      match (a, b) with
+      | Int x, Int y -> Some (compare x y)
+      | Float x, Float y -> Some (compare x y)
+      | Str x, Str y -> Some (compare x y)
+      | Bool x, Bool y -> Some (compare x y)
+      | _ -> None
+    in
+    match cmp with
+    | None -> None
+    | Some c ->
+      Some
+        (match op with
+         | Eq -> c = 0 | Neq -> c <> 0 | Lt -> c < 0 | Le -> c <= 0
+         | Gt -> c > 0 | Ge -> c >= 0
+         | _ -> assert false))
+  | _ -> None
+
+let is_terminator = function
+  | Return _ | Raise _ | Break _ | Continue _ -> true
+  | _ -> false
+
+let is_literal = function
+  | Int _ | Float _ | Str _ | Bool _ | None_lit -> true
+  | _ -> false
+
+let check (prog : program) : Diag.t list =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let rec walk_block (stmts : block) =
+    (* Unreachable statements after an unconditional jump. *)
+    let rec after_terminator = function
+      | s :: rest when is_terminator s -> (
+        match Env.block_pos rest with
+        | Some p ->
+          add (Diag.warning p "W402" "unreachable code after unconditional jump")
+        | None -> ())
+      | _ :: rest -> after_terminator rest
+      | [] -> ()
+    in
+    after_terminator stmts;
+    List.iter walk_stmt stmts
+  and walk_stmt (s : stmt) =
+    match s with
+    | If (arms, els) ->
+      let rec scan_arms taken = function
+        | (cond, pos, body) :: rest ->
+          (if taken then
+             add
+               (Diag.warning pos "W401"
+                  "branch is unreachable: an earlier condition is always true")
+           else
+             match const_truth cond with
+             | Some false ->
+               add
+                 (Diag.warning pos "W401"
+                    "condition is always false: branch never taken")
+             | _ -> ());
+          walk_block body;
+          let taken =
+            taken || (match const_truth cond with Some true -> true | _ -> false)
+          in
+          scan_arms taken rest
+        | [] -> ()
+      in
+      scan_arms false arms;
+      Option.iter walk_block els
+    | While (cond, pos, body) ->
+      (match const_truth cond with
+       | Some false ->
+         add
+           (Diag.warning pos "W401"
+              "condition is always false: loop body never executes")
+       | _ -> ());
+      walk_block body
+    | For (_, _, body, _) -> walk_block body
+    | Try (b, handlers, fin) ->
+      walk_block b;
+      List.iter (fun h -> walk_block h.h_body) handlers;
+      Option.iter walk_block fin
+    | Func_def f -> walk_func f
+    | Class_def c -> List.iter walk_func c.methods
+    | Expr_stmt _ | Assign _ | Aug_assign _ | Return _ | Raise _ | Break _
+    | Continue _ | Pass | Global _ -> ()
+  and walk_func (f : func) =
+    (match f.body with
+     | [ Return (Some e, pos) ] when is_literal e ->
+       add
+         (Diag.warning pos "W403"
+            (Printf.sprintf "%s() always returns the same constant" f.fname))
+     | [ Return (None, pos) ] | [ Pass; Return (None, pos) ] ->
+       add
+         (Diag.warning pos "W403"
+            (Printf.sprintf "%s() always returns None" f.fname))
+     | _ -> ());
+    walk_block f.body
+  in
+  walk_block prog.prog_body;
+  List.rev !diags

@@ -1,0 +1,170 @@
+(** Pass 5 — loop analysis.
+
+    [W404] flags a [while] loop none of whose condition variables is
+    ever mutated in the body, with no [break]/[return]/[raise] and no
+    calls that could raise or diverge themselves: once entered with a
+    truthy condition the loop can only end by exhausting the sandbox's
+    step budget.
+
+    [budget_hint] additionally proves, for a candidate entry function,
+    that *every* invocation runs into such a loop and that the loop
+    emits no trace events — then tracing with a small step budget
+    produces exactly the same feature set as the default 200k-step
+    budget, just ~10× sooner.  The proof obligations are deliberately
+    narrow (see DESIGN.md §8): a straight-line call-free prefix, a
+    literal always-true condition, and an event-free raise-free body. *)
+
+open Minilang.Ast
+module StrSet = Env.StrSet
+
+(* The reduced step budget for a guaranteed spin: enough to run any
+   bounded prefix (corpus functions are a few dozen statements) while
+   skipping ~90% of the default 200k-step sandbox burn. *)
+let spin_budget = 20_000
+
+(* --- W404 ------------------------------------------------------------ *)
+
+let rec cond_pure (e : expr) =
+  match e with
+  | Var _ | Int _ | Float _ | Str _ | Bool _ | None_lit -> true
+  | Binop (_, a, b, _) -> cond_pure a && cond_pure b
+  | Unop (_, a) -> cond_pure a
+  | _ -> false
+
+let rec cond_vars (e : expr) =
+  match e with
+  | Var n -> StrSet.singleton n
+  | Binop (_, a, b, _) -> StrSet.union (cond_vars a) (cond_vars b)
+  | Unop (_, a) -> cond_vars a
+  | _ -> StrSet.empty
+
+(* Scan a loop body (without descending into nested defs) for anything
+   that could exit the loop or mutate state beyond simple assignment:
+   break/return/raise leave it, calls can raise or never return, and
+   try blocks route control unpredictably. *)
+let body_may_escape (body : block) =
+  let escape = ref false in
+  let check_expr e =
+    Env.iter_expr
+      (fun e ->
+        match e with Call _ | Method _ -> escape := true | _ -> ())
+      e
+  in
+  let rec go stmts =
+    List.iter
+      (fun s ->
+        List.iter check_expr (Env.stmt_exprs s);
+        match s with
+        | Break _ | Return _ | Raise _ | Try _ | Func_def _ | Class_def _ ->
+          escape := true
+        | If (arms, els) ->
+          List.iter (fun (_, _, b) -> go b) arms;
+          Option.iter go els
+        | While (_, _, b) | For (_, _, b, _) -> go b
+        | Expr_stmt _ | Assign _ | Aug_assign _ | Continue _ | Pass
+        | Global _ -> ())
+      stmts
+  in
+  go body;
+  !escape
+
+let is_infinite_while cond body =
+  cond_pure cond
+  && Flow.const_truth cond <> Some false
+  && (not (body_may_escape body))
+  && StrSet.is_empty (StrSet.inter (cond_vars cond) (Env.assigned_names body))
+  (* [global] in the body could alias a condition variable through
+     module scope; bail out. *)
+  && StrSet.is_empty (Env.global_names body)
+
+let check (prog : program) : Diag.t list =
+  let diags = ref [] in
+  let rec walk stmts =
+    List.iter
+      (fun s ->
+        match s with
+        | While (cond, pos, body) ->
+          if is_infinite_while cond body then
+            diags :=
+              Diag.warning pos "W404"
+                "loop condition is never mutated in the body: the loop \
+                 cannot terminate normally"
+              :: !diags;
+          walk body
+        | If (arms, els) ->
+          List.iter (fun (_, _, b) -> walk b) arms;
+          Option.iter walk els
+        | For (_, _, b, _) -> walk b
+        | Try (b, handlers, fin) ->
+          walk b;
+          List.iter (fun h -> walk h.h_body) handlers;
+          Option.iter walk fin
+        | Func_def f -> walk f.body
+        | Class_def c -> List.iter (fun m -> walk m.body) c.methods
+        | Expr_stmt _ | Assign _ | Aug_assign _ | Return _ | Raise _
+        | Break _ | Continue _ | Pass | Global _ -> ())
+      stmts
+  in
+  walk prog.prog_body;
+  List.rev !diags
+
+(* --- Budget hints ---------------------------------------------------- *)
+
+(* Expressions whose evaluation can neither raise, call, nor emit a
+   trace event: variable reads and scalar literals. *)
+let expr_inert = function
+  | Var _ | Int _ | Float _ | Str _ | Bool _ | None_lit -> true
+  | _ -> false
+
+(* Bounded, call-free, straight-line statement: executes a fixed number
+   of steps and cannot skip the statements after it. *)
+let stmt_straight (s : stmt) =
+  let no_calls e =
+    let ok = ref true in
+    Env.iter_expr
+      (fun e -> match e with Call _ | Method _ -> ok := false | _ -> ())
+      e;
+    !ok
+  in
+  match s with
+  | Assign _ | Aug_assign _ | Expr_stmt _ ->
+    List.for_all no_calls (Env.stmt_exprs s)
+  | Pass | Global _ -> true
+  | _ -> false
+
+(* An event-free, raise-free spin body: only Pass/Global and
+   assignments of inert expressions to plain variables. *)
+let spin_body_ok (body : block) =
+  List.for_all
+    (fun s ->
+      match s with
+      | Pass | Global _ -> true
+      | Assign (Tvar _, e, _) | Expr_stmt (e, _) -> expr_inert e
+      | _ -> false)
+    body
+
+(* A literal condition that is always truthy and cannot raise. *)
+let rec cond_const_true (e : expr) =
+  match e with
+  | Int _ | Float _ | Str _ | Bool _ -> Flow.const_truth e = Some true
+  | Unop (Not, a) -> cond_pure a && Flow.const_truth e = Some true
+  | Binop ((And | Or), a, b, _) ->
+    cond_const_true a && cond_const_true b
+  | _ -> false
+
+(** [Some spin_budget] when every call of [f] provably reaches an
+    event-free infinite loop: a straight-line call-free prefix followed
+    by [while <literal-true>:] over a raise-free, event-free body.
+    Every run then hits the step limit with a feature set independent
+    of the budget (the repeated branch event at the loop head dedupes
+    into the candidate's literal set), so a reduced budget is
+    observationally equivalent. *)
+let budget_hint (f : func) : int option =
+  let rec scan = function
+    | While (cond, _, body) :: _ ->
+      if cond_const_true cond && spin_body_ok body then Some spin_budget
+      else None
+    | s :: rest -> if stmt_straight s then scan rest else None
+    | [] -> None
+  in
+  scan f.body

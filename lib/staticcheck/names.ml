@@ -1,0 +1,243 @@
+(** Pass 1 — name resolution.
+
+    - [E101] a name no scope can resolve (guaranteed [NameError] when
+      the statement executes);
+    - [E102] a local variable read before any path assigns it and with
+      no module-level fallback (the interpreter falls through to module
+      scope until the first local assignment, so a module-resolvable
+      name is never flagged);
+    - [W101]/[W102] the same findings inside a [try] whose handlers
+      catch [NameError] — reachable but deliberately guarded;
+    - [W201] a local binding that shadows a builtin.
+
+    Uses may-assigned sets (union over paths), so a name counts as
+    assigned if *any* path binds it: the pass only reports definite
+    errors and cannot false-positive on branchy code.  Nested functions
+    are checked against module scope only, matching [call_closure]
+    chaining closures to [module_scope]. *)
+
+open Minilang.Ast
+module StrSet = Env.StrSet
+
+type fctx = {
+  env : Env.t;
+  locals : StrSet.t;  (** every name the current function can bind *)
+  globals : StrSet.t;  (** names declared [global] in the current function *)
+  diags : Diag.t list ref;
+  top_level : bool;
+      (** top-level script code: binds module vars, lenient about order
+          because files execute in sequence *)
+}
+
+(* Does some handler of this try catch a NameError? *)
+let catches_name_error handlers =
+  List.exists
+    (fun h ->
+      match h.h_filter with
+      | None -> true
+      | Some f ->
+        f = "NameError" || f = "Exception" || not (Env.is_ambient f))
+    handlers
+
+let add fc d = fc.diags := d :: !(fc.diags)
+
+let check_use fc ~guarded ~maybe name pos =
+  if StrSet.mem name maybe then ()
+  else if fc.top_level then begin
+    (* Top-level code may read names defined by earlier files; only
+       names no file defines anywhere are definite errors. *)
+    if not (Env.resolvable fc.env name) then
+      add fc
+        (Diag.make
+           (if guarded then Diag.Warning else Diag.Error)
+           pos
+           (if guarded then "W101" else "E101")
+           (Printf.sprintf "name '%s' is not defined" name))
+  end
+  else if StrSet.mem name fc.globals then begin
+    if not (Env.resolvable fc.env name) then
+      add fc
+        (Diag.make
+           (if guarded then Diag.Warning else Diag.Error)
+           pos
+           (if guarded then "W101" else "E101")
+           (Printf.sprintf "global name '%s' is never defined" name))
+  end
+  else if StrSet.mem name fc.locals then begin
+    if not (Env.resolvable fc.env name) then
+      add fc
+        (Diag.make
+           (if guarded then Diag.Warning else Diag.Error)
+           pos
+           (if guarded then "W102" else "E102")
+           (Printf.sprintf "local variable '%s' read before assignment" name))
+  end
+  else if not (Env.resolvable fc.env name) then
+    add fc
+      (Diag.make
+         (if guarded then Diag.Warning else Diag.Error)
+         pos
+         (if guarded then "W101" else "E101")
+         (Printf.sprintf "name '%s' is not defined" name))
+
+(* Walk an expression, checking every Var read against the current
+   may-assigned set.  [pos] anchors diagnostics for position-less
+   sub-expressions. *)
+let rec check_expr fc ~guarded ~maybe pos (e : expr) =
+  match e with
+  | Var n -> check_use fc ~guarded ~maybe n pos
+  | Binop (_, a, b, p) ->
+    check_expr fc ~guarded ~maybe p a;
+    check_expr fc ~guarded ~maybe p b
+  | Call (g, args, p) ->
+    check_expr fc ~guarded ~maybe p g;
+    List.iter (check_expr fc ~guarded ~maybe p) args
+  | Method (o, _, args, p) ->
+    check_expr fc ~guarded ~maybe p o;
+    List.iter (check_expr fc ~guarded ~maybe p) args
+  | Index (a, b, p) ->
+    check_expr fc ~guarded ~maybe p a;
+    check_expr fc ~guarded ~maybe p b
+  | Slice (a, lo, hi, p) ->
+    check_expr fc ~guarded ~maybe p a;
+    Option.iter (check_expr fc ~guarded ~maybe p) lo;
+    Option.iter (check_expr fc ~guarded ~maybe p) hi
+  | Cond (c, a, b, p) ->
+    check_expr fc ~guarded ~maybe p c;
+    check_expr fc ~guarded ~maybe p a;
+    check_expr fc ~guarded ~maybe p b
+  | Unop (_, a) -> check_expr fc ~guarded ~maybe pos a
+  | Attr (o, _) -> check_expr fc ~guarded ~maybe pos o
+  | List_lit es | Tuple_lit es ->
+    List.iter (check_expr fc ~guarded ~maybe pos) es
+  | Dict_lit kvs ->
+    List.iter
+      (fun (k, v) ->
+        check_expr fc ~guarded ~maybe pos k;
+        check_expr fc ~guarded ~maybe pos v)
+      kvs
+  | Int _ | Float _ | Str _ | Bool _ | None_lit -> ()
+
+(* Reads performed while *storing into* a target (xs[i] = …, o.f = …). *)
+let rec check_target_reads fc ~guarded ~maybe pos (t : target) =
+  match t with
+  | Tvar _ -> ()
+  | Tindex (a, b) ->
+    check_expr fc ~guarded ~maybe pos a;
+    check_expr fc ~guarded ~maybe pos b
+  | Tattr (a, _) -> check_expr fc ~guarded ~maybe pos a
+  | Ttuple ts -> List.iter (check_target_reads fc ~guarded ~maybe pos) ts
+
+let bind_target maybe (t : target) = StrSet.union maybe (Env.target_names t)
+
+let shadow_check fc name pos =
+  if List.mem name Minilang.Interp.builtin_names then
+    add fc
+      (Diag.warning pos "W201"
+         (Printf.sprintf "binding '%s' shadows a builtin" name))
+
+(* Returns the may-assigned set after the block. *)
+let rec walk_block fc ~guarded maybe stmts =
+  List.fold_left (walk_stmt fc ~guarded) maybe stmts
+
+and walk_stmt fc ~guarded maybe (s : stmt) : StrSet.t =
+  match s with
+  | Expr_stmt (e, p) ->
+    check_expr fc ~guarded ~maybe p e;
+    maybe
+  | Assign (t, e, p) ->
+    check_expr fc ~guarded ~maybe p e;
+    check_target_reads fc ~guarded ~maybe p t;
+    StrSet.iter (fun n -> shadow_check fc n p) (Env.target_names t);
+    bind_target maybe t
+  | Aug_assign (t, _, e, p) ->
+    (* x += e reads x first *)
+    (match t with
+     | Tvar n -> check_use fc ~guarded ~maybe n p
+     | _ -> check_target_reads fc ~guarded ~maybe p t);
+    check_expr fc ~guarded ~maybe p e;
+    bind_target maybe t
+  | If (arms, els) ->
+    List.iter (fun (c, p, _) -> check_expr fc ~guarded ~maybe p c) arms;
+    let outs = List.map (fun (_, _, b) -> walk_block fc ~guarded maybe b) arms in
+    let els_out =
+      match els with Some b -> walk_block fc ~guarded maybe b | None -> maybe
+    in
+    List.fold_left StrSet.union els_out outs
+  | While (c, p, b) ->
+    check_expr fc ~guarded ~maybe p c;
+    walk_block fc ~guarded maybe b
+  | For (t, e, b, p) ->
+    check_expr fc ~guarded ~maybe p e;
+    check_target_reads fc ~guarded ~maybe p t;
+    let maybe' = bind_target maybe t in
+    walk_block fc ~guarded maybe' b
+  | Return (e_opt, p) ->
+    Option.iter (check_expr fc ~guarded ~maybe p) e_opt;
+    maybe
+  | Raise (e_opt, p) ->
+    Option.iter (check_expr fc ~guarded ~maybe p) e_opt;
+    maybe
+  | Try (b, handlers, fin) ->
+    let body_guarded = guarded || catches_name_error handlers in
+    let out_b = walk_block fc ~guarded:body_guarded maybe b in
+    let outs_h =
+      List.map
+        (fun h ->
+          (* A handler can run after any prefix of the body, so the
+             body's may-assigns are available (may-analysis). *)
+          let entry =
+            match h.h_bind with
+            | Some b -> StrSet.add b out_b
+            | None ->
+              (match h.h_filter with
+               | Some f when not (Env.is_ambient f) -> StrSet.add f out_b
+               | _ -> out_b)
+          in
+          walk_block fc ~guarded entry h.h_body)
+        handlers
+    in
+    let merged = List.fold_left StrSet.union out_b outs_h in
+    (match fin with Some b -> walk_block fc ~guarded merged b | None -> merged)
+  | Break _ | Continue _ | Pass | Global _ -> maybe
+  | Func_def f ->
+    check_func fc.env fc.diags f;
+    StrSet.add f.fname maybe
+  | Class_def c ->
+    List.iter (check_func fc.env fc.diags) c.methods;
+    (* class_body statements never execute (Class_def only registers
+       methods), so their names are not checked. *)
+    StrSet.add c.cname maybe
+
+and check_func env diags (f : func) =
+  let fc =
+    {
+      env;
+      locals = Env.locals_of_func f;
+      globals = Env.global_names f.body;
+      diags;
+      top_level = false;
+    }
+  in
+  List.iter (fun p -> shadow_check fc p f.fpos) f.params;
+  List.iter
+    (fun (_, e) -> check_expr fc ~guarded:false ~maybe:StrSet.empty f.fpos e)
+    f.defaults;
+  ignore (walk_block fc ~guarded:false (StrSet.of_list f.params) f.body)
+
+let check (env : Env.t) (prog : program) : Diag.t list =
+  let diags = ref [] in
+  let fc =
+    {
+      env;
+      locals = StrSet.empty;
+      globals = StrSet.empty;
+      diags;
+      top_level = true;
+    }
+  in
+  (* Top-level statements run in module scope where every file's
+     definitions are (eventually) visible; Func_def/Class_def recurse
+     into function-scope checks. *)
+  ignore (walk_block fc ~guarded:false StrSet.empty prog.prog_body);
+  List.rev !diags

@@ -1,0 +1,200 @@
+(** Pass 2 — builtin signature checks.
+
+    Mirrors [Interp.call_builtin] and the string/list/dict/re method
+    tables: a call that this pass rejects is guaranteed to raise
+    [TypeError]/[AttributeError] when the call site executes.
+
+    - [E103] wrong number of arguments to a builtin or known method;
+    - [E104] a literal argument whose type the builtin always rejects;
+    - [E105] a method no value of the receiver's (literal) type has.
+
+    Inside a [try] whose handlers would catch the runtime error the
+    guarded variants [W103]/[W104]/[W105] are emitted instead.  Checks
+    apply only when the name still resolves to the builtin — a local or
+    module-level binding of the same name suppresses them. *)
+
+open Minilang.Ast
+module StrSet = Env.StrSet
+
+(* name, min arity, max arity — mirroring call_builtin's match arms. *)
+let builtin_arity =
+  [ ("len", 1, 1); ("int", 1, 2); ("float", 1, 1); ("str", 0, 1);
+    ("bool", 1, 1); ("ord", 1, 1); ("chr", 1, 1); ("abs", 1, 1);
+    ("min", 1, max_int); ("max", 1, max_int); ("sum", 1, 1);
+    ("range", 1, 3); ("round", 1, 2); ("print", 0, max_int);
+    ("input", 0, 1); ("open", 1, max_int); ("sorted", 1, 1);
+    ("reversed", 1, 1); ("list", 0, 1); ("dict", 0, 0); ("tuple", 1, 1);
+    ("type", 1, 1); ("enumerate", 1, 1); ("zip", 2, 2) ]
+
+let str_methods =
+  [ ("upper", 0, 0); ("lower", 0, 0); ("strip", 0, 1); ("lstrip", 0, 1);
+    ("rstrip", 0, 1); ("split", 0, 1); ("replace", 2, 2);
+    ("startswith", 1, 1); ("endswith", 1, 1); ("find", 1, 2);
+    ("rfind", 1, 1); ("index", 1, 1); ("count", 1, 1); ("join", 1, 1);
+    ("isdigit", 0, 0); ("isalpha", 0, 0); ("isalnum", 0, 0);
+    ("isupper", 0, 0); ("islower", 0, 0); ("isspace", 0, 0);
+    ("zfill", 1, 1); ("title", 0, 0); ("format", 0, max_int) ]
+
+let list_methods =
+  [ ("append", 1, 1); ("extend", 1, 1); ("insert", 2, 2); ("pop", 0, 1);
+    ("index", 1, 1); ("count", 1, 1); ("reverse", 0, 0); ("sort", 0, 0);
+    ("remove", 1, 1) ]
+
+let dict_methods =
+  [ ("get", 1, 2); ("keys", 0, 0); ("values", 0, 0); ("items", 0, 0);
+    ("has_key", 1, 1); ("update", 1, 1); ("pop", 1, 1) ]
+
+let re_methods = [ ("match", 2, 2); ("fullmatch", 2, 2); ("search", 2, 2); ("findall", 2, 2) ]
+
+type lit = Lint | Lfloat | Lstr of string | Lbool | Lnone | Llist | Ldict | Ltuple
+
+let literal_kind = function
+  | Int _ -> Some Lint
+  | Float _ -> Some Lfloat
+  | Str s -> Some (Lstr s)
+  | Bool _ -> Some Lbool
+  | None_lit -> Some Lnone
+  | List_lit _ -> Some Llist
+  | Dict_lit _ -> Some Ldict
+  | Tuple_lit _ -> Some Ltuple
+  | _ -> None
+
+let kind_name = function
+  | Lint -> "int" | Lfloat -> "float" | Lstr _ -> "str" | Lbool -> "bool"
+  | Lnone -> "None" | Llist -> "list" | Ldict -> "dict" | Ltuple -> "tuple"
+
+(* Would call_builtin always raise on this literal argument?  Only
+   combinations the interpreter rejects in *every* execution are listed. *)
+let literal_rejected name i k =
+  match (name, i, k) with
+  | "len", 0, (Lint | Lfloat | Lbool | Lnone) -> true
+  | "int", 0, (Llist | Ldict | Ltuple | Lnone) -> true
+  | "float", 0, (Llist | Ldict | Ltuple | Lnone | Lbool) -> true
+  | "ord", 0, Lstr s -> String.length s <> 1
+  | "ord", 0, (Lint | Lfloat | Lbool | Lnone | Llist | Ldict | Ltuple) -> true
+  | "chr", 0, (Lfloat | Lstr _ | Lbool | Lnone | Llist | Ldict | Ltuple) -> true
+  | "abs", 0, (Lstr _ | Lbool | Lnone | Llist | Ldict | Ltuple) -> true
+  | "sum", 0, (Lint | Lfloat | Lstr _ | Lbool | Lnone | Ldict | Ltuple) -> true
+  | "range", _, (Lfloat | Lstr _ | Lbool | Lnone | Llist | Ldict | Ltuple) -> true
+  | ("sorted" | "reversed"), 0, (Lint | Lfloat | Lbool | Lnone | Ldict | Ltuple) ->
+    true
+  | _ -> false
+
+type fctx = {
+  env : Env.t;
+  shadowed : StrSet.t;  (** locals of the enclosing function *)
+  diags : Diag.t list ref;
+}
+
+let add fc d = fc.diags := d :: !(fc.diags)
+
+(* Does [name] still resolve to the ambient builtin here? *)
+let is_builtin_ref fc name =
+  (not (StrSet.mem name fc.shadowed))
+  && (not (Hashtbl.mem fc.env.Env.funcs name))
+  && (not (Hashtbl.mem fc.env.Env.classes name))
+  && (not (StrSet.mem name fc.env.Env.module_vars))
+
+let severity_code ~guarded e w = if guarded then (Diag.Warning, w) else (Diag.Error, e)
+
+let check_arity fc ~guarded ~what name lo hi n pos =
+  if n < lo || n > hi then begin
+    let sev, code = severity_code ~guarded "E103" "W103" in
+    let expected =
+      if hi = max_int then Printf.sprintf "at least %d" lo
+      else if lo = hi then string_of_int lo
+      else Printf.sprintf "%d to %d" lo hi
+    in
+    add fc
+      (Diag.make sev pos code
+         (Printf.sprintf "%s%s() takes %s argument%s (%d given)" what name
+            expected
+            (if expected = "1" then "" else "s")
+            n))
+  end
+
+let check_call fc ~guarded (e : expr) =
+  match e with
+  | Call (Var "isdigit", _, pos) when is_builtin_ref fc "isdigit" ->
+    let sev, code = severity_code ~guarded "E103" "W103" in
+    add fc
+      (Diag.make sev pos code
+         "isdigit is a string method, not a free function — s.isdigit()")
+  | Call (Var name, args, pos) when is_builtin_ref fc name -> (
+    match List.find_opt (fun (n, _, _) -> n = name) builtin_arity with
+    | None -> ()
+    | Some (_, lo, hi) ->
+      check_arity fc ~guarded ~what:"" name lo hi (List.length args) pos;
+      List.iteri
+        (fun i a ->
+          match literal_kind a with
+          | Some k when literal_rejected name i k ->
+            let sev, code = severity_code ~guarded "E104" "W104" in
+            add fc
+              (Diag.make sev pos code
+                 (Printf.sprintf "%s() does not accept a %s argument" name
+                    (kind_name k)))
+          | _ -> ())
+        args)
+  | Method (Var "re", m, args, pos) when is_builtin_ref fc "re" -> (
+    match List.find_opt (fun (n, _, _) -> n = m) re_methods with
+    | Some (_, lo, hi) ->
+      check_arity fc ~guarded ~what:"re." m lo hi (List.length args) pos
+    | None ->
+      let sev, code = severity_code ~guarded "E105" "W105" in
+      add fc
+        (Diag.make sev pos code
+           (Printf.sprintf "re module has no attribute '%s'" m)))
+  | Method (recv, m, args, pos) -> (
+    let table =
+      match literal_kind recv with
+      | Some (Lstr _) -> Some ("str", str_methods)
+      | Some Llist -> Some ("list", list_methods)
+      | Some Ldict -> Some ("dict", dict_methods)
+      | _ -> None
+    in
+    match table with
+    | None -> ()
+    | Some (tname, methods) -> (
+      match List.find_opt (fun (n, _, _) -> n = m) methods with
+      | Some (_, lo, hi) ->
+        check_arity fc ~guarded ~what:(tname ^ ".") m lo hi (List.length args)
+          pos
+      | None ->
+        let sev, code = severity_code ~guarded "E105" "W105" in
+        add fc
+          (Diag.make sev pos code
+             (Printf.sprintf "'%s' object has no attribute '%s'" tname m))))
+  | _ -> ()
+
+let rec scan_expr fc ~guarded e =
+  check_call fc ~guarded e;
+  Env.iter_subexprs (scan_expr fc ~guarded) e
+
+let rec scan_block fc ~guarded stmts = List.iter (scan_stmt fc ~guarded) stmts
+
+and scan_stmt fc ~guarded (s : stmt) =
+  List.iter (scan_expr fc ~guarded) (Env.stmt_exprs s);
+  match s with
+  | If (arms, els) ->
+    List.iter (fun (_, _, b) -> scan_block fc ~guarded b) arms;
+    Option.iter (scan_block fc ~guarded) els
+  | While (_, _, b) | For (_, _, b, _) -> scan_block fc ~guarded b
+  | Try (b, handlers, fin) ->
+    scan_block fc ~guarded:true b;
+    List.iter (fun h -> scan_block fc ~guarded h.h_body) handlers;
+    Option.iter (scan_block fc ~guarded) fin
+  | Func_def f -> scan_func fc.env fc.diags f
+  | Class_def c -> List.iter (scan_func fc.env fc.diags) c.methods
+  | Expr_stmt _ | Assign _ | Aug_assign _ | Return _ | Raise _ | Break _
+  | Continue _ | Pass | Global _ -> ()
+
+and scan_func env diags (f : func) =
+  let fc = { env; shadowed = Env.locals_of_func f; diags } in
+  scan_block fc ~guarded:false f.body
+
+let check (env : Env.t) (prog : program) : Diag.t list =
+  let diags = ref [] in
+  let fc = { env; shadowed = StrSet.empty; diags } in
+  scan_block fc ~guarded:false prog.prog_body;
+  List.rev !diags

@@ -1,0 +1,502 @@
+(** Pass 3 — input-flow (taint) analysis.
+
+    Decides whether a candidate's input string can reach any *observable*
+    trace event: a branch/loop/ternary condition, a return value, a
+    raise, or an operation that may raise depending on the tainted
+    value.  A candidate where it provably cannot produces the same trace
+    on every input, so no DNF clause over its features can separate P
+    from N (Definitions 3–4): it is statically unrankable.
+
+    The pass is flow-insensitive per function (a monotone tainted-set
+    fixpoint) combined with call-graph summaries iterated to a fixpoint.
+    Everything uncertain is treated as observable — unknown callees,
+    computed receivers, container stores, exception binders — so the
+    analysis only ever *over*-approximates reachability: pruning a
+    candidate it rejects is safe, see DESIGN.md §8.
+
+    The only operations modelled as unobservable are the ones the
+    interpreter can never raise from and that produce no events:
+    [And]/[Or]/[Eq]/[Neq], [not], the [print]/[str]/[bool]/[type]
+    builtins, and zero-argument file reads. *)
+
+open Minilang.Ast
+module StrSet = Env.StrSet
+
+type channel = Chan_none | Chan_stdin | Chan_argv | Chan_file
+
+type summary = {
+  mutable sens : bool;  (** observable taint with untainted arguments *)
+  mutable sens_t : bool;  (** … with tainted arguments (incl. self) *)
+  mutable ret : bool;  (** returns a tainted value, untainted arguments *)
+  mutable ret_t : bool;
+  mutable taints_self : bool;
+      (** stores tainted data into [self] when arguments are tainted *)
+}
+
+let fresh_summary () =
+  { sens = false; sens_t = false; ret = false; ret_t = false; taints_self = false }
+
+type t = {
+  env : Env.t;
+  progs : program list;
+  channel : channel;
+  global_source : string option;
+  summaries : (string, summary) Hashtbl.t;
+}
+
+let safe_builtins = [ "print"; "str"; "bool"; "type" ]
+let file_read_methods = [ "read"; "readline"; "readlines"; "close" ]
+
+(* Does a block syntactically mention one of the entry's taint sources?
+   Used to over-approximate nested defs/classes, whose closures chain to
+   module scope and could observe a channel when later called. *)
+let mentions_source t (body : block) =
+  match (t.channel, t.global_source) with
+  | Chan_none, None -> false
+  | _ ->
+    let found = ref false in
+    let check e =
+      Env.iter_expr
+        (fun e ->
+          match e with
+          | Var "argv" when t.channel = Chan_argv -> found := true
+          | Attr (Var "sys", "argv") when t.channel = Chan_argv -> found := true
+          | Call (Var "input", _, _) when t.channel = Chan_stdin -> found := true
+          | Call (Var "open", _, _) when t.channel = Chan_file -> found := true
+          | Var n when t.global_source = Some n -> found := true
+          | _ -> ())
+        e
+    in
+    ignore
+      (fold_stmts
+         (fun () s -> List.iter check (Env.stmt_exprs s))
+         () body);
+    !found
+
+(* State of one intraprocedural analysis. *)
+type istate = {
+  t : t;
+  locals : StrSet.t;  (** names that shadow module/builtin resolution *)
+  globals : StrSet.t;  (** names declared [global] in this body *)
+  self_ctx : (string * string) option;  (** (class, self param name) *)
+  module_scope_body : bool;
+      (** a script's top-level block: every Tvar assign is module scope *)
+  mutable tainted : StrSet.t;
+  mutable sens : bool;
+  mutable ret : bool;
+  mutable taints_self : bool;
+  mutable changed : bool;
+}
+
+let mark_sens st = if not st.sens then (st.sens <- true; st.changed <- true)
+
+let taint_var st n =
+  if not (StrSet.mem n st.tainted) then begin
+    st.tainted <- StrSet.add n st.tainted;
+    st.changed <- true
+  end
+
+let summary_of st key =
+  match Hashtbl.find_opt st.t.summaries key with
+  | Some s -> Some s
+  | None -> None
+
+(* Is [n] the ambient builtin here (not shadowed by a local or any
+   module-level definition)? *)
+let is_builtin_ref st n =
+  (not (StrSet.mem n st.locals))
+  && (not (Hashtbl.mem st.t.env.Env.funcs n))
+  && (not (Hashtbl.mem st.t.env.Env.classes n))
+  && not (StrSet.mem n st.t.env.Env.module_vars)
+
+let binop_safe = function
+  | And | Or | Eq | Neq -> true
+  | _ -> false
+
+let rec ev st (e : expr) : bool =
+  match e with
+  | Int _ | Float _ | Str _ | Bool _ | None_lit -> false
+  | Var n ->
+    StrSet.mem n st.tainted
+    (* Unconditional even when a local shadows the name: reads before
+       the first local assignment fall through to module scope. *)
+    || st.t.global_source = Some n
+    || (st.t.channel = Chan_argv && n = "argv")
+  | Attr (Var "sys", "argv") when st.t.channel = Chan_argv -> true
+  | Attr (o, _) ->
+    let tn = ev st o in
+    if tn then mark_sens st;
+    tn
+  | Binop (op, a, b, _) ->
+    let ta = ev st a in
+    let tb = ev st b in
+    let tv = ta || tb in
+    if tv && not (binop_safe op) then mark_sens st;
+    tv
+  | Unop (Not, a) -> ev st a
+  | Unop (Neg, a) ->
+    let ta = ev st a in
+    if ta then mark_sens st;
+    ta
+  | Cond (c, a, b, _) ->
+    let tc = ev st c in
+    if tc then mark_sens st;  (* ternary emits a Branch event *)
+    let ta = ev st a in
+    let tb = ev st b in
+    tc || ta || tb
+  | Index (a, b, _) ->
+    let ta = ev st a in
+    let tb = ev st b in
+    if ta || tb then mark_sens st;
+    ta || tb
+  | Slice (a, lo, hi, _) ->
+    let ta = ev st a in
+    let tl = match lo with Some e -> ev st e | None -> false in
+    let th = match hi with Some e -> ev st e | None -> false in
+    if ta || tl || th then mark_sens st;
+    ta || tl || th
+  | List_lit es | Tuple_lit es -> List.exists (ev st) es
+  | Dict_lit kvs -> List.exists (fun (k, v) -> ev st k || ev st v) kvs
+  | Call (Var f, args, _) -> call_taint st f args
+  | Call (g, args, _) ->
+    (* Computed callee: unknown behaviour once any taint is involved. *)
+    let tg = ev st g in
+    let ts = List.map (ev st) args in
+    let tv = tg || List.exists Fun.id ts in
+    if tv then mark_sens st;
+    tv
+  | Method (o, m, args, _) -> method_taint st o m args
+
+and call_taint st f args =
+  let ts = List.map (ev st) args in
+  let anyt = List.exists Fun.id ts in
+  if StrSet.mem f st.locals then begin
+    (* Local binding: could be any callable, including a closure over a
+       channel source — the defining Func_def already marked that. *)
+    if anyt then mark_sens st;
+    anyt
+  end
+  else if Hashtbl.mem st.t.env.Env.funcs f then begin
+    match summary_of st f with
+    | Some s ->
+      if s.sens || (anyt && s.sens_t) then mark_sens st;
+      s.ret || (anyt && s.ret_t)
+    | None ->
+      if anyt then mark_sens st;
+      anyt
+  end
+  else if Hashtbl.mem st.t.env.Env.classes f then begin
+    (* Instantiation runs __init__; the object is tainted whenever any
+       constructor argument is (fields may hold the taint). *)
+    (match summary_of st (f ^ ".__init__") with
+     | Some s -> if s.sens || (anyt && s.sens_t) then mark_sens st
+     | None -> ());
+    anyt
+  end
+  else if StrSet.mem f st.t.env.Env.module_vars then begin
+    if anyt then mark_sens st;
+    anyt
+  end
+  else if List.mem f safe_builtins then
+    (* print/str/bool/type never raise; print's result is untainted. *)
+    if f = "print" then false else anyt
+  else if f = "input" then begin
+    if anyt then mark_sens st;  (* input(x) with non-str x raises *)
+    st.t.channel = Chan_stdin
+  end
+  else if f = "open" then begin
+    if anyt then mark_sens st;  (* IOError depends on the tainted path *)
+    st.t.channel = Chan_file
+  end
+  else if List.mem f Minilang.Interp.known_exception_kinds then
+    (* Exception constructors never raise; the object carries taint. *)
+    anyt
+  else begin
+    (* Every other builtin may raise depending on its argument. *)
+    if anyt then mark_sens st;
+    anyt
+  end
+
+and method_taint st o m args =
+  let self_dispatch =
+    match (o, st.self_ctx) with
+    | Var n, Some (cls, self_name) when n = self_name -> Some (cls, self_name)
+    | _ -> None
+  in
+  match self_dispatch with
+  | Some (cls, self_name) ->
+    let ts = List.map (ev st) args in
+    let anyt = List.exists Fun.id ts || StrSet.mem self_name st.tainted in
+    (match summary_of st (cls ^ "." ^ m) with
+     | Some s ->
+       if s.sens || (anyt && s.sens_t) then mark_sens st;
+       if anyt && s.taints_self then taint_var st self_name;
+       s.ret || (anyt && s.ret_t)
+     | None ->
+       if anyt then mark_sens st;
+       anyt)
+  | None ->
+    if o = Var "re" && is_builtin_ref st "re" then begin
+      let ts = List.map (ev st) args in
+      let anyt = List.exists Fun.id ts in
+      if anyt then mark_sens st;  (* bad pattern/argument types raise *)
+      anyt
+    end
+    else
+      let to_ = ev st o in
+      let ts = List.map (ev st) args in
+      let anyt = List.exists Fun.id ts in
+      if List.mem m file_read_methods && args = [] then
+        (* Zero-argument file reads never raise; content is the input
+           under Chan_file, carried by the tainted file object. *)
+        to_
+      else begin
+        if to_ || anyt then mark_sens st;
+        to_ || anyt
+      end
+
+let target_read_taint st (tgt : target) =
+  match tgt with
+  | Tvar n -> ev st (Var n)
+  | Tindex (a, b) ->
+    let ta = ev st a in
+    let tb = ev st b in
+    if ta || tb then mark_sens st;
+    ta || tb
+  | Tattr (a, _) ->
+    let ta = ev st a in
+    if ta then mark_sens st;
+    ta
+  | Ttuple _ -> false
+
+let rec assign_target st (tgt : target) tv =
+  match tgt with
+  | Tvar n ->
+    if tv then begin
+      taint_var st n;
+      (* A tainted write to module scope can be observed by any function
+         called later; treat as observable rather than tracking
+         inter-procedural global flow. *)
+      if st.module_scope_body || StrSet.mem n st.globals then mark_sens st
+    end
+  | Tindex (a, i) ->
+    let ta = ev st a in
+    let ti = ev st i in
+    if ta || ti || tv then mark_sens st;
+    if tv then (match a with Var b -> taint_var st b | _ -> ())
+  | Tattr (a, _) ->
+    let ta = ev st a in
+    if ta then mark_sens st;
+    if tv then (
+      match a with
+      | Var b ->
+        taint_var st b;
+        (match st.self_ctx with
+         | Some (_, self_name) when b = self_name ->
+           if not st.taints_self then begin
+             st.taints_self <- true;
+             st.changed <- true
+           end
+         | _ -> ())
+      | _ -> ())
+  | Ttuple ts ->
+    (* Unpacking a tainted value can raise on arity mismatch. *)
+    if tv then mark_sens st;
+    List.iter (fun tgt -> assign_target st tgt tv) ts
+
+let rec exec_stmt st (s : stmt) =
+  match s with
+  | Expr_stmt (e, _) -> ignore (ev st e)
+  | Assign (tgt, e, _) ->
+    let tv = ev st e in
+    assign_target st tgt tv
+  | Aug_assign (tgt, op, e, _) ->
+    let tt = target_read_taint st tgt in
+    let te = ev st e in
+    let tv = tt || te in
+    if tv && not (binop_safe op) then mark_sens st;
+    assign_target st tgt tv
+  | If (arms, els) ->
+    List.iter
+      (fun (c, _, b) ->
+        if ev st c then mark_sens st;
+        List.iter (exec_stmt st) b)
+      arms;
+    Option.iter (List.iter (exec_stmt st)) els
+  | While (c, _, b) ->
+    if ev st c then mark_sens st;
+    List.iter (exec_stmt st) b
+  | For (tgt, e, b, _) ->
+    let te = ev st e in
+    if te then mark_sens st;  (* iteration count is input-dependent *)
+    assign_target st tgt te;
+    List.iter (exec_stmt st) b
+  | Return (Some e, _) ->
+    if ev st e then begin
+      (* The Return trace event carries the abstracted value. *)
+      mark_sens st;
+      if not st.ret then begin
+        st.ret <- true;
+        st.changed <- true
+      end
+    end
+  | Return (None, _) -> ()
+  | Raise (Some e, _) -> if ev st e then mark_sens st
+  | Raise (None, _) -> ()
+  | Try (b, handlers, fin) ->
+    List.iter (exec_stmt st) b;
+    List.iter
+      (fun h ->
+        (* The bound message may embed whatever tainted value raised. *)
+        let binder =
+          match h.h_bind with
+          | Some n -> Some n
+          | None ->
+            (match h.h_filter with
+             | Some f when not (Env.is_ambient f) -> Some f
+             | _ -> None)
+        in
+        (match binder with
+         | Some n
+           when st.t.channel <> Chan_none
+                || st.t.global_source <> None
+                || not (StrSet.is_empty st.tainted) ->
+           taint_var st n
+         | _ -> ());
+        List.iter (exec_stmt st) h.h_body)
+      handlers;
+    Option.iter (List.iter (exec_stmt st)) fin
+  | Break _ | Continue _ | Pass | Global _ -> ()
+  | Func_def f ->
+    (* Nested defs close over module scope only; if the nested body can
+       see a source, any later call of the closure may observe it. *)
+    if mentions_source st.t f.body then mark_sens st
+  | Class_def c ->
+    if List.exists (fun m -> mentions_source st.t m.body) c.methods then
+      mark_sens st
+
+(* Run the monotone intraprocedural fixpoint over one body. *)
+let analyze_body t ~locals ~globals ~self_ctx ~module_scope_body ~seed body =
+  let st =
+    {
+      t;
+      locals;
+      globals;
+      self_ctx;
+      module_scope_body;
+      tainted = seed;
+      sens = false;
+      ret = false;
+      taints_self = false;
+      changed = true;
+    }
+  in
+  let rounds = ref 0 in
+  while st.changed && !rounds < 40 do
+    st.changed <- false;
+    incr rounds;
+    List.iter (exec_stmt st) body
+  done;
+  (st.sens, st.ret, st.taints_self)
+
+let analyze_func t (f : func) ~cls ~tainted_params =
+  let self_ctx =
+    match (cls, f.params) with
+    | Some c, self_name :: _ -> Some (c, self_name)
+    | _ -> None
+  in
+  let seed = if tainted_params then StrSet.of_list f.params else StrSet.empty in
+  (* Default-parameter expressions evaluate in the callee before the
+     body runs and can observe a channel (e.g. [def f(x=input())]). *)
+  let body =
+    List.map (fun (n, e) -> Assign (Tvar n, e, f.fpos)) f.defaults @ f.body
+  in
+  analyze_body t ~locals:(Env.locals_of_func f)
+    ~globals:(Env.global_names f.body) ~self_ctx ~module_scope_body:false ~seed
+    body
+
+(* All named bodies of the repository: top-level functions under their
+   own name, methods under "Class.method". *)
+let named_funcs (progs : program list) =
+  List.concat_map
+    (fun (p : program) ->
+      List.concat_map
+        (fun s ->
+          match s with
+          | Func_def f -> [ (f.fname, None, f) ]
+          | Class_def c ->
+            List.map (fun m -> (c.cname ^ "." ^ m.fname, Some c.cname, m)) c.methods
+          | _ -> [])
+        p.prog_body)
+    progs
+
+let analyze ?global_source ~channel (env : Env.t) (progs : program list) : t =
+  let t =
+    { env; progs; channel; global_source; summaries = Hashtbl.create 32 }
+  in
+  let funcs = named_funcs progs in
+  List.iter (fun (key, _, _) -> Hashtbl.replace t.summaries key (fresh_summary ())) funcs;
+  (* Call-graph fixpoint: summaries only ever gain bits, so this
+     terminates; 5 × |funcs| rounds bounds any dependency chain. *)
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < 5 + List.length funcs do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun (key, cls, f) ->
+        let s = Hashtbl.find t.summaries key in
+        let sens0, ret0, _ = analyze_func t f ~cls ~tainted_params:false in
+        let sens1, ret1, ts1 = analyze_func t f ~cls ~tainted_params:true in
+        let upd get set v = if v && not (get ()) then (set (); changed := true) in
+        upd (fun () -> s.sens) (fun () -> s.sens <- true) sens0;
+        upd (fun () -> s.sens_t) (fun () -> s.sens_t <- true) sens1;
+        upd (fun () -> s.ret) (fun () -> s.ret <- true) ret0;
+        upd (fun () -> s.ret_t) (fun () -> s.ret_t <- true) ret1;
+        upd (fun () -> s.taints_self) (fun () -> s.taints_self <- true) ts1)
+      funcs
+  done;
+  t
+
+(* --- Entry-point verdicts (conservative: unknown → rankable) --------- *)
+
+let func_rankable (t : t) ~tainted_args name =
+  match Hashtbl.find_opt t.summaries name with
+  | Some s -> if tainted_args then s.sens_t else s.sens
+  | None -> true
+
+let method_rankable (t : t) ~cls ~meth =
+  let m_sens =
+    match Hashtbl.find_opt t.summaries (cls ^ "." ^ meth) with
+    | Some s -> s.sens_t
+    | None -> true
+  in
+  (* The parameterless constructor runs first under tracing; its events
+     are input-independent unless it observes a channel. *)
+  let init_sens =
+    match Hashtbl.find_opt t.summaries (cls ^ ".__init__") with
+    | Some s -> s.sens
+    | None -> false
+  in
+  m_sens || init_sens
+
+let ctor_method_rankable (t : t) ~cls ~meth =
+  match Hashtbl.find_opt t.summaries (cls ^ ".__init__") with
+  | None -> true
+  | Some init ->
+    init.sens_t
+    || (init.taints_self
+        &&
+        match Hashtbl.find_opt t.summaries (cls ^ "." ^ meth) with
+        | Some m -> m.sens_t  (* self is the method's (tainted) parameter *)
+        | None -> true)
+
+let script_rankable (t : t) file =
+  match List.find_opt (fun (p : program) -> p.prog_file = file) t.progs with
+  | None -> true
+  | Some p ->
+    let sens, _, _ =
+      analyze_body t ~locals:StrSet.empty ~globals:StrSet.empty ~self_ctx:None
+        ~module_scope_body:true ~seed:StrSet.empty p.prog_body
+    in
+    sens

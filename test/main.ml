@@ -5,6 +5,7 @@ let () =
       ("semtypes", Test_semtypes.suite);
       ("core", Test_core.suite);
       ("repolib", Test_repolib.suite);
+      ("staticcheck", Test_staticcheck.suite);
       ("corpus", Test_corpus.suite);
       ("pipeline", Test_pipeline.suite);
       ("eval", Test_eval.suite);

@@ -141,6 +141,53 @@ let test_swift_ambiguity () =
        (fun r -> r.Repolib.Repo.repo_name = "payments-eu/swift-bic")
        precise)
 
+(** Corpus lint hygiene: the static analyzer must report zero
+    error-severity diagnostics over the whole corpus, and the warning
+    set must exactly match the checked-in allowlist — a new warning is
+    a regression, a stale entry is a lie. *)
+let read_allowlist path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line ->
+      let line = String.trim line in
+      go
+        (if line = "" || String.length line > 0 && line.[0] = '#' then acc
+         else line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+let test_corpus_lint_hygiene () =
+  let errors = ref [] in
+  let warnings = ref [] in
+  List.iter
+    (fun (r : Repolib.Repo.t) ->
+      List.iter
+        (fun (d : Staticcheck.Diag.t) ->
+          let key =
+            Printf.sprintf "%s %s:%d [%s]" r.Repolib.Repo.repo_name
+              d.Staticcheck.Diag.site.Minilang.Ast.file
+              d.Staticcheck.Diag.site.Minilang.Ast.line
+              d.Staticcheck.Diag.code
+          in
+          if Staticcheck.Diag.is_error d then
+            errors := (key ^ " " ^ d.Staticcheck.Diag.message) :: !errors
+          else warnings := key :: !warnings)
+        (Repolib.Analyzer.repo_diagnostics r))
+    Corpus.all_repos;
+  (match !errors with
+   | [] -> ()
+   | es ->
+     Alcotest.failf "corpus has error diagnostics:\n%s"
+       (String.concat "\n" (List.rev es)));
+  let allow = List.sort String.compare (read_allowlist "lint_allowlist.txt") in
+  let actual = List.sort String.compare !warnings in
+  Alcotest.(check (list string))
+    "corpus warnings match the allowlist" allow actual
+
 let suite =
   [
     ("all repos parse", `Quick, test_all_repos_parse);
@@ -152,5 +199,6 @@ let suite =
     ("relevant functions accept positives", `Slow,
      test_relevant_functions_execute_positives);
     ("search finds relevant repos", `Quick, test_search_finds_relevant_repo);
+    ("corpus lint hygiene", `Quick, test_corpus_lint_hygiene);
     ("swift keyword ambiguity", `Quick, test_swift_ambiguity);
   ]
