@@ -1,4 +1,4 @@
-.PHONY: all build test lint check bench-compare clean
+.PHONY: all build test lint models check bench-compare clean
 
 all: build
 
@@ -20,10 +20,21 @@ lint:
 bench-compare:
 	dune exec bench/main.exe -- pipeline --jobs 4
 
-# Full gate: build, test suites, and smoke-run the observability paths
-# (CLI --stats and the machine-readable bench JSON).  Opt into the
-# parallel-determinism gate with BENCH=1.
-check: build test lint $(if $(BENCH),bench-compare)
+# Compile/serve smoke: compile example types into a scratch registry,
+# then serve a column through `detect --models` with no re-synthesis.
+MODELS_DIR ?= _build/models_smoke
+models: build
+	rm -rf $(MODELS_DIR)
+	dune exec bin/autotype_cli.exe -- compile --type credit-card --type ipv4 --out $(MODELS_DIR)
+	@printf '192.168.0.1\n10.0.0.7\n255.255.255.0\n8.8.8.8\n172.16.31.4\n' > $(MODELS_DIR)/column.txt
+	dune exec bin/autotype_cli.exe -- detect --column $(MODELS_DIR)/column.txt --models $(MODELS_DIR) --stats | tee $(MODELS_DIR)/detect.out
+	@grep -q "detected type ipv4" $(MODELS_DIR)/detect.out || { echo "served detection missed ipv4"; exit 1; }
+	@echo "models: OK"
+
+# Full gate: build, test suites, the compile/serve smoke, and the
+# observability paths (CLI --stats and the machine-readable bench
+# JSON).  Opt into the parallel-determinism gate with BENCH=1.
+check: build test lint models $(if $(BENCH),bench-compare)
 	dune exec bin/autotype_cli.exe -- synth --type credit-card --stats
 	dune exec bench/main.exe -- pipeline
 	@test -s BENCH_pipeline.json || { echo "BENCH_pipeline.json missing or empty"; exit 1; }
@@ -32,3 +43,4 @@ check: build test lint $(if $(BENCH),bench-compare)
 clean:
 	dune clean
 	rm -f BENCH_pipeline.json
+	rm -rf _build/models_smoke

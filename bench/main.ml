@@ -625,6 +625,183 @@ let pass_json (elapsed, stage_stats, snap) =
   Printf.sprintf "{\"elapsed_s\":%.6f,\"stages\":{%s},\"counters\":{%s}}"
     elapsed stage_json counter_json
 
+(* ------------------------------------------------------------------ *)
+(* Compile/serve split: cold-compile vs warm-serve                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The validation workload a served model answers: held-out positives
+   plus sampled true negatives, ~250 values per type. *)
+let serve_workload ty =
+  Semtypes.Registry.positive_examples ~n:50 ~seed:99 ty
+  @ Eval.Benchmark.negative_test_pool ~n:200 ~seed:42 ty
+
+type serve_stats = {
+  sv_n_models : int;
+  sv_n_validations : int;
+  sv_cold_elapsed : float;  (** compile + answer the workload, seconds *)
+  sv_warm_elapsed : float;  (** open registry + answer the workload *)
+  sv_cold_runs : int;  (** interp.runs during the cold pass *)
+  sv_warm_runs : int;
+  sv_warm_search_spans : int;  (** must be 0: serving never searches *)
+  sv_warm_analyze_spans : int;  (** must be 0: serving never analyzes *)
+  sv_warm_loads : int;
+  sv_cache_hits : int;
+  sv_cache_misses : int;
+  sv_parity : bool;  (** served verdicts byte-match the live synthesis *)
+}
+
+(* Cold pass: full pipeline per type, persist the artifact, answer the
+   workload with the in-memory synthesis.  Warm pass: re-open the
+   registry (a fresh handle stands in for a fresh process), serve every
+   model, answer the same workload.  Verdict vectors must byte-match. *)
+let serve_pass type_ids =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "autotype-bench-models-%d" (Unix.getpid ()))
+  in
+  let fail msg = prerr_endline ("serve bench: " ^ msg); exit 1 in
+  Telemetry.reset ();
+  Telemetry.enable ();
+  let t0 = Unix.gettimeofday () in
+  let registry =
+    match Model.Registry.create_dir dir with Ok r -> r | Error m -> fail m
+  in
+  let cold_verdicts =
+    List.map
+      (fun id ->
+        let ty = Semtypes.Registry.find_exn id in
+        let positives =
+          Semtypes.Registry.positive_examples ~n:20 ~seed:11 ty
+        in
+        let compiled =
+          Autotype_core.Pipeline.compile ~index:(Corpus.search_index ())
+            ~query:ty.Semtypes.Registry.name ~positives ()
+        in
+        let artifact =
+          match Model.Artifact.of_compiled compiled with
+          | Some a -> Model.Artifact.with_type_id id a
+          | None -> fail ("no function synthesized for " ^ id)
+        in
+        (match Model.Registry.save registry artifact with
+         | Ok _ -> ()
+         | Error m -> fail m);
+        let syn = Model.Artifact.to_synthesis artifact in
+        (id,
+         List.map
+           (Autotype_core.Synthesis.validate syn)
+           (serve_workload ty)))
+      type_ids
+  in
+  let sv_cold_elapsed = Unix.gettimeofday () -. t0 in
+  Telemetry.disable ();
+  let cold_snap = Telemetry.snapshot () in
+  let sv_cold_runs = Telemetry.find_counter cold_snap "interp.runs" in
+  Telemetry.reset ();
+  Telemetry.enable ();
+  let t1 = Unix.gettimeofday () in
+  let registry =
+    match Model.Registry.open_dir dir with Ok r -> r | Error m -> fail m
+  in
+  let warm_verdicts =
+    List.map
+      (fun id ->
+        let ty = Semtypes.Registry.find_exn id in
+        let entry =
+          match Model.Registry.find registry id with
+          | Ok e -> e
+          | Error e -> fail (Model.Artifact.load_error_to_string e)
+        in
+        (id,
+         List.map
+           (Autotype_core.Synthesis.validate entry.Model.Registry.synthesis)
+           (serve_workload ty)))
+      type_ids
+  in
+  let sv_warm_elapsed = Unix.gettimeofday () -. t1 in
+  Telemetry.disable ();
+  let warm_snap = Telemetry.snapshot () in
+  let stats =
+    {
+      sv_n_models = List.length type_ids;
+      sv_n_validations =
+        List.fold_left (fun acc (_, vs) -> acc + List.length vs) 0
+          warm_verdicts;
+      sv_cold_elapsed;
+      sv_warm_elapsed;
+      sv_cold_runs;
+      sv_warm_runs = Telemetry.find_counter warm_snap "interp.runs";
+      sv_warm_search_spans =
+        List.length (Telemetry.spans_named "pipeline.search");
+      sv_warm_analyze_spans =
+        List.length (Telemetry.spans_named "pipeline.analyze");
+      sv_warm_loads = Telemetry.find_counter warm_snap "model.loads";
+      sv_cache_hits = Telemetry.find_counter warm_snap "serve.cache_hits";
+      sv_cache_misses = Telemetry.find_counter warm_snap "serve.cache_misses";
+      sv_parity = cold_verdicts = warm_verdicts;
+    }
+  in
+  if not stats.sv_parity then
+    List.iter2
+      (fun (id, c) (_, w) ->
+        if c <> w then
+          Printf.eprintf "SERVE DIVERGENCE on %s: %d/%d verdicts differ\n" id
+            (List.length
+               (List.filter (fun x -> x)
+                  (List.map2 (fun a b -> a <> b) c w)))
+            (List.length c))
+      cold_verdicts warm_verdicts;
+  (* The registry directory is scratch; leave nothing behind. *)
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+    Sys.rmdir dir
+  end;
+  stats
+
+let per_1k elapsed n =
+  if n = 0 then 0.0 else 1000.0 *. elapsed /. float_of_int n
+
+let print_serve_report (s : serve_stats) =
+  Printf.printf "\n-- compile/serve split --\n";
+  Printf.printf
+    "cold (compile %d models + %d validations): %.2fs (%.1fms per 1k \
+     validations)\n"
+    s.sv_n_models s.sv_n_validations s.sv_cold_elapsed
+    (1e3 *. per_1k s.sv_cold_elapsed s.sv_n_validations);
+  Printf.printf
+    "warm (load %d models + %d validations):    %.2fs (%.1fms per 1k \
+     validations)\n"
+    s.sv_warm_loads s.sv_n_validations s.sv_warm_elapsed
+    (1e3 *. per_1k s.sv_warm_elapsed s.sv_n_validations);
+  Printf.printf
+    "interpreter runs: %d cold -> %d warm (%.1fx fewer); warm pipeline \
+     spans: %d search, %d analyze\n"
+    s.sv_cold_runs s.sv_warm_runs
+    (if s.sv_warm_runs > 0 then
+       float_of_int s.sv_cold_runs /. float_of_int s.sv_warm_runs
+     else 0.0)
+    s.sv_warm_search_spans s.sv_warm_analyze_spans;
+  Printf.printf "serve cache: %d hits, %d misses; verdict parity: %s\n"
+    s.sv_cache_hits s.sv_cache_misses
+    (if s.sv_parity then "identical" else "DIVERGED")
+
+let serve_json (s : serve_stats) =
+  Printf.sprintf
+    "{\"models\":%d,\"validations\":%d,\
+     \"cold_elapsed_s\":%.6f,\"warm_elapsed_s\":%.6f,\
+     \"cold_per_1k_s\":%.6f,\"warm_per_1k_s\":%.6f,\
+     \"cold_interp_runs\":%d,\"warm_interp_runs\":%d,\
+     \"warm_search_spans\":%d,\"warm_analyze_spans\":%d,\
+     \"warm_model_loads\":%d,\"cache_hits\":%d,\"cache_misses\":%d,\
+     \"verdict_parity\":%b}"
+    s.sv_n_models s.sv_n_validations s.sv_cold_elapsed s.sv_warm_elapsed
+    (per_1k s.sv_cold_elapsed s.sv_n_validations)
+    (per_1k s.sv_warm_elapsed s.sv_n_validations)
+    s.sv_cold_runs s.sv_warm_runs s.sv_warm_search_spans
+    s.sv_warm_analyze_spans s.sv_warm_loads s.sv_cache_hits s.sv_cache_misses
+    s.sv_parity
+
 let pipeline_bench () =
   section "Pipeline stage timings (BENCH_pipeline.json)";
   let type_ids = [ "credit-card"; "ipv4"; "email"; "isbn" ] in
@@ -643,6 +820,9 @@ let pipeline_bench () =
   let nos_fp, nos_elapsed, nos_stages, nos_snap =
     pipeline_pass ?pool:None ~staticcheck:false type_ids
   in
+  (* Fourth pass: the compile/serve split — cold compile vs warm
+     registry serving over the same validation workload. *)
+  let serve = serve_pass type_ids in
   print_pass_report "sequential (jobs=1)" (seq_elapsed, seq_stages, seq_snap);
   print_pass_report
     (Printf.sprintf "parallel (jobs=%d)" jobs)
@@ -698,6 +878,20 @@ let pipeline_bench () =
     pruned diags runs_nostatic runs_static (1e3 *. trace_nostatic)
     (1e3 *. trace_static)
     (if static_identical then "identical" else "DIVERGED");
+  print_serve_report serve;
+  (* Serving must never touch the pipeline's search/analyze stages and
+     must cut interpreter work by at least an order of magnitude. *)
+  let serve_ok =
+    serve.sv_parity
+    && serve.sv_warm_search_spans = 0
+    && serve.sv_warm_analyze_spans = 0
+    && serve.sv_warm_runs > 0
+    && serve.sv_cold_runs >= 10 * serve.sv_warm_runs
+  in
+  if not serve_ok then
+    prerr_endline
+      "serve pass failed its invariants (parity / zero pipeline spans / \
+       >=10x fewer interpreter runs)";
   let json =
     Printf.sprintf
       "{\"types\":[%s],\"jobs\":%d,\"recommended_domains\":%d,\
@@ -707,7 +901,8 @@ let pipeline_bench () =
        \"staticcheck\":{\"pruned\":%d,\"diagnostics\":%d,\
        \"interp_runs_static\":%d,\"interp_runs_nostatic\":%d,\
        \"trace_s_static\":%.6f,\"trace_s_nostatic\":%.6f,\
-       \"trace_delta_s\":%.6f,\"ranked_identical\":%b}}\n"
+       \"trace_delta_s\":%.6f,\"ranked_identical\":%b},\
+       \"serve\":%s}\n"
       (String.concat "," (List.map (Printf.sprintf "\"%s\"") type_ids))
       jobs recommended
       (pass_json (seq_elapsed, seq_stages, seq_snap))
@@ -717,13 +912,14 @@ let pipeline_bench () =
       runs_nostatic trace_static trace_nostatic
       (trace_nostatic -. trace_static)
       static_identical
+      (serve_json serve)
   in
   let oc = open_out "BENCH_pipeline.json" in
   output_string oc json;
   close_out oc;
   Printf.printf "wrote BENCH_pipeline.json (%d types, seq %.1fs / par %.1fs)\n"
     (List.length type_ids) seq_elapsed par_elapsed;
-  if not (identical && static_identical) then exit 1
+  if not (identical && static_identical && serve_ok) then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                               *)

@@ -5,10 +5,15 @@
       positive examples (one per line);
     - [autotype synth --type credit-card] uses a benchmark type's
       generated examples instead;
+    - [autotype compile --type credit-card --out models/] synthesizes
+      once and persists the top-1 validator as a self-contained model
+      artifact in a registry directory (compile/serve split);
     - [autotype validate --type credit-card VALUE ...] checks values
-      with the synthesized top-1 function;
+      with the synthesized top-1 function; with [--model FILE] it serves
+      a compiled artifact instead of re-running the pipeline;
     - [autotype detect --column file.txt] reads one column of values and
-      reports which benchmark types match;
+      reports which benchmark types match; with [--models DIR] it serves
+      every compiled model in the registry instead of re-synthesizing;
     - [autotype lint] runs the static analyzer over corpus MiniScript
       sources ([--repo NAME], [--query KW], or the whole corpus;
       [--strict] exits non-zero on errors);
@@ -134,6 +139,15 @@ let synthesize_outcome ?pool ~type_id ~examples_file ~query () =
         (Autotype_core.Pipeline.synthesize ?pool
            ~index:(Corpus.search_index ()) ~query:q ~positives ())
 
+(** Per-run serve-path summary printed under [--stats]. *)
+let print_serve_summary () =
+  let snap = Telemetry.snapshot () in
+  let c name = Telemetry.find_counter snap name in
+  Printf.printf
+    "serve: %d model loads (%d failed), cache %d hits / %d misses\n"
+    (c "model.loads") (c "model.load_failures") (c "serve.cache_hits")
+    (c "serve.cache_misses")
+
 (* ------------------------------- synth ----------------------------- *)
 
 let type_arg =
@@ -184,35 +198,151 @@ let synth_cmd =
     Term.(const run $ type_arg $ examples_arg $ query_arg $ top_arg
           $ stats_arg $ trace_arg $ jobs_arg)
 
+(* ------------------------------ compile ---------------------------- *)
+
+let types_all_arg =
+  Arg.(value & opt_all string []
+       & info [ "t"; "type" ] ~docv:"ID"
+           ~doc:"Benchmark type id to compile (repeatable).")
+
+let out_arg =
+  Arg.(value & opt string "models"
+       & info [ "o"; "out" ] ~docv:"DIR"
+           ~doc:"Model registry directory to write artifacts into \
+                 (created if missing).")
+
+let compile_one ?pool registry ~type_id ~examples_file ~query () =
+  match positives_for ~type_id ~examples_file ~query with
+  | Error e -> Error e
+  | Ok ([], _) -> Error "no positive examples"
+  | Ok (positives, q) ->
+    let compiled =
+      Autotype_core.Pipeline.compile ?pool ~index:(Corpus.search_index ())
+        ~query:q ~positives ()
+    in
+    (match Model.Artifact.of_compiled compiled with
+     | None ->
+       Error
+         (Printf.sprintf "no function synthesized for %S — nothing to compile"
+            q)
+     | Some artifact ->
+       let artifact =
+         match type_id with
+         | Some id -> Model.Artifact.with_type_id id artifact
+         | None -> artifact
+       in
+       (match Model.Registry.save registry artifact with
+        | Error msg -> Error msg
+        | Ok path ->
+          let o = compiled.Autotype_core.Pipeline.c_outcome in
+          let dnf = artifact.Model.Artifact.dnf in
+          Printf.printf
+            "compiled %-14s -> %s\n\
+            \  function: %s\n\
+            \  coverage: %d/%d positives, %d/%d negatives (strategy %s)\n"
+            (Model.Artifact.key artifact) path
+            (Repolib.Candidate.describe artifact.Model.Artifact.candidate)
+            dnf.Autotype_core.Dnf.cov_p dnf.Autotype_core.Dnf.n_pos
+            dnf.Autotype_core.Dnf.cov_n dnf.Autotype_core.Dnf.n_neg
+            (match o.Autotype_core.Pipeline.strategy_used with
+             | Some s -> Autotype_core.Negative.strategy_to_string s
+             | None -> "-");
+          Ok ()))
+
+let compile_cmd =
+  let run type_ids examples_file query out stats trace_file jobs =
+    with_telemetry ~stats ~trace_file @@ fun () ->
+    with_jobs jobs @@ fun pool ->
+    match Model.Registry.create_dir out with
+    | Error msg -> Printf.eprintf "cannot open registry: %s\n" msg; 1
+    | Ok registry ->
+      let targets =
+        match (type_ids, examples_file) with
+        | [], None -> Error "provide --type ID (repeatable) or --examples FILE"
+        | [], Some _ -> Ok [ None ]
+        | ids, None -> Ok (List.map (fun id -> Some id) ids)
+        | _ :: _, Some _ -> Error "--type and --examples are exclusive"
+      in
+      (match targets with
+       | Error e -> prerr_endline e; 1
+       | Ok targets ->
+         let code =
+           List.fold_left
+             (fun code type_id ->
+               match
+                 compile_one ?pool registry ~type_id ~examples_file ~query ()
+               with
+               | Ok () -> code
+               | Error e -> prerr_endline e; 1)
+             0 targets
+         in
+         if code = 0 then
+           Printf.printf "registry %s now serves %d model(s)\n"
+             (Model.Registry.dir registry)
+             (List.length (Model.Registry.keys registry));
+         if Telemetry.enabled () then print_stage_summary ();
+         code)
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Synthesize once and persist model artifacts for serving")
+    Term.(const run $ types_all_arg $ examples_arg $ query_arg $ out_arg
+          $ stats_arg $ trace_arg $ jobs_arg)
+
 (* ------------------------------ validate --------------------------- *)
 
 let values_arg =
   Arg.(value & pos_all string [] & info [] ~docv:"VALUE")
 
+let model_arg =
+  Arg.(value & opt (some string) None
+       & info [ "m"; "model" ] ~docv:"FILE"
+           ~doc:"Serve a compiled model artifact instead of re-running \
+                 the synthesis pipeline.")
+
+let validate_values syn values =
+  Printf.printf "using %s\n"
+    (Repolib.Candidate.describe syn.Autotype_core.Synthesis.candidate);
+  List.iter
+    (fun v ->
+      Printf.printf "%-30s %s\n" v
+        (if Autotype_core.Synthesis.validate syn v then "VALID"
+         else "invalid"))
+    values;
+  0
+
 let validate_cmd =
-  let run type_id examples_file query values stats trace_file jobs =
+  let run type_id examples_file query model values stats trace_file jobs =
     with_telemetry ~stats ~trace_file @@ fun () ->
-    with_jobs jobs @@ fun pool ->
-    match synthesize_outcome ?pool ~type_id ~examples_file ~query () with
-    | Error e -> prerr_endline e; 1
-    | Ok outcome ->
-      (match Autotype_core.Pipeline.best outcome with
-       | None -> prerr_endline "no function synthesized"; 1
-       | Some syn ->
-         Printf.printf "using %s\n"
-           (Repolib.Candidate.describe syn.Autotype_core.Synthesis.candidate);
-         List.iter
-           (fun v ->
-             Printf.printf "%-30s %s\n" v
-               (if Autotype_core.Synthesis.validate syn v then "VALID"
-                else "invalid"))
-           values;
-         0)
+    match model with
+    | Some path ->
+      (* Serve path: the artifact is self-contained — never fall back
+         to a pipeline re-run on a bad file; report exactly why. *)
+      (match Model.Artifact.load path with
+       | Error e ->
+         Printf.eprintf "%s: %s\n" path (Model.Artifact.load_error_to_string e);
+         1
+       | Ok artifact ->
+         Printf.printf "model %s (query %S, format v%d)\n"
+           (Model.Artifact.key artifact)
+           artifact.Model.Artifact.provenance.Model.Artifact.query
+           Model.Artifact.format_version;
+         let code = validate_values (Model.Artifact.to_synthesis artifact) values in
+         if Telemetry.enabled () then print_serve_summary ();
+         code)
+    | None ->
+      with_jobs jobs @@ fun pool ->
+      (match synthesize_outcome ?pool ~type_id ~examples_file ~query () with
+       | Error e -> prerr_endline e; 1
+       | Ok outcome ->
+         (match Autotype_core.Pipeline.best outcome with
+          | None -> prerr_endline "no function synthesized"; 1
+          | Some syn -> validate_values syn values))
   in
   Cmd.v
     (Cmd.info "validate" ~doc:"Validate values with a synthesized function")
-    Term.(const run $ type_arg $ examples_arg $ query_arg $ values_arg
-          $ stats_arg $ trace_arg $ jobs_arg)
+    Term.(const run $ type_arg $ examples_arg $ query_arg $ model_arg
+          $ values_arg $ stats_arg $ trace_arg $ jobs_arg)
 
 (* ------------------------------- detect ---------------------------- *)
 
@@ -220,47 +350,98 @@ let column_arg =
   Arg.(required & opt (some file) None
        & info [ "column" ] ~docv:"FILE" ~doc:"File with one column value per line.")
 
+let models_arg =
+  Arg.(value & opt (some string) None
+       & info [ "models" ] ~docv:"DIR"
+           ~doc:"Serve compiled model artifacts from this registry \
+                 directory instead of re-synthesizing each type.")
+
+(** The served detectors for every model in a registry; [Error] (the
+    load-error string) as soon as any artifact is bad — the serve path
+    must never silently re-run the pipeline. *)
+let served_detectors registry =
+  List.fold_left
+    (fun acc key ->
+      match acc with
+      | Error _ as e -> e
+      | Ok dets ->
+        (match Model.Registry.find registry key with
+         | Error e -> Error (Model.Artifact.load_error_to_string e)
+         | Ok entry -> Ok (Tablecorpus.Detect.serve_detector entry :: dets)))
+    (Ok []) (Model.Registry.keys registry)
+
+let report_hits hits =
+  Telemetry.incr (Telemetry.counter "detect.columns_scanned");
+  match hits with
+  | [] -> print_endline "no rich semantic type detected"
+  | hits ->
+    Telemetry.incr (Telemetry.counter "detect.columns_detected");
+    List.iter
+      (fun (id, frac) ->
+        Printf.printf "detected type %s (%.0f%% of values pass)\n" id
+          (100.0 *. frac))
+      hits
+
+let scan_with_detectors detectors values =
+  List.filter_map
+    (fun (det : Tablecorpus.Detect.detector) ->
+      let frac =
+        Tablecorpus.Detect.fraction_accepted det.Tablecorpus.Detect.accepts
+          values
+      in
+      if frac > Tablecorpus.Detect.detection_threshold then
+        Some (det.Tablecorpus.Detect.type_id, frac)
+      else None)
+    detectors
+
 let detect_cmd =
-  let run column stats trace_file jobs =
+  let run column models stats trace_file jobs =
     with_telemetry ~stats ~trace_file @@ fun () ->
-    with_jobs jobs @@ fun pool ->
     match read_lines column with
     | Error msg ->
       Printf.eprintf "cannot read %s: %s\n" column msg;
       1
     | Ok [] -> prerr_endline "empty column"; 1
     | Ok values -> begin
-      Printf.printf "column of %d values; scanning %d popular types...\n"
-        (List.length values)
-        (List.length Semtypes.Registry.popular);
-      let hits =
-        List.filter_map
-          (fun (ty : Semtypes.Registry.t) ->
-            let det = Tablecorpus.Detect.dnf_detector ?pool ty in
-            let frac =
-              Tablecorpus.Detect.fraction_accepted
-                det.Tablecorpus.Detect.accepts values
-            in
-            if frac > Tablecorpus.Detect.detection_threshold then
-              Some (ty.Semtypes.Registry.id, frac)
-            else None)
-          Semtypes.Registry.popular
-      in
-      Telemetry.incr (Telemetry.counter "detect.columns_scanned");
-      (match hits with
-       | [] -> print_endline "no rich semantic type detected"
-       | hits ->
-         Telemetry.incr (Telemetry.counter "detect.columns_detected");
-         List.iter
-           (fun (id, frac) ->
-             Printf.printf "detected type %s (%.0f%% of values pass)\n" id
-               (100.0 *. frac))
-           hits);
-      0
+      match models with
+      | Some dir -> begin
+        (* Serve path: every detector comes from a compiled artifact;
+           any bad artifact is a hard error, never a pipeline re-run. *)
+        match Model.Registry.open_dir dir with
+        | Error msg ->
+          Printf.eprintf "cannot open registry %s: %s\n" dir msg;
+          1
+        | Ok registry ->
+          (match served_detectors registry with
+           | Error msg ->
+             Printf.eprintf "cannot serve from %s: %s\n" dir msg;
+             1
+           | Ok detectors ->
+             Printf.printf
+               "column of %d values; serving %d compiled model(s)...\n"
+               (List.length values) (List.length detectors);
+             report_hits (scan_with_detectors detectors values);
+             if Telemetry.enabled () then print_serve_summary ();
+             0)
+      end
+      | None ->
+        with_jobs jobs @@ fun pool ->
+        Printf.printf "column of %d values; scanning %d popular types...\n"
+          (List.length values)
+          (List.length Semtypes.Registry.popular);
+        let detectors =
+          List.map
+            (fun (ty : Semtypes.Registry.t) ->
+              Tablecorpus.Detect.dnf_detector ?pool ty)
+            Semtypes.Registry.popular
+        in
+        report_hits (scan_with_detectors detectors values);
+        0
     end
   in
   Cmd.v (Cmd.info "detect" ~doc:"Detect the semantic type of a column")
-    Term.(const run $ column_arg $ stats_arg $ trace_arg $ jobs_arg)
+    Term.(const run $ column_arg $ models_arg $ stats_arg $ trace_arg
+          $ jobs_arg)
 
 (* -------------------------------- lint ----------------------------- *)
 
@@ -376,7 +557,7 @@ let main_cmd =
       ~doc:"Synthesize type-detection logic from open-source code"
   in
   Cmd.group info
-    [ synth_cmd; validate_cmd; detect_cmd; lint_cmd; types_cmd;
+    [ synth_cmd; compile_cmd; validate_cmd; detect_cmd; lint_cmd; types_cmd;
       transforms_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

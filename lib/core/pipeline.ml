@@ -257,6 +257,28 @@ let synthesize ?(config = default_config) ?negatives_override ?pool ?cache
        in
        try_strategies None [ Negative.S1; Negative.S2; Negative.S3 ])
 
+(** Compile exit point (the compile half of the compile/serve split):
+    run the pipeline once and package everything a persistent model
+    artifact needs — the outcome plus the exact configuration it ran
+    under.  The artifact writer (lib/model) consumes this; serving then
+    replays none of the stages above. *)
+type compiled = {
+  c_outcome : outcome;
+  c_config : config;
+}
+
+let compile ?(config = default_config) ?negatives_override ?pool ?cache
+    ~(index : Repolib.Search.index) ~query ~(positives : string list) () :
+    compiled =
+  Telemetry.with_span "pipeline.compile"
+    ~attrs:[ ("query", Telemetry.S query) ]
+  @@ fun () ->
+  let c_outcome =
+    synthesize ~config ?negatives_override ?pool ?cache ~index ~query
+      ~positives ()
+  in
+  { c_outcome; c_config = config }
+
 (** Top-ranked synthesized validation function, if any. *)
 let best (o : outcome) : Synthesis.t option =
   match o.ranked with

@@ -66,6 +66,26 @@ val synthesize :
     once per candidate per call; pass your own cache to share traces
     across calls with the same candidate pool. *)
 
+type compiled = {
+  c_outcome : outcome;
+  c_config : config;  (** the configuration the outcome was produced under *)
+}
+
+val compile :
+  ?config:config ->
+  ?negatives_override:string list ->
+  ?pool:Exec.Pool.t ->
+  ?cache:Ranking.cache ->
+  index:Repolib.Search.index ->
+  query:string ->
+  positives:string list ->
+  unit ->
+  compiled
+(** Compile exit point of the compile/serve split: one [synthesize] run
+    (under a [pipeline.compile] span) bundled with its configuration so
+    a persistent model artifact (lib/model) can record full provenance.
+    Serving a saved artifact replays none of the pipeline stages. *)
+
 val best : outcome -> Synthesis.t option
 (** The top-ranked synthesized validation function. *)
 

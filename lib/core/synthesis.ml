@@ -30,10 +30,18 @@ let validate_concise (t : t) (input : string) : bool =
   let trace = Feature.featurize result.Minilang.Interp.trace in
   Dnf.satisfies t.dnf.Dnf.clauses trace
 
+(** The single source of the Section 9.1 column-detection threshold:
+    a column is of the type when more than this fraction of its values
+    pass.  [detect_column] below and
+    [Tablecorpus.Detect.detection_threshold] both read it, so the two
+    layers cannot drift apart. *)
+let default_detection_threshold = 0.8
+
 (** Column-level type detection (Section 9.1): a column is predicted to
     be of the type if more than [threshold] of its values pass the
     synthesized function. *)
-let detect_column ?(threshold = 0.8) (t : t) (values : string list) : bool =
+let detect_column ?(threshold = default_detection_threshold) (t : t)
+    (values : string list) : bool =
   match values with
   | [] -> false
   | _ ->

@@ -16,6 +16,12 @@ val validate : t -> string -> bool
 val validate_concise : t -> string -> bool
 (** Check against the un-extended concise DNF (ablation only). *)
 
+val default_detection_threshold : float
+(** The Section 9.1 column-detection threshold (0.8).  Single-sourced:
+    [detect_column] and [Tablecorpus.Detect.detection_threshold] both
+    use this value. *)
+
 val detect_column : ?threshold:float -> t -> string list -> bool
 (** Column-level detection (Section 9.1): true when more than
-    [threshold] (default 0.8) of the values pass. *)
+    [threshold] (default {!default_detection_threshold}) of the values
+    pass. *)

@@ -62,18 +62,22 @@ let negative_test_pool ?(n = default_eval_negatives) ~seed
   draw [] n 0
 
 (** Grade one candidate's synthesized validator: Q(F). *)
-let quality ~(dnf : Autotype_core.Dnf.result)
-    (candidate : Repolib.Candidate.t) ~held_out_pos ~test_neg : float =
-  let syn = Autotype_core.Synthesis.make candidate dnf in
-  let pass_pos =
-    List.length (List.filter (Autotype_core.Synthesis.validate syn) held_out_pos)
-  in
+(* Q(F) of any value-level predicate.  Factored out of [quality] so the
+   serve path can grade a registry-loaded model with exactly the same
+   arithmetic as a live in-memory synthesis. *)
+let quality_of ~(accepts : string -> bool) ~held_out_pos ~test_neg : float =
+  let pass_pos = List.length (List.filter accepts held_out_pos) in
   let reject_neg =
-    List.length
-      (List.filter (fun v -> not (Autotype_core.Synthesis.validate syn v)) test_neg)
+    List.length (List.filter (fun v -> not (accepts v)) test_neg)
   in
   Metrics.quality_score ~pass_pos ~n_pos:(List.length held_out_pos)
     ~reject_neg ~n_neg:(List.length test_neg)
+
+let quality ~(dnf : Autotype_core.Dnf.result)
+    (candidate : Repolib.Candidate.t) ~held_out_pos ~test_neg : float =
+  let syn = Autotype_core.Synthesis.make candidate dnf in
+  quality_of ~accepts:(Autotype_core.Synthesis.validate syn) ~held_out_pos
+    ~test_neg
 
 type config = {
   n_positives : int;

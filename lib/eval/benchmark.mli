@@ -26,13 +26,22 @@ val negative_test_pool :
 (** True negatives for Q(F): wild cells plus near-miss values of other
     types, filtered by the ground-truth validator. *)
 
+val quality_of :
+  accepts:(string -> bool) ->
+  held_out_pos:string list ->
+  test_neg:string list ->
+  float
+(** Q(F) of an arbitrary value-level predicate — used both for live
+    synthesized validators and for registry-served model artifacts, so
+    the two serve paths are graded identically. *)
+
 val quality :
   dnf:Autotype_core.Dnf.result ->
   Repolib.Candidate.t ->
   held_out_pos:string list ->
   test_neg:string list ->
   float
-(** Q(F) of one candidate's synthesized validator. *)
+(** Q(F) of one candidate's synthesized validator (via {!quality_of}). *)
 
 type config = {
   n_positives : int;

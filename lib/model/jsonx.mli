@@ -1,0 +1,45 @@
+(** Minimal self-contained JSON used by the model-artifact codec.
+
+    The repository deliberately carries no third-party JSON dependency,
+    so the artifact layer ships its own small value type, printer and
+    recursive-descent parser.  The printer emits a single line (strings
+    are escaped, so embedded newlines never break the one-payload-line
+    artifact framing) and the parser accepts exactly what the printer
+    emits plus ordinary whitespace. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list  (** insertion order preserved *)
+
+val to_string : t -> string
+(** Compact single-line rendering.  Floats round-trip exactly
+    ([%.17g]); strings are escaped per RFC 8259. *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON value (trailing whitespace allowed).  [Error msg]
+    carries a character offset. *)
+
+(** {1 Decoding helpers}
+
+    All raise {!Decode_error}; the artifact codec catches it at its
+    boundary and converts to a typed load error. *)
+
+exception Decode_error of string
+
+val member : string -> t -> t
+(** Field of an object; raises when absent or not an object. *)
+
+val member_opt : string -> t -> t option
+
+val to_int : t -> int
+val to_float : t -> float
+(** Accepts both [Int] and [Float] representations. *)
+
+val to_bool : t -> bool
+val to_str : t -> string
+val to_list : t -> t list

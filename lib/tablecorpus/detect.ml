@@ -36,7 +36,9 @@ let header_keywords =
     ("stock-ticker", [ "ticker"; "symbol" ]);
     ("airport-code", [ "airport" ]) ]
 
-let detection_threshold = 0.8
+(* Single-sourced from the synthesis layer so the value-level and
+   column-level thresholds cannot drift apart (a test pins them). *)
+let detection_threshold = Autotype_core.Synthesis.default_detection_threshold
 
 (** A per-type detector, built once and applied to every column. *)
 type detector = {
@@ -55,30 +57,66 @@ let fraction_accepted det values =
 let m_detectors_built = Telemetry.counter "detect.detectors_built"
 let m_columns_scanned = Telemetry.counter "detect.columns_scanned"
 let m_columns_detected = Telemetry.counter "detect.columns_detected"
+let m_models_served = Telemetry.counter "detect.models_served"
+let m_serve_fallbacks = Telemetry.counter "detect.serve_fallbacks"
 
-(** Build the DNF-S detector for a type: run the full synthesis pipeline
-    and wrap the top-1 synthesized function. *)
-let dnf_detector ?(seed = 11) ?pool (ty : Semtypes.Registry.t) : detector =
-  Telemetry.with_span "detect.synthesize"
-    ~attrs:[ ("type", Telemetry.S ty.Semtypes.Registry.id) ]
-  @@ fun () ->
-  Telemetry.incr m_detectors_built;
-  let positives = Semtypes.Registry.positive_examples ~n:20 ~seed ty in
-  let outcome =
-    Autotype_core.Pipeline.synthesize ?pool ~index:(Corpus.search_index ())
-      ~query:ty.Semtypes.Registry.name ~positives ()
+(** Wrap a registry-served model as a detector — the warm serving path:
+    no search, no analysis, no negative generation. *)
+let serve_detector (entry : Model.Registry.entry) : detector =
+  Telemetry.incr m_models_served;
+  {
+    type_id = Model.Artifact.key entry.Model.Registry.artifact;
+    accepts = Autotype_core.Synthesis.validate entry.Model.Registry.synthesis;
+    usable = true;
+  }
+
+(** Build the DNF-S detector for a type.  With a [registry] holding a
+    compiled model for the type, the model is served from it (LRU-cached
+    across columns); otherwise — or when the registered artifact fails
+    to load — the full synthesis pipeline runs as before. *)
+let dnf_detector ?(seed = 11) ?pool ?registry (ty : Semtypes.Registry.t) :
+    detector =
+  let served =
+    match registry with
+    | Some reg when Model.Registry.mem reg ty.Semtypes.Registry.id ->
+      Telemetry.with_span "detect.serve"
+        ~attrs:[ ("type", Telemetry.S ty.Semtypes.Registry.id) ]
+        (fun () ->
+          match Model.Registry.find reg ty.Semtypes.Registry.id with
+          | Ok entry -> Some (serve_detector entry)
+          | Error e ->
+            (* Registered but unreadable: fall back to synthesis so
+               batch detection still completes; the CLI serve path
+               reports such artifacts as hard errors instead. *)
+            Telemetry.incr m_serve_fallbacks;
+            Telemetry.add_attr "fallback"
+              (Telemetry.S (Model.Artifact.load_error_to_string e));
+            None)
+    | _ -> None
   in
-  match Autotype_core.Pipeline.best outcome with
-  | Some syn ->
-    {
-      type_id = ty.Semtypes.Registry.id;
-      accepts = Autotype_core.Synthesis.validate syn;
-      usable = true;
-    }
+  match served with
+  | Some det -> det
   | None ->
-    Telemetry.add_attr "usable" (Telemetry.B false);
-    { type_id = ty.Semtypes.Registry.id; accepts = (fun _ -> false);
-      usable = false }
+    Telemetry.with_span "detect.synthesize"
+      ~attrs:[ ("type", Telemetry.S ty.Semtypes.Registry.id) ]
+    @@ fun () ->
+    Telemetry.incr m_detectors_built;
+    let positives = Semtypes.Registry.positive_examples ~n:20 ~seed ty in
+    let outcome =
+      Autotype_core.Pipeline.synthesize ?pool ~index:(Corpus.search_index ())
+        ~query:ty.Semtypes.Registry.name ~positives ()
+    in
+    (match Autotype_core.Pipeline.best outcome with
+     | Some syn ->
+       {
+         type_id = ty.Semtypes.Registry.id;
+         accepts = Autotype_core.Synthesis.validate syn;
+         usable = true;
+       }
+     | None ->
+       Telemetry.add_attr "usable" (Telemetry.B false);
+       { type_id = ty.Semtypes.Registry.id; accepts = (fun _ -> false);
+         usable = false })
 
 (** REGEX detector: Potter's-Wheel inference from the same positives. *)
 let regex_detector ?(seed = 11) (ty : Semtypes.Registry.t) : detector =
@@ -166,7 +204,7 @@ type per_type_result = {
 (** Run all three methods on all 20 popular types over a column corpus.
     Relative recall per type uses the union of correct columns found by
     the three methods as ground truth (Section 9.1). *)
-let run ?(seed = 11) ?pool (columns : Webtables.column list) :
+let run ?(seed = 11) ?pool ?registry (columns : Webtables.column list) :
     per_type_result list =
   Telemetry.with_span "detect.run"
     ~attrs:[ ("columns", Telemetry.I (List.length columns)) ]
@@ -175,7 +213,7 @@ let run ?(seed = 11) ?pool (columns : Webtables.column list) :
   List.concat_map
     (fun (ty : Semtypes.Registry.t) ->
       let type_id = ty.Semtypes.Registry.id in
-      let dnf = dnf_detector ~seed ?pool ty in
+      let dnf = dnf_detector ~seed ?pool ?registry ty in
       let regex = regex_detector ~seed ty in
       let detections =
         [ (DNF_S, detect_with_values dnf columns);

@@ -12,7 +12,9 @@ val header_keywords : (string * string list) list
 
 val detection_threshold : float
 (** A column is detected when more than this fraction of values pass
-    (0.8, per Section 9.1). *)
+    (0.8, per Section 9.1).  Equal by construction to
+    {!Autotype_core.Synthesis.default_detection_threshold} — the value
+    is defined once, in the synthesis layer. *)
 
 type detector = {
   type_id : string;
@@ -22,10 +24,20 @@ type detector = {
 
 val fraction_accepted : (string -> bool) -> string list -> float
 
+val serve_detector : Model.Registry.entry -> detector
+(** Detector around a registry-served model (the warm path): validation
+    only, no pipeline stages. *)
+
 val dnf_detector :
-  ?seed:int -> ?pool:Exec.Pool.t -> Semtypes.Registry.t -> detector
-(** Full synthesis pipeline, wrapping the top-1 synthesized function.
-    [pool] parallelizes candidate tracing (see {!Exec.Pool}). *)
+  ?seed:int ->
+  ?pool:Exec.Pool.t ->
+  ?registry:Model.Registry.t ->
+  Semtypes.Registry.t ->
+  detector
+(** The DNF-S detector for a type.  When [registry] holds a compiled
+    model for the type it is served from there (no synthesis); otherwise
+    the full pipeline runs and the top-1 synthesized function is
+    wrapped.  [pool] parallelizes candidate tracing (see {!Exec.Pool}). *)
 
 val regex_detector : ?seed:int -> Semtypes.Registry.t -> detector
 (** Potter's-Wheel inference from the same positive examples. *)
@@ -55,8 +67,12 @@ type per_type_result = {
 }
 
 val run :
-  ?seed:int -> ?pool:Exec.Pool.t -> Webtables.column list ->
+  ?seed:int ->
+  ?pool:Exec.Pool.t ->
+  ?registry:Model.Registry.t ->
+  Webtables.column list ->
   per_type_result list
 (** All three methods on all 20 popular types (Figure 11 / Table 2).
-    [pool] parallelizes the per-type synthesis runs' candidate
-    tracing. *)
+    [pool] parallelizes the per-type synthesis runs' candidate tracing;
+    [registry] serves compiled models for the types it holds instead of
+    re-synthesizing them. *)

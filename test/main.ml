@@ -12,4 +12,5 @@ let () =
       ("transform", Test_transform.suite);
       ("tablecorpus", Test_tablecorpus.suite);
       ("telemetry", Test_telemetry.suite);
-      ("exec", Test_exec.suite) ]
+      ("exec", Test_exec.suite);
+      ("model", Test_model.suite) ]

@@ -74,6 +74,16 @@ let test_corpus_generation () =
   let columns2 = Tablecorpus.Webtables.generate ~config () in
   Alcotest.(check bool) "generation deterministic" true (columns = columns2)
 
+let test_detection_threshold_single_source () =
+  (* Satellite of the compile/serve split: the 0.8 column threshold is
+     defined once, in the synthesis layer, and re-exported here — the
+     two must never drift apart. *)
+  Alcotest.(check (float 0.0)) "threshold pinned to synthesis layer"
+    Autotype_core.Synthesis.default_detection_threshold
+    Tablecorpus.Detect.detection_threshold;
+  Alcotest.(check (float 0.0)) "value is the paper's 0.8" 0.8
+    Tablecorpus.Detect.detection_threshold
+
 let test_header_matching () =
   Alcotest.(check bool) "direct" true
     (Tablecorpus.Detect.header_matches "email" (Some "Email"));
@@ -113,6 +123,8 @@ let suite =
     ("regex inference: heterogeneous", `Quick, test_infer_heterogeneous_fails);
     ("regex fails on unseen variant", `Quick, test_regex_fails_on_unseen_variant);
     ("webtable generation", `Quick, test_corpus_generation);
+    ("detection threshold single-sourced", `Quick,
+     test_detection_threshold_single_source);
     ("header matching", `Quick, test_header_matching);
     ("detection end-to-end", `Slow, test_detection_small_corpus);
   ]
