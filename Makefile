@@ -1,4 +1,4 @@
-.PHONY: all build test lint models check bench-compare clean
+.PHONY: all build test lint models faults check bench-compare clean
 
 all: build
 
@@ -31,10 +31,25 @@ models: build
 	@grep -q "detected type ipv4" $(MODELS_DIR)/detect.out || { echo "served detection missed ipv4"; exit 1; }
 	@echo "models: OK"
 
-# Full gate: build, test suites, the compile/serve smoke, and the
-# observability paths (CLI --stats and the machine-readable bench
-# JSON).  Opt into the parallel-determinism gate with BENCH=1.
-check: build test lint models $(if $(BENCH),bench-compare)
+# Fault-injection smoke: serve under injected delays/kills/corruption
+# (AUTOTYPE_FAULTS, DESIGN.md §10) and assert graceful degradation —
+# batches finish, per-value deadlines report DEADLINE, and a corrupted
+# artifact is rejected loudly rather than served.
+FAULTS_DIR ?= _build/models_faults
+faults: build
+	rm -rf $(FAULTS_DIR)
+	dune exec bin/autotype_cli.exe -- compile --type ipv4 --out $(FAULTS_DIR)
+	@printf '192.168.0.1\n10.0.0.7\n255.255.255.0\n8.8.8.8\n172.16.31.4\n' > $(FAULTS_DIR)/column.txt
+	AUTOTYPE_FAULTS="delay_ms=2,p_kill=0.3,seed=7" dune exec bin/autotype_cli.exe -- detect --column $(FAULTS_DIR)/column.txt --models $(FAULTS_DIR) --deadline-ms 500 --value-budget-ms 1 --stats
+	AUTOTYPE_FAULTS="delay_ms=5,seed=7" dune exec bin/autotype_cli.exe -- validate --model $(FAULTS_DIR)/ipv4.model --value-budget-ms 1 192.168.0.1 | grep -q DEADLINE
+	@AUTOTYPE_FAULTS="p_corrupt=1,seed=7" dune exec bin/autotype_cli.exe -- validate --model $(FAULTS_DIR)/ipv4.model 192.168.0.1 && { echo "corrupted artifact was served"; exit 1; } || true
+	@echo "faults: OK"
+
+# Full gate: build, test suites, the compile/serve smoke, the
+# fault-injection smoke, and the observability paths (CLI --stats and
+# the machine-readable bench JSON).  Opt into the
+# parallel-determinism gate with BENCH=1.
+check: build test lint models faults $(if $(BENCH),bench-compare)
 	dune exec bin/autotype_cli.exe -- synth --type credit-card --stats
 	dune exec bench/main.exe -- pipeline
 	@test -s BENCH_pipeline.json || { echo "BENCH_pipeline.json missing or empty"; exit 1; }

@@ -648,7 +648,21 @@ type serve_stats = {
   sv_cache_hits : int;
   sv_cache_misses : int;
   sv_parity : bool;  (** served verdicts byte-match the live synthesis *)
+  sv_lat_p50_ms : float;  (** per-value warm serve latency percentiles *)
+  sv_lat_p95_ms : float;
+  sv_lat_p99_ms : float;
 }
+
+(* Nearest-rank percentile over per-value latencies (p in [0,100]). *)
+let percentile p (xs : float array) =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let sorted = Array.copy xs in
+    Array.sort compare sorted;
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+  end
 
 (* Cold pass: full pipeline per type, persist the artifact, answer the
    workload with the in-memory synthesis.  Warm pass: re-open the
@@ -702,6 +716,7 @@ let serve_pass type_ids =
   let registry =
     match Model.Registry.open_dir dir with Ok r -> r | Error m -> fail m
   in
+  let latencies_ms = ref [] in
   let warm_verdicts =
     List.map
       (fun id ->
@@ -713,10 +728,20 @@ let serve_pass type_ids =
         in
         (id,
          List.map
-           (Autotype_core.Synthesis.validate entry.Model.Registry.synthesis)
+           (fun v ->
+             let t = Telemetry.now_ns () in
+             let verdict =
+               Autotype_core.Synthesis.validate
+                 entry.Model.Registry.synthesis v
+             in
+             latencies_ms :=
+               (Int64.to_float (Int64.sub (Telemetry.now_ns ()) t) /. 1e6)
+               :: !latencies_ms;
+             verdict)
            (serve_workload ty)))
       type_ids
   in
+  let lat = Array.of_list !latencies_ms in
   let sv_warm_elapsed = Unix.gettimeofday () -. t1 in
   Telemetry.disable ();
   let warm_snap = Telemetry.snapshot () in
@@ -738,6 +763,9 @@ let serve_pass type_ids =
       sv_cache_hits = Telemetry.find_counter warm_snap "serve.cache_hits";
       sv_cache_misses = Telemetry.find_counter warm_snap "serve.cache_misses";
       sv_parity = cold_verdicts = warm_verdicts;
+      sv_lat_p50_ms = percentile 50.0 lat;
+      sv_lat_p95_ms = percentile 95.0 lat;
+      sv_lat_p99_ms = percentile 99.0 lat;
     }
   in
   if not stats.sv_parity then
@@ -784,7 +812,10 @@ let print_serve_report (s : serve_stats) =
     s.sv_warm_search_spans s.sv_warm_analyze_spans;
   Printf.printf "serve cache: %d hits, %d misses; verdict parity: %s\n"
     s.sv_cache_hits s.sv_cache_misses
-    (if s.sv_parity then "identical" else "DIVERGED")
+    (if s.sv_parity then "identical" else "DIVERGED");
+  Printf.printf
+    "warm per-value latency: p50 %.3fms, p95 %.3fms, p99 %.3fms\n"
+    s.sv_lat_p50_ms s.sv_lat_p95_ms s.sv_lat_p99_ms
 
 let serve_json (s : serve_stats) =
   Printf.sprintf
@@ -794,13 +825,14 @@ let serve_json (s : serve_stats) =
      \"cold_interp_runs\":%d,\"warm_interp_runs\":%d,\
      \"warm_search_spans\":%d,\"warm_analyze_spans\":%d,\
      \"warm_model_loads\":%d,\"cache_hits\":%d,\"cache_misses\":%d,\
-     \"verdict_parity\":%b}"
+     \"verdict_parity\":%b,\
+     \"tail_latency\":{\"p50_ms\":%.6f,\"p95_ms\":%.6f,\"p99_ms\":%.6f}}"
     s.sv_n_models s.sv_n_validations s.sv_cold_elapsed s.sv_warm_elapsed
     (per_1k s.sv_cold_elapsed s.sv_n_validations)
     (per_1k s.sv_warm_elapsed s.sv_n_validations)
     s.sv_cold_runs s.sv_warm_runs s.sv_warm_search_spans
     s.sv_warm_analyze_spans s.sv_warm_loads s.sv_cache_hits s.sv_cache_misses
-    s.sv_parity
+    s.sv_parity s.sv_lat_p50_ms s.sv_lat_p95_ms s.sv_lat_p99_ms
 
 let pipeline_bench () =
   section "Pipeline stage timings (BENCH_pipeline.json)";

@@ -300,19 +300,60 @@ let model_arg =
            ~doc:"Serve a compiled model artifact instead of re-running \
                  the synthesis pipeline.")
 
-let validate_values syn values =
+let deadline_arg =
+  Arg.(value & opt (some float) None
+       & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Wall-clock budget for the whole request, measured from \
+                 when serving starts.  Once it passes, remaining work \
+                 degrades gracefully instead of running.")
+
+let value_budget_arg =
+  Arg.(value & opt (some float) None
+       & info [ "value-budget-ms" ] ~docv:"MS"
+           ~doc:"Wall-clock budget for validating a single value.  A \
+                 value that exceeds it reports DEADLINE and the batch \
+                 continues.")
+
+(** Print VALID/invalid per value.  Unbudgeted callers get the exact
+    historical output; with budgets, a value cut by its own budget
+    prints DEADLINE and a batch-deadline cut skips the tail — the
+    request still exits 0 (degradation, not failure). *)
+let validate_values ?value_budget_ms ?deadline_ms syn values =
   Printf.printf "using %s\n"
     (Repolib.Candidate.describe syn.Autotype_core.Synthesis.candidate);
-  List.iter
-    (fun v ->
-      Printf.printf "%-30s %s\n" v
-        (if Autotype_core.Synthesis.validate syn v then "VALID"
-         else "invalid"))
-    values;
+  let budgets = Tablecorpus.Detect.budgets ?value_budget_ms ?deadline_ms () in
+  let rec go = function
+    | [] -> ()
+    | v :: rest ->
+      (match budgets.Tablecorpus.Detect.batch_deadline with
+       | Some d when Exec.Deadline.expired d ->
+         Telemetry.incr (Telemetry.counter "serve.degraded");
+         List.iter
+           (fun v -> Printf.printf "%-30s SKIPPED (batch deadline)\n" v)
+           (v :: rest)
+       | _ ->
+         let deadline_ns =
+           Option.map Exec.Deadline.to_ns
+             (Exec.Deadline.min_opt
+                (Option.map Exec.Deadline.after_ms
+                   budgets.Tablecorpus.Detect.value_budget_ms)
+                budgets.Tablecorpus.Detect.batch_deadline)
+         in
+         (match Autotype_core.Synthesis.validate_v ?deadline_ns syn v with
+          | Autotype_core.Synthesis.Valid -> Printf.printf "%-30s VALID\n" v
+          | Autotype_core.Synthesis.Invalid ->
+            Printf.printf "%-30s invalid\n" v
+          | Autotype_core.Synthesis.Deadline ->
+            Telemetry.incr (Telemetry.counter "serve.deadline_hits");
+            Printf.printf "%-30s DEADLINE\n" v);
+         go rest)
+  in
+  go values;
   0
 
 let validate_cmd =
-  let run type_id examples_file query model values stats trace_file jobs =
+  let run type_id examples_file query model values deadline_ms value_budget_ms
+      stats trace_file jobs =
     with_telemetry ~stats ~trace_file @@ fun () ->
     match model with
     | Some path ->
@@ -327,7 +368,10 @@ let validate_cmd =
            (Model.Artifact.key artifact)
            artifact.Model.Artifact.provenance.Model.Artifact.query
            Model.Artifact.format_version;
-         let code = validate_values (Model.Artifact.to_synthesis artifact) values in
+         let code =
+           validate_values ?value_budget_ms ?deadline_ms
+             (Model.Artifact.to_synthesis artifact) values
+         in
          if Telemetry.enabled () then print_serve_summary ();
          code)
     | None ->
@@ -337,12 +381,13 @@ let validate_cmd =
        | Ok outcome ->
          (match Autotype_core.Pipeline.best outcome with
           | None -> prerr_endline "no function synthesized"; 1
-          | Some syn -> validate_values syn values))
+          | Some syn -> validate_values ?value_budget_ms ?deadline_ms syn values))
   in
   Cmd.v
     (Cmd.info "validate" ~doc:"Validate values with a synthesized function")
     Term.(const run $ type_arg $ examples_arg $ query_arg $ model_arg
-          $ values_arg $ stats_arg $ trace_arg $ jobs_arg)
+          $ values_arg $ deadline_arg $ value_budget_arg $ stats_arg
+          $ trace_arg $ jobs_arg)
 
 (* ------------------------------- detect ---------------------------- *)
 
@@ -356,19 +401,49 @@ let models_arg =
            ~doc:"Serve compiled model artifacts from this registry \
                  directory instead of re-synthesizing each type.")
 
-(** The served detectors for every model in a registry; [Error] (the
+(** The served entries for every model in a registry; [Error] (the
     load-error string) as soon as any artifact is bad — the serve path
     must never silently re-run the pipeline. *)
-let served_detectors registry =
+let served_entries registry =
   List.fold_left
     (fun acc key ->
       match acc with
       | Error _ as e -> e
-      | Ok dets ->
+      | Ok entries ->
         (match Model.Registry.find registry key with
          | Error e -> Error (Model.Artifact.load_error_to_string e)
-         | Ok entry -> Ok (Tablecorpus.Detect.serve_detector entry :: dets)))
+         | Ok entry -> Ok (entry :: entries)))
     (Ok []) (Model.Registry.keys registry)
+
+(** Budget-aware registry scan: each model's column verdict comes from
+    {!Tablecorpus.Detect.serve_column}, so a slow value is cut by its
+    own budget and a passed batch deadline degrades the remaining
+    models instead of failing the request. *)
+let scan_with_budgets ~budgets entries values =
+  let verdicts =
+    List.map
+      (fun (entry : Model.Registry.entry) ->
+        ( Model.Artifact.key entry.Model.Registry.artifact,
+          Tablecorpus.Detect.serve_column ~budgets
+            entry.Model.Registry.synthesis values ))
+      entries
+  in
+  let hits =
+    List.filter_map
+      (function
+        | id, Tablecorpus.Detect.Column_match frac -> Some (id, frac)
+        | _ -> None)
+      verdicts
+  in
+  let degraded =
+    List.filter_map
+      (function
+        | id, Tablecorpus.Detect.Column_degraded { seen; accepted; total } ->
+          Some (id, seen, accepted, total)
+        | _ -> None)
+      verdicts
+  in
+  (hits, degraded)
 
 let report_hits hits =
   Telemetry.incr (Telemetry.counter "detect.columns_scanned");
@@ -395,7 +470,7 @@ let scan_with_detectors detectors values =
     detectors
 
 let detect_cmd =
-  let run column models stats trace_file jobs =
+  let run column models deadline_ms value_budget_ms stats trace_file jobs =
     with_telemetry ~stats ~trace_file @@ fun () ->
     match read_lines column with
     | Error msg ->
@@ -412,15 +487,36 @@ let detect_cmd =
           Printf.eprintf "cannot open registry %s: %s\n" dir msg;
           1
         | Ok registry ->
-          (match served_detectors registry with
+          (match served_entries registry with
            | Error msg ->
              Printf.eprintf "cannot serve from %s: %s\n" dir msg;
              1
-           | Ok detectors ->
+           | Ok entries ->
              Printf.printf
                "column of %d values; serving %d compiled model(s)...\n"
-               (List.length values) (List.length detectors);
-             report_hits (scan_with_detectors detectors values);
+               (List.length values) (List.length entries);
+             (match (deadline_ms, value_budget_ms) with
+              | None, None ->
+                (* Unbudgeted: the exact historical scan and output. *)
+                report_hits
+                  (scan_with_detectors
+                     (List.map Tablecorpus.Detect.serve_detector entries)
+                     values)
+              | _ ->
+                let budgets =
+                  Tablecorpus.Detect.budgets ?value_budget_ms ?deadline_ms ()
+                in
+                let hits, degraded =
+                  scan_with_budgets ~budgets entries values
+                in
+                report_hits hits;
+                List.iter
+                  (fun (id, seen, accepted, total) ->
+                    Printf.printf
+                      "type %s: degraded (deadline after %d/%d values, %d \
+                       accepted)\n"
+                      id seen total accepted)
+                  degraded);
              if Telemetry.enabled () then print_serve_summary ();
              0)
       end
@@ -440,8 +536,8 @@ let detect_cmd =
     end
   in
   Cmd.v (Cmd.info "detect" ~doc:"Detect the semantic type of a column")
-    Term.(const run $ column_arg $ models_arg $ stats_arg $ trace_arg
-          $ jobs_arg)
+    Term.(const run $ column_arg $ models_arg $ deadline_arg
+          $ value_budget_arg $ stats_arg $ trace_arg $ jobs_arg)
 
 (* -------------------------------- lint ----------------------------- *)
 

@@ -23,6 +23,25 @@ let validate (t : t) (input : string) : bool =
   let trace = Feature.featurize result.Minilang.Interp.trace in
   Dnf.satisfies t.dnf.Dnf.expanded trace
 
+type verdict =
+  | Valid
+  | Invalid
+  | Deadline
+
+(** Deadline-aware validation for the serving path.  A run cut by its
+    wall-clock deadline produced only a {e partial} trace; featurizing
+    it and testing DNF-E would manufacture a verdict from evidence the
+    function never finished producing, so the cut is surfaced as its
+    own [Deadline] verdict and the caller decides how to degrade.
+    With no [deadline_ns] this is exactly {!validate}. *)
+let validate_v ?deadline_ns (t : t) (input : string) : verdict =
+  let result = Repolib.Driver.run_safe ?deadline_ns t.candidate input in
+  match result.Minilang.Interp.outcome with
+  | Minilang.Interp.Deadline_exceeded _ -> Deadline
+  | _ ->
+    let trace = Feature.featurize result.Minilang.Interp.trace in
+    if Dnf.satisfies t.dnf.Dnf.expanded trace then Valid else Invalid
+
 (** Validate against the concise (un-extended) DNF — used by the
     ablation bench to quantify what DNF-E buys. *)
 let validate_concise (t : t) (input : string) : bool =

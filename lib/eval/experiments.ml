@@ -300,7 +300,8 @@ let tde_style_finds (ty : Semtypes.Registry.t) : bool =
         match v.Minilang.Interp.outcome with
         | Minilang.Interp.Finished value ->
           Minilang.Value.to_display_string value = expected
-        | Minilang.Interp.Errored _ | Minilang.Interp.Hit_limit _ -> false
+        | Minilang.Interp.Errored _ | Minilang.Interp.Hit_limit _
+        | Minilang.Interp.Deadline_exceeded _ -> false
       in
       List.for_all (fun p -> output_is (Repolib.Driver.run_safe c p) "True") positives
       && List.for_all

@@ -3,6 +3,32 @@
 
 let default_jobs () = max 1 (min 8 (Domain.recommended_domain_count ()))
 
+module Deadline = struct
+  type t = int64  (** absolute CLOCK_MONOTONIC ns, Telemetry's clock *)
+
+  let now_ns = Telemetry.now_ns
+
+  let after_ms ms =
+    let ns = Int64.of_float (ms *. 1e6) in
+    Int64.add (now_ns ()) (Int64.max 0L ns)
+
+  let at_ns t = t
+  let to_ns t = t
+
+  let remaining_ns t = Int64.max 0L (Int64.sub t (now_ns ()))
+
+  let expired t = Int64.compare (now_ns ()) t >= 0
+
+  (* The effective deadline of a nested scope: whichever bound cuts
+     first.  [None] means unbounded on that side. *)
+  let min_opt a b =
+    match (a, b) with
+    | None, d | d, None -> d
+    | Some x, Some y -> Some (Int64.min x y)
+end
+
+let m_deadline_skipped = Telemetry.counter "exec.deadline_skipped"
+
 module Pool = struct
   type task = unit -> unit
 
@@ -156,9 +182,39 @@ module Pool = struct
         (Array.map
            (function Some y -> y | None -> assert false)
            results)
+
+  (* Deadline awareness is a per-element guard: every dispatch —
+     including the inline single-element path — first probes the batch
+     deadline and, once it has passed, answers with [fallback] instead
+     of running [f].  In-flight elements are never interrupted here
+     (cancellation inside [f] is the interpreter's job); the queue
+     simply drains through cheap fallbacks, preserving order and the
+     lowest-index exception contract unchanged. *)
+  let parallel_map_deadline pool ~deadline ~fallback f xs =
+    let guarded x =
+      if Deadline.expired deadline then begin
+        Telemetry.incr m_deadline_skipped;
+        fallback x
+      end
+      else f x
+    in
+    parallel_map pool guarded xs
 end
 
 let map ?pool f xs =
   match pool with
   | None -> List.map f xs
   | Some pool -> Pool.parallel_map pool f xs
+
+let map_deadline ?pool ~deadline ~fallback f xs =
+  match pool with
+  | None ->
+    List.map
+      (fun x ->
+        if Deadline.expired deadline then begin
+          Telemetry.incr m_deadline_skipped;
+          fallback x
+        end
+        else f x)
+      xs
+  | Some pool -> Pool.parallel_map_deadline pool ~deadline ~fallback f xs

@@ -18,6 +18,37 @@ val default_jobs : unit -> int
     keeps oversubscription bounded on large machines; candidate tracing
     saturates well before 8 domains on the simulated corpus. *)
 
+(** Absolute wall-clock deadlines on the monotonic clock
+    ({!Telemetry.now_ns}), shared by the interpreter's per-run bound and
+    the pool's per-batch bound so nested scopes compare the same time
+    base. *)
+module Deadline : sig
+  type t
+
+  val after_ms : float -> t
+  (** The instant [ms] milliseconds from now (clamped to now for
+      negative input). *)
+
+  val at_ns : int64 -> t
+  (** Wrap an absolute monotonic-ns instant (e.g. to pass a batch
+      deadline down as an interpreter [deadline_ns]). *)
+
+  val to_ns : t -> int64
+  (** The absolute monotonic-ns instant, for handing to
+      [?deadline_ns] parameters down the stack. *)
+
+  val now_ns : unit -> int64
+
+  val remaining_ns : t -> int64
+  (** Nanoseconds until the deadline, 0 once passed. *)
+
+  val expired : t -> bool
+
+  val min_opt : t option -> t option -> t option
+  (** Effective deadline of a nested scope: whichever cuts first
+      ([None] = unbounded on that side). *)
+end
+
 module Pool : sig
   type t
   (** A fixed set of worker domains and a task queue.  A pool with
@@ -42,6 +73,17 @@ module Pool : sig
       reusable.  Not re-entrant: [f] must not itself call
       [parallel_map] on the same pool. *)
 
+  val parallel_map_deadline :
+    t -> deadline:Deadline.t -> fallback:('a -> 'b) -> ('a -> 'b) -> 'a list ->
+    'b list
+  (** {!parallel_map}, except that once [deadline] passes, elements not
+      yet dispatched are answered by [fallback] instead of [f] (counted
+      in [exec.deadline_skipped]).  Elements already running complete
+      normally — interrupting {e inside} [f] is the interpreter's
+      cooperative-cancellation job, not the pool's.  Order and the
+      lowest-index exception contract are unchanged; [fallback] must
+      not raise. *)
+
   val shutdown : t -> unit
   (** Stop and join all worker domains.  Idempotent. *)
 
@@ -52,3 +94,13 @@ end
 val map : ?pool:Pool.t -> ('a -> 'b) -> 'a list -> 'b list
 (** [List.map] when [pool] is [None], [Pool.parallel_map] otherwise.
     The convenience form call-sites use to stay pool-agnostic. *)
+
+val map_deadline :
+  ?pool:Pool.t ->
+  deadline:Deadline.t ->
+  fallback:('a -> 'b) ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list
+(** Deadline-aware {!map}: sequential or pooled, undispatched elements
+    degrade to [fallback] once [deadline] passes. *)

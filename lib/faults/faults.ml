@@ -1,0 +1,124 @@
+(** Env-gated fault injection (see faults.mli). *)
+
+type config = {
+  delay_ms : float;
+  p_kill : float;
+  p_corrupt : float;
+  seed : int;
+}
+
+let default = { delay_ms = 0.0; p_kill = 0.0; p_corrupt = 0.0; seed = 0 }
+
+let m_delays = Telemetry.counter "faults.delays"
+let m_kills = Telemetry.counter "faults.kills"
+let m_corruptions = Telemetry.counter "faults.corruptions"
+
+(* ------------------------------------------------------------------ *)
+(* Spec parsing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let parse (spec : string) : (config, string) result =
+  let parse_pair acc pair =
+    match acc with
+    | Error _ as e -> e
+    | Ok cfg ->
+      (match String.index_opt pair '=' with
+       | None -> Error (Printf.sprintf "expected key=value, got %S" pair)
+       | Some i ->
+         let key = String.sub pair 0 i in
+         let v = String.sub pair (i + 1) (String.length pair - i - 1) in
+         let prob set =
+           match float_of_string_opt v with
+           | Some p when p >= 0.0 && p <= 1.0 -> Ok (set p)
+           | _ -> Error (Printf.sprintf "%s must be a probability in [0,1], got %S" key v)
+         in
+         (match key with
+          | "delay_ms" ->
+            (match float_of_string_opt v with
+             | Some d when d >= 0.0 -> Ok { cfg with delay_ms = d }
+             | _ -> Error (Printf.sprintf "delay_ms must be >= 0, got %S" v))
+          | "p_kill" -> prob (fun p -> { cfg with p_kill = p })
+          | "p_corrupt" -> prob (fun p -> { cfg with p_corrupt = p })
+          | "seed" ->
+            (match int_of_string_opt v with
+             | Some s -> Ok { cfg with seed = s }
+             | None -> Error (Printf.sprintf "seed must be an integer, got %S" v))
+          | k -> Error (Printf.sprintf "unknown fault key %S" k)))
+  in
+  String.split_on_char ',' spec
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+  |> List.fold_left parse_pair (Ok default)
+
+(* ------------------------------------------------------------------ *)
+(* Active configuration                                                *)
+(* ------------------------------------------------------------------ *)
+
+let from_env () =
+  match Sys.getenv_opt "AUTOTYPE_FAULTS" with
+  | None | Some "" -> None
+  | Some spec ->
+    (match parse spec with
+     | Ok cfg -> Some cfg
+     | Error msg ->
+       (* A malformed spec must not silently disable injection the user
+          asked for: fail loudly at first use. *)
+       failwith (Printf.sprintf "AUTOTYPE_FAULTS: %s" msg))
+
+let state : config option Atomic.t = Atomic.make (from_env ())
+
+let current () = Atomic.get state
+let active () = Atomic.get state <> None
+let set cfg = Atomic.set state cfg
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic decisions: splitmix64 over an atomic draw counter      *)
+(* ------------------------------------------------------------------ *)
+
+let draws = Atomic.make 0
+
+let splitmix64 (x : int64) : int64 =
+  let open Int64 in
+  let z = add x 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* A uniform draw in [0, 1): deterministic per (seed, draw index), so a
+   failing run replays bit-identically under the same spec. *)
+let next_uniform cfg =
+  let i = Atomic.fetch_and_add draws 1 in
+  let bits =
+    splitmix64 (Int64.add (Int64.of_int cfg.seed)
+                  (Int64.mul 0x2545F4914F6CDD1DL (Int64.of_int (i + 1))))
+  in
+  Int64.to_float (Int64.shift_right_logical bits 11) /. 9007199254740992.0
+
+let roll p cfg = p > 0.0 && next_uniform cfg < p
+
+let delay_run () =
+  match Atomic.get state with
+  | Some cfg when cfg.delay_ms > 0.0 ->
+    Telemetry.incr m_delays;
+    Unix.sleepf (cfg.delay_ms /. 1000.0)
+  | _ -> ()
+
+let should_kill () =
+  match Atomic.get state with
+  | Some cfg when roll cfg.p_kill cfg ->
+    Telemetry.incr m_kills;
+    true
+  | _ -> false
+
+let corrupt (bytes : string) : string option =
+  match Atomic.get state with
+  | Some cfg when String.length bytes > 0 && roll cfg.p_corrupt cfg ->
+    Telemetry.incr m_corruptions;
+    (* Flip one byte past the midpoint: headers usually survive, so the
+       corruption surfaces as a checksum mismatch — the realistic torn
+       read — rather than as not-a-model. *)
+    let b = Bytes.of_string bytes in
+    let i = String.length bytes / 2 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x20));
+    Some (Bytes.to_string b)
+  | _ -> None

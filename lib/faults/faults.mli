@@ -1,0 +1,54 @@
+(** Fault injection for the serving stack (DESIGN.md §10).
+
+    Disabled unless the [AUTOTYPE_FAULTS] environment variable is set
+    (or {!set} is called programmatically, which tests use), so the
+    production path pays one atomic load per probe.  The configuration
+    string is a comma-separated list of [key=value] pairs:
+
+    {v AUTOTYPE_FAULTS="delay_ms=5,p_kill=0.02,p_corrupt=0.1,seed=42" v}
+
+    - [delay_ms]: sleep this many milliseconds before every interpreter
+      run (drives runs past wall-clock deadlines);
+    - [p_kill]: probability that an interpreter run is killed outright
+      (surfaces as an ["FaultInjected"] error outcome);
+    - [p_corrupt]: probability that a registry artifact read returns
+      corrupted bytes (exercises checksum rejection, retry and
+      degradation paths);
+    - [seed]: PRNG seed — the decision sequence is deterministic per
+      seed, so failures reproduce.
+
+    Decisions come from a splitmix64 stream behind an atomic counter:
+    domain-safe and independent of every other RNG in the system. *)
+
+type config = {
+  delay_ms : float;  (** sleep before each interpreter run; 0 = none *)
+  p_kill : float;  (** probability of killing an interpreter run *)
+  p_corrupt : float;  (** probability of corrupting an artifact read *)
+  seed : int;
+}
+
+val default : config
+(** All-zero probabilities, no delay, seed 0 — injects nothing. *)
+
+val parse : string -> (config, string) result
+(** Parse an [AUTOTYPE_FAULTS]-style spec.  Unknown keys, non-numeric
+    values and probabilities outside [0, 1] are errors. *)
+
+val active : unit -> bool
+(** Whether any fault injection is configured (env or {!set}). *)
+
+val current : unit -> config option
+
+val set : config option -> unit
+(** Programmatic override, used by tests and the fault smoke target.
+    [set None] turns injection off regardless of the environment. *)
+
+val delay_run : unit -> unit
+(** Sleep [delay_ms] if configured; no-op when inactive. *)
+
+val should_kill : unit -> bool
+(** Roll the dice for killing the current interpreter run. *)
+
+val corrupt : string -> string option
+(** With probability [p_corrupt], return a corrupted copy of the bytes
+    (a flipped byte in the payload region); [None] = serve unmodified. *)

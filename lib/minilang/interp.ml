@@ -16,6 +16,7 @@
 open Value
 
 exception Sandbox_limit of string
+exception Cancelled of string
 
 type config = {
   max_steps : int;
@@ -24,11 +25,22 @@ type config = {
 
 let default_config = { max_steps = 400_000; max_call_depth = 64 }
 
+type cancel_token = bool Atomic.t
+
+let cancel_token () : cancel_token = Atomic.make false
+let cancel (tok : cancel_token) = Atomic.set tok true
+let cancel_requested (tok : cancel_token) = Atomic.get tok
+
+let deadline_message = "wall-clock deadline exceeded"
+
 type ctx = {
   collector : Trace.collector;
   config : config;
   mutable steps : int;
   mutable depth : int;
+  cancel : cancel_token option;
+  deadline_ns : int64 option;
+      (** absolute CLOCK_MONOTONIC ns (same clock as {!Telemetry.now_ns}) *)
   argv : Value.t;
   stdin_line : string;
   virtual_files : (string * string) list;
@@ -37,12 +49,14 @@ type ctx = {
 }
 
 let create_ctx ?(config = default_config) ?(argv = []) ?(stdin_line = "")
-    ?(virtual_files = []) collector =
+    ?(virtual_files = []) ?cancel ?deadline_ns collector =
   {
     collector;
     config;
     steps = 0;
     depth = 0;
+    cancel;
+    deadline_ns;
     argv = Vlist (ref (List.map (fun s -> Vstr s) argv));
     stdin_line;
     virtual_files;
@@ -59,10 +73,21 @@ type frame = {
   global_names : (string, unit) Hashtbl.t;
 }
 
+(* Cancellation rides the existing step-accounting path: the token is a
+   single atomic load per step, and the wall-clock deadline is probed
+   only every 256 steps so a run never pays one clock syscall per
+   interpreted statement. *)
 let tick ctx =
   ctx.steps <- ctx.steps + 1;
   if ctx.steps > ctx.config.max_steps then
-    raise (Sandbox_limit "step budget exhausted")
+    raise (Sandbox_limit "step budget exhausted");
+  (match ctx.cancel with
+   | Some tok when Atomic.get tok -> raise (Cancelled "run cancelled")
+   | _ -> ());
+  match ctx.deadline_ns with
+  | Some d when ctx.steps land 255 = 0 && Telemetry.now_ns () >= d ->
+    raise (Cancelled deadline_message)
+  | _ -> ()
 
 let known_exception_kinds =
   [ "ValueError"; "TypeError"; "IndexError"; "KeyError"; "AttributeError";
@@ -1152,7 +1177,8 @@ and exec_stmt ctx frame (s : Ast.stmt) =
           (try exec_block ctx frame h.Ast.h_body with e -> run_finally (); raise e);
           run_finally ()
         | None -> run_finally (); raise exn)
-     | (Sandbox_limit _ | Return_signal _ | Break_signal | Continue_signal) as e ->
+     | (Sandbox_limit _ | Cancelled _ | Return_signal _ | Break_signal
+       | Continue_signal) as e ->
        run_finally ();
        raise e)
   | Ast.Break _ -> raise Break_signal
@@ -1179,6 +1205,7 @@ type outcome =
   | Finished of Value.t
   | Errored of string * string  (** exception kind, message *)
   | Hit_limit of string
+  | Deadline_exceeded of string
 
 type run_result = {
   outcome : outcome;
@@ -1196,6 +1223,7 @@ let m_return_events = Telemetry.counter "interp.return_events"
 let m_fuel_exhausted = Telemetry.counter "interp.fuel_exhausted"
 let m_limit_hits = Telemetry.counter "interp.limit_hits"
 let m_errored = Telemetry.counter "interp.errored_runs"
+let m_deadline_hits = Telemetry.counter "interp.deadline_hits"
 let h_steps = Telemetry.histogram "interp.steps_per_run"
 
 let module_frame scope = { scope; global_names = Hashtbl.create 1 }
@@ -1230,21 +1258,40 @@ let load_module ?(config = default_config) (programs : Ast.program list) :
 
 (** Run a zero-argument thunk under full tracing and sandbox limits. *)
 let run_traced ?(config = default_config) ?(record_assigns = false)
-    ?(argv = []) ?(stdin_line = "") ?(virtual_files = [])
+    ?(argv = []) ?(stdin_line = "") ?(virtual_files = []) ?cancel ?deadline_ns
     (f : ctx -> Value.t) : run_result =
   let collector = Trace.create_collector ~record_assigns () in
-  let ctx = create_ctx ~config ~argv ~stdin_line ~virtual_files collector in
+  let ctx =
+    create_ctx ~config ~argv ~stdin_line ~virtual_files ?cancel ?deadline_ns
+      collector
+  in
+  Faults.delay_run ();
+  let expired_on_entry =
+    match deadline_ns with
+    | Some d -> Telemetry.now_ns () >= d
+    | None -> false
+  in
   let outcome =
-    try Finished (f ctx)
-    with
-    | Runtime_error (kind, msg) ->
-      Trace.emit collector (Trace.Exception kind);
-      Errored (kind, msg)
-    | Sandbox_limit msg -> Hit_limit msg
-    | Return_signal _ -> Errored ("SyntaxError", "return outside function")
-    | Break_signal | Continue_signal ->
-      Errored ("SyntaxError", "break outside loop")
-    | Stack_overflow -> Hit_limit "native stack overflow"
+    if Faults.should_kill () then begin
+      Trace.emit collector (Trace.Exception "FaultInjected");
+      Errored ("FaultInjected", "interpreter run killed by fault injection")
+    end
+    else if expired_on_entry then
+      (* The request's budget was consumed before this run started (a
+         stalled predecessor, an injected delay): refuse to start. *)
+      Deadline_exceeded deadline_message
+    else
+      try Finished (f ctx)
+      with
+      | Runtime_error (kind, msg) ->
+        Trace.emit collector (Trace.Exception kind);
+        Errored (kind, msg)
+      | Sandbox_limit msg -> Hit_limit msg
+      | Cancelled msg -> Deadline_exceeded msg
+      | Return_signal _ -> Errored ("SyntaxError", "return outside function")
+      | Break_signal | Continue_signal ->
+        Errored ("SyntaxError", "break outside loop")
+      | Stack_overflow -> Hit_limit "native stack overflow"
   in
   if Telemetry.enabled () then begin
     Telemetry.incr m_runs;
@@ -1256,6 +1303,7 @@ let run_traced ?(config = default_config) ?(record_assigns = false)
      | Hit_limit msg ->
        Telemetry.incr m_limit_hits;
        if msg = "step budget exhausted" then Telemetry.incr m_fuel_exhausted
+     | Deadline_exceeded _ -> Telemetry.incr m_deadline_hits
      | Errored _ -> Telemetry.incr m_errored
      | Finished _ -> ())
   end;

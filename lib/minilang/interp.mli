@@ -11,12 +11,25 @@
 
 exception Sandbox_limit of string
 
+exception Cancelled of string
+(** Cooperative cancellation (token fired or wall-clock deadline past),
+    raised from the step-accounting path.  Like {!Sandbox_limit}, it is
+    deliberately not catchable by MiniScript [try/except]. *)
+
 type config = {
   max_steps : int;
   max_call_depth : int;
 }
 
 val default_config : config
+
+type cancel_token
+(** A shared flag another domain may fire to stop a run at its next
+    interpreter step.  One atomic load per step — no polling syscalls. *)
+
+val cancel_token : unit -> cancel_token
+val cancel : cancel_token -> unit
+val cancel_requested : cancel_token -> bool
 
 type ctx
 (** Per-run execution context: collector, budgets, virtual I/O. *)
@@ -26,13 +39,24 @@ val create_ctx :
   ?argv:string list ->
   ?stdin_line:string ->
   ?virtual_files:(string * string) list ->
+  ?cancel:cancel_token ->
+  ?deadline_ns:int64 ->
   Trace.collector ->
   ctx
+(** [deadline_ns] is an absolute CLOCK_MONOTONIC instant (the clock of
+    {!Telemetry.now_ns}); it is probed every 256 steps, so overshoot is
+    bounded by the cost of 256 interpreter steps. *)
 
 type outcome =
   | Finished of Value.t
   | Errored of string * string  (** exception kind, message *)
   | Hit_limit of string
+      (** step budget or call depth exhausted — the per-run {e work}
+          bound of the paper's sandbox *)
+  | Deadline_exceeded of string
+      (** cancelled or past its wall-clock deadline — the per-request
+          {e time} bound; distinct from {!Hit_limit} so serving can
+          degrade rather than misreport a slow run as a spin loop *)
 
 val builtin_names : string list
 (** Names resolvable as builtin free functions at runtime.  Exposed so
@@ -64,9 +88,16 @@ val run_traced :
   ?argv:string list ->
   ?stdin_line:string ->
   ?virtual_files:(string * string) list ->
+  ?cancel:cancel_token ->
+  ?deadline_ns:int64 ->
   (ctx -> Value.t) ->
   run_result
-(** Run a thunk under full tracing and sandbox limits. *)
+(** Run a thunk under full tracing and sandbox limits.  A fired
+    [cancel] token or an expired [deadline_ns] yields a
+    [Deadline_exceeded] outcome (a deadline already past on entry
+    refuses to start the run at all).  Fault injection
+    ({!Faults.active}) may delay the run or kill it with an
+    ["FaultInjected"] error outcome. *)
 
 val call_callable : ctx -> Value.t -> Value.t list -> Value.t
 (** Call a function, bound method or class value. *)

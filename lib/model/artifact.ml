@@ -504,6 +504,13 @@ let load (path : string) : (artifact, load_error) result =
     Telemetry.incr m_load_failures;
     Error (File_error msg)
   | contents ->
+    (* Fault injection may hand back corrupted bytes here — the torn
+       read the checksum/retry machinery exists for. *)
+    let contents =
+      match Faults.corrupt contents with
+      | Some corrupted -> corrupted
+      | None -> contents
+    in
     (match decode contents with
      | Ok t ->
        Telemetry.incr m_loads;

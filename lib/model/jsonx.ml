@@ -100,18 +100,47 @@ let literal st word value =
   end
   else fail st ("expected " ^ word)
 
-(* UTF-8 encode a code point from a \uXXXX escape. *)
+(* UTF-8 encode a code point decoded from \uXXXX escapes (including a
+   combined surrogate pair, hence the 4-byte branch). *)
 let add_code_point buf cp =
   if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
   else if cp < 0x800 then begin
     Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
     Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
   end
-  else begin
+  else if cp < 0x10000 then begin
     Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
     Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
     Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
   end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+(* Exactly four hex digits.  Hand-rolled rather than [int_of_string
+   "0x..."], which accepts OCaml literal syntax the JSON grammar does
+   not (underscores, a leading sign after the prefix). *)
+let hex_quad st =
+  if st.pos + 4 > String.length st.src then fail st "short \\u escape";
+  let v = ref 0 in
+  for i = 0 to 3 do
+    let c = st.src.[st.pos + i] in
+    let d =
+      match c with
+      | '0' .. '9' -> Char.code c - Char.code '0'
+      | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+      | _ ->
+        st.pos <- st.pos + i;
+        fail st (Printf.sprintf "bad \\u escape: %C is not a hex digit" c)
+    in
+    v := (!v lsl 4) lor d
+  done;
+  st.pos <- st.pos + 4;
+  !v
 
 let parse_string st =
   expect st '"';
@@ -133,31 +162,84 @@ let parse_string st =
        | Some 'f' -> advance st; Buffer.add_char buf '\012'; go ()
        | Some 'u' ->
          advance st;
-         if st.pos + 4 > String.length st.src then fail st "short \\u escape";
-         let hex = String.sub st.src st.pos 4 in
-         (match int_of_string_opt ("0x" ^ hex) with
-          | Some cp -> st.pos <- st.pos + 4; add_code_point buf cp; go ()
-          | None -> fail st "bad \\u escape")
+         let cp = hex_quad st in
+         if cp >= 0xD800 && cp <= 0xDBFF then begin
+           (* High surrogate: RFC 8259 encodes non-BMP characters as a
+              \u pair; the two halves combine into one code point
+              (emitting them separately would produce CESU-8, not
+              UTF-8). *)
+           if
+             st.pos + 2 <= String.length st.src
+             && st.src.[st.pos] = '\\'
+             && st.src.[st.pos + 1] = 'u'
+           then begin
+             st.pos <- st.pos + 2;
+             let lo = hex_quad st in
+             if lo >= 0xDC00 && lo <= 0xDFFF then begin
+               add_code_point buf
+                 (0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00));
+               go ()
+             end
+             else
+               fail st
+                 (Printf.sprintf
+                    "invalid surrogate pair: \\u%04X after a high surrogate"
+                    lo)
+           end
+           else fail st (Printf.sprintf "lone high surrogate \\u%04X" cp)
+         end
+         else if cp >= 0xDC00 && cp <= 0xDFFF then
+           fail st (Printf.sprintf "lone low surrogate \\u%04X" cp)
+         else begin
+           add_code_point buf cp;
+           go ()
+         end
        | _ -> fail st "bad escape")
     | Some c -> advance st; Buffer.add_char buf c; go ()
   in
   go ()
 
+(* RFC 8259 number grammar, checked structurally while scanning:
+   minus? int frac? exp?  where int is 0 or a nonzero-led digit run,
+   frac is '.' digits, exp is [eE] sign? digits.
+   The old greedy char-class scan let [float_of_string]/[int_of_string]
+   arbitrate, which accepted non-JSON forms like "01", "1." and
+   (inside the scanned text) OCaml literal leniencies. *)
 let parse_number st =
   let start = st.pos in
-  let is_num_char = function
-    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-    | _ -> false
+  let digits what =
+    let before = st.pos in
+    let rec go () =
+      match peek st with Some '0' .. '9' -> advance st; go () | _ -> ()
+    in
+    go ();
+    if st.pos = before then fail st ("expected a digit " ^ what)
   in
-  let rec go () =
-    match peek st with Some c when is_num_char c -> advance st; go () | _ -> ()
-  in
-  go ();
+  (match peek st with Some '-' -> advance st | _ -> ());
+  (match peek st with
+   | Some '0' ->
+     advance st;
+     (match peek st with
+      | Some '0' .. '9' -> fail st "leading zeros are not allowed"
+      | _ -> ())
+   | Some '1' .. '9' -> digits "in the integer part"
+   | _ -> fail st "expected a digit");
+  let is_float = ref false in
+  (match peek st with
+   | Some '.' ->
+     is_float := true;
+     advance st;
+     digits "after the decimal point"
+   | _ -> ());
+  (match peek st with
+   | Some ('e' | 'E') ->
+     is_float := true;
+     advance st;
+     (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+     digits "in the exponent"
+   | _ -> ());
   let text = String.sub st.src start (st.pos - start) in
-  let looks_float =
-    String.exists (function '.' | 'e' | 'E' -> true | _ -> false) text
-  in
-  if looks_float then
+  if !is_float then
     match float_of_string_opt text with
     | Some f -> Float f
     | None -> fail st ("bad number " ^ text)

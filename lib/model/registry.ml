@@ -27,6 +27,9 @@ let default_capacity = 32
 let m_hits = Telemetry.counter "serve.cache_hits"
 let m_misses = Telemetry.counter "serve.cache_misses"
 let m_evictions = Telemetry.counter "serve.cache_evictions"
+let m_retry_attempts = Telemetry.counter "retry.attempts"
+let m_retry_recovered = Telemetry.counter "retry.recovered"
+let m_retry_gave_up = Telemetry.counter "retry.gave_up"
 
 let index_file = "index.json"
 
@@ -214,10 +217,41 @@ let evict_lru t =
     | None -> ()
   end
 
+(* Transient load failures — an unreadable file or a checksum mismatch
+   can both be a torn read racing a writer's rename — are retried a
+   bounded number of times with a short backoff.  Structural errors
+   (wrong version, not a model, malformed payload) are permanent: the
+   bytes on disk are settled and wrong, so retrying only burns the
+   caller's budget. *)
+let transient_load_error : Artifact.load_error -> bool = function
+  | Artifact.File_error _ | Artifact.Checksum_mismatch _ -> true
+  | Artifact.Not_a_model _ | Artifact.Version_unsupported _
+  | Artifact.Malformed _ -> false
+
+let retry_backoff_s = [| 0.001; 0.005 |]
+
+let load_with_retry path : (Artifact.t, Artifact.load_error) result =
+  let max_retries = Array.length retry_backoff_s in
+  let rec attempt n =
+    match Artifact.load path with
+    | Ok art ->
+      if n > 0 then Telemetry.incr m_retry_recovered;
+      Ok art
+    | Error e when transient_load_error e && n < max_retries ->
+      Telemetry.incr m_retry_attempts;
+      Unix.sleepf retry_backoff_s.(n);
+      attempt (n + 1)
+    | Error e ->
+      if n > 0 then Telemetry.incr m_retry_gave_up;
+      Error e
+  in
+  attempt 0
+
 (* The lock is held across the disk load on a miss: concurrent domains
    asking for the same model wait rather than re-reading and
    re-verifying the same file, so each artifact is loaded at most once
-   while resident. *)
+   while resident.  Retry backoff (a handful of ms worst case) sleeps
+   under the lock for the same reason — a torn file serves nobody. *)
 let find t key : (entry, Artifact.load_error) result =
   with_lock t (fun () ->
       t.clock <- t.clock + 1;
@@ -240,7 +274,7 @@ let find t key : (entry, Artifact.load_error) result =
                     | [] -> "none"
                     | ks -> String.concat ", " (List.sort compare ks))))
          | Some name ->
-           (match Artifact.load (Filename.concat t.dir name) with
+           (match load_with_retry (Filename.concat t.dir name) with
             | Error e -> Error e
             | Ok artifact ->
               let entry =

@@ -50,7 +50,13 @@ val save : t -> Artifact.t -> (string, string) result
 
 val find : t -> string -> (entry, Artifact.load_error) result
 (** Serve a model by key: LRU hit, or load-and-verify from disk (miss).
-    [Error (File_error _)] when the key is not in the registry. *)
+    [Error (File_error _)] when the key is not in the registry.
+
+    Transient load failures (unreadable file, checksum mismatch — both
+    can be a torn read racing a writer) are retried up to 2 times with
+    1ms/5ms backoff before the error is returned; structural failures
+    (version, framing, malformed payload) are not retried.  Counters:
+    [retry.attempts], [retry.recovered], [retry.gave_up]. *)
 
 val cache_stats : t -> int * int
 (** (hits, misses) since the registry was opened — mirrors the

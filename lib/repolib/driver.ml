@@ -11,6 +11,7 @@ type outcome = Interp.outcome =
   | Finished of Value.t
   | Errored of string * string
   | Hit_limit of string
+  | Deadline_exceeded of string
 
 let default_config = { Interp.max_steps = 200_000; max_call_depth = 48 }
 
@@ -50,8 +51,8 @@ let load_scope ?(skip_file = "") (repo : Repo.t) : Value.scope option =
     let scope, _errors = Interp.load_module ~config:default_config progs in
     Some scope
 
-let run ?(config = default_config) ?(record_assigns = false)
-    (c : Candidate.t) (input : string) : Interp.run_result =
+let run ?(config = default_config) ?(record_assigns = false) ?cancel
+    ?deadline_ns (c : Candidate.t) (input : string) : Interp.run_result =
   Telemetry.incr m_runs;
   let fail_infra msg = raise (Infra_failure msg) in
   let find_prog file =
@@ -77,11 +78,11 @@ let run ?(config = default_config) ?(record_assigns = false)
   match c.Candidate.invocation with
   | Candidate.Direct ->
     with_scope (fun scope ->
-        Interp.run_traced ~config ~record_assigns (fun ctx ->
+        Interp.run_traced ~config ~record_assigns ?cancel ?deadline_ns (fun ctx ->
             call_named ctx scope c.Candidate.func_name [ Value.Vstr input ]))
   | Candidate.Split_call (fname, sep, k) ->
     with_scope (fun scope ->
-        Interp.run_traced ~config ~record_assigns (fun ctx ->
+        Interp.run_traced ~config ~record_assigns ?cancel ?deadline_ns (fun ctx ->
             let parts =
               String.split_on_char sep input
               |> List.map String.trim
@@ -95,7 +96,7 @@ let run ?(config = default_config) ?(record_assigns = false)
                 (List.map (fun p -> Value.Vstr p) parts)))
   | Candidate.Class_then_method (cls, meth) ->
     with_scope (fun scope ->
-        Interp.run_traced ~config ~record_assigns (fun ctx ->
+        Interp.run_traced ~config ~record_assigns ?cancel ?deadline_ns (fun ctx ->
             match lookup scope cls with
             | Some callable ->
               let obj = Interp.call_callable ctx callable [] in
@@ -104,7 +105,7 @@ let run ?(config = default_config) ?(record_assigns = false)
             | None -> fail_infra (Printf.sprintf "class %s not defined" cls)))
   | Candidate.Ctor_then_method (cls, meth) ->
     with_scope (fun scope ->
-        Interp.run_traced ~config ~record_assigns (fun ctx ->
+        Interp.run_traced ~config ~record_assigns ?cancel ?deadline_ns (fun ctx ->
             match lookup scope cls with
             | Some callable ->
               let obj = Interp.call_callable ctx callable [ Value.Vstr input ] in
@@ -113,22 +114,22 @@ let run ?(config = default_config) ?(record_assigns = false)
             | None -> fail_infra (Printf.sprintf "class %s not defined" cls)))
   | Candidate.Via_argv fname ->
     with_scope (fun scope ->
-        Interp.run_traced ~config ~record_assigns
+        Interp.run_traced ~config ~record_assigns ?cancel ?deadline_ns
           ~argv:[ "prog.py"; input ]
           (fun ctx -> call_named ctx scope fname []))
   | Candidate.Via_stdin fname ->
     with_scope (fun scope ->
-        Interp.run_traced ~config ~record_assigns ~stdin_line:input
+        Interp.run_traced ~config ~record_assigns ?cancel ?deadline_ns ~stdin_line:input
           (fun ctx -> call_named ctx scope fname []))
   | Candidate.Via_file fname ->
     with_scope (fun scope ->
-        Interp.run_traced ~config ~record_assigns
+        Interp.run_traced ~config ~record_assigns ?cancel ?deadline_ns
           ~virtual_files:[ ("input.txt", input) ]
           (fun ctx -> call_named ctx scope fname [ Value.Vstr "input.txt" ]))
   | Candidate.Script_var (path, var) ->
     let prog = rewrite_script_var ~var (find_prog path) in
     with_scope ~skip_file:path (fun scope ->
-        Interp.run_traced ~config ~record_assigns (fun ctx ->
+        Interp.run_traced ~config ~record_assigns ?cancel ?deadline_ns (fun ctx ->
             Hashtbl.replace scope.Value.vars "__autotype_input__"
               (Value.Vstr input);
             Interp.exec_program ctx scope prog;
@@ -136,7 +137,7 @@ let run ?(config = default_config) ?(record_assigns = false)
   | Candidate.Script_argv path ->
     let prog = find_prog path in
     with_scope ~skip_file:path (fun scope ->
-        Interp.run_traced ~config ~record_assigns
+        Interp.run_traced ~config ~record_assigns ?cancel ?deadline_ns
           ~argv:[ "prog.py"; input ]
           (fun ctx ->
             Interp.exec_program ctx scope prog;
@@ -144,7 +145,7 @@ let run ?(config = default_config) ?(record_assigns = false)
   | Candidate.Script_stdin path ->
     let prog = find_prog path in
     with_scope ~skip_file:path (fun scope ->
-        Interp.run_traced ~config ~record_assigns ~stdin_line:input
+        Interp.run_traced ~config ~record_assigns ?cancel ?deadline_ns ~stdin_line:input
           (fun ctx ->
             Interp.exec_program ctx scope prog;
             Value.Vnone))
@@ -160,20 +161,30 @@ let executable (c : Candidate.t) ~probe : bool =
     Telemetry.incr m_rejected;
     false
 
+(** Apply a static step-budget hint to a config.  Hints are clamped to
+    at least 1: a hint of 0 (or less) would pass the [budget <
+    max_steps] guard and yield a config under which [tick] trips on the
+    very first step — every run would misreport as [Hit_limit] before
+    executing anything. *)
+let config_with_hint (config : Interp.config) (hint : int option) :
+    Interp.config =
+  match hint with
+  | Some budget when budget < config.Interp.max_steps ->
+    { config with Interp.max_steps = max 1 budget }
+  | Some _ | None -> config
+
 (** Interpreter config for a candidate, shrinking [max_steps] when the
     static loop pass proved the entry function spins in a
     constant-condition loop: the run still hits the limit (same traced
     events — [Hit_limit] emits none), just [10x] sooner. *)
 let config_for ?(config = default_config) (c : Candidate.t) : Interp.config =
-  match (Analyzer.verdict c).Analyzer.budget_hint with
-  | Some budget when budget < config.Interp.max_steps ->
-    { config with Interp.max_steps = budget }
-  | Some _ | None -> config
+  config_with_hint config (Analyzer.verdict c).Analyzer.budget_hint
 
 (** Convenience used throughout the pipeline: run and swallow
     infrastructure failures into an error outcome. *)
-let run_safe ?config ?record_assigns c input : Interp.run_result =
-  match run ?config ?record_assigns c input with
+let run_safe ?config ?record_assigns ?cancel ?deadline_ns c input :
+    Interp.run_result =
+  match run ?config ?record_assigns ?cancel ?deadline_ns c input with
   | r -> r
   | exception Infra_failure msg ->
     Telemetry.incr m_infra_failures;

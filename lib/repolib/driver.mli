@@ -6,6 +6,7 @@ type outcome = Minilang.Interp.outcome =
   | Finished of Minilang.Value.t
   | Errored of string * string
   | Hit_limit of string
+  | Deadline_exceeded of string
 
 val default_config : Minilang.Interp.config
 
@@ -18,14 +19,25 @@ val load_scope : ?skip_file:string -> Repo.t -> Minilang.Value.scope option
 val run :
   ?config:Minilang.Interp.config ->
   ?record_assigns:bool ->
+  ?cancel:Minilang.Interp.cancel_token ->
+  ?deadline_ns:int64 ->
   Candidate.t ->
   string ->
   Minilang.Interp.run_result
-(** @raise Infra_failure when the candidate cannot be invoked at all. *)
+(** [cancel]/[deadline_ns] are threaded into the traced interpreter run
+    of every invocation variant; an expired deadline yields a
+    [Deadline_exceeded] outcome (see {!Minilang.Interp.run_traced}).
+    @raise Infra_failure when the candidate cannot be invoked at all. *)
 
 val executable : Candidate.t -> probe:string -> bool
 (** The paper's "compilable and executable" filter: try the candidate on
     one probe input; reject it if the invocation machinery fails. *)
+
+val config_with_hint :
+  Minilang.Interp.config -> int option -> Minilang.Interp.config
+(** [config] with [max_steps] shrunk to a static step-budget hint.
+    Hints are clamped to at least 1 step — a non-positive hint would
+    otherwise produce a config that can never execute a step. *)
 
 val config_for :
   ?config:Minilang.Interp.config -> Candidate.t -> Minilang.Interp.config
@@ -38,6 +50,8 @@ val config_for :
 val run_safe :
   ?config:Minilang.Interp.config ->
   ?record_assigns:bool ->
+  ?cancel:Minilang.Interp.cancel_token ->
+  ?deadline_ns:int64 ->
   Candidate.t ->
   string ->
   Minilang.Interp.run_result

@@ -59,6 +59,69 @@ let m_columns_scanned = Telemetry.counter "detect.columns_scanned"
 let m_columns_detected = Telemetry.counter "detect.columns_detected"
 let m_models_served = Telemetry.counter "detect.models_served"
 let m_serve_fallbacks = Telemetry.counter "detect.serve_fallbacks"
+let m_deadline_hits = Telemetry.counter "serve.deadline_hits"
+let m_degraded = Telemetry.counter "serve.degraded"
+
+(* ------------------------------------------------------------------ *)
+(* Deadline-aware column serving                                       *)
+(* ------------------------------------------------------------------ *)
+
+type budgets = {
+  value_budget_ms : float option;
+  batch_deadline : Exec.Deadline.t option;
+}
+
+let no_budgets = { value_budget_ms = None; batch_deadline = None }
+
+let budgets ?value_budget_ms ?deadline_ms () =
+  {
+    value_budget_ms;
+    batch_deadline = Option.map Exec.Deadline.after_ms deadline_ms;
+  }
+
+type column_verdict =
+  | Column_match of float
+  | Column_no_match of float
+  | Column_degraded of { seen : int; accepted : int; total : int }
+
+(** Serve one column under wall-clock budgets.  Each value runs under
+    the tighter of its own budget and the batch deadline; a value that
+    deadlines counts as not-accepted ([serve.deadline_hits]) and the
+    column moves on.  Once the {e batch} deadline has passed, the
+    column stops and degrades to an "unknown" verdict carrying the
+    partial tally ([serve.degraded]) — the batch itself never fails. *)
+let serve_column ?(budgets = no_budgets)
+    (syn : Autotype_core.Synthesis.t) (values : string list) : column_verdict =
+  let total = List.length values in
+  let finish accepted =
+    let frac =
+      if total = 0 then 0.0 else float_of_int accepted /. float_of_int total
+    in
+    if frac > detection_threshold then Column_match frac
+    else Column_no_match frac
+  in
+  let rec go seen accepted = function
+    | [] -> finish accepted
+    | v :: rest ->
+      (match budgets.batch_deadline with
+       | Some d when Exec.Deadline.expired d ->
+         Telemetry.incr m_degraded;
+         Column_degraded { seen; accepted; total }
+       | _ ->
+         let deadline_ns =
+           Option.map Exec.Deadline.to_ns
+             (Exec.Deadline.min_opt
+                (Option.map Exec.Deadline.after_ms budgets.value_budget_ms)
+                budgets.batch_deadline)
+         in
+         (match Autotype_core.Synthesis.validate_v ?deadline_ns syn v with
+          | Autotype_core.Synthesis.Valid -> go (seen + 1) (accepted + 1) rest
+          | Autotype_core.Synthesis.Invalid -> go (seen + 1) accepted rest
+          | Autotype_core.Synthesis.Deadline ->
+            Telemetry.incr m_deadline_hits;
+            go (seen + 1) accepted rest))
+  in
+  go 0 0 values
 
 (** Wrap a registry-served model as a detector — the warm serving path:
     no search, no analysis, no negative generation. *)

@@ -24,6 +24,39 @@ type detector = {
 
 val fraction_accepted : (string -> bool) -> string list -> float
 
+(** {1 Deadline-aware column serving}
+
+    Wall-clock budgets for the warm path (DESIGN.md §10): a per-value
+    budget bounds any single interpreter run, a batch deadline bounds
+    the whole request.  Both are optional and default to unbounded, in
+    which case serving behaves exactly as before. *)
+
+type budgets = {
+  value_budget_ms : float option;  (** per-value wall-clock budget *)
+  batch_deadline : Exec.Deadline.t option;  (** whole-request bound *)
+}
+
+val no_budgets : budgets
+
+val budgets :
+  ?value_budget_ms:float -> ?deadline_ms:float -> unit -> budgets
+(** Convenience constructor: [deadline_ms] is measured from now. *)
+
+type column_verdict =
+  | Column_match of float  (** fraction accepted, above the threshold *)
+  | Column_no_match of float
+  | Column_degraded of { seen : int; accepted : int; total : int }
+      (** the batch deadline passed mid-column: no type claim is made,
+          the partial tally is reported, the batch continues *)
+
+val serve_column :
+  ?budgets:budgets -> Autotype_core.Synthesis.t -> string list ->
+  column_verdict
+(** Serve one column under budgets.  A value cut by its own budget
+    counts as not-accepted ([serve.deadline_hits]); a column cut by the
+    batch deadline degrades to [Column_degraded] ([serve.degraded])
+    instead of failing the batch. *)
+
 val serve_detector : Model.Registry.entry -> detector
 (** Detector around a registry-served model (the warm path): validation
     only, no pipeline stages. *)

@@ -19,6 +19,12 @@
     call them from the controlling domain while no parallel region is
     in flight. *)
 
+val now_ns : unit -> int64
+(** Raw CLOCK_MONOTONIC reading in nanoseconds — the clock every span
+    duration is measured on.  Exposed so deadline machinery (the
+    interpreter's wall-clock budget, {!Exec.Deadline}) compares against
+    the same time base the telemetry records. *)
+
 (* ------------------------------------------------------------------ *)
 (* Lifecycle                                                           *)
 (* ------------------------------------------------------------------ *)

@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "autotype"
     [ ("minilang", Test_minilang.suite);
+      ("faults", Test_faults.suite);
       ("regexlite", Test_regexlite.suite);
       ("semtypes", Test_semtypes.suite);
       ("core", Test_core.suite);

@@ -93,7 +93,8 @@ let test_relevant_functions_execute_positives () =
                   (match v with
                    | Minilang.Value.Vbool b -> b
                    | _ -> true)
-                | Minilang.Interp.Errored _ | Minilang.Interp.Hit_limit _ ->
+                | Minilang.Interp.Errored _ | Minilang.Interp.Hit_limit _
+                | Minilang.Interp.Deadline_exceeded _ ->
                   false)
               positives)
           cands

@@ -1,0 +1,108 @@
+(** Tests for the fault-injection subsystem (DESIGN.md §10): spec
+    parsing, activation, and the determinism of injected effects. *)
+
+let config_testable =
+  Alcotest.testable
+    (fun fmt (c : Faults.config) ->
+      Format.fprintf fmt "{delay_ms=%g; p_kill=%g; p_corrupt=%g; seed=%d}"
+        c.Faults.delay_ms c.Faults.p_kill c.Faults.p_corrupt c.Faults.seed)
+    ( = )
+
+let test_parse_ok () =
+  (match Faults.parse "delay_ms=5,p_kill=0.25,p_corrupt=0.5,seed=42" with
+   | Ok c ->
+     Alcotest.check config_testable "full spec"
+       { Faults.delay_ms = 5.0; p_kill = 0.25; p_corrupt = 0.5; seed = 42 }
+       c
+   | Error e -> Alcotest.fail e);
+  (match Faults.parse "p_kill=1" with
+   | Ok c ->
+     Alcotest.check config_testable "partial spec keeps defaults"
+       { Faults.default with Faults.p_kill = 1.0 }
+       c
+   | Error e -> Alcotest.fail e);
+  (match Faults.parse " p_corrupt=0.1 , seed=7 " with
+   | Ok c ->
+     Alcotest.(check int) "whitespace tolerated" 7 c.Faults.seed
+   | Error e -> Alcotest.fail e)
+
+let test_parse_errors () =
+  List.iter
+    (fun bad ->
+      match Faults.parse bad with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "%S must not parse" bad)
+      | Error _ -> ())
+    [ "p_kill=1.5";    (* probability above 1 *)
+      "p_kill=-0.1";   (* probability below 0 *)
+      "p_corrupt=abc"; (* not a number *)
+      "delay_ms=-3";   (* negative delay *)
+      "bogus=1";       (* unknown key *)
+      "delay_ms";      (* no value *)
+      "seed=1.5" ]     (* non-integer seed *)
+
+let with_faults cfg f =
+  Fun.protect ~finally:(fun () -> Faults.set None) @@ fun () ->
+  Faults.set cfg;
+  f ()
+
+let test_activation () =
+  with_faults None (fun () ->
+      Alcotest.(check bool) "inactive by default" false (Faults.active ());
+      Alcotest.(check bool) "no kill when inactive" false
+        (Faults.should_kill ());
+      Alcotest.(check bool) "no corruption when inactive" true
+        (Faults.corrupt "payload" = None);
+      (* delay_run with nothing configured must return immediately. *)
+      Faults.delay_run ());
+  with_faults (Some Faults.default) (fun () ->
+      Alcotest.(check bool) "all-zero config counts as active" true
+        (Faults.active ());
+      Alcotest.(check bool) "zero probability never kills" false
+        (Faults.should_kill ());
+      Alcotest.(check bool) "zero probability never corrupts" true
+        (Faults.corrupt "payload" = None))
+
+let test_effects_deterministic () =
+  (* p=1 decisions fire regardless of the draw, and the corruption
+     itself (which byte, which flip) is a pure function of the bytes —
+     so the same input always produces the same corrupted output. *)
+  with_faults
+    (Some { Faults.default with Faults.p_kill = 1.0; Faults.p_corrupt = 1.0 })
+    (fun () ->
+      Alcotest.(check bool) "p_kill=1 kills" true (Faults.should_kill ());
+      Alcotest.(check bool) "p_kill=1 kills again" true
+        (Faults.should_kill ());
+      let original = "abcdefgh" in
+      (match (Faults.corrupt original, Faults.corrupt original) with
+       | Some a, Some b ->
+         Alcotest.(check string) "corruption is repeatable" a b;
+         Alcotest.(check bool) "corruption changed the bytes" true
+           (a <> original);
+         Alcotest.(check int) "corruption preserves length"
+           (String.length original) (String.length a);
+         (* One byte flipped, past the midpoint, by XOR 0x20. *)
+         let diffs = ref [] in
+         String.iteri
+           (fun i c -> if c <> original.[i] then diffs := i :: !diffs)
+           a;
+         (match !diffs with
+          | [ i ] ->
+            Alcotest.(check int) "midpoint byte" (String.length original / 2)
+              i;
+            Alcotest.(check int) "xor 0x20 flip"
+              (Char.code original.[i] lxor 0x20)
+              (Char.code a.[i])
+          | _ -> Alcotest.fail "exactly one byte must differ")
+       | _ -> Alcotest.fail "p_corrupt=1 must corrupt");
+      (* Empty payloads have no byte to flip and pass through. *)
+      Alcotest.(check bool) "empty payload untouched" true
+        (Faults.corrupt "" = None))
+
+let suite =
+  [
+    ("spec parsing accepts valid specs", `Quick, test_parse_ok);
+    ("spec parsing rejects invalid specs", `Quick, test_parse_errors);
+    ("activation gating", `Quick, test_activation);
+    ("injected effects are deterministic", `Quick,
+     test_effects_deterministic);
+  ]

@@ -119,6 +119,7 @@ def while_count(s):
     | Interp.Finished v -> Value.to_display_string v
     | Interp.Errored (k, m) -> Printf.sprintf "ERR %s %s" k m
     | Interp.Hit_limit m -> "LIMIT " ^ m
+    | Interp.Deadline_exceeded m -> "DEADLINE " ^ m
   in
   Alcotest.(check string) "neg" "neg" (out "classify" "-3");
   Alcotest.(check string) "zero" "zero" (out "classify" "0");
@@ -400,6 +401,121 @@ def f(s):
   | Interp.Finished (Value.Vint 12) -> ()
   | _ -> Alcotest.fail "indentation with comments and blanks"
 
+let run_function_opts ?config ?cancel ?deadline_ns src fname args =
+  let prog = Parser.parse ~file:"test.py" src in
+  let scope, _ = Interp.load_module [ prog ] in
+  let f = Option.get (Value.scope_lookup scope fname) in
+  Interp.run_traced ?config ?cancel ?deadline_ns (fun ctx ->
+      Interp.call_callable ctx f (List.map (fun s -> Value.Vstr s) args))
+
+let show_outcome = function
+  | Interp.Finished v -> "FINISHED " ^ Value.to_display_string v
+  | Interp.Errored (k, m) -> Printf.sprintf "ERR %s %s" k m
+  | Interp.Hit_limit m -> "LIMIT " ^ m
+  | Interp.Deadline_exceeded m -> "DEADLINE " ^ m
+
+let loop_src = {|
+def f(s):
+    n = 0
+    while n < 100:
+        n = n + 1
+    return n
+|}
+
+let test_cancellation () =
+  (* A pre-cancelled token stops the run on its very first step. *)
+  let tok = Interp.cancel_token () in
+  Alcotest.(check bool) "fresh token not cancelled" false
+    (Interp.cancel_requested tok);
+  Interp.cancel tok;
+  Alcotest.(check bool) "cancel is visible" true (Interp.cancel_requested tok);
+  (match (run_function_opts ~cancel:tok loop_src "f" [ "x" ]).Interp.outcome
+   with
+   | Interp.Deadline_exceeded _ -> ()
+   | o -> Alcotest.fail ("cancelled run must deadline, got " ^ show_outcome o));
+  (* An untouched token changes nothing. *)
+  let fresh = Interp.cancel_token () in
+  match (run_function_opts ~cancel:fresh loop_src "f" [ "x" ]).Interp.outcome
+  with
+  | Interp.Finished (Value.Vint 100) -> ()
+  | o -> Alcotest.fail ("uncancelled run must finish, got " ^ show_outcome o)
+
+let test_cancellation_uncatchable () =
+  (* MiniScript try/except must not swallow cancellation: a cancelled
+     run can never report a normal (or caught) result. *)
+  let src = {|
+def f(s):
+    try:
+        n = 0
+        while n < 100:
+            n = n + 1
+    except:
+        return "caught"
+    return "done"
+|}
+  in
+  let tok = Interp.cancel_token () in
+  Interp.cancel tok;
+  match (run_function_opts ~cancel:tok src "f" [ "x" ]).Interp.outcome with
+  | Interp.Deadline_exceeded _ -> ()
+  | o ->
+    Alcotest.fail ("except must not catch cancellation, got " ^ show_outcome o)
+
+let test_deadline_vs_budget () =
+  (* A deadline already in the past: Deadline_exceeded, not Hit_limit —
+     the time bound and the work bound are distinct outcomes. *)
+  let past = Int64.sub (Telemetry.now_ns ()) 1L in
+  (match
+     (run_function_opts ~deadline_ns:past loop_src "f" [ "x" ]).Interp.outcome
+   with
+   | Interp.Deadline_exceeded _ -> ()
+   | o -> Alcotest.fail ("past deadline must deadline, got " ^ show_outcome o));
+  (* A deadline a hair in the future still cuts the loop (via the
+     amortized probe), and still reads as a deadline. *)
+  let soon = Int64.add (Telemetry.now_ns ()) 1L in
+  (match
+     (run_function_opts ~deadline_ns:soon loop_src "f" [ "x" ]).Interp.outcome
+   with
+   | Interp.Deadline_exceeded _ -> ()
+   | o -> Alcotest.fail ("1ns deadline must deadline, got " ^ show_outcome o));
+  (* Step-budget exhaustion stays Hit_limit even when a (far) deadline
+     is also set. *)
+  let config = { Interp.default_config with Interp.max_steps = 50 } in
+  let far = Int64.add (Telemetry.now_ns ()) 60_000_000_000L in
+  (match
+     (run_function_opts ~config ~deadline_ns:far loop_src "f" [ "x" ])
+       .Interp.outcome
+   with
+   | Interp.Hit_limit _ -> ()
+   | o -> Alcotest.fail ("budget exhaustion must limit, got " ^ show_outcome o));
+  (* And a generous budget with no deadline finishes. *)
+  match (run_function_opts loop_src "f" [ "x" ]).Interp.outcome with
+  | Interp.Finished (Value.Vint 100) -> ()
+  | o -> Alcotest.fail ("unbounded run must finish, got " ^ show_outcome o)
+
+let test_fault_injection_hooks () =
+  Fun.protect ~finally:(fun () -> Faults.set None) @@ fun () ->
+  (* p_kill=1: every run dies with the FaultInjected error outcome. *)
+  Faults.set (Some { Faults.default with Faults.p_kill = 1.0 });
+  (match (run_function_opts loop_src "f" [ "x" ]).Interp.outcome with
+   | Interp.Errored ("FaultInjected", _) -> ()
+   | o -> Alcotest.fail ("killed run must error, got " ^ show_outcome o));
+  (* A delay injected before the run drives it past its deadline: this
+     is the acceptance scenario — an artificially delayed candidate
+     yields Deadline_exceeded, not a hang and not budget exhaustion. *)
+  Faults.set (Some { Faults.default with Faults.delay_ms = 5.0 });
+  let deadline_ns = Int64.add (Telemetry.now_ns ()) 1_000_000L (* 1ms *) in
+  (match
+     (run_function_opts ~deadline_ns loop_src "f" [ "x" ]).Interp.outcome
+   with
+   | Interp.Deadline_exceeded _ -> ()
+   | o -> Alcotest.fail ("delayed run must deadline, got " ^ show_outcome o));
+  (* Injection off: the same run finishes normally. *)
+  Faults.set None;
+  match (run_function_opts loop_src "f" [ "x" ]).Interp.outcome with
+  | Interp.Finished (Value.Vint 100) -> ()
+  | o -> Alcotest.fail ("clean run must finish, got " ^ show_outcome o)
+
 let prop_interp_deterministic =
   QCheck.Test.make ~count:50 ~name:"interpreter runs are deterministic"
     QCheck.(string_of_size (QCheck.Gen.int_bound 20))
@@ -432,5 +548,9 @@ let suite =
     ("io variants", `Quick, test_io_variants);
     ("parse errors", `Quick, test_parse_errors);
     ("indentation", `Quick, test_indentation);
+    ("cooperative cancellation", `Quick, test_cancellation);
+    ("cancellation uncatchable by try", `Quick, test_cancellation_uncatchable);
+    ("deadline vs step budget", `Quick, test_deadline_vs_budget);
+    ("fault injection hooks", `Quick, test_fault_injection_hooks);
     QCheck_alcotest.to_alcotest prop_interp_deterministic;
   ]

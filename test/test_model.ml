@@ -67,6 +67,77 @@ let test_jsonx_parse_errors () =
       | Error _ -> ())
     [ "{"; "[1,]"; "tru"; "\"unterminated"; "{\"a\":1,}"; "1 2"; "" ]
 
+let test_jsonx_surrogate_pairs () =
+  (* Non-BMP characters arrive as UTF-16 surrogate pairs (RFC 8259 §7);
+     the halves must combine into one 4-byte UTF-8 code point. *)
+  (match Model.Jsonx.parse {|"\ud83d\ude00"|} with
+   | Ok (Model.Jsonx.Str s) ->
+     Alcotest.(check string) "U+1F600 as UTF-8" "\xf0\x9f\x98\x80" s
+   | Ok _ -> Alcotest.fail "expected a string"
+   | Error e -> Alcotest.fail ("surrogate pair must parse: " ^ e));
+  (match Model.Jsonx.parse {|"\uD834\uDD1E after"|} with
+   | Ok (Model.Jsonx.Str s) ->
+     Alcotest.(check string) "U+1D11E with a tail" "\xf0\x9d\x84\x9e after" s
+   | Ok _ -> Alcotest.fail "expected a string"
+   | Error e -> Alcotest.fail ("surrogate pair must parse: " ^ e));
+  (* The decoded bytes survive a print/parse round-trip. *)
+  (match Model.Jsonx.parse {|"\ud83d\ude00"|} with
+   | Ok v ->
+     (match Model.Jsonx.parse (Model.Jsonx.to_string v) with
+      | Ok v' -> Alcotest.(check bool) "non-BMP round-trips" true (v = v')
+      | Error e -> Alcotest.fail ("round-trip failed: " ^ e))
+   | Error e -> Alcotest.fail e);
+  List.iter
+    (fun bad ->
+      match Model.Jsonx.parse bad with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "%S must not parse" bad)
+      | Error e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%S error is positioned" bad)
+          true
+          (contains ~needle:"offset" e))
+    [ {|"\ud83d"|};        (* lone high surrogate at end of string *)
+      {|"\ud83d rest"|};   (* lone high surrogate before plain text *)
+      {|"\udc00"|};        (* lone low surrogate *)
+      {|"\ud83d\u0041"|};  (* high surrogate paired with a non-low escape *)
+      {|"\u12g4"|};        (* non-hex digit *)
+      {|"\u12_4"|};        (* OCaml-ism int_of_string used to accept *)
+      {|"\u 123"|};
+      {|"\u123"|} ]        (* short escape *)
+
+let test_jsonx_number_grammar () =
+  let ok s expected =
+    match Model.Jsonx.parse s with
+    | Ok v -> Alcotest.(check bool) (s ^ " parses") true (v = expected)
+    | Error e -> Alcotest.fail (s ^ " must parse: " ^ e)
+  in
+  ok "0" (Model.Jsonx.Int 0);
+  ok "-0.5" (Model.Jsonx.Float (-0.5));
+  ok "10" (Model.Jsonx.Int 10);
+  ok "1e2" (Model.Jsonx.Float 100.0);
+  ok "1.25E+2" (Model.Jsonx.Float 125.0);
+  ok "2e-2" (Model.Jsonx.Float 0.02);
+  ok "[0.0]" (Model.Jsonx.List [ Model.Jsonx.Float 0.0 ]);
+  (* RFC 8259 rejects these; float_of_string used to accept several. *)
+  List.iter
+    (fun bad ->
+      match Model.Jsonx.parse bad with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "%S must not parse" bad)
+      | Error _ -> ())
+    [ "+1"; "1."; ".5"; "01"; "-"; "-."; "1e"; "1e+"; "0x10"; "1_000";
+      "[1.]"; "[01]"; "[+1]"; "--1"; "1.2.3"; "nan"; "inf" ];
+  (* Trailing garbage after a complete value stays rejected. *)
+  List.iter
+    (fun bad ->
+      match Model.Jsonx.parse bad with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "%S must not parse" bad)
+      | Error e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%S reports trailing garbage" bad)
+          true
+          (contains ~needle:"trailing" e))
+    [ "1 2"; "{} {}"; "[1] ]"; "null null"; "\"a\" \"b\"" ]
+
 (* ------------------------------ artifacts --------------------------- *)
 
 let roundtrip_type_ids = [ "credit-card"; "ipv4"; "email"; "isbn" ]
@@ -343,6 +414,141 @@ let test_serving_runs_no_pipeline () =
   Alcotest.(check int) "one load span" 1
     (List.length (Telemetry.spans_named "model.load"))
 
+(* -------------------- registry/index desync ------------------------ *)
+
+(* A registry directory whose index.json knows about exactly one model
+   (ipv4), built through the registry's own save path. *)
+let registry_with_ipv4 dir =
+  (match Model.Registry.create_dir dir with
+   | Error m -> Alcotest.fail m
+   | Ok registry ->
+     (match Model.Registry.save registry (artifact_for "ipv4") with
+      | Ok _ -> ()
+      | Error m -> Alcotest.fail m))
+
+let find_model_file dir =
+  match
+    List.find_opt
+      (fun f -> Filename.check_suffix f Model.Artifact.extension)
+      (Array.to_list (Sys.readdir dir))
+  with
+  | Some f -> Filename.concat dir f
+  | None -> Alcotest.fail "no .model file in registry dir"
+
+let test_registry_index_desync () =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  registry_with_ipv4 dir;
+  (* The index survives; the artifact it points to does not. *)
+  Sys.remove (find_model_file dir);
+  Telemetry.enable ();
+  Telemetry.reset ();
+  (match Model.Registry.open_dir dir with
+   | Error m -> Alcotest.fail m
+   | Ok registry ->
+     Alcotest.(check bool) "index still lists ipv4" true
+       (Model.Registry.mem registry "ipv4");
+     (match Model.Registry.find registry "ipv4" with
+      | Error (Model.Artifact.File_error _) -> ()
+      | Error e ->
+        Alcotest.fail
+          ("expected file error, got: "
+          ^ Model.Artifact.load_error_to_string e)
+      | Ok _ -> Alcotest.fail "deleted artifact must not serve"));
+  Telemetry.disable ();
+  let snap = Telemetry.snapshot () in
+  (* A missing file is transient (it may be a racing writer), so the
+     bounded retry runs to exhaustion before giving up. *)
+  Alcotest.(check int) "retry attempts exhausted" 2
+    (Telemetry.find_counter snap "retry.attempts");
+  Alcotest.(check int) "gave up once" 1
+    (Telemetry.find_counter snap "retry.gave_up")
+
+let test_registry_orphan_model () =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  registry_with_ipv4 dir;
+  (* A .model file the index does not know about. *)
+  write_file
+    (Filename.concat dir ("orphan" ^ Model.Artifact.extension))
+    "not even a model";
+  match Model.Registry.open_dir dir with
+  | Error m -> Alcotest.fail m
+  | Ok registry ->
+    Alcotest.(check (list string)) "only indexed keys serve" [ "ipv4" ]
+      (Model.Registry.keys registry);
+    (match Model.Registry.find registry "orphan" with
+     | Error (Model.Artifact.File_error msg) ->
+       Alcotest.(check bool) "names the available keys" true
+         (contains ~needle:"ipv4" msg)
+     | Error e ->
+       Alcotest.fail
+         ("expected file error, got: "
+         ^ Model.Artifact.load_error_to_string e)
+     | Ok _ -> Alcotest.fail "orphan must not serve");
+    (* The indexed model is unaffected by its orphan neighbour. *)
+    (match Model.Registry.find registry "ipv4" with
+     | Ok _ -> ()
+     | Error e -> Alcotest.fail (Model.Artifact.load_error_to_string e))
+
+let test_registry_truncated_artifact () =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  registry_with_ipv4 dir;
+  (* Truncate the artifact in place — a torn read mid-load. *)
+  let path = find_model_file dir in
+  let bytes = read_file path in
+  write_file path (String.sub bytes 0 (String.length bytes * 2 / 3));
+  Telemetry.enable ();
+  Telemetry.reset ();
+  (match Model.Registry.open_dir dir with
+   | Error m -> Alcotest.fail m
+   | Ok registry ->
+     (match Model.Registry.find registry "ipv4" with
+      | Error (Model.Artifact.Checksum_mismatch _) -> ()
+      | Error e ->
+        Alcotest.fail
+          ("expected checksum mismatch, got: "
+          ^ Model.Artifact.load_error_to_string e)
+      | Ok _ -> Alcotest.fail "truncated artifact must not serve"));
+  Telemetry.disable ();
+  let snap = Telemetry.snapshot () in
+  Alcotest.(check int) "retry attempts exhausted" 2
+    (Telemetry.find_counter snap "retry.attempts");
+  Alcotest.(check int) "gave up once" 1
+    (Telemetry.find_counter snap "retry.gave_up")
+
+let test_fault_corruption_and_recovery () =
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () ->
+      Faults.set None;
+      rm_rf dir)
+  @@ fun () ->
+  registry_with_ipv4 dir;
+  (* Every read corrupted: the checksum rejects it, the retry gives up,
+     the caller gets a clean error. *)
+  Faults.set (Some { Faults.default with Faults.p_corrupt = 1.0 });
+  Alcotest.(check bool) "fault injection active" true (Faults.active ());
+  (match Model.Registry.open_dir dir with
+   | Error m -> Alcotest.fail m
+   | Ok registry ->
+     (match Model.Registry.find registry "ipv4" with
+      | Error (Model.Artifact.Checksum_mismatch _) -> ()
+      | Error e ->
+        Alcotest.fail
+          ("expected checksum mismatch, got: "
+          ^ Model.Artifact.load_error_to_string e)
+      | Ok _ -> Alcotest.fail "corrupted read must not serve"));
+  (* Injection off: the same bytes on disk serve fine. *)
+  Faults.set None;
+  match Model.Registry.open_dir dir with
+  | Error m -> Alcotest.fail m
+  | Ok registry ->
+    (match Model.Registry.find registry "ipv4" with
+     | Ok _ -> ()
+     | Error e -> Alcotest.fail (Model.Artifact.load_error_to_string e))
+
 let suite =
   [
     ("jsonx round-trip", `Quick, test_jsonx_roundtrip);
@@ -354,4 +560,11 @@ let suite =
     ("missing file is a file error", `Quick, test_missing_file);
     ("registry LRU and counters", `Quick, test_registry_lru);
     ("serving runs no pipeline stages", `Quick, test_serving_runs_no_pipeline);
+    ("jsonx surrogate pairs", `Quick, test_jsonx_surrogate_pairs);
+    ("jsonx number grammar", `Quick, test_jsonx_number_grammar);
+    ("registry index desync", `Quick, test_registry_index_desync);
+    ("registry orphan artifact", `Quick, test_registry_orphan_model);
+    ("registry truncated artifact", `Quick, test_registry_truncated_artifact);
+    ("fault-corrupted reads degrade and recover", `Quick,
+     test_fault_corruption_and_recovery);
   ]

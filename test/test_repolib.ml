@@ -241,6 +241,23 @@ let test_script_argv_variant () =
      | Minilang.Interp.Errored ("ValueError", _) -> ()
      | _ -> Alcotest.fail "script argv rejects digits")
 
+let test_config_with_hint_clamp () =
+  let base = Repolib.Driver.default_config in
+  let max_steps (c : Minilang.Interp.config) = c.Minilang.Interp.max_steps in
+  Alcotest.(check int) "no hint: unchanged" (max_steps base)
+    (max_steps (Repolib.Driver.config_with_hint base None));
+  Alcotest.(check int) "hint below the cap: adopted" 7
+    (max_steps (Repolib.Driver.config_with_hint base (Some 7)));
+  Alcotest.(check int) "hint above the cap: unchanged" (max_steps base)
+    (max_steps
+       (Repolib.Driver.config_with_hint base (Some (max_steps base * 2))));
+  (* Regression: a hint <= 0 passed the [budget < max_steps] guard and
+     produced a config that could never execute a single step. *)
+  Alcotest.(check int) "zero hint clamps to 1" 1
+    (max_steps (Repolib.Driver.config_with_hint base (Some 0)));
+  Alcotest.(check int) "negative hint clamps to 1" 1
+    (max_steps (Repolib.Driver.config_with_hint base (Some (-5))))
+
 let suite =
   [
     ("variant 1: direct", `Quick, test_variant_direct);
@@ -257,4 +274,5 @@ let suite =
     ("search ranking", `Quick, test_search_ranking);
     ("search stemming", `Quick, test_search_stemming);
     ("script argv variant", `Quick, test_script_argv_variant);
+    ("budget hint clamped to >= 1", `Quick, test_config_with_hint_clamp);
   ]

@@ -116,6 +116,133 @@ let test_detection_small_corpus () =
         Alcotest.fail "range column detected as ISBN")
     detected
 
+(* -------------------- deadline-aware serving ----------------------- *)
+
+(* Compiling runs the whole pipeline; do it once for every serve test. *)
+let ipv4_compiled =
+  lazy
+    (let ty = Semtypes.Registry.find_exn "ipv4" in
+     let positives = Semtypes.Registry.positive_examples ~n:20 ~seed:11 ty in
+     Autotype_core.Pipeline.compile ~index:(Corpus.search_index ())
+       ~query:ty.Semtypes.Registry.name ~positives ())
+
+let ipv4_synthesis () =
+  match
+    Autotype_core.Pipeline.best
+      (Lazy.force ipv4_compiled).Autotype_core.Pipeline.c_outcome
+  with
+  | Some syn -> syn
+  | None -> Alcotest.fail "no ipv4 synthesis"
+
+let test_serve_column_budgets () =
+  let syn = ipv4_synthesis () in
+  let ty = Semtypes.Registry.find_exn "ipv4" in
+  let good = Semtypes.Registry.positive_examples ~n:4 ~seed:123 ty in
+  let values = good @ [ "not an ip" ] in
+  Telemetry.enable ();
+  Telemetry.reset ();
+  (* Unbudgeted serving is the historical verdict. *)
+  (match Tablecorpus.Detect.serve_column syn values with
+   | Tablecorpus.Detect.Column_no_match frac ->
+     Alcotest.(check (float 1e-9)) "4/5 accepted, at (not above) 0.8" 0.8 frac
+   | Tablecorpus.Detect.Column_match _ ->
+     Alcotest.fail "4/5 is not above the 0.8 threshold"
+   | Tablecorpus.Detect.Column_degraded _ ->
+     Alcotest.fail "unbudgeted serving never degrades");
+  (match Tablecorpus.Detect.serve_column syn good with
+   | Tablecorpus.Detect.Column_match frac ->
+     Alcotest.(check (float 1e-9)) "clean column matches" 1.0 frac
+   | _ -> Alcotest.fail "clean column must match");
+  (* Zero per-value budget: every value deadlines and counts as
+     not-accepted; the column still gets a (negative) verdict. *)
+  let b = Tablecorpus.Detect.budgets ~value_budget_ms:0.0 () in
+  (match Tablecorpus.Detect.serve_column ~budgets:b syn values with
+   | Tablecorpus.Detect.Column_no_match frac ->
+     Alcotest.(check (float 0.0)) "nothing accepted" 0.0 frac
+   | _ -> Alcotest.fail "zero value budget must yield no-match");
+  (* Expired batch deadline: the column degrades to an unknown verdict
+     with its partial tally — never an exception. *)
+  let b = Tablecorpus.Detect.budgets ~deadline_ms:0.0 () in
+  (match Tablecorpus.Detect.serve_column ~budgets:b syn values with
+   | Tablecorpus.Detect.Column_degraded { seen; accepted; total } ->
+     Alcotest.(check int) "nothing seen" 0 seen;
+     Alcotest.(check int) "nothing accepted" 0 accepted;
+     Alcotest.(check int) "total preserved" (List.length values) total
+   | _ -> Alcotest.fail "expired batch deadline must degrade");
+  Telemetry.disable ();
+  let snap = Telemetry.snapshot () in
+  Alcotest.(check int) "per-value deadline hits counted"
+    (List.length values)
+    (Telemetry.find_counter snap "serve.deadline_hits");
+  Alcotest.(check bool) "degradations counted" true
+    (Telemetry.find_counter snap "serve.degraded" >= 1)
+
+let test_serve_fallback_on_bad_artifact () =
+  (* Registry/index desync under batch detection: the indexed artifact
+     is truncated on disk.  dnf_detector degrades to a fresh synthesis
+     (detect.serve_fallbacks) instead of crashing the batch. *)
+  let artifact =
+    match Model.Artifact.of_compiled (Lazy.force ipv4_compiled) with
+    | Some a -> Model.Artifact.with_type_id "ipv4" a
+    | None -> Alcotest.fail "no ipv4 artifact"
+  in
+  let dir =
+    let stamp = Filename.temp_file "autotype-test-desync" "" in
+    Sys.remove stamp;
+    stamp
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+  @@ fun () ->
+  (match Model.Registry.create_dir dir with
+   | Error m -> Alcotest.fail m
+   | Ok registry ->
+     (match Model.Registry.save registry artifact with
+      | Ok _ -> ()
+      | Error m -> Alcotest.fail m));
+  (* Truncate the artifact behind the index's back. *)
+  let path =
+    match
+      List.find_opt
+        (fun f -> Filename.check_suffix f Model.Artifact.extension)
+        (Array.to_list (Sys.readdir dir))
+    with
+    | Some f -> Filename.concat dir f
+    | None -> Alcotest.fail "no model file"
+  in
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let bytes = really_input_string ic n in
+  close_in ic;
+  let oc = open_out_bin path in
+  output_string oc (String.sub bytes 0 (n * 2 / 3));
+  close_out oc;
+  Telemetry.enable ();
+  Telemetry.reset ();
+  let registry =
+    match Model.Registry.open_dir dir with
+    | Ok r -> r
+    | Error m -> Alcotest.fail m
+  in
+  let ty = Semtypes.Registry.find_exn "ipv4" in
+  let det = Tablecorpus.Detect.dnf_detector ~registry ty in
+  Telemetry.disable ();
+  Alcotest.(check bool) "fallback detector usable" true
+    det.Tablecorpus.Detect.usable;
+  Alcotest.(check bool) "still detects ipv4" true
+    (det.Tablecorpus.Detect.accepts "192.168.0.1");
+  let snap = Telemetry.snapshot () in
+  Alcotest.(check int) "serve fallback counted" 1
+    (Telemetry.find_counter snap "detect.serve_fallbacks");
+  Alcotest.(check bool) "retries were attempted first" true
+    (Telemetry.find_counter snap "retry.attempts" >= 2)
+
 let suite =
   [
     ("regex inference: homogeneous", `Quick, test_infer_homogeneous);
@@ -127,4 +254,7 @@ let suite =
      test_detection_threshold_single_source);
     ("header matching", `Quick, test_header_matching);
     ("detection end-to-end", `Slow, test_detection_small_corpus);
+    ("serve_column budgets and degradation", `Slow, test_serve_column_budgets);
+    ("serve fallback on bad artifact", `Slow,
+     test_serve_fallback_on_bad_artifact);
   ]
