@@ -1,4 +1,4 @@
-.PHONY: all build test lint models faults check bench-compare clean
+.PHONY: all build test lint models faults check bench bench-compare clean
 
 all: build
 
@@ -13,6 +13,17 @@ test:
 # corpus-hygiene test's allowlist).
 lint:
 	dune exec bin/autotype_cli.exe -- lint --strict --all-corpus
+
+# Rewrite the committed bench artifacts in canonical form: sorted keys,
+# fixed float formatting, one trailing newline.  Timings vary run to
+# run; shape and key order never do.  Produces BENCH_pipeline.json
+# (stage totals, serve report with streaming quantiles, flight-recorder
+# overhead and the SLO report) and BENCH_telemetry.json (the warm-pass
+# metrics snapshot readable by `autotype stats --snapshot`), then lints
+# the Prometheus exposition rendered from that snapshot.
+bench: build
+	dune exec bench/main.exe -- pipeline
+	dune exec bin/autotype_cli.exe -- stats --snapshot BENCH_telemetry.json --prom --lint > /dev/null
 
 # Sequential-vs-parallel pipeline comparison: runs the same synthesis
 # workload at jobs=1 and jobs=4 and fails if the ranked outputs diverge
@@ -53,9 +64,10 @@ check: build test lint models faults $(if $(BENCH),bench-compare)
 	dune exec bin/autotype_cli.exe -- synth --type credit-card --stats
 	dune exec bench/main.exe -- pipeline
 	@test -s BENCH_pipeline.json || { echo "BENCH_pipeline.json missing or empty"; exit 1; }
+	@test -s BENCH_telemetry.json || { echo "BENCH_telemetry.json missing or empty"; exit 1; }
+	dune exec bin/autotype_cli.exe -- stats --snapshot BENCH_telemetry.json --prom --lint > /dev/null
 	@echo "check: OK"
 
 clean:
 	dune clean
-	rm -f BENCH_pipeline.json
 	rm -rf _build/models_smoke

@@ -607,23 +607,61 @@ let print_pass_report label (elapsed, stage_stats, snap) =
     (Telemetry.find_counter snap "staticcheck.diagnostics");
   Printf.printf "wall-clock: %.2fs\n" elapsed
 
+(* Deterministic JSON for the BENCH files: object keys are emitted
+   sorted and every float is formatted %.6f, so two runs differ only
+   where the measurements differ — never in layout. *)
+type jv =
+  | J_int of int
+  | J_float of float
+  | J_bool of bool
+  | J_str of string
+  | J_raw of string  (** pre-rendered JSON (already deterministic) *)
+  | J_list of jv list
+  | J_obj of (string * jv) list
+
+let rec jv_to_string = function
+  | J_int i -> string_of_int i
+  | J_float f -> Printf.sprintf "%.6f" f
+  | J_bool b -> string_of_bool b
+  | J_str s ->
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | c when Char.code c < 32 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  | J_raw s -> s
+  | J_list xs -> "[" ^ String.concat "," (List.map jv_to_string xs) ^ "]"
+  | J_obj kvs ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> jv_to_string (J_str k) ^ ":" ^ jv_to_string v)
+           (List.sort (fun (a, _) (b, _) -> String.compare a b) kvs))
+    ^ "}"
+
 let pass_json (elapsed, stage_stats, snap) =
-  let stage_json =
-    String.concat ","
-      (List.map
-         (fun (name, n, total_s) ->
-           Printf.sprintf "\"%s\":{\"spans\":%d,\"total_s\":%.6f}" name n
-             total_s)
-         stage_stats)
-  in
-  let counter_json =
-    String.concat ","
-      (List.map
-         (fun (name, v) -> Printf.sprintf "\"%s\":%d" name v)
-         snap.Telemetry.counters)
-  in
-  Printf.sprintf "{\"elapsed_s\":%.6f,\"stages\":{%s},\"counters\":{%s}}"
-    elapsed stage_json counter_json
+  J_obj
+    [ ("elapsed_s", J_float elapsed);
+      ( "stages",
+        J_obj
+          (List.map
+             (fun (name, n, total_s) ->
+               ( name,
+                 J_obj
+                   [ ("spans", J_int n); ("total_s", J_float total_s) ] ))
+             stage_stats) );
+      ( "counters",
+        J_obj
+          (List.map (fun (name, v) -> (name, J_int v)) snap.Telemetry.counters)
+      ) ]
 
 (* ------------------------------------------------------------------ *)
 (* Compile/serve split: cold-compile vs warm-serve                      *)
@@ -651,7 +689,19 @@ type serve_stats = {
   sv_lat_p50_ms : float;  (** per-value warm serve latency percentiles *)
   sv_lat_p95_ms : float;
   sv_lat_p99_ms : float;
+  sv_sketch_p50_ms : float;
+      (** same quantiles from the streaming sketch, merged over shards *)
+  sv_sketch_p95_ms : float;
+  sv_sketch_p99_ms : float;
+  sv_sketch_ok : bool;  (** sketch within 5% of nearest-rank *)
+  sv_p99_flight_off_ms : float;  (** warm p99 with the recorder disabled *)
+  sv_p99_flight_on_ms : float;  (** warm p99 with the recorder always-on *)
+  sv_flight_ok : bool;  (** recorder overhead under the 10% budget *)
+  sv_slo : Telemetry.Slo.report;
+  sv_warm_snapshot_json : string;  (** Expose.render_json of the warm pass *)
 }
+
+let h_warm_latency = Telemetry.histogram "bench.warm_value_latency_ms"
 
 (* Nearest-rank percentile over per-value latencies (p in [0,100]). *)
 let percentile p (xs : float array) =
@@ -726,6 +776,11 @@ let serve_pass type_ids =
           | Ok e -> e
           | Error e -> fail (Model.Artifact.load_error_to_string e)
         in
+        (* One request context per served column, as the daemon would
+           mint: every span/flight event of this type's workload is
+           attributable to it. *)
+        Telemetry.Context.with_context (Telemetry.Context.root ())
+        @@ fun () ->
         (id,
          List.map
            (fun v ->
@@ -734,9 +789,11 @@ let serve_pass type_ids =
                Autotype_core.Synthesis.validate
                  entry.Model.Registry.synthesis v
              in
-             latencies_ms :=
-               (Int64.to_float (Int64.sub (Telemetry.now_ns ()) t) /. 1e6)
-               :: !latencies_ms;
+             let lat_ms =
+               Int64.to_float (Int64.sub (Telemetry.now_ns ()) t) /. 1e6
+             in
+             Telemetry.observe h_warm_latency lat_ms;
+             latencies_ms := lat_ms :: !latencies_ms;
              verdict)
            (serve_workload ty)))
       type_ids
@@ -745,12 +802,77 @@ let serve_pass type_ids =
   let sv_warm_elapsed = Unix.gettimeofday () -. t1 in
   Telemetry.disable ();
   let warm_snap = Telemetry.snapshot () in
+  let warm_hist =
+    match
+      List.assoc_opt "bench.warm_value_latency_ms"
+        warm_snap.Telemetry.histograms
+    with
+    | Some h -> h
+    | None -> fail "warm pass recorded no latency histogram"
+  in
+  (* The sketch answers the same nearest-rank question with bounded
+     relative error (<= sqrt(gamma)-1 ~ 3.9%), so 5% is a real bound,
+     not a tolerance picked to pass. *)
+  let close sketch exact =
+    Float.abs (sketch -. exact) /. Float.max exact 1e-9 <= 0.05
+  in
+  let lat_p50 = percentile 50.0 lat in
+  let lat_p95 = percentile 95.0 lat in
+  let lat_p99 = percentile 99.0 lat in
+  (* Flight-recorder overhead: replay the warm workload twice under
+     request contexts — recorder off, then on.  The always-on ring must
+     cost < 10% of warm p99 (plus a small absolute slack so a machine
+     hiccup at the 20us scale cannot fail the build by itself). *)
+  let timed_warm_p99 () =
+    Telemetry.reset ();
+    Telemetry.enable ();
+    let registry =
+      match Model.Registry.open_dir dir with Ok r -> r | Error m -> fail m
+    in
+    let lats = ref [] in
+    List.iter
+      (fun id ->
+        let ty = Semtypes.Registry.find_exn id in
+        let entry =
+          match Model.Registry.find registry id with
+          | Ok e -> e
+          | Error e -> fail (Model.Artifact.load_error_to_string e)
+        in
+        Telemetry.Context.with_context (Telemetry.Context.root ())
+        @@ fun () ->
+        List.iter
+          (fun v ->
+            let t = Telemetry.now_ns () in
+            ignore
+              (Autotype_core.Synthesis.validate
+                 entry.Model.Registry.synthesis v);
+            lats :=
+              (Int64.to_float (Int64.sub (Telemetry.now_ns ()) t) /. 1e6)
+              :: !lats)
+          (serve_workload ty))
+      type_ids;
+    Telemetry.disable ();
+    percentile 99.0 (Array.of_list !lats)
+  in
+  Telemetry.Flight.set_enabled false;
+  let p99_off = timed_warm_p99 () in
+  Telemetry.Flight.set_enabled true;
+  let p99_on = timed_warm_p99 () in
+  let n_validations =
+    List.fold_left (fun acc (_, vs) -> acc + List.length vs) 0 warm_verdicts
+  in
+  let slo =
+    Telemetry.Slo.eval Telemetry.Slo.default_target ~p99_ms:lat_p99
+      ~errors:
+        (Telemetry.find_counter warm_snap "driver.infra_failures"
+         + Telemetry.find_counter warm_snap "serve.degraded")
+      ~deadline_hits:(Telemetry.find_counter warm_snap "serve.deadline_hits")
+      ~total:n_validations
+  in
   let stats =
     {
       sv_n_models = List.length type_ids;
-      sv_n_validations =
-        List.fold_left (fun acc (_, vs) -> acc + List.length vs) 0
-          warm_verdicts;
+      sv_n_validations = n_validations;
       sv_cold_elapsed;
       sv_warm_elapsed;
       sv_cold_runs;
@@ -763,9 +885,21 @@ let serve_pass type_ids =
       sv_cache_hits = Telemetry.find_counter warm_snap "serve.cache_hits";
       sv_cache_misses = Telemetry.find_counter warm_snap "serve.cache_misses";
       sv_parity = cold_verdicts = warm_verdicts;
-      sv_lat_p50_ms = percentile 50.0 lat;
-      sv_lat_p95_ms = percentile 95.0 lat;
-      sv_lat_p99_ms = percentile 99.0 lat;
+      sv_lat_p50_ms = lat_p50;
+      sv_lat_p95_ms = lat_p95;
+      sv_lat_p99_ms = lat_p99;
+      sv_sketch_p50_ms = warm_hist.Telemetry.h_p50;
+      sv_sketch_p95_ms = warm_hist.Telemetry.h_p95;
+      sv_sketch_p99_ms = warm_hist.Telemetry.h_p99;
+      sv_sketch_ok =
+        close warm_hist.Telemetry.h_p50 lat_p50
+        && close warm_hist.Telemetry.h_p95 lat_p95
+        && close warm_hist.Telemetry.h_p99 lat_p99;
+      sv_p99_flight_off_ms = p99_off;
+      sv_p99_flight_on_ms = p99_on;
+      sv_flight_ok = p99_on <= (p99_off *. 1.10) +. 0.02;
+      sv_slo = slo;
+      sv_warm_snapshot_json = Telemetry.Expose.render_json warm_snap;
     }
   in
   if not stats.sv_parity then
@@ -815,24 +949,57 @@ let print_serve_report (s : serve_stats) =
     (if s.sv_parity then "identical" else "DIVERGED");
   Printf.printf
     "warm per-value latency: p50 %.3fms, p95 %.3fms, p99 %.3fms\n"
-    s.sv_lat_p50_ms s.sv_lat_p95_ms s.sv_lat_p99_ms
+    s.sv_lat_p50_ms s.sv_lat_p95_ms s.sv_lat_p99_ms;
+  Printf.printf
+    "streaming sketch:       p50 %.3fms, p95 %.3fms, p99 %.3fms (%s)\n"
+    s.sv_sketch_p50_ms s.sv_sketch_p95_ms s.sv_sketch_p99_ms
+    (if s.sv_sketch_ok then "within 5% of nearest-rank" else "OUT OF BOUNDS");
+  Printf.printf
+    "flight recorder: warm p99 %.3fms off -> %.3fms on (%s)\n"
+    s.sv_p99_flight_off_ms s.sv_p99_flight_on_ms
+    (if s.sv_flight_ok then "under the 10% overhead budget"
+     else "OVER BUDGET");
+  Printf.printf
+    "slo: p99 %.3fms vs target %.3fms (%s), error burn %.3f, deadline hit \
+     rate %.4f\n"
+    s.sv_slo.Telemetry.Slo.rep_p99_ms s.sv_slo.Telemetry.Slo.rep_target_p99_ms
+    (if s.sv_slo.Telemetry.Slo.rep_p99_ok then "ok" else "MISSED")
+    s.sv_slo.Telemetry.Slo.rep_error_budget_burn
+    s.sv_slo.Telemetry.Slo.rep_deadline_hit_rate
 
 let serve_json (s : serve_stats) =
-  Printf.sprintf
-    "{\"models\":%d,\"validations\":%d,\
-     \"cold_elapsed_s\":%.6f,\"warm_elapsed_s\":%.6f,\
-     \"cold_per_1k_s\":%.6f,\"warm_per_1k_s\":%.6f,\
-     \"cold_interp_runs\":%d,\"warm_interp_runs\":%d,\
-     \"warm_search_spans\":%d,\"warm_analyze_spans\":%d,\
-     \"warm_model_loads\":%d,\"cache_hits\":%d,\"cache_misses\":%d,\
-     \"verdict_parity\":%b,\
-     \"tail_latency\":{\"p50_ms\":%.6f,\"p95_ms\":%.6f,\"p99_ms\":%.6f}}"
-    s.sv_n_models s.sv_n_validations s.sv_cold_elapsed s.sv_warm_elapsed
-    (per_1k s.sv_cold_elapsed s.sv_n_validations)
-    (per_1k s.sv_warm_elapsed s.sv_n_validations)
-    s.sv_cold_runs s.sv_warm_runs s.sv_warm_search_spans
-    s.sv_warm_analyze_spans s.sv_warm_loads s.sv_cache_hits s.sv_cache_misses
-    s.sv_parity s.sv_lat_p50_ms s.sv_lat_p95_ms s.sv_lat_p99_ms
+  J_obj
+    [ ("models", J_int s.sv_n_models);
+      ("validations", J_int s.sv_n_validations);
+      ("cold_elapsed_s", J_float s.sv_cold_elapsed);
+      ("warm_elapsed_s", J_float s.sv_warm_elapsed);
+      ("cold_per_1k_s", J_float (per_1k s.sv_cold_elapsed s.sv_n_validations));
+      ("warm_per_1k_s", J_float (per_1k s.sv_warm_elapsed s.sv_n_validations));
+      ("cold_interp_runs", J_int s.sv_cold_runs);
+      ("warm_interp_runs", J_int s.sv_warm_runs);
+      ("warm_search_spans", J_int s.sv_warm_search_spans);
+      ("warm_analyze_spans", J_int s.sv_warm_analyze_spans);
+      ("warm_model_loads", J_int s.sv_warm_loads);
+      ("cache_hits", J_int s.sv_cache_hits);
+      ("cache_misses", J_int s.sv_cache_misses);
+      ("verdict_parity", J_bool s.sv_parity);
+      ( "tail_latency",
+        J_obj
+          [ ("p50_ms", J_float s.sv_lat_p50_ms);
+            ("p95_ms", J_float s.sv_lat_p95_ms);
+            ("p99_ms", J_float s.sv_lat_p99_ms) ] );
+      ( "streaming_quantiles",
+        J_obj
+          [ ("p50_ms", J_float s.sv_sketch_p50_ms);
+            ("p95_ms", J_float s.sv_sketch_p95_ms);
+            ("p99_ms", J_float s.sv_sketch_p99_ms);
+            ("within_5pct_of_nearest_rank", J_bool s.sv_sketch_ok) ] );
+      ( "flight_recorder",
+        J_obj
+          [ ("p99_ms_off", J_float s.sv_p99_flight_off_ms);
+            ("p99_ms_on", J_float s.sv_p99_flight_on_ms);
+            ("overhead_under_10pct", J_bool s.sv_flight_ok) ] );
+      ("slo", J_raw (Telemetry.Slo.report_to_json s.sv_slo)) ]
 
 let pipeline_bench () =
   section "Pipeline stage timings (BENCH_pipeline.json)";
@@ -911,45 +1078,61 @@ let pipeline_bench () =
     (1e3 *. trace_static)
     (if static_identical then "identical" else "DIVERGED");
   print_serve_report serve;
-  (* Serving must never touch the pipeline's search/analyze stages and
-     must cut interpreter work by at least an order of magnitude. *)
+  (* Serving must never touch the pipeline's search/analyze stages,
+     must cut interpreter work by at least an order of magnitude, the
+     streaming sketch must agree with the nearest-rank tail, and the
+     always-on flight recorder must stay under its overhead budget. *)
   let serve_ok =
     serve.sv_parity
     && serve.sv_warm_search_spans = 0
     && serve.sv_warm_analyze_spans = 0
     && serve.sv_warm_runs > 0
     && serve.sv_cold_runs >= 10 * serve.sv_warm_runs
+    && serve.sv_sketch_ok
+    && serve.sv_flight_ok
   in
   if not serve_ok then
     prerr_endline
       "serve pass failed its invariants (parity / zero pipeline spans / \
-       >=10x fewer interpreter runs)";
+       >=10x fewer interpreter runs / sketch within 5% / flight overhead \
+       under 10%)";
   let json =
-    Printf.sprintf
-      "{\"types\":[%s],\"jobs\":%d,\"recommended_domains\":%d,\
-       \"sequential\":%s,\"parallel\":%s,\"nostatic\":%s,\
-       \"trace_speedup\":%.3f,\"elapsed_speedup\":%.3f,\
-       \"ranked_identical\":%b,\
-       \"staticcheck\":{\"pruned\":%d,\"diagnostics\":%d,\
-       \"interp_runs_static\":%d,\"interp_runs_nostatic\":%d,\
-       \"trace_s_static\":%.6f,\"trace_s_nostatic\":%.6f,\
-       \"trace_delta_s\":%.6f,\"ranked_identical\":%b},\
-       \"serve\":%s}\n"
-      (String.concat "," (List.map (Printf.sprintf "\"%s\"") type_ids))
-      jobs recommended
-      (pass_json (seq_elapsed, seq_stages, seq_snap))
-      (pass_json (par_elapsed, par_stages, par_snap))
-      (pass_json (nos_elapsed, nos_stages, nos_snap))
-      trace_speedup elapsed_speedup identical pruned diags runs_static
-      runs_nostatic trace_static trace_nostatic
-      (trace_nostatic -. trace_static)
-      static_identical
-      (serve_json serve)
+    jv_to_string
+      (J_obj
+         [ ("types", J_list (List.map (fun id -> J_str id) type_ids));
+           ("jobs", J_int jobs);
+           ("recommended_domains", J_int recommended);
+           ("sequential", pass_json (seq_elapsed, seq_stages, seq_snap));
+           ("parallel", pass_json (par_elapsed, par_stages, par_snap));
+           ("nostatic", pass_json (nos_elapsed, nos_stages, nos_snap));
+           ("trace_speedup", J_float trace_speedup);
+           ("elapsed_speedup", J_float elapsed_speedup);
+           ("ranked_identical", J_bool identical);
+           ( "staticcheck",
+             J_obj
+               [ ("pruned", J_int pruned);
+                 ("diagnostics", J_int diags);
+                 ("interp_runs_static", J_int runs_static);
+                 ("interp_runs_nostatic", J_int runs_nostatic);
+                 ("trace_s_static", J_float trace_static);
+                 ("trace_s_nostatic", J_float trace_nostatic);
+                 ("trace_delta_s", J_float (trace_nostatic -. trace_static));
+                 ("ranked_identical", J_bool static_identical) ] );
+           ("serve", serve_json serve) ])
+    ^ "\n"
   in
   let oc = open_out "BENCH_pipeline.json" in
   output_string oc json;
   close_out oc;
-  Printf.printf "wrote BENCH_pipeline.json (%d types, seq %.1fs / par %.1fs)\n"
+  (* The warm-pass metrics snapshot doubles as the exposition fixture:
+     `autotype stats --snapshot BENCH_telemetry.json --prom --lint` is
+     the CI check that the Prometheus surface stays well-formed. *)
+  let oc = open_out "BENCH_telemetry.json" in
+  output_string oc (serve.sv_warm_snapshot_json ^ "\n");
+  close_out oc;
+  Printf.printf
+    "wrote BENCH_pipeline.json + BENCH_telemetry.json (%d types, seq %.1fs \
+     / par %.1fs)\n"
     (List.length type_ids) seq_elapsed par_elapsed;
   if not (identical && static_identical && serve_ok) then exit 1
 

@@ -70,11 +70,17 @@ let with_jobs jobs f =
   else Exec.Pool.with_pool ~jobs (fun pool -> f (Some pool))
 
 (** Run [f] with telemetry enabled when [--stats]/[--trace] ask for it,
-    then print the metrics table and/or write the JSONL trace. *)
+    then print the metrics table and/or write the JSONL trace.  Every
+    invocation runs under a fresh request context, so spans and flight
+    events carry a trace id even when stats collection is off; a
+    failing command triggers a flight-recorder dump (when a dump path
+    is configured). *)
 let with_telemetry ~stats ~trace_file f =
   let wanted = stats || trace_file <> None in
   if wanted then Telemetry.enable ();
-  let code = f () in
+  let ctx = Telemetry.Context.root () in
+  let code = Telemetry.Context.with_context ctx f in
+  if code <> 0 then Telemetry.Flight.trigger ~reason:"nonzero_exit";
   if wanted then begin
     Telemetry.disable ();
     (match trace_file with
@@ -87,6 +93,10 @@ let with_telemetry ~stats ~trace_file f =
      | None -> ());
     if stats then begin
       print_newline ();
+      Printf.printf "trace-id: %s\n" (Telemetry.Context.trace_id_hex ctx);
+      (* A model fast-path run records no spans at all; say so instead
+         of printing a silent empty summary. *)
+      if Telemetry.spans () = [] then print_endline "no spans recorded";
       print_string (Telemetry.render_metrics (Telemetry.snapshot ()))
     end
   end;
@@ -113,6 +123,10 @@ let print_stage_summary () =
   in
   if parts <> [] then
     Printf.printf "stages: %s\n" (String.concat " | " parts)
+  else if Telemetry.spans () = [] then
+    (* Model fast-path (or nothing ran): make the absence explicit
+       rather than silently printing no summary at all. *)
+    print_endline "stages: no spans recorded"
 
 let positives_for ~type_id ~examples_file ~query =
   match (examples_file, type_id) with
@@ -539,6 +553,158 @@ let detect_cmd =
     Term.(const run $ column_arg $ models_arg $ deadline_arg
           $ value_budget_arg $ stats_arg $ trace_arg $ jobs_arg)
 
+(* -------------------------------- stats ---------------------------- *)
+
+let read_file path : (string, string) result =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Ok s
+
+(** Decode a snapshot dumped by [Telemetry.Expose.render_json] (the
+    format BENCH_telemetry.json and [--snapshot] files use). *)
+let snapshot_of_json (j : Model.Jsonx.t) : Telemetry.snapshot =
+  let obj = function
+    | Model.Jsonx.Obj kvs -> kvs
+    | _ -> raise (Model.Jsonx.Decode_error "expected a JSON object")
+  in
+  let section name decode =
+    match Model.Jsonx.member_opt name j with
+    | None -> []
+    | Some o -> List.map (fun (k, v) -> (k, decode v)) (obj o)
+  in
+  let f name v = Model.Jsonx.to_float (Model.Jsonx.member name v) in
+  let i name v = Model.Jsonx.to_int (Model.Jsonx.member name v) in
+  {
+    Telemetry.counters = section "counters" Model.Jsonx.to_int;
+    histograms =
+      section "histograms" (fun v ->
+          {
+            Telemetry.h_count = i "count" v;
+            h_sum = f "sum" v;
+            h_min = f "min" v;
+            h_max = f "max" v;
+            h_mean = f "mean" v;
+            h_p50 = f "p50" v;
+            h_p95 = f "p95" v;
+            h_p99 = f "p99" v;
+          });
+    rates =
+      section "rates" (fun v ->
+          {
+            Telemetry.rt_count = i "count" v;
+            rt_per_s = f "per_s" v;
+            rt_window_s = f "window_s" v;
+          });
+  }
+
+let snapshot_arg =
+  Arg.(value & opt (some file) None
+       & info [ "snapshot" ] ~docv:"FILE"
+           ~doc:"Read metrics from a JSON snapshot file (as written by \
+                 the bench harness) instead of the live registry.")
+
+let prom_arg =
+  Arg.(value & flag
+       & info [ "prom" ]
+           ~doc:"Render the Prometheus text exposition format.")
+
+let json_arg =
+  Arg.(value & flag
+       & info [ "json" ]
+           ~doc:"Render deterministic JSON (sorted keys, fixed floats).")
+
+let lint_flag_arg =
+  Arg.(value & flag
+       & info [ "lint" ]
+           ~doc:"Lint the Prometheus exposition (metric names, \
+                 HELP/TYPE, duplicate families); exit non-zero on \
+                 malformed metrics.")
+
+let watch_arg =
+  Arg.(value & flag
+       & info [ "watch" ]
+           ~doc:"Redraw the requested view every interval until \
+                 interrupted.")
+
+let interval_arg =
+  Arg.(value & opt float 2.0
+       & info [ "interval" ] ~docv:"SECONDS"
+           ~doc:"Refresh period for $(b,--watch).")
+
+let stats_cmd =
+  let run snapshot_file prom json lint watch interval =
+    if prom && json then begin
+      prerr_endline "--prom and --json are exclusive";
+      2
+    end
+    else begin
+      let load () : (Telemetry.snapshot, string) result =
+        match snapshot_file with
+        | None -> Ok (Telemetry.snapshot ())
+        | Some path ->
+          (match read_file path with
+           | Error msg -> Error (Printf.sprintf "cannot read %s: %s" path msg)
+           | Ok text ->
+             (match Model.Jsonx.parse text with
+              | Error msg ->
+                Error (Printf.sprintf "%s: malformed JSON: %s" path msg)
+              | Ok j ->
+                (try Ok (snapshot_of_json j) with
+                 | Model.Jsonx.Decode_error msg ->
+                   Error
+                     (Printf.sprintf "%s: not a metrics snapshot: %s" path
+                        msg))))
+      in
+      let render_once () =
+        match load () with
+        | Error msg -> prerr_endline msg; 1
+        | Ok snap ->
+          let prom_text () = Telemetry.Expose.render_prometheus snap in
+          if prom then print_string (prom_text ())
+          else if json then print_endline (Telemetry.Expose.render_json snap)
+          else begin
+            let table = Telemetry.render_metrics snap in
+            if table = "" then print_endline "no metrics recorded"
+            else print_string table
+          end;
+          if lint then begin
+            match Telemetry.Expose.lint (prom_text ()) with
+            | Ok n ->
+              Printf.eprintf "exposition OK: %d well-formed families\n" n;
+              0
+            | Error msgs ->
+              List.iter
+                (fun m -> Printf.eprintf "exposition lint: %s\n" m)
+                msgs;
+              1
+          end
+          else 0
+      in
+      if not watch then render_once ()
+      else begin
+        let interval = Float.max 0.1 interval in
+        let rec loop code =
+          (* Clear screen + home, like a minimal [watch(1)]. *)
+          print_string "\027[2J\027[H";
+          let code' = render_once () in
+          flush stdout;
+          Unix.sleepf interval;
+          loop (max code code')
+        in
+        loop 0
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Show telemetry metrics (live registry or a snapshot file)")
+    Term.(const run $ snapshot_arg $ prom_arg $ json_arg $ lint_flag_arg
+          $ watch_arg $ interval_arg)
+
 (* -------------------------------- lint ----------------------------- *)
 
 let lint_repo_arg =
@@ -653,7 +819,7 @@ let main_cmd =
       ~doc:"Synthesize type-detection logic from open-source code"
   in
   Cmd.group info
-    [ synth_cmd; compile_cmd; validate_cmd; detect_cmd; lint_cmd; types_cmd;
-      transforms_cmd ]
+    [ synth_cmd; compile_cmd; validate_cmd; detect_cmd; stats_cmd; lint_cmd;
+      types_cmd; transforms_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -37,7 +37,9 @@ type verdict =
 let validate_v ?deadline_ns (t : t) (input : string) : verdict =
   let result = Repolib.Driver.run_safe ?deadline_ns t.candidate input in
   match result.Minilang.Interp.outcome with
-  | Minilang.Interp.Deadline_exceeded _ -> Deadline
+  | Minilang.Interp.Deadline_exceeded _ ->
+    Telemetry.Flight.record ~kind:"deadline" "synthesis.validate_v";
+    Deadline
   | _ ->
     let trace = Feature.featurize result.Minilang.Interp.trace in
     if Dnf.satisfies t.dnf.Dnf.expanded trace then Valid else Invalid

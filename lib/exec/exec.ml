@@ -118,6 +118,10 @@ module Pool = struct
         cas ()
       in
       let next = Atomic.make 0 in
+      (* Capture the caller's trace context so helper tasks running on
+         pool domains attribute their spans/events to the same request
+         as the inline chunk. *)
+      let ctx = Telemetry.Context.current () in
       let run_chunk () =
         let rec loop () =
           if Atomic.get failed = None then begin
@@ -139,7 +143,7 @@ module Pool = struct
       let fin_cond = Condition.create () in
       let remaining = ref helpers in
       let helper_task () =
-        run_chunk ();
+        Telemetry.Context.with_current ctx run_chunk;
         Mutex.lock fin_mutex;
         decr remaining;
         if !remaining = 0 then Condition.signal fin_cond;

@@ -100,6 +100,7 @@ let delay_run () =
   match Atomic.get state with
   | Some cfg when cfg.delay_ms > 0.0 ->
     Telemetry.incr m_delays;
+    Telemetry.Flight.record ~kind:"fault" ~value:cfg.delay_ms "delay";
     Unix.sleepf (cfg.delay_ms /. 1000.0)
   | _ -> ()
 
@@ -107,6 +108,7 @@ let should_kill () =
   match Atomic.get state with
   | Some cfg when roll cfg.p_kill cfg ->
     Telemetry.incr m_kills;
+    Telemetry.Flight.record ~kind:"fault" "kill";
     true
   | _ -> false
 
@@ -114,6 +116,7 @@ let corrupt (bytes : string) : string option =
   match Atomic.get state with
   | Some cfg when String.length bytes > 0 && roll cfg.p_corrupt cfg ->
     Telemetry.incr m_corruptions;
+    Telemetry.Flight.record ~kind:"fault" "corrupt";
     (* Flip one byte past the midpoint: headers usually survive, so the
        corruption surfaces as a checksum mismatch — the realistic torn
        read — rather than as not-a-model. *)

@@ -1303,7 +1303,10 @@ let run_traced ?(config = default_config) ?(record_assigns = false)
      | Hit_limit msg ->
        Telemetry.incr m_limit_hits;
        if msg = "step budget exhausted" then Telemetry.incr m_fuel_exhausted
-     | Deadline_exceeded _ -> Telemetry.incr m_deadline_hits
+     | Deadline_exceeded _ ->
+       Telemetry.incr m_deadline_hits;
+       Telemetry.Flight.record ~kind:"deadline"
+         ~value:(float_of_int ctx.steps) "interp.run"
      | Errored _ -> Telemetry.incr m_errored
      | Finished _ -> ())
   end;

@@ -213,7 +213,8 @@ let evict_lru t =
     match victim with
     | Some (key, _) ->
       Hashtbl.remove t.cache key;
-      Telemetry.incr m_evictions
+      Telemetry.incr m_evictions;
+      Telemetry.Flight.record ~kind:"eviction" key
     | None -> ()
   end
 
@@ -239,6 +240,8 @@ let load_with_retry path : (Artifact.t, Artifact.load_error) result =
       Ok art
     | Error e when transient_load_error e && n < max_retries ->
       Telemetry.incr m_retry_attempts;
+      Telemetry.Flight.record ~kind:"retry" ~value:(float_of_int (n + 1))
+        path;
       Unix.sleepf retry_backoff_s.(n);
       attempt (n + 1)
     | Error e ->

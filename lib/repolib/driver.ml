@@ -188,6 +188,7 @@ let run_safe ?config ?record_assigns ?cancel ?deadline_ns c input :
   | r -> r
   | exception Infra_failure msg ->
     Telemetry.incr m_infra_failures;
+    Telemetry.Flight.record ~kind:"infra_failure" msg;
     {
       Interp.outcome = Errored ("InfraError", msg);
       trace = [ Minilang.Trace.Exception "InfraError" ];

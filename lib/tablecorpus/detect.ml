@@ -61,6 +61,10 @@ let m_models_served = Telemetry.counter "detect.models_served"
 let m_serve_fallbacks = Telemetry.counter "detect.serve_fallbacks"
 let m_deadline_hits = Telemetry.counter "serve.deadline_hits"
 let m_degraded = Telemetry.counter "serve.degraded"
+let r_columns = Telemetry.rate "serve.columns"
+let r_deadline_hits = Telemetry.rate "serve.deadline_hits"
+let r_degraded = Telemetry.rate "serve.degraded"
+let h_column_latency = Telemetry.histogram "serve.column_latency_ms"
 
 (* ------------------------------------------------------------------ *)
 (* Deadline-aware column serving                                       *)
@@ -106,6 +110,13 @@ let serve_column ?(budgets = no_budgets)
       (match budgets.batch_deadline with
        | Some d when Exec.Deadline.expired d ->
          Telemetry.incr m_degraded;
+         Telemetry.mark r_degraded;
+         (* A degraded column is exactly what the flight recorder
+            exists for: record the event with its request attribution,
+            then dump the ring for post-mortem if a path is set. *)
+         Telemetry.Flight.record ~kind:"degraded"
+           ~value:(float_of_int seen) "serve.column";
+         Telemetry.Flight.trigger ~reason:"column_degraded";
          Column_degraded { seen; accepted; total }
        | _ ->
          let deadline_ns =
@@ -119,9 +130,20 @@ let serve_column ?(budgets = no_budgets)
           | Autotype_core.Synthesis.Invalid -> go (seen + 1) accepted rest
           | Autotype_core.Synthesis.Deadline ->
             Telemetry.incr m_deadline_hits;
+            Telemetry.mark r_deadline_hits;
             go (seen + 1) accepted rest))
   in
-  go 0 0 values
+  Telemetry.mark r_columns;
+  if Telemetry.enabled () then
+    Telemetry.with_span "serve.column"
+      ~attrs:[ ("values", Telemetry.I total) ]
+      (fun () ->
+        let t_start = Telemetry.now_ns () in
+        let verdict = go 0 0 values in
+        Telemetry.observe h_column_latency
+          (Int64.to_float (Int64.sub (Telemetry.now_ns ()) t_start) /. 1e6);
+        verdict)
+  else go 0 0 values
 
 (** Wrap a registry-served model as a detector — the warm serving path:
     no search, no analysis, no negative generation. *)

@@ -1,12 +1,17 @@
-(** Telemetry for the synthesis pipeline: nestable timed spans, counters
-    and histograms, and JSONL trace export.
+(** Telemetry for the synthesis pipeline and serving layer: request
+    trace contexts, nestable timed spans, counters, histograms with
+    streaming quantile sketches, sliding-window rates, an always-on
+    flight recorder, and JSONL/Prometheus export.
 
-    The subsystem is a process-wide recorder that is {e disabled} by
-    default: every instrumentation call ([with_span], [incr], [observe])
-    first checks a single boolean, so instrumented code pays effectively
-    nothing until {!enable} is called.  The CLI turns it on for
-    [--stats]/[--trace], the bench harness for its [pipeline] target,
-    and tests enable it around individual assertions.
+    The metrics subsystem is a process-wide recorder that is {e
+    disabled} by default: every instrumentation call ([with_span],
+    [incr], [observe], [mark]) first checks a single boolean, so
+    instrumented code pays effectively nothing until {!enable} is
+    called.  The CLI turns it on for [--stats]/[--trace], the bench
+    harness for its [pipeline] target, and tests enable it around
+    individual assertions.  The {!Flight} recorder is independent of
+    that flag: it is always on (a bounded ring of recent events) unless
+    explicitly disabled.
 
     Timing uses the OS monotonic clock (CLOCK_MONOTONIC via bechamel's
     stubs), so span durations are immune to wall-clock adjustments.
@@ -15,9 +20,11 @@
     domain: counters are atomics, histograms accumulate into per-domain
     shards merged at {!snapshot}, and spans nest along each domain's own
     dynamic call stack (finished spans are appended to one shared list).
-    {!enable}, {!disable} and {!reset} are orchestration operations —
-    call them from the controlling domain while no parallel region is
-    in flight. *)
+    {!enable}, {!disable} and {!reset} may be called at any time, even
+    with spans in flight on other domains: lifecycle operations
+    atomically bump a generation counter, and observations started
+    under an older generation are dropped rather than misattributed to
+    the new run. *)
 
 val now_ns : unit -> int64
 (** Raw CLOCK_MONOTONIC reading in nanoseconds — the clock every span
@@ -33,7 +40,7 @@ val enabled : unit -> bool
 
 val enable : unit -> unit
 (** Turn telemetry on and start a fresh run: clears recorded spans and
-    zeroes every registered metric. *)
+    flight events and zeroes every registered metric. *)
 
 val disable : unit -> unit
 (** Turn telemetry off.  Recorded data is kept so it can still be
@@ -41,7 +48,110 @@ val disable : unit -> unit
 
 val reset : unit -> unit
 (** Clear recorded spans and zero all metrics without changing the
-    enabled flag. *)
+    enabled flag.  Safe concurrently with in-flight observations: the
+    generation counter is bumped atomically and stale-generation spans
+    are dropped when they finish. *)
+
+(* ------------------------------------------------------------------ *)
+(* Trace contexts                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Context : sig
+  (** A request-scoped identity carried in domain-local storage.  Every
+      span, flight event, and counter/exemplar attribution recorded
+      while a context is installed carries its trace id, so serving
+      telemetry is attributable to the individual request that caused
+      it.  Parallel regions capture the caller's context and reinstall
+      it in worker domains ({!Exec.parallel_map}). *)
+
+  type t = {
+    trace_id : int64;  (** splitmix64-derived, never 0 for a real context *)
+    request_id : int;
+  }
+
+  val root : ?request_id:int -> unit -> t
+  (** Mint a fresh context with a new non-zero trace id.  [request_id]
+      defaults to a process-wide sequence. *)
+
+  val current : unit -> t option
+  (** The context installed on the calling domain, if any. *)
+
+  val trace_id : unit -> int64
+  (** Trace id of the current context, or [0L] outside any context. *)
+
+  val with_context : t -> (unit -> 'a) -> 'a
+  (** Install a context for the dynamic extent of the thunk (saved and
+      restored, exception-safe). *)
+
+  val with_current : t option -> (unit -> 'a) -> 'a
+  (** [with_current (Some ctx) f] is [with_context ctx f];
+      [with_current None f] is [f ()].  The shape used to propagate a
+      captured context into worker domains. *)
+
+  val id_to_hex : int64 -> string
+  (** 16-digit lowercase hex, e.g. ["00c3f2a9b1d40e77"]. *)
+
+  val trace_id_hex : t -> string
+end
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Flight : sig
+  (** A fixed-size, lock-striped ring buffer of recent structured
+      events: span ends, deadline hits, column degradations, retry
+      attempts, fault injections.  Independent of the metrics [on]
+      flag — always recording (bounded memory, ~zero cost) unless
+      {!set_enabled}[ false].  Dumped as JSONL on demand or via
+      {!trigger} when something goes wrong. *)
+
+  type event = {
+    f_ns : int64;  (** absolute monotonic time *)
+    f_trace_id : int64;  (** 0 when recorded outside any context *)
+    f_request_id : int;
+    f_kind : string;  (** "span", "deadline", "degraded", "retry", … *)
+    f_label : string;
+    f_value : float;
+  }
+
+  val capacity : int
+  (** Total ring capacity across stripes; older events are overwritten. *)
+
+  val enabled : unit -> bool
+  val set_enabled : bool -> unit
+
+  val record : ?value:float -> kind:string -> string -> unit
+  (** Record one event on the calling domain's stripe.  Picks up the
+      current {!Context} automatically. *)
+
+  val events : unit -> event list
+  (** Current ring contents in time order. *)
+
+  val overwritten : unit -> int
+  (** Events lost to ring wrap-around since the last {!clear}. *)
+
+  val clear : unit -> unit
+
+  val event_to_json : event -> string
+  (** One-line JSON object with sorted keys: kind, label, request_id,
+      t_ms, trace_id (hex), value. *)
+
+  val dump : string -> (int, string) result
+  (** Write the ring contents as JSONL; returns the number of events
+      written. *)
+
+  val set_dump_path : string option -> unit
+  (** Where {!trigger} dumps.  Defaults to [AUTOTYPE_FLIGHT_DUMP] from
+      the environment; [None] makes triggers no-ops. *)
+
+  val dump_path : unit -> string option
+
+  val trigger : reason:string -> unit
+  (** Record a ["dump"] event and dump the ring to the configured path
+      (no-op when no path is configured; dump failures are reported on
+      stderr, never raised). *)
+end
 
 (* ------------------------------------------------------------------ *)
 (* Spans                                                               *)
@@ -59,6 +169,7 @@ type span = {
   sp_id : int;
   sp_parent : int option;  (** id of the enclosing span, if any *)
   sp_name : string;
+  sp_trace_id : int64;  (** 0 when recorded outside any context *)
   sp_start_ns : int64;  (** monotonic ns since {!enable} *)
   sp_dur_ns : int64;
   sp_attrs : attr list;  (** in insertion order *)
@@ -67,7 +178,8 @@ type span = {
 val with_span : ?attrs:attr list -> string -> (unit -> 'a) -> 'a
 (** Run the thunk inside a named span.  The span is recorded when the
     thunk returns or raises; when telemetry is disabled this is just a
-    call to the thunk. *)
+    call to the thunk.  The span carries the current context's trace id
+    and emits a ["span"] flight event on completion. *)
 
 val add_attr : string -> attr_value -> unit
 (** Attach an attribute to the innermost open span (no-op when disabled
@@ -87,6 +199,7 @@ val total_ns : string -> int64
 
 type counter
 type histogram
+type rate
 
 val counter : string -> counter
 (** Find or register a counter.  Handles are typically created once at
@@ -95,8 +208,15 @@ val counter : string -> counter
 
 val histogram : string -> histogram
 
+val rate : string -> rate
+(** Find or register a sliding-window rate (60 one-second slots). *)
+
 val incr : ?by:int -> counter -> unit
 val observe : histogram -> float -> unit
+
+val mark : ?by:int -> rate -> unit
+(** Record [by] occurrences at the current time; the window forgets
+    them once they age out. *)
 
 type hist_snapshot = {
   h_count : int;
@@ -104,11 +224,24 @@ type hist_snapshot = {
   h_min : float;
   h_max : float;
   h_mean : float;
+  h_p50 : float;
+      (** Streaming-quantile estimates from a mergeable log-bucketed
+          sketch (relative error ≤ ~3.9%); exact min/max kept
+          separately. *)
+  h_p95 : float;
+  h_p99 : float;
+}
+
+type rate_snapshot = {
+  rt_count : int;  (** marks inside the sliding window *)
+  rt_per_s : float;
+  rt_window_s : float;
 }
 
 type snapshot = {
   counters : (string * int) list;  (** sorted by name *)
   histograms : (string * hist_snapshot) list;  (** sorted by name *)
+  rates : (string * rate_snapshot) list;  (** sorted by name *)
 }
 
 val snapshot : unit -> snapshot
@@ -123,8 +256,8 @@ val format_ns : int64 -> string
 (** Human duration: "412ns", "3.2us", "15.4ms", "2.31s". *)
 
 val span_to_json : span -> string
-(** One-line JSON object: name, id, parent (null at top level), start_ms,
-    dur_ms and an attrs object. *)
+(** One-line JSON object: name, id, parent (null at top level),
+    trace_id (hex), start_ms, dur_ms and an attrs object. *)
 
 val write_jsonl : string -> (unit, string) result
 (** Write every finished span, one JSON object per line, to a file.
@@ -135,4 +268,59 @@ val render_tree : unit -> string
 
 val render_metrics : snapshot -> string
 (** Fixed-width table of every registered counter (zeroes included, so
-    absence-of-events is visible) and every non-empty histogram. *)
+    absence-of-events is visible), every non-empty histogram with
+    sketch quantiles, and every non-empty rate. *)
+
+(* ------------------------------------------------------------------ *)
+(* Exposition                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Expose : sig
+  val render_prometheus : snapshot -> string
+  (** Prometheus text exposition: counters as [autotype_<name>_total],
+      histograms as summaries with quantile labels plus [_sum]/[_count],
+      rates as [_per_second] gauges.  Families sorted by name, each with
+      HELP and TYPE lines. *)
+
+  val render_json : snapshot -> string
+  (** Deterministic JSON (sorted keys, fixed float formatting) — also
+      the snapshot-file format read back by [autotype stats]. *)
+
+  val lint : string -> (int, string list) result
+  (** Check a text exposition for scraper-visible defects: malformed
+      metric names, duplicate or missing HELP/TYPE, non-contiguous
+      family samples, unparsable values.  [Ok n] gives the number of
+      well-formed families. *)
+end
+
+(* ------------------------------------------------------------------ *)
+(* SLO                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Slo : sig
+  type target = { slo_p99_ms : float; slo_error_rate : float }
+
+  val default_target : target
+  (** p99 ≤ 1ms, error rate ≤ 1% — the warm serving objective. *)
+
+  type report = {
+    rep_total : int;
+    rep_p99_ms : float;
+    rep_target_p99_ms : float;
+    rep_p99_ok : bool;
+    rep_error_rate : float;
+    rep_target_error_rate : float;
+    rep_error_budget_burn : float;
+        (** observed error rate / target error rate; 1.0 = burning the
+            budget exactly, > 1 = out of budget *)
+    rep_deadline_hit_rate : float;
+  }
+
+  val eval :
+    target -> p99_ms:float -> errors:int -> deadline_hits:int -> total:int ->
+    report
+
+  val report_to_json : report -> string
+  (** One-line JSON object with sorted keys and fixed float formatting
+      (deterministic for BENCH files). *)
+end

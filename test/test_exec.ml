@@ -167,6 +167,56 @@ let test_map_deadline_exception () =
         Alcotest.(check string) "pooled lowest failure"
           (string_of_int (List.nth xs 3)) m)
 
+let test_context_propagation () =
+  (* A request context installed around parallel_map must reach the
+     worker domains: every span recorded inside [f] carries the same
+     trace id, whether the map runs inline (jobs=1) or fans out. *)
+  let n = 64 in
+  let run jobs =
+    Telemetry.enable ();
+    let ctx = Telemetry.Context.root () in
+    Exec.Pool.with_pool ~jobs (fun pool ->
+        Telemetry.Context.with_context ctx (fun () ->
+            ignore
+              (Exec.Pool.parallel_map pool
+                 (fun x -> Telemetry.with_span "ctx-span" (fun () -> heavy x))
+                 (inputs n))));
+    Telemetry.disable ();
+    let spans = Telemetry.spans_named "ctx-span" in
+    Alcotest.(check int)
+      (Printf.sprintf "jobs=%d: every element spanned" jobs)
+      n (List.length spans);
+    List.iter
+      (fun (s : Telemetry.span) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "jobs=%d: span carries the request trace id" jobs)
+          true
+          (s.Telemetry.sp_trace_id = ctx.Telemetry.Context.trace_id))
+      spans;
+    (* The flight events emitted for those spans are attributed too. *)
+    let span_events =
+      List.filter
+        (fun (e : Telemetry.Flight.event) ->
+          e.Telemetry.Flight.f_kind = "span"
+          && e.Telemetry.Flight.f_label = "ctx-span")
+        (Telemetry.Flight.events ())
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "jobs=%d: span flight events recorded" jobs)
+      true
+      (span_events <> []);
+    List.iter
+      (fun (e : Telemetry.Flight.event) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "jobs=%d: flight event carries the trace id" jobs)
+          true
+          (e.Telemetry.Flight.f_trace_id = ctx.Telemetry.Context.trace_id))
+      span_events;
+    Telemetry.reset ()
+  in
+  run 1;
+  run 4
+
 let suite =
   [
     ("parallel_map matches List.map", `Quick, test_matches_sequential);
@@ -181,4 +231,5 @@ let suite =
     ("deadline arithmetic", `Quick, test_deadline_api);
     ("map_deadline degrades to fallback", `Quick, test_map_deadline);
     ("map_deadline exception contract", `Quick, test_map_deadline_exception);
+    ("trace context reaches pool workers", `Quick, test_context_propagation);
   ]

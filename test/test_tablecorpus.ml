@@ -243,6 +243,139 @@ let test_serve_fallback_on_bad_artifact () =
   Alcotest.(check bool) "retries were attempted first" true
     (Telemetry.find_counter snap "retry.attempts" >= 2)
 
+(* ----------------- request-scoped observability -------------------- *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | l -> go (l :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+let test_serve_trace_attribution () =
+  (* Acceptance: every span, counter attribution and flight event
+     emitted while serve_column runs under a request context carries
+     that context's (non-zero) trace id — at jobs=1 and jobs=4. *)
+  let syn = ipv4_synthesis () in
+  let ty = Semtypes.Registry.find_exn "ipv4" in
+  let columns =
+    List.init 8 (fun i ->
+        Semtypes.Registry.positive_examples ~n:3 ~seed:(100 + i) ty)
+  in
+  let run jobs =
+    Telemetry.enable ();
+    let ctx = Telemetry.Context.root () in
+    Alcotest.(check bool) "request trace id is non-zero" true
+      (ctx.Telemetry.Context.trace_id <> 0L);
+    Exec.Pool.with_pool ~jobs (fun pool ->
+        Telemetry.Context.with_context ctx (fun () ->
+            ignore
+              (Exec.Pool.parallel_map pool
+                 (fun values -> Tablecorpus.Detect.serve_column syn values)
+                 columns)));
+    Telemetry.disable ();
+    let spans = Telemetry.spans_named "serve.column" in
+    Alcotest.(check int)
+      (Printf.sprintf "jobs=%d: one span per served column" jobs)
+      (List.length columns) (List.length spans);
+    List.iter
+      (fun (s : Telemetry.span) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "jobs=%d: span carries the request trace id" jobs)
+          true
+          (s.Telemetry.sp_trace_id = ctx.Telemetry.Context.trace_id))
+      spans;
+    let evs = Telemetry.Flight.events () in
+    Alcotest.(check bool)
+      (Printf.sprintf "jobs=%d: flight events were recorded" jobs)
+      true (evs <> []);
+    Alcotest.(check bool)
+      (Printf.sprintf "jobs=%d: a span flight event exists" jobs)
+      true
+      (List.exists
+         (fun (e : Telemetry.Flight.event) ->
+           e.Telemetry.Flight.f_kind = "span"
+           && e.Telemetry.Flight.f_label = "serve.column")
+         evs);
+    List.iter
+      (fun (e : Telemetry.Flight.event) ->
+        Alcotest.(check bool)
+          (Printf.sprintf
+             "jobs=%d: flight event %s/%s carries the request trace id" jobs
+             e.Telemetry.Flight.f_kind e.Telemetry.Flight.f_label)
+          true
+          (e.Telemetry.Flight.f_trace_id = ctx.Telemetry.Context.trace_id))
+      evs;
+    Telemetry.reset ()
+  in
+  run 1;
+  run 4
+
+let test_degraded_flight_dump () =
+  (* Acceptance: under injected delay, a degraded column triggers a
+     flight-recorder dump whose JSONL events carry the request's trace
+     id. *)
+  let syn = ipv4_synthesis () in
+  let ty = Semtypes.Registry.find_exn "ipv4" in
+  let values = Semtypes.Registry.positive_examples ~n:5 ~seed:7 ty in
+  let path = Filename.temp_file "autotype-flight-dump" ".jsonl" in
+  let saved_dump = Telemetry.Flight.dump_path () in
+  Fun.protect
+    ~finally:(fun () ->
+      Faults.set None;
+      Telemetry.Flight.set_dump_path saved_dump;
+      if Sys.file_exists path then Sys.remove path)
+  @@ fun () ->
+  Telemetry.Flight.set_dump_path (Some path);
+  (* A 3ms injected delay per run against a 1ms batch budget: the first
+     value burns the deadline, the second degrades the column. *)
+  Faults.set
+    (Some { Faults.delay_ms = 3.0; p_kill = 0.0; p_corrupt = 0.0; seed = 1 });
+  Telemetry.enable ();
+  let ctx = Telemetry.Context.root () in
+  let verdict =
+    Telemetry.Context.with_context ctx (fun () ->
+        let b = Tablecorpus.Detect.budgets ~deadline_ms:1.0 () in
+        Tablecorpus.Detect.serve_column ~budgets:b syn values)
+  in
+  Telemetry.disable ();
+  (match verdict with
+   | Tablecorpus.Detect.Column_degraded { seen; total; _ } ->
+     Alcotest.(check bool) "partial progress preserved" true (seen < total)
+   | _ -> Alcotest.fail "expected degradation under injected delay");
+  Alcotest.(check bool) "trigger dumped the flight ring" true
+    (Sys.file_exists path);
+  let lines = read_lines path in
+  Alcotest.(check bool) "dump is non-empty" true (lines <> []);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "dump line is a JSON object" true
+        (String.length l > 1 && l.[0] = '{' && l.[String.length l - 1] = '}'))
+    lines;
+  let hex = Telemetry.Context.trace_id_hex ctx in
+  Alcotest.(check bool) "degraded event carries the request trace id" true
+    (List.exists
+       (fun l ->
+         contains ~needle:"\"kind\":\"degraded\"" l && contains ~needle:hex l)
+       lines);
+  Alcotest.(check bool) "deadline events carry the request trace id" true
+    (List.exists
+       (fun l ->
+         contains ~needle:"\"kind\":\"deadline\"" l && contains ~needle:hex l)
+       lines);
+  Alcotest.(check bool) "dump trigger recorded its reason" true
+    (List.exists (fun l -> contains ~needle:"\"kind\":\"dump\"" l) lines);
+  Telemetry.reset ()
+
 let suite =
   [
     ("regex inference: homogeneous", `Quick, test_infer_homogeneous);
@@ -257,4 +390,8 @@ let suite =
     ("serve_column budgets and degradation", `Slow, test_serve_column_budgets);
     ("serve fallback on bad artifact", `Slow,
      test_serve_fallback_on_bad_artifact);
+    ("serve_column trace attribution (jobs=1 and 4)", `Slow,
+     test_serve_trace_attribution);
+    ("degraded column triggers flight dump", `Slow,
+     test_degraded_flight_dump);
   ]

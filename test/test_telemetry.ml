@@ -183,6 +183,283 @@ let test_multi_domain_metrics () =
   Alcotest.(check (float 1e-6)) "mean across domains" 2.5 hs.Telemetry.h_mean;
   Telemetry.reset ()
 
+let test_context () =
+  (* Outside any context: no identity, zero trace id. *)
+  Alcotest.(check bool) "no current context initially" true
+    (Telemetry.Context.current () = None);
+  Alcotest.(check bool) "trace_id is 0 outside any context" true
+    (Telemetry.Context.trace_id () = 0L);
+  let a = Telemetry.Context.root () in
+  let b = Telemetry.Context.root () in
+  Alcotest.(check bool) "trace ids are non-zero" true
+    (a.Telemetry.Context.trace_id <> 0L && b.Telemetry.Context.trace_id <> 0L);
+  Alcotest.(check bool) "trace ids are distinct" true
+    (a.Telemetry.Context.trace_id <> b.Telemetry.Context.trace_id);
+  Alcotest.(check bool) "request ids are distinct" true
+    (a.Telemetry.Context.request_id <> b.Telemetry.Context.request_id);
+  let hex = Telemetry.Context.trace_id_hex a in
+  Alcotest.(check int) "hex id is 16 digits" 16 (String.length hex);
+  String.iter
+    (fun c ->
+      Alcotest.(check bool) "hex digit" true
+        ((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')))
+    hex;
+  (* Nesting installs and restores, exception-safe. *)
+  Telemetry.Context.with_context a (fun () ->
+      Alcotest.(check bool) "outer installed" true
+        (Telemetry.Context.trace_id () = a.Telemetry.Context.trace_id);
+      Telemetry.Context.with_context b (fun () ->
+          Alcotest.(check bool) "inner shadows outer" true
+            (Telemetry.Context.trace_id () = b.Telemetry.Context.trace_id));
+      (try
+         Telemetry.Context.with_context b (fun () -> failwith "boom")
+       with Failure _ -> ());
+      Alcotest.(check bool) "outer restored after inner (and exception)" true
+        (Telemetry.Context.trace_id () = a.Telemetry.Context.trace_id));
+  Alcotest.(check bool) "no context after with_context returns" true
+    (Telemetry.Context.current () = None);
+  Telemetry.Context.with_current (Some a) (fun () ->
+      Alcotest.(check bool) "with_current Some installs" true
+        (Telemetry.Context.trace_id () = a.Telemetry.Context.trace_id));
+  Telemetry.Context.with_current None (fun () ->
+      Alcotest.(check bool) "with_current None is transparent" true
+        (Telemetry.Context.current () = None))
+
+let test_generation_race () =
+  (* Regression: a reset/enable racing a span open on another domain
+     must drop the stale span rather than misattribute it to the new
+     run — and must not corrupt subsequent recording. *)
+  Telemetry.enable ();
+  let started = Atomic.make false in
+  let release = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        Telemetry.with_span "stale-span" (fun () ->
+            Atomic.set started true;
+            while not (Atomic.get release) do
+              Domain.cpu_relax ()
+            done))
+  in
+  while not (Atomic.get started) do
+    Domain.cpu_relax ()
+  done;
+  (* Lifecycle swap while the span is still open on the other domain. *)
+  Telemetry.enable ();
+  Atomic.set release true;
+  Domain.join d;
+  Telemetry.with_span "fresh-span" (fun () -> ());
+  Telemetry.disable ();
+  Alcotest.(check int) "stale-generation span dropped" 0
+    (List.length (Telemetry.spans_named "stale-span"));
+  Alcotest.(check int) "fresh span still recorded" 1
+    (List.length (Telemetry.spans_named "fresh-span"));
+  Telemetry.reset ()
+
+let test_sketch_quantiles () =
+  (* Four domains observe disjoint slices of 1..1000; the merged sketch
+     quantiles must land within the documented ~5% relative error of
+     the exact nearest-rank answers. *)
+  Telemetry.enable ();
+  let h = Telemetry.histogram "test.sketch-merge" in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to 250 do
+              Telemetry.observe h (float_of_int ((d * 250) + i))
+            done))
+  in
+  List.iter Domain.join domains;
+  let snap = Telemetry.snapshot () in
+  Telemetry.disable ();
+  let hs = List.assoc "test.sketch-merge" snap.Telemetry.histograms in
+  Alcotest.(check int) "all observations merged" 1000 hs.Telemetry.h_count;
+  Alcotest.(check (float 1e-9)) "exact min survives" 1.0 hs.Telemetry.h_min;
+  Alcotest.(check (float 1e-9)) "exact max survives" 1000.0 hs.Telemetry.h_max;
+  let close name est exact =
+    let rel = Float.abs (est -. exact) /. exact in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s within 5%% (est %.2f exact %.2f)" name est exact)
+      true (rel <= 0.05)
+  in
+  close "p50" hs.Telemetry.h_p50 500.0;
+  close "p95" hs.Telemetry.h_p95 950.0;
+  close "p99" hs.Telemetry.h_p99 990.0;
+  Telemetry.reset ()
+
+let test_rates () =
+  Telemetry.enable ();
+  let r = Telemetry.rate "test.rates-window" in
+  for _ = 1 to 30 do
+    Telemetry.mark r
+  done;
+  Telemetry.mark ~by:12 r;
+  let snap = Telemetry.snapshot () in
+  let rt = List.assoc "test.rates-window" snap.Telemetry.rates in
+  Alcotest.(check int) "window counts all marks" 42 rt.Telemetry.rt_count;
+  Alcotest.(check (float 1e-9)) "60s window" 60.0 rt.Telemetry.rt_window_s;
+  Alcotest.(check (float 1e-6)) "per-second rate" (42.0 /. 60.0)
+    rt.Telemetry.rt_per_s;
+  Telemetry.reset ();
+  let snap2 = Telemetry.snapshot () in
+  Telemetry.disable ();
+  (match List.assoc_opt "test.rates-window" snap2.Telemetry.rates with
+   | None -> ()
+   | Some rt2 ->
+     Alcotest.(check int) "reset empties the window" 0 rt2.Telemetry.rt_count)
+
+let test_flight_recorder () =
+  Telemetry.Flight.clear ();
+  Alcotest.(check bool) "recorder on by default" true
+    (Telemetry.Flight.enabled ());
+  (* Overfill this domain's stripe to force ring wrap-around. *)
+  for i = 1 to 600 do
+    Telemetry.Flight.record ~kind:"test" ~value:(float_of_int i) "wrap-evt"
+  done;
+  let evs = Telemetry.Flight.events () in
+  Alcotest.(check bool) "ring keeps a bounded window" true
+    (List.length evs > 0 && List.length evs <= Telemetry.Flight.capacity);
+  Alcotest.(check bool) "wrap-around counted" true
+    (Telemetry.Flight.overwritten () >= 600 - Telemetry.Flight.capacity
+     && Telemetry.Flight.overwritten () > 0);
+  let rec sorted = function
+    | (a : Telemetry.Flight.event) :: (b :: _ as rest) ->
+      Int64.compare a.Telemetry.Flight.f_ns b.Telemetry.Flight.f_ns <= 0
+      && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "events come back in time order" true (sorted evs);
+  Alcotest.(check bool) "unattributed events carry trace id 0" true
+    (List.for_all
+       (fun (e : Telemetry.Flight.event) -> e.Telemetry.Flight.f_trace_id = 0L)
+       evs);
+  (* A context-attributed event, then a JSONL dump. *)
+  let ctx = Telemetry.Context.root () in
+  Telemetry.Context.with_context ctx (fun () ->
+      Telemetry.Flight.record ~kind:"test" "attributed-evt");
+  let path = Filename.temp_file "autotype-flight" ".jsonl" in
+  (match Telemetry.Flight.dump path with
+   | Ok n ->
+     Alcotest.(check bool) "dump writes every ring event" true
+       (n > 0 && n <= Telemetry.Flight.capacity)
+   | Error msg -> Alcotest.failf "flight dump failed: %s" msg);
+  let ic = open_in path in
+  let rec read acc =
+    match input_line ic with
+    | l -> read (l :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  let lines = read [] in
+  Sys.remove path;
+  Alcotest.(check bool) "one JSON object per line" true
+    (List.for_all
+       (fun l ->
+         String.length l > 1 && l.[0] = '{' && l.[String.length l - 1] = '}')
+       lines);
+  let hex = Telemetry.Context.trace_id_hex ctx in
+  Alcotest.(check bool) "attributed event dumps with its trace id" true
+    (List.exists
+       (fun l -> contains ~needle:"attributed-evt" l && contains ~needle:hex l)
+       lines);
+  Alcotest.(check bool) "unattributed events dump with zero trace id" true
+    (List.exists
+       (fun l ->
+         contains ~needle:"wrap-evt" l
+         && contains ~needle:"0000000000000000" l)
+       lines);
+  (* Disabling stops recording without clearing. *)
+  Telemetry.Flight.set_enabled false;
+  let before = List.length (Telemetry.Flight.events ()) in
+  Telemetry.Flight.record ~kind:"test" "while-disabled";
+  Alcotest.(check int) "no recording while disabled" before
+    (List.length (Telemetry.Flight.events ()));
+  Telemetry.Flight.set_enabled true;
+  Telemetry.Flight.clear ();
+  Alcotest.(check int) "clear empties the ring" 0
+    (List.length (Telemetry.Flight.events ()));
+  Alcotest.(check int) "clear resets the overwrite count" 0
+    (Telemetry.Flight.overwritten ())
+
+let test_expose_prometheus () =
+  Telemetry.enable ();
+  Telemetry.incr ~by:3 (Telemetry.counter "test.expose-counter");
+  let h = Telemetry.histogram "test.expose-hist" in
+  List.iter (Telemetry.observe h) [ 1.0; 2.0; 3.0 ];
+  Telemetry.mark ~by:6 (Telemetry.rate "test.expose-rate");
+  let snap = Telemetry.snapshot () in
+  Telemetry.disable ();
+  let text = Telemetry.Expose.render_prometheus snap in
+  Alcotest.(check bool) "counter family rendered" true
+    (contains ~needle:"# TYPE autotype_test_expose_counter_total counter" text
+     && contains ~needle:"autotype_test_expose_counter_total 3" text);
+  Alcotest.(check bool) "histogram rendered as summary" true
+    (contains ~needle:"# TYPE autotype_test_expose_hist summary" text
+     && contains ~needle:"quantile=\"0.99\"" text
+     && contains ~needle:"autotype_test_expose_hist_count 3" text);
+  Alcotest.(check bool) "rate rendered as gauge" true
+    (contains ~needle:"# TYPE autotype_test_expose_rate_per_second gauge" text);
+  (* Our own exposition must pass our own lint. *)
+  (match Telemetry.Expose.lint text with
+   | Ok n -> Alcotest.(check bool) "lint counts families" true (n >= 3)
+   | Error msgs ->
+     Alcotest.failf "exposition failed lint: %s" (String.concat "; " msgs));
+  (* Deterministic JSON: stable across calls, fixed top-level shape. *)
+  let j1 = Telemetry.Expose.render_json snap in
+  let j2 = Telemetry.Expose.render_json snap in
+  Alcotest.(check string) "render_json is deterministic" j1 j2;
+  Alcotest.(check bool) "render_json leads with counters" true
+    (String.length j1 > 12 && String.sub j1 0 12 = "{\"counters\":");
+  Telemetry.reset ()
+
+let test_expose_lint_rejects () =
+  let expect_error what text =
+    match Telemetry.Expose.lint text with
+    | Ok _ -> Alcotest.failf "lint accepted %s" what
+    | Error msgs ->
+      Alcotest.(check bool) (what ^ " reported") true (msgs <> [])
+  in
+  expect_error "sample without HELP/TYPE" "autotype_orphan 1\n";
+  expect_error "duplicate family"
+    "# HELP autotype_x x\n# TYPE autotype_x counter\n# TYPE autotype_x counter\nautotype_x 1\n";
+  expect_error "malformed metric name"
+    "# HELP autotype_y y\n# TYPE autotype_y counter\nautotype_y 1\n9bad 2\n";
+  expect_error "unparsable sample value"
+    "# HELP autotype_z z\n# TYPE autotype_z counter\nautotype_z nope\n";
+  expect_error "non-contiguous family samples"
+    "# HELP autotype_a a\n# TYPE autotype_a counter\nautotype_a 1\n\
+     # HELP autotype_b b\n# TYPE autotype_b counter\nautotype_b 1\n\
+     autotype_a 2\n";
+  expect_error "declared family with no samples"
+    "# HELP autotype_ghost g\n# TYPE autotype_ghost counter\n"
+
+let test_slo_eval () =
+  let t = { Telemetry.Slo.slo_p99_ms = 1.0; slo_error_rate = 0.01 } in
+  let r =
+    Telemetry.Slo.eval t ~p99_ms:0.5 ~errors:1 ~deadline_hits:2 ~total:1000
+  in
+  Alcotest.(check bool) "p99 within target" true r.Telemetry.Slo.rep_p99_ok;
+  Alcotest.(check (float 1e-9)) "error rate" 0.001
+    r.Telemetry.Slo.rep_error_rate;
+  Alcotest.(check (float 1e-9)) "burn rate = rate / target" 0.1
+    r.Telemetry.Slo.rep_error_budget_burn;
+  Alcotest.(check (float 1e-9)) "deadline hit rate" 0.002
+    r.Telemetry.Slo.rep_deadline_hit_rate;
+  let over =
+    Telemetry.Slo.eval t ~p99_ms:2.0 ~errors:50 ~deadline_hits:0 ~total:1000
+  in
+  Alcotest.(check bool) "p99 breach detected" false
+    over.Telemetry.Slo.rep_p99_ok;
+  Alcotest.(check bool) "burn > 1 when out of budget" true
+    (over.Telemetry.Slo.rep_error_budget_burn > 1.0);
+  let j = Telemetry.Slo.report_to_json r in
+  List.iter
+    (fun field ->
+      Alcotest.(check bool) (field ^ " in report JSON") true
+        (contains ~needle:("\"" ^ field ^ "\":") j))
+    [ "deadline_hit_rate"; "error_budget_burn"; "error_rate"; "p99_ms";
+      "p99_ok"; "total" ]
+
 let suite =
   [ Alcotest.test_case "span nesting and durations" `Quick test_span_nesting;
     Alcotest.test_case "multi-domain counters and histograms" `Quick
@@ -193,4 +470,18 @@ let suite =
       test_metrics_snapshot;
     Alcotest.test_case "no-op when disabled" `Quick test_noop_when_disabled;
     Alcotest.test_case "jsonl export shape" `Quick test_jsonl_export;
-    Alcotest.test_case "tree and metrics rendering" `Quick test_render ]
+    Alcotest.test_case "tree and metrics rendering" `Quick test_render;
+    Alcotest.test_case "trace contexts: ids, nesting, restore" `Quick
+      test_context;
+    Alcotest.test_case "reset race drops stale-generation spans" `Quick
+      test_generation_race;
+    Alcotest.test_case "sketch quantiles merge across domains" `Quick
+      test_sketch_quantiles;
+    Alcotest.test_case "sliding-window rates" `Quick test_rates;
+    Alcotest.test_case "flight recorder: wrap, dump, attribution" `Quick
+      test_flight_recorder;
+    Alcotest.test_case "prometheus exposition passes lint" `Quick
+      test_expose_prometheus;
+    Alcotest.test_case "exposition lint rejects malformed text" `Quick
+      test_expose_lint_rejects;
+    Alcotest.test_case "slo evaluation and burn rate" `Quick test_slo_eval ]
