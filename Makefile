@@ -1,4 +1,4 @@
-.PHONY: all build test lint models faults check bench bench-compare clean
+.PHONY: all build test lint absint models faults check bench bench-compare clean
 
 all: build
 
@@ -13,6 +13,17 @@ test:
 # corpus-hygiene test's allowlist).
 lint:
 	dune exec bin/autotype_cli.exe -- lint --strict --all-corpus
+
+# Abstract-interpretation smoke (DESIGN.md §13): the reference regex
+# detector must be proven pure, step-bounded and summarizable, and the
+# proofs must surface through the machine-readable lint output.
+ABSINT_OUT ?= _build/absint_smoke.json
+absint: build
+	dune exec bin/autotype_cli.exe -- lint --repo snippets/ipv4-check --json --verbose > $(ABSINT_OUT)
+	@grep -q '"pure":true' $(ABSINT_OUT) || { echo "absint: purity proof missing"; exit 1; }
+	@grep -q '"step_bound":"steps <=' $(ABSINT_OUT) || { echo "absint: step bound missing"; exit 1; }
+	@grep -q '"tree_nodes":' $(ABSINT_OUT) || { echo "absint: summary missing"; exit 1; }
+	@echo "absint: OK"
 
 # Rewrite the committed bench artifacts in canonical form: sorted keys,
 # fixed float formatting, one trailing newline.  Timings vary run to
@@ -60,7 +71,7 @@ faults: build
 # fault-injection smoke, and the observability paths (CLI --stats and
 # the machine-readable bench JSON).  Opt into the
 # parallel-determinism gate with BENCH=1.
-check: build test lint models faults $(if $(BENCH),bench-compare)
+check: build test lint absint models faults $(if $(BENCH),bench-compare)
 	dune exec bin/autotype_cli.exe -- synth --type credit-card --stats
 	dune exec bench/main.exe -- pipeline
 	@test -s BENCH_pipeline.json || { echo "BENCH_pipeline.json missing or empty"; exit 1; }

@@ -723,8 +723,59 @@ let strict_arg =
        & info [ "strict" ]
            ~doc:"Exit non-zero when any error-severity diagnostic is found.")
 
+let lint_json_arg =
+  Arg.(value & flag
+       & info [ "json" ]
+           ~doc:"Emit machine-readable diagnostics as one JSON object \
+                 (per-repo diagnostic lists with file, line, code, \
+                 severity, message, plus summary counts).")
+
+let lint_verbose_arg =
+  Arg.(value & flag
+       & info [ "verbose" ]
+           ~doc:"Also report abstract-interpretation facts (purity, step \
+                 bound, symbolic summary) for every candidate function.")
+
+(** JSON shape for one diagnostic: the fields a CI annotator needs. *)
+let json_of_diag (d : Staticcheck.Diag.t) : Model.Jsonx.t =
+  Model.Jsonx.Obj
+    [ ("file", Model.Jsonx.Str d.Staticcheck.Diag.site.Minilang.Ast.file);
+      ("line", Model.Jsonx.Int d.Staticcheck.Diag.site.Minilang.Ast.line);
+      ("code", Model.Jsonx.Str d.Staticcheck.Diag.code);
+      ("severity",
+       Model.Jsonx.Str
+         (Staticcheck.Diag.severity_to_string d.Staticcheck.Diag.severity));
+      ("message", Model.Jsonx.Str d.Staticcheck.Diag.message) ]
+
+(** Absint facts of one candidate, shared by the JSON and text paths. *)
+let candidate_facts (c : Repolib.Candidate.t) =
+  let facts = Repolib.Analyzer.absint_facts c in
+  let summary =
+    Option.map
+      (fun s -> Absint.Domain.tree_size s)
+      facts.Absint.Domain.summary
+  in
+  ( c.Repolib.Candidate.func_name,
+    c.Repolib.Candidate.file,
+    facts.Absint.Domain.pure,
+    Absint.Domain.bound_to_string facts.Absint.Domain.bound,
+    summary )
+
+let json_of_candidate_facts c : Model.Jsonx.t =
+  let func, file, pure, bound, summary = candidate_facts c in
+  Model.Jsonx.Obj
+    [ ("func", Model.Jsonx.Str func);
+      ("file", Model.Jsonx.Str file);
+      ("pure", Model.Jsonx.Bool pure);
+      ("step_bound", Model.Jsonx.Str bound);
+      ("summary",
+       (match summary with
+        | Some nodes ->
+          Model.Jsonx.Obj [ ("tree_nodes", Model.Jsonx.Int nodes) ]
+        | None -> Model.Jsonx.Null)) ]
+
 let lint_cmd =
-  let run repo_name query all_corpus strict =
+  let run repo_name query all_corpus strict json verbose =
     ignore all_corpus;
     let repos =
       match (repo_name, query) with
@@ -744,30 +795,82 @@ let lint_cmd =
     | Error e -> prerr_endline e; 1
     | Ok repos ->
       let errors = ref 0 and warnings = ref 0 and dirty = ref 0 in
-      List.iter
-        (fun (r : Repolib.Repo.t) ->
-          match Repolib.Analyzer.repo_diagnostics r with
-          | [] -> ()
-          | ds ->
-            incr dirty;
-            Printf.printf "== %s ==\n" r.Repolib.Repo.repo_name;
-            List.iter
-              (fun d ->
-                if Staticcheck.Diag.is_error d then incr errors
-                else incr warnings;
-                print_endline (Staticcheck.Diag.to_string d))
-              ds)
-        repos;
-      Printf.printf
-        "%d repositories linted: %d errors, %d warnings (%d clean)\n"
-        (List.length repos) !errors !warnings
-        (List.length repos - !dirty);
+      let count ds =
+        if ds <> [] then incr dirty;
+        List.iter
+          (fun d ->
+            if Staticcheck.Diag.is_error d then incr errors else incr warnings)
+          ds
+      in
+      if json then begin
+        let repo_objs =
+          List.map
+            (fun (r : Repolib.Repo.t) ->
+              let ds = Repolib.Analyzer.repo_diagnostics r in
+              count ds;
+              let fields =
+                [ ("repo", Model.Jsonx.Str r.Repolib.Repo.repo_name);
+                  ("diagnostics",
+                   Model.Jsonx.List (List.map json_of_diag ds)) ]
+              in
+              let fields =
+                if not verbose then fields
+                else
+                  fields
+                  @ [ ("candidates",
+                       Model.Jsonx.List
+                         (List.map json_of_candidate_facts
+                            (Repolib.Analyzer.candidates_of_repo r))) ]
+              in
+              Model.Jsonx.Obj fields)
+            repos
+        in
+        print_endline
+          (Model.Jsonx.to_string
+             (Model.Jsonx.Obj
+                [ ("repos", Model.Jsonx.List repo_objs);
+                  ("repos_linted", Model.Jsonx.Int (List.length repos));
+                  ("errors", Model.Jsonx.Int !errors);
+                  ("warnings", Model.Jsonx.Int !warnings);
+                  ("clean",
+                   Model.Jsonx.Int (List.length repos - !dirty)) ]))
+      end
+      else begin
+        List.iter
+          (fun (r : Repolib.Repo.t) ->
+            let ds = Repolib.Analyzer.repo_diagnostics r in
+            count ds;
+            let facts =
+              if not verbose then []
+              else
+                List.map candidate_facts
+                  (Repolib.Analyzer.candidates_of_repo r)
+            in
+            if ds <> [] || facts <> [] then begin
+              Printf.printf "== %s ==\n" r.Repolib.Repo.repo_name;
+              List.iter (fun d -> print_endline (Staticcheck.Diag.to_string d)) ds;
+              List.iter
+                (fun (func, file, pure, bound, summary) ->
+                  Printf.printf "%s:%s pure=%b bound=[%s] summary=%s\n" file
+                    func pure bound
+                    (match summary with
+                     | Some n -> Printf.sprintf "%d-node tree" n
+                     | None -> "none"))
+                facts
+            end)
+          repos;
+        Printf.printf
+          "%d repositories linted: %d errors, %d warnings (%d clean)\n"
+          (List.length repos) !errors !warnings
+          (List.length repos - !dirty)
+      end;
       if strict && !errors > 0 then 1 else 0
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Run the static analyzer over corpus MiniScript sources")
-    Term.(const run $ lint_repo_arg $ query_arg $ all_corpus_arg $ strict_arg)
+    Term.(const run $ lint_repo_arg $ query_arg $ all_corpus_arg $ strict_arg
+          $ lint_json_arg $ lint_verbose_arg)
 
 (* -------------------------------- types ---------------------------- *)
 

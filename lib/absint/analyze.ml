@@ -1,0 +1,35 @@
+(** Facade: run all three analyses over a candidate entry function.
+
+    [module_bindings] must contain every name the candidate's module
+    can bind at module scope (top-level assignments, defs, and
+    [global]-declared names — {!Staticcheck.Env.build} computes
+    exactly this); [lookup] resolves a module-level function name to
+    its unique definition, or [None] when unknown or ambiguous.
+    Unsound inputs here (a missing binding, a wrong lookup) void the
+    proofs, so callers derive both from the same program list the
+    interpreter loads. *)
+
+open Minilang
+module StrSet = Staticcheck.Env.StrSet
+
+let facts ~(module_bindings : StrSet.t)
+    ~(lookup : string -> Ast.func option) (f : Ast.func) : Domain.facts =
+  let pctx = { Purity.module_bindings; lookup } in
+  let pure = Purity.prove pctx f in
+  let locals = Staticcheck.Env.locals_of_func f in
+  let shadowed n = StrSet.mem n locals || StrSet.mem n module_bindings in
+  let notobj = Purity.notobj_set pctx f in
+  let bound = Stepbound.func_bound { Stepbound.notobj; shadowed } f in
+  let summary = Summary.func ~shadowed f in
+  { Domain.pure; bound; summary }
+
+(** Step-budget hint for {!Repolib.Driver.config_for}: with a proven
+    bound and a known input length the run needs at most this many
+    steps; a proven spin needs only enough budget to reach the loop.
+    [None] when the analysis proved nothing usable. *)
+let budget_hint ?(input_len : int option) (b : Domain.bound) : int option =
+  match b with
+  | Domain.Terminates { a; b } -> (
+    match input_len with Some len -> Some ((a * len) + b) | None -> None)
+  | Domain.Spins_after k -> Some k
+  | Domain.Bound_unknown -> None

@@ -1,0 +1,324 @@
+(** Abstract domains shared by the three absint analyses (DESIGN.md §13).
+
+    Everything here is *must*-style: a value of these types is a proof
+    object, never a guess.  Analyses that cannot establish a fact
+    return [Bound_unknown] / [None] / [pure = false]; they never return
+    a wrong fact.  The differential fuzz suite
+    ([test/test_absint_fuzz.ml]) checks every claim against concrete
+    interpretation. *)
+
+open Minilang
+
+(* ------------------------------------------------------------------ *)
+(* Derived strings                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** One pure string-to-string step applied to the input.  Each
+    constructor evaluates with the exact {!Minilang.Strops} primitive
+    the interpreter dispatches to, so the fast path cannot drift. *)
+type deriv =
+  | Strip of string option * bool * bool  (** chars, left, right *)
+  | Lower
+  | Upper
+  | Replace of string * string
+
+(** A derivation chain, applied left-to-right to the input value. *)
+type chain = deriv list
+
+let apply_deriv s = function
+  | Strip (chars, left, right) -> Strops.strip_chars s chars ~left ~right
+  | Lower -> String.lowercase_ascii s
+  | Upper -> String.uppercase_ascii s
+  | Replace (o, n) -> Strops.replace_substring s o n
+
+let apply_chain (s : string) (ch : chain) : string =
+  List.fold_left apply_deriv s ch
+
+let deriv_to_string = function
+  | Strip (None, true, true) -> "strip()"
+  | Strip (None, true, false) -> "lstrip()"
+  | Strip (None, false, true) -> "rstrip()"
+  | Strip (Some cs, left, right) ->
+    Printf.sprintf "%s(%S)"
+      (if left && right then "strip" else if left then "lstrip" else "rstrip")
+      cs
+  | Strip (None, false, false) -> "strip(nothing)"
+  | Lower -> "lower()"
+  | Upper -> "upper()"
+  | Replace (o, n) -> Printf.sprintf "replace(%S,%S)" o n
+
+let chain_to_string ch =
+  String.concat "" (List.map (fun d -> "." ^ deriv_to_string d) ch)
+
+(* ------------------------------------------------------------------ *)
+(* Atoms and guards                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type rmode = Rmatch | Rfullmatch | Rsearch
+
+let rmode_to_string = function
+  | Rmatch -> "match"
+  | Rfullmatch -> "fullmatch"
+  | Rsearch -> "search"
+
+type cclass = Cdigit | Calpha | Calnum | Cspace
+
+let cclass_to_string = function
+  | Cdigit -> "isdigit"
+  | Calpha -> "isalpha"
+  | Calnum -> "isalnum"
+  | Cspace -> "isspace"
+
+let cclass_pred = function
+  | Cdigit -> Strops.is_digit_char
+  | Calpha -> Strops.is_alpha_char
+  | Calnum -> Strops.is_alnum_char
+  | Cspace -> Strops.is_space_char
+
+type icmp = Clt | Cle | Cgt | Cge | Ceq | Cne
+
+let icmp_to_string = function
+  | Clt -> "<"
+  | Cle -> "<="
+  | Cgt -> ">"
+  | Cge -> ">="
+  | Ceq -> "=="
+  | Cne -> "!="
+
+let icmp_eval op a b =
+  match op with
+  | Clt -> a < b
+  | Cle -> a <= b
+  | Cgt -> a > b
+  | Cge -> a >= b
+  | Ceq -> a = b
+  | Cne -> a <> b
+
+(** A boolean observation of a derived input string.  Every atom is
+    total (it cannot raise) and mirrors the interpreter's truthiness
+    rules exactly — in particular [re.match] returning an *empty*
+    prefix match is a [Vstr ""], which is falsy. *)
+type atom =
+  | Regex of rmode * string * chain
+      (** truthiness of [re.<mode>(pattern, chain(input))] *)
+  | Char_class of cclass * chain  (** [chain(input).isdigit()] etc. *)
+  | Starts_with of string * chain
+  | Ends_with of string * chain
+  | Str_eq of string * chain  (** [chain(input) == lit] *)
+  | Contains of string * chain  (** [lit in chain(input)] *)
+  | Len_cmp of icmp * int * chain  (** [len(chain(input)) OP lit] *)
+
+let atom_to_string = function
+  | Regex (m, pat, ch) ->
+    Printf.sprintf "re.%s(%S, value%s)" (rmode_to_string m) pat
+      (chain_to_string ch)
+  | Char_class (c, ch) ->
+    Printf.sprintf "value%s.%s()" (chain_to_string ch) (cclass_to_string c)
+  | Starts_with (p, ch) ->
+    Printf.sprintf "value%s.startswith(%S)" (chain_to_string ch) p
+  | Ends_with (p, ch) ->
+    Printf.sprintf "value%s.endswith(%S)" (chain_to_string ch) p
+  | Str_eq (lit, ch) ->
+    Printf.sprintf "value%s == %S" (chain_to_string ch) lit
+  | Contains (lit, ch) ->
+    Printf.sprintf "%S in value%s" lit (chain_to_string ch)
+  | Len_cmp (op, n, ch) ->
+    Printf.sprintf "len(value%s) %s %d" (chain_to_string ch)
+      (icmp_to_string op) n
+
+type guard =
+  | Gconst of bool
+  | Gatom of atom
+  | Gnot of guard
+  | Gand of guard * guard
+  | Gor of guard * guard
+
+let rec guard_to_string = function
+  | Gconst b -> string_of_bool b
+  | Gatom a -> atom_to_string a
+  | Gnot g -> Printf.sprintf "not (%s)" (guard_to_string g)
+  | Gand (a, b) ->
+    Printf.sprintf "(%s and %s)" (guard_to_string a) (guard_to_string b)
+  | Gor (a, b) ->
+    Printf.sprintf "(%s or %s)" (guard_to_string a) (guard_to_string b)
+
+(* ------------------------------------------------------------------ *)
+(* Path effects and summary trees                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** The *exact* trace effects of one loop-free execution path, in
+    emission order.  Because summarized functions are loop- and
+    call-free, may- and must-effects coincide: an input routed to this
+    path emits precisely these events. *)
+type path_events = {
+  pe_branches : (Trace.site * bool) list;
+  pe_ret : (Trace.site * Trace.ret_abstract) option;
+      (** [None] exactly when the path raises *)
+  pe_raised : string option;  (** uncaught exception kind *)
+}
+
+type 'a tree =
+  | Leaf of 'a
+  | Node of { guard : guard; if_true : 'a tree; if_false : 'a tree }
+
+let rec tree_size = function
+  | Leaf _ -> 1
+  | Node { if_true; if_false; _ } -> 1 + tree_size if_true + tree_size if_false
+
+type summary = path_events tree
+(** Raw summary: guards route an input to the exact trace effects the
+    interpreter would produce for it. *)
+
+type compiled = bool tree
+(** Serving summary: each leaf's effects have been resolved against the
+    synthesized DNF into the final validator verdict. *)
+
+(* ------------------------------------------------------------------ *)
+(* Step bounds                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type bound =
+  | Terminates of { a : int; b : int }
+      (** every run finishes within [a·len(input) + b] interpreter
+          steps (never [Hit_limit] under a budget ≥ that) *)
+  | Spins_after of int
+      (** the run reaches an event-free constant-condition spin within
+          the given step count; any budget ≥ it still hits the limit
+          and featurizes to the same literal set as the default budget
+          (the spin's lone repeated branch dedupes into one literal —
+          only the raw repetition count differs) *)
+  | Bound_unknown
+
+let bound_to_string = function
+  | Terminates { a; b } -> Printf.sprintf "steps <= %d*len + %d" a b
+  | Spins_after k -> Printf.sprintf "spins after <= %d steps" k
+  | Bound_unknown -> "unknown"
+
+(* ------------------------------------------------------------------ *)
+(* Facts                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type facts = {
+  pure : bool;
+      (** proven deterministic and free of observable effects (no
+          print, no ambient-channel reads, no [global]); [false] means
+          "not proven", not "impure" *)
+  bound : bound;
+  summary : summary option;
+}
+
+let unknown_facts = { pure = false; bound = Bound_unknown; summary = None }
+
+(* ------------------------------------------------------------------ *)
+(* Concrete evaluation (the fast path)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Atoms with their regex pre-parsed; built once per served model. *)
+type prepared_atom =
+  | Pregex of rmode * Regexlite.t * chain
+  | Patom of atom  (** any non-regex atom *)
+
+type prepared_guard =
+  | Pconst of bool
+  | Pgatom of prepared_atom
+  | Pnot of prepared_guard
+  | Pand of prepared_guard * prepared_guard
+  | Por of prepared_guard * prepared_guard
+
+type 'a prepared_tree =
+  | Pleaf of 'a
+  | Pnode of {
+      pguard : prepared_guard;
+      pif_true : 'a prepared_tree;
+      pif_false : 'a prepared_tree;
+    }
+
+exception Unpreparable
+
+let rec prepare_guard = function
+  | Gconst b -> Pconst b
+  | Gatom (Regex (m, pat, ch)) ->
+    (match Regexlite.parse pat with
+     | re -> Pgatom (Pregex (m, re, ch))
+     | exception Regexlite.Parse_error _ -> raise Unpreparable)
+  | Gatom a -> Pgatom (Patom a)
+  | Gnot g -> Pnot (prepare_guard g)
+  | Gand (a, b) -> Pand (prepare_guard a, prepare_guard b)
+  | Gor (a, b) -> Por (prepare_guard a, prepare_guard b)
+
+let rec prepare_tree = function
+  | Leaf v -> Pleaf v
+  | Node { guard; if_true; if_false } ->
+    Pnode
+      {
+        pguard = prepare_guard guard;
+        pif_true = prepare_tree if_true;
+        pif_false = prepare_tree if_false;
+      }
+
+(** [None] when a stored regex no longer parses (an artifact written by
+    a buggy or newer writer) — callers fall back to the interpreter. *)
+let prepare (t : 'a tree) : 'a prepared_tree option =
+  match prepare_tree t with p -> Some p | exception Unpreparable -> None
+
+(* Truthiness mirrors Value.truthy on the value the interpreter would
+   produce: re.match gives Vstr(prefix) — falsy when the prefix is
+   empty; re.search gives the matched substring — falsy when empty. *)
+let eval_prepared_atom (input : string) = function
+  | Pregex (m, re, ch) ->
+    let s = apply_chain input ch in
+    (match m with
+     | Rmatch ->
+       (match Regexlite.match_prefix re s with
+        | Some j -> j > 0
+        | None -> false)
+     | Rfullmatch -> Regexlite.full_match re s && s <> ""
+     | Rsearch ->
+       (match Regexlite.search re s with
+        | Some (i, j) -> j > i
+        | None -> false))
+  | Patom (Char_class (c, ch)) ->
+    Strops.string_forall (cclass_pred c) (apply_chain input ch)
+  | Patom (Starts_with (p, ch)) ->
+    Strops.starts_with ~prefix:p (apply_chain input ch)
+  | Patom (Ends_with (p, ch)) ->
+    Strops.ends_with ~suffix:p (apply_chain input ch)
+  | Patom (Str_eq (lit, ch)) -> String.equal (apply_chain input ch) lit
+  | Patom (Contains (lit, ch)) ->
+    (* mirrors the interpreter's [in <string>]: an empty needle is
+       always a member *)
+    lit = "" || Strops.find_substring (apply_chain input ch) lit >= 0
+  | Patom (Len_cmp (op, n, ch)) ->
+    icmp_eval op (String.length (apply_chain input ch)) n
+  | Patom (Regex _) -> assert false  (* rewritten to Pregex by prepare *)
+
+let rec eval_prepared_guard input = function
+  | Pconst b -> b
+  | Pgatom a -> eval_prepared_atom input a
+  | Pnot g -> not (eval_prepared_guard input g)
+  | Pand (a, b) -> eval_prepared_guard input a && eval_prepared_guard input b
+  | Por (a, b) -> eval_prepared_guard input a || eval_prepared_guard input b
+
+(** Route an input down a prepared tree.  Total: guards cannot raise. *)
+let rec eval_prepared (t : 'a prepared_tree) (input : string) : 'a =
+  match t with
+  | Pleaf v -> v
+  | Pnode { pguard; pif_true; pif_false } ->
+    if eval_prepared_guard input pguard then eval_prepared pif_true input
+    else eval_prepared pif_false input
+
+(** One-shot (unprepared) evaluation, for tests and the fuzz oracle.
+    @raise Unpreparable when a regex in the tree does not parse. *)
+let eval_tree (t : 'a tree) (input : string) : 'a =
+  eval_prepared (prepare_tree t) input
+
+(** The exact trace-event list the interpreter would produce for the
+    path this input takes: branches in emission order, then the return
+    event, with an uncaught exception appended by the runner.  Used by
+    the fuzz oracle to compare against [run.trace] verbatim. *)
+let events_of_path (pe : path_events) : Trace.event list =
+  List.map (fun (site, taken) -> Trace.Branch (site, taken)) pe.pe_branches
+  @ (match pe.pe_ret with
+     | Some (site, r) -> [ Trace.Return (site, r) ]
+     | None -> [])
+  @ (match pe.pe_raised with Some k -> [ Trace.Exception k ] | None -> [])

@@ -1,0 +1,307 @@
+(** Effect & purity analysis (DESIGN.md §13).
+
+    Proves that a candidate entry function is deterministic and free of
+    effects observable outside a single run: no [print] (the only
+    output channel captured in a run result), no ambient-channel reads
+    ([input()], [open()], [sys.argv]), no [global], and no calls whose
+    body we cannot see.  Mutation of local or module state is *not*
+    an effect here: the driver loads a fresh module scope per run, so
+    nothing mutated can survive into the next one.
+
+    Must-style: [prove] returns [true] only on proof; [false] means
+    "not proven", never "impure".  The key soundness device is the
+    *notobj* judgment — a variable or expression proven to never hold a
+    user-defined object — which is required before a method call is
+    admitted (a method on a user object dispatches to arbitrary class
+    code; a method on a string/list/dict dispatches to the
+    interpreter's own native implementations). *)
+
+open Minilang
+module StrSet = Staticcheck.Env.StrSet
+
+type ctx = {
+  module_bindings : StrSet.t;
+      (** every name bound at module scope: function/class defs and
+          top-level assignments.  A name in this set shadows builtins
+          and catches read-before-assign of locals. *)
+  lookup : string -> Ast.func option;
+      (** uniquely-defined module-level functions, [None] for names
+          that are multiply defined or also assigned *)
+}
+
+let pure_builtins =
+  List.filter
+    (fun n -> n <> "print" && n <> "input" && n <> "open")
+    Interp.builtin_names
+
+let re_methods = [ "match"; "fullmatch"; "search"; "findall" ]
+
+exception Unproven
+
+(* ------------------------------------------------------------------ *)
+(* Per-function binding info                                           *)
+(* ------------------------------------------------------------------ *)
+
+type finfo = {
+  params : string list;
+  locals : StrSet.t;  (** every name bound in the frame *)
+  assigns : (string * Ast.expr) list;
+      (** pseudo-assignments [var := expr]; tuple-unpack and for-loop
+          targets record the *iterable* (element-of a notobj aggregate
+          is notobj) *)
+  flagged : StrSet.t;  (** names we refuse to type (nested defs, …) *)
+}
+
+let finfo_of (f : Ast.func) : finfo =
+  let assigns = ref [] and flagged = ref StrSet.empty in
+  let rec tgt_vars acc = function
+    | Ast.Tvar v -> v :: acc
+    | Ast.Ttuple ts -> List.fold_left tgt_vars acc ts
+    | Ast.Tindex _ | Ast.Tattr _ -> acc
+  in
+  let rec go stmts =
+    List.iter
+      (fun (s : Ast.stmt) ->
+        match s with
+        | Ast.Assign (t, e, _) ->
+          List.iter (fun v -> assigns := (v, e) :: !assigns) (tgt_vars [] t)
+        | Ast.Aug_assign (t, op, e, pos) ->
+          List.iter
+            (fun v ->
+              assigns := (v, Ast.Binop (op, Ast.Var v, e, pos)) :: !assigns)
+            (tgt_vars [] t)
+        | Ast.For (t, iter, body, _) ->
+          List.iter (fun v -> assigns := (v, iter) :: !assigns) (tgt_vars [] t);
+          go body
+        | Ast.If (arms, els) ->
+          List.iter (fun (_, _, b) -> go b) arms;
+          Option.iter go els
+        | Ast.While (_, _, b) -> go b
+        | Ast.Try (b, handlers, fin) ->
+          go b;
+          List.iter
+            (fun (h : Ast.handler) ->
+              (match h.Ast.h_bind with
+               | Some v -> assigns := (v, Ast.Str "") :: !assigns
+               | None ->
+                 (match h.Ast.h_filter with
+                  | Some n when not (List.mem n Interp.known_exception_kinds)
+                    ->
+                    (* py2-style "except e:" binds the message *)
+                    assigns := (n, Ast.Str "") :: !assigns
+                  | _ -> ()));
+              go h.Ast.h_body)
+            handlers;
+          Option.iter go fin
+        | Ast.Func_def g -> flagged := StrSet.add g.Ast.fname !flagged
+        | Ast.Class_def c -> flagged := StrSet.add c.Ast.cname !flagged
+        | Ast.Global ns ->
+          List.iter (fun n -> flagged := StrSet.add n !flagged) ns
+        | Ast.Expr_stmt _ | Ast.Return _ | Ast.Raise _ | Ast.Break _
+        | Ast.Continue _ | Ast.Pass -> ())
+      stmts
+  in
+  go f.Ast.body;
+  (* default-parameter expressions behave like assignments to the
+     params they initialize *)
+  List.iter (fun (p, e) -> assigns := (p, e) :: !assigns) f.Ast.defaults;
+  let locals =
+    List.fold_left
+      (fun acc (v, _) -> StrSet.add v acc)
+      (StrSet.union !flagged
+         (List.fold_left (fun acc p -> StrSet.add p acc) StrSet.empty
+            f.Ast.params))
+      !assigns
+  in
+  { params = f.Ast.params; locals; assigns = !assigns; flagged = !flagged }
+
+(* ------------------------------------------------------------------ *)
+(* The notobj judgment                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let shadowed ctx (info : finfo) name =
+  StrSet.mem name info.locals || StrSet.mem name ctx.module_bindings
+
+(* [notobj s e]: under the assumption that every variable in [s] holds
+   a non-object value, [e] evaluates (when it does not raise) to a
+   value containing no user-defined object at any depth. *)
+let rec notobj ctx info s (e : Ast.expr) : bool =
+  match e with
+  | Ast.Int _ | Ast.Float _ | Ast.Str _ | Ast.Bool _ | Ast.None_lit -> true
+  | Ast.Var v -> StrSet.mem v s
+  | Ast.Binop (_, a, b, _) -> notobj ctx info s a && notobj ctx info s b
+  | Ast.Unop (_, a) -> notobj ctx info s a
+  | Ast.Method (Ast.Var "re", m, args, _)
+    when (not (shadowed ctx info "re")) && List.mem m re_methods ->
+    (* [re.match(...)] parses as a Method on the module value; the re
+       bridge returns strings, lists of strings, or None *)
+    List.for_all (notobj ctx info s) args
+  | Ast.Method (r, _, args, _) ->
+    (* native string/list/dict/tuple methods return scalars, strings or
+       aggregates of their (notobj) receiver and arguments *)
+    notobj ctx info s r && List.for_all (notobj ctx info s) args
+  | Ast.Call (Ast.Var f, args, _) ->
+    (not (shadowed ctx info f))
+    && List.mem f pure_builtins
+    && List.for_all (notobj ctx info s) args
+  | Ast.Call (Ast.Attr (Ast.Var "re", m), args, _) ->
+    (not (shadowed ctx info "re"))
+    && List.mem m re_methods
+    && List.for_all (notobj ctx info s) args
+  | Ast.Call _ -> false
+  | Ast.Index (a, i, _) -> notobj ctx info s a && notobj ctx info s i
+  | Ast.Slice (a, lo, hi, _) ->
+    notobj ctx info s a
+    && List.for_all
+         (function Some e -> notobj ctx info s e | None -> true)
+         [ lo; hi ]
+  | Ast.List_lit es | Ast.Tuple_lit es -> List.for_all (notobj ctx info s) es
+  | Ast.Dict_lit kvs ->
+    List.for_all
+      (fun (k, v) -> notobj ctx info s k && notobj ctx info s v)
+      kvs
+  | Ast.Cond (c, a, b, _) ->
+    notobj ctx info s c && notobj ctx info s a && notobj ctx info s b
+  | Ast.Attr _ -> false
+
+(* Greatest fixpoint: start from every typable candidate and remove
+   variables until all their (pseudo-)assignments are notobj under the
+   surviving set.  A candidate must not be module-shadowed: reading a
+   local before its first assignment falls through to module scope,
+   where the name could be bound to an object.  (An unshadowed
+   premature read yields NameError or a builtin — deterministic, and
+   never a user object.) *)
+let notobj_fixpoint ctx (info : finfo) ~(params_notobj : bool) : StrSet.t =
+  let candidate v =
+    (not (StrSet.mem v info.flagged))
+    && (not (StrSet.mem v ctx.module_bindings))
+    (* an untyped parameter's *entry* value may be read before any
+       reassignment, so without params_notobj a param can never
+       qualify, reassigned or not *)
+    && (params_notobj || not (List.mem v info.params))
+  in
+  let init =
+    let from_params =
+      if params_notobj then List.filter candidate info.params else []
+    in
+    let from_assigns =
+      List.filter_map
+        (fun (v, _) -> if candidate v then Some v else None)
+        info.assigns
+    in
+    List.fold_left (fun acc v -> StrSet.add v acc) StrSet.empty
+      (from_params @ from_assigns)
+  in
+  let rec iterate s =
+    let s' =
+      StrSet.filter
+        (fun v ->
+          List.for_all (fun (w, e) -> w <> v || notobj ctx info s e)
+            info.assigns)
+        s
+    in
+    if StrSet.equal s s' then s else iterate s'
+  in
+  iterate init
+
+(* ------------------------------------------------------------------ *)
+(* The proof walk                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let max_depth = 32
+let max_funcs = 64
+
+let rec check_func ctx ~depth ~seen (f : Ast.func) ~params_notobj : unit =
+  if depth > max_depth || List.length !seen > max_funcs then raise Unproven;
+  let info = finfo_of f in
+  let s = notobj_fixpoint ctx info ~params_notobj in
+  let rec check_expr (e : Ast.expr) : unit =
+    match e with
+    | Ast.Int _ | Ast.Float _ | Ast.Str _ | Ast.Bool _ | Ast.None_lit
+    | Ast.Var _ -> ()
+    | Ast.Binop (_, a, b, _) -> check_expr a; check_expr b
+    | Ast.Unop (_, a) -> check_expr a
+    | Ast.Call (Ast.Var fn, args, _) ->
+      List.iter check_expr args;
+      if StrSet.mem fn info.locals then raise Unproven
+      else if StrSet.mem fn ctx.module_bindings then begin
+        match ctx.lookup fn with
+        | Some g ->
+          let args_ok = List.for_all (notobj ctx info s) args in
+          let key = (g.Ast.fname, args_ok) in
+          if not (List.mem key !seen) then begin
+            seen := key :: !seen;
+            check_func ctx ~depth:(depth + 1) ~seen g ~params_notobj:args_ok
+          end
+        | None -> raise Unproven
+      end
+      else if fn = "print" || fn = "input" || fn = "open" then raise Unproven
+      else ()
+      (* pure builtin, exception constructor, or unbound name
+         (deterministic NameError) *)
+    | Ast.Call (Ast.Attr (Ast.Var "re", m), args, _)
+      when (not (shadowed ctx info "re")) && List.mem m re_methods ->
+      List.iter check_expr args
+    | Ast.Call _ -> raise Unproven
+    | Ast.Method (Ast.Var "re", m, args, _)
+      when (not (shadowed ctx info "re")) && List.mem m re_methods ->
+      List.iter check_expr args
+    | Ast.Method (r, _, args, _) ->
+      check_expr r;
+      List.iter check_expr args;
+      if not (notobj ctx info s r) then raise Unproven
+    | Ast.Attr (Ast.Var "sys", _) when not (shadowed ctx info "sys") ->
+      raise Unproven  (* ambient argv *)
+    | Ast.Attr (a, _) -> check_expr a
+    | Ast.Index (a, i, _) -> check_expr a; check_expr i
+    | Ast.Slice (a, lo, hi, _) ->
+      check_expr a;
+      Option.iter check_expr lo;
+      Option.iter check_expr hi
+    | Ast.List_lit es | Ast.Tuple_lit es -> List.iter check_expr es
+    | Ast.Dict_lit kvs -> List.iter (fun (k, v) -> check_expr k; check_expr v) kvs
+    | Ast.Cond (c, a, b, _) -> check_expr c; check_expr a; check_expr b
+  in
+  let rec check_block stmts =
+    List.iter
+      (fun (st : Ast.stmt) ->
+        List.iter check_expr (Staticcheck.Env.stmt_exprs st);
+        match st with
+        | Ast.Global _ -> raise Unproven
+        | Ast.If (arms, els) ->
+          List.iter (fun (_, _, b) -> check_block b) arms;
+          Option.iter check_block els
+        | Ast.While (_, _, b) -> check_block b
+        | Ast.For (_, _, b, _) -> check_block b
+        | Ast.Try (b, handlers, fin) ->
+          check_block b;
+          List.iter (fun (h : Ast.handler) -> check_block h.Ast.h_body)
+            handlers;
+          Option.iter check_block fin
+        (* defining a nested function or class is pure; calling one
+           goes through a local name, which check_expr rejects *)
+        | Ast.Func_def _ | Ast.Class_def _ -> ()
+        | Ast.Expr_stmt _ | Ast.Assign _ | Ast.Aug_assign _ | Ast.Return _
+        | Ast.Raise _ | Ast.Break _ | Ast.Continue _ | Ast.Pass -> ())
+      stmts
+  in
+  List.iter (fun (_, e) -> check_expr e) f.Ast.defaults;
+  check_block f.Ast.body
+
+(** [prove ctx f] — [true] only when every execution of [f] (entry
+    parameters bound to strings) is deterministic and effect-free as
+    defined above. *)
+let prove (ctx : ctx) (f : Ast.func) : bool =
+  match
+    check_func ctx ~depth:0
+      ~seen:(ref [ (f.Ast.fname, true) ])
+      f ~params_notobj:true
+  with
+  | () -> true
+  | exception Unproven -> false
+
+(** The notobj set of a function body under string parameters — shared
+    with {!Stepbound}, which needs the same receiver typing to know
+    that method calls dispatch natively (no hidden ticking bodies). *)
+let notobj_set (ctx : ctx) (f : Ast.func) : StrSet.t =
+  notobj_fixpoint ctx (finfo_of f) ~params_notobj:true

@@ -1,0 +1,362 @@
+(** Symbolic summarization (DESIGN.md §13).
+
+    Extracts, for a single-parameter candidate entry function, a
+    guard-routed decision tree whose leaves are the *exact* trace
+    effects of each loop-free execution path.  Guards observe only pure
+    total derivations of the input string, so the tree can be evaluated
+    without the interpreter — the compiled fast path.
+
+    Must-style: any construct outside the supported fragment aborts to
+    [None].  Within the fragment every claim is exact, not
+    approximate — supported expressions cannot raise, cannot emit
+    events, and depend on nothing but the input string, so the events
+    attached to a leaf are precisely what {!Minilang.Interp} emits for
+    any input routed there.  The differential fuzz suite compares leaf
+    events against concrete [run.trace] verbatim. *)
+
+open Minilang
+module StrMap = Map.Make (String)
+
+exception Give_up
+
+(** A leaf-count cap: pathological candidates (deep if-chains over
+    boolean combinations) blow up exponentially under path
+    enumeration; beyond this the summary is abandoned, never
+    truncated. *)
+let max_leaves = 48
+
+type const = Kstr of string | Kint of int | Kbool of bool | Knone
+
+(** Symbolic value of an expression, as a function of the input. *)
+type sym =
+  | Sinput of Domain.chain  (** chain applied to the input string *)
+  | Sconst of const
+  | Smatch of Domain.rmode * string * Domain.chain
+      (** [re.<mode>(pat, chain(input))]: a (possibly empty) [Vstr]
+          match or [Vnone]; the pattern is known to parse *)
+  | Slen of Domain.chain  (** [len(chain(input))] *)
+  | Sbool of Domain.guard
+      (** a [Vbool] whose truth is exactly this guard *)
+
+type ctx = { shadowed : string -> bool }
+
+let const_truthy = function
+  | Kstr s -> s <> ""
+  | Kint n -> n <> 0
+  | Kbool b -> b
+  | Knone -> false
+
+(* Value.equal restricted to the constants we track (bool/int compare
+   numerically, cross-type otherwise unequal). *)
+let const_equal a b =
+  match (a, b) with
+  | Kstr x, Kstr y -> String.equal x y
+  | Kint x, Kint y -> x = y
+  | Kbool x, Kbool y -> x = y
+  | Kbool x, Kint y | Kint y, Kbool x -> (if x then 1 else 0) = y
+  | Knone, Knone -> true
+  | _ -> false
+
+(* A string-method step expressible as a Domain.deriv, argument forms
+   exactly as str_method dispatches them. *)
+let deriv_of m (args : Ast.expr list) : Domain.deriv option =
+  match (m, args) with
+  | "strip", [] -> Some (Domain.Strip (None, true, true))
+  | "strip", [ Ast.Str cs ] -> Some (Domain.Strip (Some cs, true, true))
+  | "lstrip", [] -> Some (Domain.Strip (None, true, false))
+  | "lstrip", [ Ast.Str cs ] -> Some (Domain.Strip (Some cs, true, false))
+  | "rstrip", [] -> Some (Domain.Strip (None, false, true))
+  | "rstrip", [ Ast.Str cs ] -> Some (Domain.Strip (Some cs, false, true))
+  | "lower", [] -> Some Domain.Lower
+  | "upper", [] -> Some Domain.Upper
+  | "replace", [ Ast.Str o; Ast.Str n ] -> Some (Domain.Replace (o, n))
+  | _ -> None
+
+let cclass_of = function
+  | "isdigit" -> Some Domain.Cdigit
+  | "isalpha" -> Some Domain.Calpha
+  | "isalnum" -> Some Domain.Calnum
+  | "isspace" -> Some Domain.Cspace
+  | _ -> None
+
+let icmp_of (op : Ast.binop) : Domain.icmp =
+  match op with
+  | Ast.Lt -> Domain.Clt
+  | Ast.Le -> Domain.Cle
+  | Ast.Gt -> Domain.Cgt
+  | Ast.Ge -> Domain.Cge
+  | Ast.Eq -> Domain.Ceq
+  | Ast.Neq -> Domain.Cne
+  | _ -> raise Give_up
+
+let icmp_flip = function
+  | Domain.Clt -> Domain.Cgt
+  | Domain.Cle -> Domain.Cge
+  | Domain.Cgt -> Domain.Clt
+  | Domain.Cge -> Domain.Cle
+  | (Domain.Ceq | Domain.Cne) as c -> c
+
+let rmode_of = function
+  | "match" -> Some Domain.Rmatch
+  | "fullmatch" -> Some Domain.Rfullmatch
+  | "search" -> Some Domain.Rsearch
+  | _ -> None
+
+let rec sym_of ctx env (e : Ast.expr) : sym =
+  match e with
+  | Ast.Str s -> Sconst (Kstr s)
+  | Ast.Int n -> Sconst (Kint n)
+  | Ast.Bool b -> Sconst (Kbool b)
+  | Ast.None_lit -> Sconst Knone
+  | Ast.Var v -> (
+    match StrMap.find_opt v env with Some s -> s | None -> raise Give_up)
+  (* [re.match(...)] parses as a Method on the module value (unshadowed
+     [re] resolves to the interpreter's re bridge) *)
+  | Ast.Method (Ast.Var "re", m, [ Ast.Str pat; sub ], _)
+    when not (ctx.shadowed "re") -> (
+    match rmode_of m with
+    | Some mode -> (
+      match sym_of ctx env sub with
+      | Sinput ch -> (
+        (* the pattern must compile, otherwise the call raises at
+           runtime — outside the fragment *)
+        match Regexlite.parse pat with
+        | _ -> Smatch (mode, pat, ch)
+        | exception Regexlite.Parse_error _ -> raise Give_up)
+      | _ -> raise Give_up)
+    | None -> raise Give_up)
+  | Ast.Method (r, m, args, _) -> (
+    match sym_of ctx env r with
+    | Sinput ch -> (
+      match deriv_of m args with
+      | Some d -> Sinput (ch @ [ d ])
+      | None -> (
+        match (cclass_of m, m, args) with
+        | Some c, _, [] -> Sbool (Domain.Gatom (Domain.Char_class (c, ch)))
+        | None, "startswith", [ Ast.Str p ] ->
+          Sbool (Domain.Gatom (Domain.Starts_with (p, ch)))
+        | None, "endswith", [ Ast.Str p ] ->
+          Sbool (Domain.Gatom (Domain.Ends_with (p, ch)))
+        | _ -> raise Give_up))
+    | Sconst (Kstr s) -> (
+      (* constant receiver: fold with the interpreter's own primitive *)
+      match deriv_of m args with
+      | Some d -> Sconst (Kstr (Domain.apply_deriv s d))
+      | None -> (
+        match (cclass_of m, m, args) with
+        | Some c, _, [] ->
+          Sconst (Kbool (Strops.string_forall (Domain.cclass_pred c) s))
+        | None, "startswith", [ Ast.Str p ] ->
+          Sconst (Kbool (Strops.starts_with ~prefix:p s))
+        | None, "endswith", [ Ast.Str p ] ->
+          Sconst (Kbool (Strops.ends_with ~suffix:p s))
+        | _ -> raise Give_up))
+    | _ -> raise Give_up)
+  | Ast.Call (Ast.Var "len", [ a ], _) when not (ctx.shadowed "len") -> (
+    match sym_of ctx env a with
+    | Sinput ch -> Slen ch
+    | Sconst (Kstr s) -> Sconst (Kint (String.length s))
+    | _ -> raise Give_up)
+  | Ast.Call (Ast.Var "bool", [ a ], _) when not (ctx.shadowed "bool") ->
+    Sbool (truth_guard ctx env a)
+  | Ast.Call (Ast.Attr (Ast.Var "re", m), [ Ast.Str pat; sub ], _)
+    when not (ctx.shadowed "re") -> (
+    match rmode_of m with
+    | Some mode -> (
+      match sym_of ctx env sub with
+      | Sinput ch -> (
+        (* the pattern must compile, otherwise the call raises at
+           runtime — outside the fragment *)
+        match Regexlite.parse pat with
+        | _ -> Smatch (mode, pat, ch)
+        | exception Regexlite.Parse_error _ -> raise Give_up)
+      | _ -> raise Give_up)
+    | None -> raise Give_up)
+  | Ast.Unop (Ast.Not, a) -> Sbool (Domain.Gnot (truth_guard ctx env a))
+  | Ast.Binop ((Ast.Eq | Ast.Neq) as op, a, b, _) ->
+    let g = eq_guard ctx env a b in
+    Sbool (if op = Ast.Eq then g else Domain.Gnot g)
+  | Ast.Binop ((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op, a, b, _) -> (
+    match (sym_of ctx env a, sym_of ctx env b) with
+    | Slen ch, Sconst (Kint n) ->
+      Sbool (Domain.Gatom (Domain.Len_cmp (icmp_of op, n, ch)))
+    | Sconst (Kint n), Slen ch ->
+      (* n OP len ⟺ len FLIP(OP) n *)
+      Sbool (Domain.Gatom (Domain.Len_cmp (icmp_flip (icmp_of op), n, ch)))
+    | Sconst (Kint x), Sconst (Kint y) ->
+      Sbool (Domain.Gconst (Domain.icmp_eval (icmp_of op) x y))
+    | Sconst (Kstr x), Sconst (Kstr y) ->
+      Sbool
+        (Domain.Gconst (Domain.icmp_eval (icmp_of op) (String.compare x y) 0))
+    | _ -> raise Give_up)
+  | Ast.Binop ((Ast.In | Ast.Not_in) as op, a, b, _) ->
+    let g =
+      match (sym_of ctx env a, sym_of ctx env b) with
+      | Sconst (Kstr needle), Sinput ch ->
+        Domain.Gatom (Domain.Contains (needle, ch))
+      | Sconst (Kstr needle), Sconst (Kstr hay) ->
+        Domain.Gconst
+          (needle = "" || Strops.find_substring hay needle >= 0)
+      | _ -> raise Give_up
+    in
+    Sbool (if op = Ast.In then g else Domain.Gnot g)
+  | Ast.Binop ((Ast.And | Ast.Or) as op, a, b, _) -> (
+    (* `a and b` returns an operand, not a bool — only when both sides
+       are Vbool is the result a Vbool with the conjoined truth *)
+    match (sym_of ctx env a, sym_of ctx env b) with
+    | Sbool ga, Sbool gb ->
+      Sbool
+        (if op = Ast.And then Domain.Gand (ga, gb) else Domain.Gor (ga, gb))
+    | _ -> raise Give_up)
+  | _ -> raise Give_up
+
+(* Truthiness of a supported expression as a guard.  And/Or handled
+   here structurally (short-circuit truthiness is the conjunction /
+   disjunction of operand truthiness for *any* operand types). *)
+and truth_guard ctx env (e : Ast.expr) : Domain.guard =
+  match e with
+  | Ast.Binop (Ast.And, a, b, _) ->
+    Domain.Gand (truth_guard ctx env a, truth_guard ctx env b)
+  | Ast.Binop (Ast.Or, a, b, _) ->
+    Domain.Gor (truth_guard ctx env a, truth_guard ctx env b)
+  | Ast.Unop (Ast.Not, a) -> Domain.Gnot (truth_guard ctx env a)
+  | _ -> (
+    match sym_of ctx env e with
+    | Sinput ch -> Domain.Gatom (Domain.Len_cmp (Domain.Cgt, 0, ch))
+    | Slen ch -> Domain.Gatom (Domain.Len_cmp (Domain.Cgt, 0, ch))
+    | Smatch (m, pat, ch) -> Domain.Gatom (Domain.Regex (m, pat, ch))
+    | Sbool g -> g
+    | Sconst k -> Domain.Gconst (const_truthy k))
+
+(* Equality guard, mirroring Value.equal's cross-type rules for the
+   sym pairs whose outcome we can decide. *)
+and eq_guard ctx env a b : Domain.guard =
+  match (sym_of ctx env a, sym_of ctx env b) with
+  | Sinput ch, Sconst (Kstr lit) | Sconst (Kstr lit), Sinput ch ->
+    Domain.Gatom (Domain.Str_eq (lit, ch))
+  | Slen ch, Sconst (Kint n) | Sconst (Kint n), Slen ch ->
+    Domain.Gatom (Domain.Len_cmp (Domain.Ceq, n, ch))
+  | Sinput _, Sconst Knone | Sconst Knone, Sinput _ ->
+    (* a Vstr never equals Vnone *)
+    Domain.Gconst false
+  | Sbool g, Sconst (Kbool true) | Sconst (Kbool true), Sbool g -> g
+  | Sbool g, Sconst (Kbool false) | Sconst (Kbool false), Sbool g ->
+    Domain.Gnot g
+  | Sconst x, Sconst y -> Domain.Gconst (const_equal x y)
+  | _ -> raise Give_up
+
+(* ------------------------------------------------------------------ *)
+(* Path enumeration                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let abstract_const = function
+  | Kbool b -> Trace.Rbool b
+  | Kint n -> if n = 0 then Trace.Rzero else Trace.Rnonzero
+  | Kstr s -> if s = "" then Trace.Rzero else Trace.Rnonzero
+  | Knone -> Trace.Rnone
+
+type walk_state = { ctx : ctx; leaves : int ref }
+
+let mk_leaf st acc ret raised : Domain.summary =
+  incr st.leaves;
+  if !(st.leaves) > max_leaves then raise Give_up;
+  Domain.Leaf
+    { Domain.pe_branches = List.rev acc; pe_ret = ret; pe_raised = raised }
+
+(* The tree for a `return e` at [pos]: constants and booleans resolve
+   to one leaf; input-dependent strings/ints split on emptiness (the
+   abstraction Trace.abstract_value applies). *)
+let ret_tree st env acc (e_opt : Ast.expr option) (pos : Ast.pos) :
+    Domain.summary =
+  let site = Trace.site_of_pos pos in
+  match e_opt with
+  | None -> mk_leaf st acc (Some (site, Trace.Rnone)) None
+  | Some e -> (
+    match sym_of st.ctx env e with
+    | Sconst k -> mk_leaf st acc (Some (site, abstract_const k)) None
+    | Sbool g ->
+      Domain.Node
+        {
+          guard = g;
+          if_true = mk_leaf st acc (Some (site, Trace.Rbool true)) None;
+          if_false = mk_leaf st acc (Some (site, Trace.Rbool false)) None;
+        }
+    | Sinput ch | Slen ch ->
+      (* Vstr "" and Vint 0 both abstract to Rzero *)
+      Domain.Node
+        {
+          guard = Domain.Gatom (Domain.Len_cmp (Domain.Cgt, 0, ch));
+          if_true = mk_leaf st acc (Some (site, Trace.Rnonzero)) None;
+          if_false = mk_leaf st acc (Some (site, Trace.Rzero)) None;
+        }
+    | Smatch _ ->
+      (* would need a three-way split (no match → Rnone, empty match →
+         Rzero, else Rnonzero) with a matched-at-all atom we don't
+         carry; out of fragment *)
+      raise Give_up)
+
+let raise_kind st (e_opt : Ast.expr option) : string =
+  match e_opt with
+  | Some (Ast.Str _) -> "Exception"
+  | Some (Ast.Call (Ast.Var k, ([] | [ Ast.Str _ ]), _))
+    when List.mem k Interp.known_exception_kinds && not (st.ctx.shadowed k) ->
+    k
+  | _ -> raise Give_up
+
+(* CPS over blocks: [k] continues with the statements following the
+   current block (for if-arm bodies rejoining the tail). *)
+let rec walk st env acc (stmts : Ast.block)
+    (k : sym StrMap.t -> (Trace.site * bool) list -> Domain.summary) :
+    Domain.summary =
+  match stmts with
+  | [] -> k env acc
+  | Ast.Pass :: rest -> walk st env acc rest k
+  | Ast.Expr_stmt (e, _) :: rest ->
+    (* must be total and event-free; the value is discarded *)
+    ignore (truth_guard st.ctx env e);
+    walk st env acc rest k
+  | Ast.Assign (Ast.Tvar v, e, _) :: rest ->
+    walk st (StrMap.add v (sym_of st.ctx env e) env) acc rest k
+  | Ast.Return (e_opt, pos) :: _ -> ret_tree st env acc e_opt pos
+  | Ast.Raise (e_opt, _) :: _ ->
+    mk_leaf st acc None (Some (raise_kind st e_opt))
+  | Ast.If (arms, els) :: rest ->
+    let k_rest env acc = walk st env acc rest k in
+    let rec expand env acc = function
+      | [] -> (
+        match els with
+        | Some b -> walk st env acc b k_rest
+        | None -> k_rest env acc)
+      | (cond, pos, body) :: more ->
+        let g = truth_guard st.ctx env cond in
+        let site = Trace.site_of_pos pos in
+        Domain.Node
+          {
+            guard = g;
+            if_true = walk st env ((site, true) :: acc) body k_rest;
+            if_false = expand env ((site, false) :: acc) more;
+          }
+    in
+    expand env acc arms
+  | ( Ast.Assign _ | Ast.Aug_assign _ | Ast.While _ | Ast.For _ | Ast.Try _
+    | Ast.Break _ | Ast.Continue _ | Ast.Func_def _ | Ast.Class_def _
+    | Ast.Global _ ) :: _ -> raise Give_up
+
+(** Summarize a single-string-parameter entry function, or [None] if
+    any construct falls outside the exactly-modelled fragment. *)
+let func ~(shadowed : string -> bool) (f : Ast.func) : Domain.summary option =
+  match f.Ast.params with
+  | [ p ] -> (
+    let st = { ctx = { shadowed }; leaves = ref 0 } in
+    let env = StrMap.singleton p (Sinput []) in
+    let fall_off env acc =
+      ignore env;
+      (* implicit return records Rvoid at the function's def site *)
+      mk_leaf st acc
+        (Some (Trace.site_of_pos f.Ast.fpos, Trace.Rvoid))
+        None
+    in
+    match walk st env [] f.Ast.body fall_off with
+    | tree -> Some tree
+    | exception Give_up -> None)
+  | _ -> None

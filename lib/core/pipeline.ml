@@ -165,6 +165,14 @@ let synthesize ?(config = default_config) ?negatives_override ?pool ?cache
     in
     let jobs = match pool with None -> 1 | Some p -> Exec.Pool.jobs p in
     let trace_with negatives =
+      (* Longest input either example set will feed the candidate:
+         instantiates the absint [a·len + b] termination bound into a
+         concrete step budget valid for every run below. *)
+      let input_len =
+        List.fold_left
+          (fun acc s -> max acc (String.length s))
+          0 (positives @ negatives)
+      in
       Telemetry.with_span "pipeline.trace"
         ~attrs:
           [ ("candidates", Telemetry.I (List.length candidates));
@@ -176,7 +184,8 @@ let synthesize ?(config = default_config) ?negatives_override ?pool ?cache
                  spin loops; Hit_limit emits no trace event, so traces
                  (and the cache keyed on them) are unaffected. *)
               let iconfig =
-                if config.staticcheck then Repolib.Driver.config_for c
+                if config.staticcheck then
+                  Repolib.Driver.config_for ~input_len c
                 else Repolib.Driver.default_config
               in
               Ranking.trace_candidate ~config:iconfig ~cache ~prune:true c

@@ -1,0 +1,63 @@
+(** Interpreter-free compiled fast paths (DESIGN.md §13).
+
+    The abstract interpreter ({!Absint}) extracts a *symbolic summary*
+    of a candidate: a decision tree whose guards are string atoms
+    (prefix/suffix/char-class/regexlite/length tests over derivation
+    chains of the input) and whose leaves are the exact trace-event
+    sequence the interpreter would emit along that path.
+
+    A synthesized validation function is [Dnf.satisfies expanded
+    (Feature.featurize trace)] — a pure function of the trace.  So when
+    a summary exists, each leaf's verdict can be resolved *at compile
+    time*: featurize the leaf's events, evaluate the DNF once, and store
+    the boolean.  Serving then only evaluates the guard tree (pure
+    string operations from {!Minilang.Strops} plus {!Regexlite}), never
+    the interpreter.
+
+    Soundness gates — a compiled tree is produced only when every claim
+    is proven, otherwise [None] (the interpreter remains the route):
+    - [facts.summary]: the summary machinery already restricts itself to
+      the total, event-exact fragment (single string parameter, no
+      hidden calls, branch/return/raise events reproduced verbatim);
+    - [facts.pure]: no side effects, so dropping the run is unobservable;
+    - [facts.bound = Terminates _]: the concrete run finishes within its
+      step budget, so the interpreter would never report [Hit_limit]
+      where the fast path reports a verdict. *)
+
+let m_compiled = Telemetry.counter "summarize.compiled"
+let m_uncompilable = Telemetry.counter "summarize.uncompilable"
+
+let rec map_tree (f : 'a -> 'b) (t : 'a Absint.Domain.tree) :
+    'b Absint.Domain.tree =
+  match t with
+  | Absint.Domain.Leaf x -> Absint.Domain.Leaf (f x)
+  | Absint.Domain.Node { guard; if_true; if_false } ->
+    Absint.Domain.Node
+      { guard; if_true = map_tree f if_true; if_false = map_tree f if_false }
+
+(** Resolve each summary leaf against the synthesized DNF.  The leaf's
+    [path_events] are exactly the trace the interpreter emits on inputs
+    routed to that leaf (validation runs never record assignments), so
+    featurizing them and evaluating DNF-E reproduces
+    {!Synthesis.validate} byte-for-byte. *)
+let verdict_tree (s : Synthesis.t) (summary : Absint.Domain.summary) :
+    Absint.Domain.compiled =
+  map_tree
+    (fun pe ->
+      Dnf.satisfies s.Synthesis.dnf.Dnf.expanded
+        (Feature.featurize (Absint.Domain.events_of_path pe)))
+    summary
+
+let compile (s : Synthesis.t) : Absint.Domain.compiled option =
+  let facts = Repolib.Analyzer.absint_facts s.Synthesis.candidate in
+  match facts with
+  | {
+      Absint.Domain.pure = true;
+      bound = Absint.Domain.Terminates _;
+      summary = Some summary;
+    } ->
+    Telemetry.incr m_compiled;
+    Some (verdict_tree s summary)
+  | _ ->
+    Telemetry.incr m_uncompilable;
+    None

@@ -1,0 +1,13 @@
+(** Compile-time resolution of abstract summaries into interpreter-free
+    verdict trees (DESIGN.md §13). *)
+
+val map_tree : ('a -> 'b) -> 'a Absint.Domain.tree -> 'b Absint.Domain.tree
+
+val compile : Synthesis.t -> Absint.Domain.compiled option
+(** [compile s] is a boolean decision tree over the input string that
+    reproduces [Synthesis.validate s] exactly — each summary leaf's
+    trace events featurized and evaluated against the synthesized
+    DNF-E at compile time — or [None] when the candidate lacks a
+    proven (pure, terminating, summarizable) abstract analysis.
+    Producing [None] is always safe: callers keep the interpreter
+    route. *)

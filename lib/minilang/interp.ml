@@ -359,51 +359,18 @@ let float_of_string_strict s =
 (* String / list / dict methods                                        *)
 (* ------------------------------------------------------------------ *)
 
-let strip_chars s chars ~left ~right =
-  let is_strip c =
-    match chars with
-    | None -> c = ' ' || c = '\t' || c = '\n' || c = '\r'
-    | Some cs -> String.contains cs c
-  in
-  let n = String.length s in
-  let lo = ref 0 and hi = ref n in
-  if left then while !lo < n && is_strip s.[!lo] do incr lo done;
-  if right then while !hi > !lo && is_strip s.[!hi - 1] do decr hi done;
-  String.sub s !lo (!hi - !lo)
+(* The string primitives live in {!Strops} so the interpreter-free fast
+   path (compiled absint summaries) shares their exact semantics. *)
+let strip_chars = Strops.strip_chars
 
 let split_on_string sep s =
-  if sep = "" then raise_error "ValueError" "empty separator";
-  let sl = String.length sep and n = String.length s in
-  let rec go start i acc =
-    if i + sl > n then List.rev (String.sub s start (n - start) :: acc)
-    else if String.sub s i sl = sep then
-      go (i + sl) (i + sl) (String.sub s start (i - start) :: acc)
-    else go start (i + 1) acc
-  in
-  go 0 0 []
+  if sep = "" then raise_error "ValueError" "empty separator"
+  else Strops.split_on_string sep s
 
-let split_whitespace s =
-  String.split_on_char ' ' s
-  |> List.concat_map (String.split_on_char '\t')
-  |> List.concat_map (String.split_on_char '\n')
-  |> List.filter (fun x -> x <> "")
-
-let find_substring ?(from = 0) hay needle =
-  let nl = String.length needle and hl = String.length hay in
-  let rec go i =
-    if i + nl > hl then -1
-    else if String.sub hay i nl = needle then i
-    else go (i + 1)
-  in
-  if nl = 0 then min from hl else go (max 0 from)
-
-let replace_substring s old_s new_s =
-  if old_s = "" then s
-  else
-    let parts = split_on_string old_s s in
-    String.concat new_s parts
-
-let string_forall p s = String.for_all p s && String.length s > 0
+let split_whitespace = Strops.split_whitespace
+let find_substring = Strops.find_substring
+let replace_substring = Strops.replace_substring
+let string_forall = Strops.string_forall
 
 let str_method s name args =
   let arg_str i =

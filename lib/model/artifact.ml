@@ -1,6 +1,9 @@
 (** Persistent model artifacts (see artifact.mli and DESIGN.md §9). *)
 
-let format_version = 1
+(* v2 (DESIGN.md §13): adds the optional compiled fast-path summary.
+   Strict versioning — v1 artifacts are rejected with
+   [Version_unsupported] and must be recompiled. *)
+let format_version = 2
 let magic = "AUTOTYPE-MODEL"
 let extension = ".model"
 
@@ -19,6 +22,7 @@ type t = {
   candidate : Repolib.Candidate.t;
   driver : Minilang.Interp.config;
   dnf : Autotype_core.Dnf.result;
+  summary : Absint.Domain.compiled option;
 }
 
 let m_saves = Telemetry.counter "model.saves"
@@ -46,6 +50,9 @@ let of_synthesis ~provenance (syn : Autotype_core.Synthesis.t) : t =
         Repolib.Candidate.repo = slim_repo candidate.Repolib.Candidate.repo };
     driver = Repolib.Driver.default_config;
     dnf = syn.Autotype_core.Synthesis.dnf;
+    (* Resolved before slimming: absint facts are memoized against the
+       original repo (the slimmed one has identical sources anyway). *)
+    summary = Autotype_core.Summarize.compile syn;
   }
 
 let provenance_of_compiled (c : Autotype_core.Pipeline.compiled) : provenance =
@@ -376,6 +383,172 @@ let provenance_of_json j : provenance =
     repos_searched = to_int (member "repos_searched" j);
   }
 
+(* --- compiled fast-path summary (v2) ------------------------------ *)
+
+let json_of_deriv (d : Absint.Domain.deriv) : Jsonx.t =
+  match d with
+  | Absint.Domain.Strip (chars, left, right) ->
+    Obj
+      [ ("t", Str "strip");
+        ("chars", match chars with Some c -> Str c | None -> Null);
+        ("left", Bool left);
+        ("right", Bool right) ]
+  | Absint.Domain.Lower -> Obj [ ("t", Str "lower") ]
+  | Absint.Domain.Upper -> Obj [ ("t", Str "upper") ]
+  | Absint.Domain.Replace (o, n) ->
+    Obj [ ("t", Str "replace"); ("old", Str o); ("new", Str n) ]
+
+let deriv_of_json j : Absint.Domain.deriv =
+  match to_str (member "t" j) with
+  | "strip" ->
+    Absint.Domain.Strip
+      ( (match member "chars" j with Null -> None | v -> Some (to_str v)),
+        to_bool (member "left" j),
+        to_bool (member "right" j) )
+  | "lower" -> Absint.Domain.Lower
+  | "upper" -> Absint.Domain.Upper
+  | "replace" ->
+    Absint.Domain.Replace (to_str (member "old" j), to_str (member "new" j))
+  | t -> raise (Decode_error ("unknown deriv tag " ^ t))
+
+let json_of_chain (ch : Absint.Domain.chain) : Jsonx.t =
+  List (List.map json_of_deriv ch)
+
+let chain_of_json j : Absint.Domain.chain =
+  List.map deriv_of_json (to_list j)
+
+let rmode_to_tag = function
+  | Absint.Domain.Rmatch -> "match"
+  | Absint.Domain.Rfullmatch -> "fullmatch"
+  | Absint.Domain.Rsearch -> "search"
+
+let rmode_of_tag = function
+  | "match" -> Absint.Domain.Rmatch
+  | "fullmatch" -> Absint.Domain.Rfullmatch
+  | "search" -> Absint.Domain.Rsearch
+  | t -> raise (Decode_error ("unknown regex mode " ^ t))
+
+let cclass_to_tag = function
+  | Absint.Domain.Cdigit -> "digit"
+  | Absint.Domain.Calpha -> "alpha"
+  | Absint.Domain.Calnum -> "alnum"
+  | Absint.Domain.Cspace -> "space"
+
+let cclass_of_tag = function
+  | "digit" -> Absint.Domain.Cdigit
+  | "alpha" -> Absint.Domain.Calpha
+  | "alnum" -> Absint.Domain.Calnum
+  | "space" -> Absint.Domain.Cspace
+  | t -> raise (Decode_error ("unknown char class " ^ t))
+
+let icmp_to_tag = function
+  | Absint.Domain.Clt -> "lt"
+  | Absint.Domain.Cle -> "le"
+  | Absint.Domain.Cgt -> "gt"
+  | Absint.Domain.Cge -> "ge"
+  | Absint.Domain.Ceq -> "eq"
+  | Absint.Domain.Cne -> "ne"
+
+let icmp_of_tag = function
+  | "lt" -> Absint.Domain.Clt
+  | "le" -> Absint.Domain.Cle
+  | "gt" -> Absint.Domain.Cgt
+  | "ge" -> Absint.Domain.Cge
+  | "eq" -> Absint.Domain.Ceq
+  | "ne" -> Absint.Domain.Cne
+  | t -> raise (Decode_error ("unknown comparison " ^ t))
+
+let json_of_atom (a : Absint.Domain.atom) : Jsonx.t =
+  match a with
+  | Absint.Domain.Regex (m, pat, ch) ->
+    Obj
+      [ ("t", Str "regex");
+        ("mode", Str (rmode_to_tag m));
+        ("pat", Str pat);
+        ("chain", json_of_chain ch) ]
+  | Absint.Domain.Char_class (c, ch) ->
+    Obj
+      [ ("t", Str "cclass");
+        ("class", Str (cclass_to_tag c));
+        ("chain", json_of_chain ch) ]
+  | Absint.Domain.Starts_with (p, ch) ->
+    Obj [ ("t", Str "starts"); ("lit", Str p); ("chain", json_of_chain ch) ]
+  | Absint.Domain.Ends_with (p, ch) ->
+    Obj [ ("t", Str "ends"); ("lit", Str p); ("chain", json_of_chain ch) ]
+  | Absint.Domain.Str_eq (lit, ch) ->
+    Obj [ ("t", Str "eq"); ("lit", Str lit); ("chain", json_of_chain ch) ]
+  | Absint.Domain.Contains (lit, ch) ->
+    Obj [ ("t", Str "contains"); ("lit", Str lit); ("chain", json_of_chain ch) ]
+  | Absint.Domain.Len_cmp (op, n, ch) ->
+    Obj
+      [ ("t", Str "len");
+        ("op", Str (icmp_to_tag op));
+        ("n", Int n);
+        ("chain", json_of_chain ch) ]
+
+let atom_of_json j : Absint.Domain.atom =
+  let chain () = chain_of_json (member "chain" j) in
+  match to_str (member "t" j) with
+  | "regex" ->
+    Absint.Domain.Regex
+      (rmode_of_tag (to_str (member "mode" j)), to_str (member "pat" j),
+       chain ())
+  | "cclass" ->
+    Absint.Domain.Char_class (cclass_of_tag (to_str (member "class" j)), chain ())
+  | "starts" -> Absint.Domain.Starts_with (to_str (member "lit" j), chain ())
+  | "ends" -> Absint.Domain.Ends_with (to_str (member "lit" j), chain ())
+  | "eq" -> Absint.Domain.Str_eq (to_str (member "lit" j), chain ())
+  | "contains" -> Absint.Domain.Contains (to_str (member "lit" j), chain ())
+  | "len" ->
+    Absint.Domain.Len_cmp
+      (icmp_of_tag (to_str (member "op" j)), to_int (member "n" j), chain ())
+  | t -> raise (Decode_error ("unknown atom tag " ^ t))
+
+let rec json_of_guard (g : Absint.Domain.guard) : Jsonx.t =
+  match g with
+  | Absint.Domain.Gconst b -> Obj [ ("t", Str "const"); ("v", Bool b) ]
+  | Absint.Domain.Gatom a -> Obj [ ("t", Str "atom"); ("atom", json_of_atom a) ]
+  | Absint.Domain.Gnot g -> Obj [ ("t", Str "not"); ("g", json_of_guard g) ]
+  | Absint.Domain.Gand (a, b) ->
+    Obj [ ("t", Str "and"); ("a", json_of_guard a); ("b", json_of_guard b) ]
+  | Absint.Domain.Gor (a, b) ->
+    Obj [ ("t", Str "or"); ("a", json_of_guard a); ("b", json_of_guard b) ]
+
+let rec guard_of_json j : Absint.Domain.guard =
+  match to_str (member "t" j) with
+  | "const" -> Absint.Domain.Gconst (to_bool (member "v" j))
+  | "atom" -> Absint.Domain.Gatom (atom_of_json (member "atom" j))
+  | "not" -> Absint.Domain.Gnot (guard_of_json (member "g" j))
+  | "and" ->
+    Absint.Domain.Gand
+      (guard_of_json (member "a" j), guard_of_json (member "b" j))
+  | "or" ->
+    Absint.Domain.Gor
+      (guard_of_json (member "a" j), guard_of_json (member "b" j))
+  | t -> raise (Decode_error ("unknown guard tag " ^ t))
+
+let rec json_of_compiled (t : Absint.Domain.compiled) : Jsonx.t =
+  match t with
+  | Absint.Domain.Leaf v -> Obj [ ("t", Str "leaf"); ("v", Bool v) ]
+  | Absint.Domain.Node { guard; if_true; if_false } ->
+    Obj
+      [ ("t", Str "node");
+        ("guard", json_of_guard guard);
+        ("then", json_of_compiled if_true);
+        ("else", json_of_compiled if_false) ]
+
+let rec compiled_of_json j : Absint.Domain.compiled =
+  match to_str (member "t" j) with
+  | "leaf" -> Absint.Domain.Leaf (to_bool (member "v" j))
+  | "node" ->
+    Absint.Domain.Node
+      {
+        guard = guard_of_json (member "guard" j);
+        if_true = compiled_of_json (member "then" j);
+        if_false = compiled_of_json (member "else" j);
+      }
+  | t -> raise (Decode_error ("unknown tree tag " ^ t))
+
 let payload_of (t : artifact) : Jsonx.t =
   Obj
     [ ("provenance", json_of_provenance t.provenance);
@@ -384,7 +557,9 @@ let payload_of (t : artifact) : Jsonx.t =
        Obj
          [ ("max_steps", Int t.driver.Minilang.Interp.max_steps);
            ("max_call_depth", Int t.driver.Minilang.Interp.max_call_depth) ]);
-      ("dnf", json_of_dnf t.dnf) ]
+      ("dnf", json_of_dnf t.dnf);
+      ("summary",
+       (match t.summary with Some s -> json_of_compiled s | None -> Null)) ]
 
 let of_payload j : artifact =
   let dj = member "driver" j in
@@ -395,6 +570,10 @@ let of_payload j : artifact =
       { Minilang.Interp.max_steps = to_int (member "max_steps" dj);
         max_call_depth = to_int (member "max_call_depth" dj) };
     dnf = dnf_of_json (member "dnf" j);
+    summary =
+      (match member "summary" j with
+       | Null -> None
+       | v -> Some (compiled_of_json v));
   }
 
 (* ------------------------------------------------------------------ *)

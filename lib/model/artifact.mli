@@ -50,6 +50,12 @@ type t = {
   driver : Minilang.Interp.config;  (** sandbox limits used when serving *)
   dnf : Autotype_core.Dnf.result;
       (** concise DNF, DNF-E and train-set coverage stats *)
+  summary : Absint.Domain.compiled option;
+      (** interpreter-free fast path (format v2, DESIGN.md §13): a
+          verdict tree proven by the abstract interpreter to reproduce
+          [Synthesis.validate] exactly.  [None] whenever the candidate
+          lacks a proven (pure, terminating, summarizable) analysis —
+          serving then uses the interpreter for every value. *)
 }
 
 (** {1 Compile: exporting} *)

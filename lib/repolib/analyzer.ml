@@ -391,6 +391,123 @@ let verdict (c : Candidate.t) : verdict =
     v
 
 (* ------------------------------------------------------------------ *)
+(* Abstract-interpretation facts (lib/absint wiring)                   *)
+(* ------------------------------------------------------------------ *)
+
+module StrSet = Staticcheck.Env.StrSet
+
+let rec target_binds name = function
+  | Tvar n -> n = name
+  | Ttuple ts -> List.exists (target_binds name) ts
+  | Tindex _ | Tattr _ -> false
+
+(* The absint proofs tie a candidate's AST to the function the driver
+   will invoke at runtime by *name*.  That link is only sound when the
+   name is bound exactly once across the repository: one top-level
+   [def] (in any file's top-level control flow), no other top-level
+   rebinding (assignment, for-target, class, try-binder), and no
+   [global] declaration of it anywhere that could rebind the module
+   slot from inside a call.  Anything ambiguous → [None]. *)
+let unique_toplevel_func (progs : program list) name : func option =
+  let defs = ref [] and rebinds = ref 0 in
+  let rec scan_top stmts =
+    List.iter
+      (fun s ->
+        (match s with
+         | Func_def f -> if f.fname = name then defs := f :: !defs
+         | Class_def c -> if c.cname = name then incr rebinds
+         | Assign (t, _, _) | Aug_assign (t, _, _, _) ->
+           if target_binds name t then incr rebinds
+         | For (t, _, _, _) -> if target_binds name t then incr rebinds
+         | Global ns -> if List.mem name ns then incr rebinds
+         | Try (_, handlers, _) ->
+           List.iter
+             (fun h ->
+               let binds =
+                 (match h.h_bind with Some b -> b = name | None -> false)
+                 || (match h.h_filter with
+                     | Some f
+                       when not
+                              (List.mem f
+                                 Minilang.Interp.known_exception_kinds) ->
+                       f = name
+                     | _ -> false)
+               in
+               if binds then incr rebinds)
+             handlers
+         | _ -> ());
+        match s with
+        | If (arms, els) ->
+          List.iter (fun (_, _, b) -> scan_top b) arms;
+          Option.iter scan_top els
+        | While (_, _, b) | For (_, _, b, _) -> scan_top b
+        | Try (b, handlers, fin) ->
+          scan_top b;
+          List.iter (fun h -> scan_top h.h_body) handlers;
+          Option.iter scan_top fin
+        | _ -> ())
+      stmts
+  in
+  List.iter (fun (p : program) -> scan_top p.prog_body) progs;
+  let global_rebind = ref false in
+  List.iter
+    (fun (p : program) ->
+      ignore
+        (fold_stmts
+           (fun () s ->
+             match s with
+             | Global ns when List.mem name ns -> global_rebind := true
+             | _ -> ())
+           () p.prog_body))
+    progs;
+  match !defs with
+  | [ f ] when !rebinds = 0 && not !global_rebind -> Some f
+  | _ -> None
+
+let absint_cache : (string * int, Absint.Domain.facts) Hashtbl.t =
+  Hashtbl.create 256
+
+let absint_lock = Mutex.create ()
+
+let compute_absint (c : Candidate.t) : Absint.Domain.facts =
+  match c.Candidate.invocation with
+  | Candidate.Direct -> (
+    let progs, _ = Repo.parse_each c.Candidate.repo in
+    match unique_toplevel_func progs c.Candidate.func_name with
+    | Some f ->
+      let env = Staticcheck.Env.build progs in
+      let module_bindings =
+        Hashtbl.fold
+          (fun k _ acc -> StrSet.add k acc)
+          env.Staticcheck.Env.funcs
+          (Hashtbl.fold
+             (fun k _ acc -> StrSet.add k acc)
+             env.Staticcheck.Env.classes env.Staticcheck.Env.module_vars)
+      in
+      let lookup n = unique_toplevel_func progs n in
+      Absint.Analyze.facts ~module_bindings ~lookup f
+    | None -> Absint.Domain.unknown_facts)
+  | _ ->
+    (* Only the Direct plan feeds the input straight to the entry
+       function; other plans add machinery the analyses don't model. *)
+    Absint.Domain.unknown_facts
+
+let absint_facts (c : Candidate.t) : Absint.Domain.facts =
+  let key = (Candidate.id c, Hashtbl.hash c.Candidate.repo.Repo.files) in
+  Mutex.lock absint_lock;
+  match Hashtbl.find_opt absint_cache key with
+  | Some v ->
+    Mutex.unlock absint_lock;
+    v
+  | None ->
+    Mutex.unlock absint_lock;
+    let v = compute_absint c in
+    Mutex.lock absint_lock;
+    if not (Hashtbl.mem absint_cache key) then Hashtbl.add absint_cache key v;
+    Mutex.unlock absint_lock;
+    v
+
+(* ------------------------------------------------------------------ *)
 (* Repository lint                                                     *)
 (* ------------------------------------------------------------------ *)
 

@@ -32,6 +32,14 @@ val verdict : Candidate.t -> verdict
     memoized per (repository, input channel); verdicts per candidate.
     Thread-safe. *)
 
+val absint_facts : Candidate.t -> Absint.Domain.facts
+(** Abstract-interpretation facts (purity, step bound, symbolic
+    summary) for a candidate's entry function.  Computed only for the
+    [Direct] invocation plan and only when the function name is bound
+    exactly once across the repository (so the analyzed AST is
+    provably the function the driver invokes); everything else gets
+    {!Absint.Domain.unknown_facts}.  Memoized; thread-safe. *)
+
 val repo_diagnostics : Repo.t -> Staticcheck.Diag.t list
 (** All lint diagnostics for a repository: E100 parse errors for
     files that fail to parse plus the five {!Staticcheck} passes over

@@ -173,12 +173,35 @@ let config_with_hint (config : Interp.config) (hint : int option) :
     { config with Interp.max_steps = max 1 budget }
   | Some _ | None -> config
 
-(** Interpreter config for a candidate, shrinking [max_steps] when the
-    static loop pass proved the entry function spins in a
-    constant-condition loop: the run still hits the limit (same traced
-    events — [Hit_limit] emits none), just [10x] sooner. *)
-let config_for ?(config = default_config) (c : Candidate.t) : Interp.config =
-  config_with_hint config (Analyzer.verdict c).Analyzer.budget_hint
+(** Interpreter config for a candidate, shrinking [max_steps] using
+    every static proof available:
+    - the loop pass's spin hint ({!Analyzer.verdict}): the entry
+      function provably reaches a constant-condition event-free loop,
+      so any budget that covers the prefix traces identically;
+    - the abstract interpreter's bound ({!Analyzer.absint_facts}): a
+      proven [a·len + b] termination bound (usable when [input_len] is
+      supplied) or a precise spin-prefix cost.
+
+    The two hints can disagree — a candidate can be both a proven spin
+    and have a tighter absint prefix cost, and a stale spin hint could
+    otherwise override a proven termination bound.  The effective
+    [max_steps] is defined as the *minimum* of the available hints
+    (each is individually sound as an upper-requirement, so their min
+    is too), clamped to at least 1 by {!config_with_hint}. *)
+let config_for ?(config = default_config) ?input_len (c : Candidate.t) :
+    Interp.config =
+  let spin = (Analyzer.verdict c).Analyzer.budget_hint in
+  let proved =
+    Absint.Analyze.budget_hint ?input_len
+      (Analyzer.absint_facts c).Absint.Domain.bound
+  in
+  let combined =
+    match (spin, proved) with
+    | Some a, Some b -> Some (min a b)
+    | (Some _ as h), None | None, (Some _ as h) -> h
+    | None, None -> None
+  in
+  config_with_hint config combined
 
 (** Convenience used throughout the pipeline: run and swallow
     infrastructure failures into an error outcome. *)

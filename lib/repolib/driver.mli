@@ -40,12 +40,19 @@ val config_with_hint :
     otherwise produce a config that can never execute a step. *)
 
 val config_for :
-  ?config:Minilang.Interp.config -> Candidate.t -> Minilang.Interp.config
-(** [config] (default {!default_config}) with [max_steps] shrunk to the
-    candidate's static step-budget hint, when {!Analyzer.verdict} proved
-    the entry function spins in a constant-condition loop.  Sound: such
-    a run hits the step limit either way and [Hit_limit] emits no trace
-    event, so the traced behaviour is unchanged — only cheaper. *)
+  ?config:Minilang.Interp.config ->
+  ?input_len:int ->
+  Candidate.t ->
+  Minilang.Interp.config
+(** [config] (default {!default_config}) with [max_steps] shrunk using
+    every available static proof: the loop pass's spin hint and the
+    abstract interpreter's step bound ({!Analyzer.absint_facts}; the
+    [a·len + b] termination bound applies when [input_len] is given).
+    When both hints exist the effective [max_steps] is their
+    *minimum* — each is individually a sound requirement, so the min
+    is too.  Sound either way: a proven-terminating run finishes under
+    the bound, and a proven spin hits the limit with an unchanged
+    traced event set. *)
 
 val run_safe :
   ?config:Minilang.Interp.config ->

@@ -152,19 +152,157 @@ let rec cond_const_true (e : expr) =
     cond_const_true a && cond_const_true b
   | _ -> false
 
-(** [Some spin_budget] when every call of [f] provably reaches an
-    event-free infinite loop: a straight-line call-free prefix followed
-    by [while <literal-true>:] over a raise-free, event-free body.
-    Every run then hits the step limit with a feature set independent
-    of the budget (the repeated branch event at the loop head dedupes
-    into the candidate's literal set), so a reduced budget is
-    observationally equivalent. *)
-let budget_hint (f : func) : int option =
-  let rec scan = function
-    | While (cond, _, body) :: _ ->
-      if cond_const_true cond && spin_body_ok body then Some spin_budget
+(* --- Ranking helpers (shared with lib/absint) ------------------------ *)
+
+type spin_shape = {
+  spin_prefix : stmt list;  (** straight-line call-free prefix, in order *)
+  spin_cond : expr;  (** the literal always-true loop condition *)
+  spin_pos : pos;  (** the loop head (its branch-event site) *)
+}
+
+(** The proof obligation behind {!budget_hint}, exposed structurally so
+    the abstract interpreter can price the prefix precisely instead of
+    charging the blunt {!spin_budget}: every call of [f] runs the
+    returned straight-line call-free prefix and then enters
+    [while <literal-true>:] over a raise-free, event-free body. *)
+let spin_shape (f : func) : spin_shape option =
+  let rec scan acc = function
+    | While (cond, pos, body) :: _ ->
+      if cond_const_true cond && spin_body_ok body then
+        Some { spin_prefix = List.rev acc; spin_cond = cond; spin_pos = pos }
       else None
-    | s :: rest -> if stmt_straight s then scan rest else None
+    | s :: rest -> if stmt_straight s then scan (s :: acc) rest else None
     | [] -> None
   in
-  scan f.body
+  scan [] f.body
+
+(** [Some spin_budget] when every call of [f] provably reaches an
+    event-free infinite loop (see {!spin_shape}).  Every run then hits
+    the step limit with a feature set independent of the budget (the
+    repeated branch event at the loop head dedupes into the candidate's
+    literal set), so a reduced budget is observationally equivalent. *)
+let budget_hint (f : func) : int option =
+  match spin_shape f with Some _ -> Some spin_budget | None -> None
+
+type counter = {
+  counter_var : string;
+  counter_step : int;
+      (** guaranteed total increase of the variable per completed
+          iteration; at least 1 *)
+  counter_le : bool;  (** condition is [v <= B] rather than [v < B] *)
+  counter_bound : expr;  (** loop-invariant bound expression *)
+}
+
+(* Statements anywhere in a block that (re)bind [v], descending into
+   nested control flow but not into nested defs (their [v] is a
+   different variable unless [global] appears — callers reject
+   [global] separately). *)
+let assignments_to v (body : block) : stmt list =
+  let hits = ref [] in
+  let rec go stmts =
+    List.iter
+      (fun s ->
+        (match s with
+         | Assign (t, _, _) | Aug_assign (t, _, _, _) ->
+           let rec tgt = function
+             | Tvar n -> if n = v then hits := s :: !hits
+             | Ttuple ts -> List.iter tgt ts
+             | Tindex _ | Tattr _ -> ()
+           in
+           tgt t
+         | For (t, _, _, _) ->
+           let rec tgt = function
+             | Tvar n -> if n = v then hits := s :: !hits
+             | Ttuple ts -> List.iter tgt ts
+             | Tindex _ | Tattr _ -> ()
+           in
+           tgt t
+         | Func_def f when f.fname = v -> hits := s :: !hits
+         | Class_def c when c.cname = v -> hits := s :: !hits
+         | _ -> ());
+        match s with
+        | If (arms, els) ->
+          List.iter (fun (_, _, b) -> go b) arms;
+          Option.iter go els
+        | While (_, _, b) | For (_, _, b, _) -> go b
+        | Try (b, handlers, fin) ->
+          go b;
+          List.iter (fun h -> go h.h_body) handlers;
+          Option.iter go fin
+        | _ -> ())
+      stmts
+  in
+  go body;
+  !hits
+
+let has_continue (body : block) =
+  let found = ref false in
+  let rec go stmts =
+    List.iter
+      (fun s ->
+        match s with
+        | Continue _ -> found := true
+        | If (arms, els) ->
+          List.iter (fun (_, _, b) -> go b) arms;
+          Option.iter go els
+        | Try (b, handlers, fin) ->
+          go b;
+          List.iter (fun h -> go h.h_body) handlers;
+          Option.iter go fin
+        (* a [continue] inside a nested loop belongs to that loop *)
+        | While _ | For _ -> ()
+        | _ -> ())
+      stmts
+  in
+  go body;
+  !found
+
+(* A top-level statement of the body that increases [v] by a literal
+   positive amount: [v += k] or [v = v + k] / [v = k + v]. *)
+let increment_of v (s : stmt) : int option =
+  match s with
+  | Aug_assign (Tvar n, Add, Int k, _) when n = v && k >= 1 -> Some k
+  | Assign (Tvar n, Binop (Add, Var m, Int k, _), _)
+    when n = v && m = v && k >= 1 -> Some k
+  | Assign (Tvar n, Binop (Add, Int k, Var m, _), _)
+    when n = v && m = v && k >= 1 -> Some k
+  | _ -> None
+
+(** Lexicographic-ranking witness for a [while] loop: [Some c] proves
+    that each completed iteration increases [c.counter_var] by at least
+    [c.counter_step] while the bound expression stays fixed, so the
+    iteration count is bounded by [(B − v₀)/step (+1)] once the caller
+    knows an upper bound for [B] and the entry value [v₀].
+
+    Must-style obligations (reject on any doubt): the condition is
+    [v < B] or [v <= B] with [B] pure and loop-invariant; every
+    (re)binding of [v] in the body is a direct top-level literal
+    increment; there is at least one such increment; no [continue] at
+    this loop's level (it could skip the increments); no [global] (it
+    could alias [v] or the bound through module scope). *)
+let while_counter (cond : expr) (body : block) : counter option =
+  match cond with
+  | Binop (((Lt | Le) as op), Var v, bound, _)
+    when cond_pure bound
+         && (not (StrSet.mem v (cond_vars bound)))
+         && StrSet.is_empty
+              (StrSet.inter (cond_vars bound) (Env.assigned_names body))
+         && StrSet.is_empty (Env.global_names body)
+         && not (has_continue body) ->
+    let bindings = assignments_to v body in
+    let increments = List.filter_map (increment_of v) body in
+    let all_are_top_level_increments =
+      List.for_all
+        (fun s -> List.exists (fun t -> t == s) body && increment_of v s <> None)
+        bindings
+    in
+    if increments <> [] && all_are_top_level_increments then
+      Some
+        {
+          counter_var = v;
+          counter_step = List.fold_left ( + ) 0 increments;
+          counter_le = op = Le;
+          counter_bound = bound;
+        }
+    else None
+  | _ -> None

@@ -55,6 +55,8 @@ let fraction_accepted det values =
     float_of_int n /. float_of_int (List.length values)
 
 let m_detectors_built = Telemetry.counter "detect.detectors_built"
+let m_fastpath_hits = Telemetry.counter "serve.fastpath_hits"
+let m_fastpath_fallbacks = Telemetry.counter "serve.fastpath_fallbacks"
 let m_columns_scanned = Telemetry.counter "detect.columns_scanned"
 let m_columns_detected = Telemetry.counter "detect.columns_detected"
 let m_models_served = Telemetry.counter "detect.models_served"
@@ -145,15 +147,48 @@ let serve_column ?(budgets = no_budgets)
         verdict)
   else go 0 0 values
 
+(* Values longer than this take the interpreter route even when a
+   compiled summary exists: the fast path is proven equivalent at any
+   length, but capping it bounds the cost of a single regexlite guard
+   on adversarially long values and gives the fallback telemetry a
+   stable meaning. *)
+let fastpath_max_len = 4096
+
 (** Wrap a registry-served model as a detector — the warm serving path:
-    no search, no analysis, no negative generation. *)
+    no search, no analysis, no negative generation.
+
+    When the artifact carries a compiled fast-path summary (format v2,
+    DESIGN.md §13), eligible values are answered by the verdict tree —
+    pure string operations, no interpreter.  Ineligible values (longer
+    than {!fastpath_max_len}, or every value when the summary is absent
+    or its stored regex fails to prepare) fall back to
+    {!Autotype_core.Synthesis.validate}; each per-value fallback is
+    counted ([serve.fastpath_fallbacks]) and flight-recorded. *)
 let serve_detector (entry : Model.Registry.entry) : detector =
   Telemetry.incr m_models_served;
-  {
-    type_id = Model.Artifact.key entry.Model.Registry.artifact;
-    accepts = Autotype_core.Synthesis.validate entry.Model.Registry.synthesis;
-    usable = true;
-  }
+  let type_id = Model.Artifact.key entry.Model.Registry.artifact in
+  let interp = Autotype_core.Synthesis.validate entry.Model.Registry.synthesis in
+  let accepts =
+    match entry.Model.Registry.artifact.Model.Artifact.summary with
+    | None -> interp
+    | Some tree ->
+      (match Absint.Domain.prepare tree with
+       | None -> interp
+       | Some prepared ->
+         fun v ->
+           if String.length v <= fastpath_max_len then begin
+             Telemetry.incr m_fastpath_hits;
+             Absint.Domain.eval_prepared prepared v
+           end
+           else begin
+             Telemetry.incr m_fastpath_fallbacks;
+             Telemetry.Flight.record ~kind:"fastpath_fallback"
+               ~value:(float_of_int (String.length v))
+               type_id;
+             interp v
+           end)
+  in
+  { type_id; accepts; usable = true }
 
 (** Build the DNF-S detector for a type.  With a [registry] holding a
     compiled model for the type, the model is served from it (LRU-cached

@@ -57,9 +57,18 @@ val serve_column :
     batch deadline degrades to [Column_degraded] ([serve.degraded])
     instead of failing the batch. *)
 
+val fastpath_max_len : int
+(** Longest value served by the compiled fast path (4096); longer
+    values take the interpreter route and are flight-recorded. *)
+
 val serve_detector : Model.Registry.entry -> detector
 (** Detector around a registry-served model (the warm path): validation
-    only, no pipeline stages. *)
+    only, no pipeline stages.  Artifacts carrying a compiled fast-path
+    summary answer eligible values from the verdict tree without
+    running the interpreter ([serve.fastpath_hits]); everything else
+    falls back to {!Autotype_core.Synthesis.validate}
+    ([serve.fastpath_fallbacks], plus a flight-recorder event per
+    fallback). *)
 
 val dnf_detector :
   ?seed:int ->

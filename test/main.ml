@@ -14,4 +14,6 @@ let () =
       ("tablecorpus", Test_tablecorpus.suite);
       ("telemetry", Test_telemetry.suite);
       ("exec", Test_exec.suite);
-      ("model", Test_model.suite) ]
+      ("model", Test_model.suite);
+      ("absint", Test_absint.suite);
+      ("absint_fuzz", Test_absint_fuzz.suite) ]

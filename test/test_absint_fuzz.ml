@@ -1,0 +1,253 @@
+(** Differential fuzzing of lib/absint against the concrete interpreter
+    (DESIGN.md §13).  Seeded random MiniScript detectors are analyzed,
+    then every *claimed* fact is checked against real runs:
+
+    - [pure] claims: no captured print output, and a second run is
+      byte-identical (outcome, trace, steps used);
+    - [Terminates {a; b}] claims: the run never hits the step limit,
+      uses at most [a·len + b] steps, and re-running under exactly that
+      budget reproduces the full-budget run;
+    - [Spins_after k] claims: the run hits the limit, and a budget of
+      exactly [k] yields the same traced events as the default budget;
+    - summary claims: the summary tree routes the input to a leaf whose
+      event list equals the concrete trace *verbatim*.
+
+    Unsupported constructs may only weaken facts to unknown — a wrong
+    fact on any of the generated programs is a suite failure. *)
+
+let n_programs = 600
+
+(* ----------------------- program generator ------------------------- *)
+
+let pick rng arr = arr.(Random.State.int rng (Array.length arr))
+
+let lit_pool = [| "a"; "b"; "x"; "xy"; "abc"; "0"; "-"; " "; "%" |]
+
+let pat_pool =
+  [| "[0-9]+"; "[a-z]*"; "x.y"; "abc"; "[0-9][0-9]"; "a+"; "[A-Za-z]+" |]
+
+let chain_stmt rng =
+  match Random.State.int rng 6 with
+  | 0 -> "value = value.strip()"
+  | 1 -> "value = value.lstrip()"
+  | 2 -> "value = value.rstrip()"
+  | 3 -> "value = value.lower()"
+  | 4 -> "value = value.upper()"
+  | _ ->
+    Printf.sprintf "value = value.replace(%S, %S)" (pick rng lit_pool)
+      (if Random.State.bool rng then "" else pick rng lit_pool)
+
+let atom rng =
+  match Random.State.int rng 10 with
+  | 0 -> Printf.sprintf "re.match(%S, value)" (pick rng pat_pool)
+  | 1 -> Printf.sprintf "re.fullmatch(%S, value)" (pick rng pat_pool)
+  | 2 -> Printf.sprintf "re.search(%S, value)" (pick rng pat_pool)
+  | 3 -> pick rng [| "value.isdigit()"; "value.isalpha()";
+                    "value.isalnum()"; "value.isspace()" |]
+  | 4 -> Printf.sprintf "value.startswith(%S)" (pick rng lit_pool)
+  | 5 -> Printf.sprintf "value.endswith(%S)" (pick rng lit_pool)
+  | 6 -> Printf.sprintf "value == %S" (pick rng lit_pool)
+  | 7 -> Printf.sprintf "%S in value" (pick rng lit_pool)
+  | 8 ->
+    Printf.sprintf "len(value) %s %d"
+      (pick rng [| "<"; "<="; ">"; ">="; "=="; "!=" |])
+      (Random.State.int rng 6)
+  | _ -> pick rng [| "True"; "False" |]
+
+let guard rng =
+  match Random.State.int rng 5 with
+  | 0 -> Printf.sprintf "not (%s)" (atom rng)
+  | 1 -> Printf.sprintf "(%s and %s)" (atom rng) (atom rng)
+  | 2 -> Printf.sprintf "(%s or %s)" (atom rng) (atom rng)
+  | _ -> atom rng
+
+let leaf rng =
+  pick rng
+    [| "return True"; "return False"; "return len(value) > 2";
+       "return value"; "return None"; "raise ValueError(\"bad\")" |]
+
+let rec body buf rng ~indent ~depth =
+  let pad = String.make indent ' ' in
+  if depth = 0 || Random.State.int rng 3 = 0 then
+    Buffer.add_string buf (pad ^ leaf rng ^ "\n")
+  else begin
+    Buffer.add_string buf (Printf.sprintf "%sif %s:\n" pad (guard rng));
+    body buf rng ~indent:(indent + 4) ~depth:(depth - 1);
+    if Random.State.bool rng then begin
+      Buffer.add_string buf (pad ^ "else:\n");
+      body buf rng ~indent:(indent + 4) ~depth:(depth - 1)
+    end
+    else if Random.State.bool rng then
+      Buffer.add_string buf (pad ^ leaf rng ^ "\n")
+    (* else: fall off the end (Rvoid return) on the false arm *)
+  end
+
+let gen_program rng =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "def f(value):\n";
+  (* Occasional impurity, so pure=false claims get exercised too. *)
+  if Random.State.int rng 7 = 0 then
+    Buffer.add_string buf "    print(value)\n";
+  (* Occasional local shadowing of the re module: the analyses must
+     refuse to treat a string named [re] as the module. *)
+  if Random.State.int rng 12 = 0 then
+    Buffer.add_string buf "    re = value\n";
+  for _ = 1 to Random.State.int rng 3 do
+    Buffer.add_string buf ("    " ^ chain_stmt rng ^ "\n")
+  done;
+  (match Random.State.int rng 8 with
+   | 0 ->
+     (* constant-condition spin: Spins_after territory *)
+     Buffer.add_string buf "    while True:\n        pass\n"
+   | 1 ->
+     (* data-dependent loop: outside the summarized fragment *)
+     Buffer.add_string buf
+       "    n = len(value)\n    while n > 0:\n        n = n - 1\n"
+   | 2 ->
+     Buffer.add_string buf
+       "    total = 0\n    for ch in value:\n        total = total + 1\n"
+   | _ -> ());
+  body buf rng ~indent:4 ~depth:(1 + Random.State.int rng 3);
+  (* Occasionally a second top-level def, which must disable the
+     unique-entry gate rather than confuse it. *)
+  if Random.State.int rng 10 = 0 then
+    Buffer.add_string buf "\ndef f2(value):\n    return True\n";
+  Buffer.contents buf
+
+let gen_input rng =
+  match Random.State.int rng 14 with
+  | 0 -> ""
+  | 1 -> " "
+  | 2 -> "abc"
+  | 3 -> "123"
+  | 4 -> "12a"
+  | 5 -> "  42  "
+  | 6 -> "XYZ"
+  | 7 -> "x.y"
+  | 8 -> "a-b c"
+  | 9 -> String.make 40 '9'
+  | 10 -> "\t 12 \t"
+  | 11 -> "xxy"
+  | _ ->
+    String.init
+      (Random.State.int rng 12)
+      (fun _ -> Char.chr (32 + Random.State.int rng 95))
+
+(* --------------------------- the oracle ----------------------------- *)
+
+let failures = ref []
+
+let contradiction src input fmt =
+  Printf.ksprintf
+    (fun msg ->
+      failures := Printf.sprintf "on input %S: %s\n--\n%s" input msg src
+                  :: !failures)
+    fmt
+
+let shrunk_config max_steps =
+  { Repolib.Driver.default_config with
+    Minilang.Interp.max_steps = max max_steps 1 }
+
+let check_input src (c : Repolib.Candidate.t)
+    (facts : Absint.Domain.facts) input =
+  let run = Repolib.Driver.run_safe c input in
+  (if facts.Absint.Domain.pure then begin
+     if run.Minilang.Interp.printed <> [] then
+       contradiction src input "claimed pure but printed %d lines"
+         (List.length run.Minilang.Interp.printed);
+     let again = Repolib.Driver.run_safe c input in
+     if
+       again.Minilang.Interp.outcome <> run.Minilang.Interp.outcome
+       || again.Minilang.Interp.trace <> run.Minilang.Interp.trace
+       || again.Minilang.Interp.steps_used <> run.Minilang.Interp.steps_used
+     then contradiction src input "claimed pure but reruns diverge"
+   end);
+  (match facts.Absint.Domain.bound with
+   | Absint.Domain.Terminates { a; b } ->
+     let budget = (a * String.length input) + b in
+     (match run.Minilang.Interp.outcome with
+      | Minilang.Interp.Hit_limit _ ->
+        contradiction src input "claimed terminating but hit the step limit"
+      | _ -> ());
+     if run.Minilang.Interp.steps_used > budget then
+       contradiction src input "claimed steps <= %d*len+%d = %d but used %d"
+         a b budget run.Minilang.Interp.steps_used;
+     let shrunk =
+       Repolib.Driver.run_safe ~config:(shrunk_config budget) c input
+     in
+     if
+       shrunk.Minilang.Interp.outcome <> run.Minilang.Interp.outcome
+       || shrunk.Minilang.Interp.trace <> run.Minilang.Interp.trace
+     then
+       contradiction src input
+         "run under the claimed budget %d diverges from the default run"
+         budget
+   | Absint.Domain.Spins_after k ->
+     (match run.Minilang.Interp.outcome with
+      | Minilang.Interp.Hit_limit _ -> ()
+      | _ ->
+        contradiction src input "claimed a spin but the run finished");
+     let shrunk = Repolib.Driver.run_safe ~config:(shrunk_config k) c input in
+     let feats r =
+       Autotype_core.Feature.featurize r.Minilang.Interp.trace
+     in
+     (match shrunk.Minilang.Interp.outcome with
+      | Minilang.Interp.Hit_limit _ ->
+        if
+          not
+            (Autotype_core.Feature.Literal_set.equal (feats shrunk)
+               (feats run))
+        then
+          contradiction src input
+            "spin budget %d changes the featurized literal set" k
+      | _ ->
+        contradiction src input "claimed spin within %d steps but finished" k)
+   | Absint.Domain.Bound_unknown -> ());
+  match facts.Absint.Domain.summary with
+  | None -> ()
+  | Some tree -> (
+    match Absint.Domain.eval_tree tree input with
+    | pe ->
+      if Absint.Domain.events_of_path pe <> run.Minilang.Interp.trace then
+        contradiction src input "summary routes to the wrong event list"
+    | exception Absint.Domain.Unpreparable ->
+      contradiction src input "summary contains an unparseable regex")
+
+let test_fuzz_parity () =
+  let rng = Random.State.make [| 0xA551; 0x0F17 |] in
+  let summarized = ref 0 and bounded = ref 0 and pure = ref 0 in
+  for _ = 1 to n_programs do
+    let src = gen_program rng in
+    let repo =
+      Repolib.Repo.make "fuzz/absint" "fuzz"
+        [ { Repolib.Repo.path = "gen.py"; source = src } ]
+    in
+    let inputs = List.init 8 (fun _ -> gen_input rng) in
+    List.iter
+      (fun (c : Repolib.Candidate.t) ->
+        if c.Repolib.Candidate.invocation = Repolib.Candidate.Direct then begin
+          let facts = Repolib.Analyzer.absint_facts c in
+          if facts.Absint.Domain.pure then incr pure;
+          if facts.Absint.Domain.bound <> Absint.Domain.Bound_unknown then
+            incr bounded;
+          if facts.Absint.Domain.summary <> None then incr summarized;
+          List.iter (check_input src c facts) inputs
+        end)
+      (Repolib.Analyzer.candidates_of_repo repo)
+  done;
+  (match !failures with
+   | [] -> ()
+   | fs ->
+     Alcotest.failf "%d contradiction(s); first:\n%s" (List.length fs)
+       (List.hd (List.rev fs)));
+  (* The generator must actually exercise the analyses: a fuzz pass
+     where nothing was ever proven would be vacuous. *)
+  Alcotest.(check bool) "some candidates proven pure" true (!pure > 50);
+  Alcotest.(check bool) "some candidates proven bounded" true (!bounded > 50);
+  Alcotest.(check bool) "some candidates summarized" true (!summarized > 50)
+
+let suite =
+  [ Alcotest.test_case
+      (Printf.sprintf "no abstract claim contradicted on %d programs"
+         n_programs)
+      `Slow test_fuzz_parity ]

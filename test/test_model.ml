@@ -392,12 +392,15 @@ let test_serving_runs_no_pipeline () =
       | Error m -> Alcotest.fail m));
   Telemetry.enable ();
   Telemetry.reset ();
+  let served_fast = ref false in
   (match Model.Registry.open_dir dir with
    | Error m -> Alcotest.fail m
    | Ok registry ->
      (match Model.Registry.find registry "ipv4" with
       | Error e -> Alcotest.fail (Model.Artifact.load_error_to_string e)
       | Ok entry ->
+        served_fast :=
+          entry.Model.Registry.artifact.Model.Artifact.summary <> None;
         let det = Tablecorpus.Detect.serve_detector entry in
         Alcotest.(check bool) "serves ipv4" true
           (det.Tablecorpus.Detect.accepts "192.168.0.1");
@@ -409,8 +412,14 @@ let test_serving_runs_no_pipeline () =
     (List.length (Telemetry.spans_named "pipeline.search"));
   Alcotest.(check int) "no analyze spans while serving" 0
     (List.length (Telemetry.spans_named "pipeline.analyze"));
-  Alcotest.(check bool) "the interpreter did run" true
-    (Telemetry.find_counter snap "interp.runs" > 0);
+  (* An artifact with a compiled summary serves without even the
+     interpreter; otherwise the interpreter route must have run. *)
+  if !served_fast then
+    Alcotest.(check bool) "the fast path served both values" true
+      (Telemetry.find_counter snap "serve.fastpath_hits" >= 2)
+  else
+    Alcotest.(check bool) "the interpreter did run" true
+      (Telemetry.find_counter snap "interp.runs" > 0);
   Alcotest.(check int) "one load span" 1
     (List.length (Telemetry.spans_named "model.load"))
 
