@@ -1,4 +1,4 @@
-.PHONY: all build test lint absint models faults check bench bench-compare clean
+.PHONY: all build test lint absint models faults vm-diff check bench bench-compare clean
 
 all: build
 
@@ -67,11 +67,27 @@ faults: build
 	@AUTOTYPE_FAULTS="p_corrupt=1,seed=7" dune exec bin/autotype_cli.exe -- validate --model $(FAULTS_DIR)/ipv4.model 192.168.0.1 && { echo "corrupted artifact was served"; exit 1; } || true
 	@echo "faults: OK"
 
+# Engine-parity smoke (DESIGN.md §14): the 4-type synthesis workload
+# run under the tree-walker (AUTOTYPE_VM=off) and the bytecode VM must
+# produce byte-identical ranked output, exercising the AUTOTYPE_VM
+# dispatch end to end.  The pipeline bench checks the same contract
+# in-process (plus step accounting); this one covers the env-var path.
+VMDIFF_DIR ?= _build/vm_diff
+vm-diff: build
+	@rm -rf $(VMDIFF_DIR) && mkdir -p $(VMDIFF_DIR)
+	@for t in credit-card ipv4 email isbn; do \
+	  AUTOTYPE_VM=off dune exec bin/autotype_cli.exe -- synth --type $$t --top 10 > $(VMDIFF_DIR)/$$t.tree || exit 1; \
+	  AUTOTYPE_VM=on dune exec bin/autotype_cli.exe -- synth --type $$t --top 10 > $(VMDIFF_DIR)/$$t.vm || exit 1; \
+	  cmp $(VMDIFF_DIR)/$$t.tree $(VMDIFF_DIR)/$$t.vm || { echo "vm-diff: $$t ranked output diverged between engines"; exit 1; }; \
+	  echo "vm-diff: $$t identical"; \
+	done
+	@echo "vm-diff: OK"
+
 # Full gate: build, test suites, the compile/serve smoke, the
-# fault-injection smoke, and the observability paths (CLI --stats and
-# the machine-readable bench JSON).  Opt into the
+# fault-injection smoke, the engine-parity smoke, and the observability
+# paths (CLI --stats and the machine-readable bench JSON).  Opt into the
 # parallel-determinism gate with BENCH=1.
-check: build test lint absint models faults $(if $(BENCH),bench-compare)
+check: build test lint absint models faults vm-diff $(if $(BENCH),bench-compare)
 	dune exec bin/autotype_cli.exe -- synth --type credit-card --stats
 	dune exec bench/main.exe -- pipeline
 	@test -s BENCH_pipeline.json || { echo "BENCH_pipeline.json missing or empty"; exit 1; }

@@ -585,6 +585,29 @@ let pipeline_pass ?pool ?(staticcheck = true) type_ids =
   in
   (fingerprints, elapsed, stage_stats, Telemetry.snapshot ())
 
+let stage_total name stats =
+  List.fold_left
+    (fun acc (n, _, total_s) -> if n = name then total_s else acc)
+    0.0 stats
+
+(* Re-run a pass [n] times and keep the run with the smallest
+   trace-stage time.  Single-pass stage deltas are dominated by which
+   pass happened to run first (the parser, corpus-index, scope and
+   compile caches all fill on the first pass), so any comparison
+   between configurations uses best-of-n on a warm process instead. *)
+let best_pass ?(n = 3) f =
+  let rec go best left =
+    if left = 0 then snd (Option.get best)
+    else
+      let ((_, _, stages, _) as p) = f () in
+      let t = stage_total "pipeline.trace" stages in
+      let best =
+        match best with Some (bt, _) when bt <= t -> best | _ -> Some (t, p)
+      in
+      go best (left - 1)
+  in
+  go None n
+
 let print_pass_report label (elapsed, stage_stats, snap) =
   Printf.printf "\n-- %s --\n" label;
   print_table
@@ -1140,11 +1163,6 @@ let pipeline_bench () =
       seq_fp nos_fp;
     prerr_endline "static pruning changed the ranked output"
   end;
-  let stage_total name stats =
-    List.fold_left
-      (fun acc (n, _, total_s) -> if n = name then total_s else acc)
-      0.0 stats
-  in
   let speedup seq par = if par > 0.0 then seq /. par else 0.0 in
   let trace_speedup =
     speedup
@@ -1160,14 +1178,70 @@ let pipeline_bench () =
   let diags = Telemetry.find_counter seq_snap "staticcheck.diagnostics" in
   let runs_static = Telemetry.find_counter seq_snap "interp.runs" in
   let runs_nostatic = Telemetry.find_counter nos_snap "interp.runs" in
-  let trace_static = stage_total "pipeline.trace" seq_stages in
-  let trace_nostatic = stage_total "pipeline.trace" nos_stages in
+  (* The run counts are deterministic and are the real payoff metric;
+     the wall times are best-of-3 warm re-measurements.  (A previous
+     revision subtracted the two single-pass totals, which reported a
+     negative "saving" — the no-staticcheck pass ran third, after every
+     cache had warmed up.) *)
+  let _, _, static_stages3, _ =
+    best_pass (fun () -> pipeline_pass ?pool:None type_ids)
+  in
+  let _, _, nostatic_stages3, _ =
+    best_pass (fun () -> pipeline_pass ?pool:None ~staticcheck:false type_ids)
+  in
+  let trace_static3 = stage_total "pipeline.trace" static_stages3 in
+  let trace_nostatic3 = stage_total "pipeline.trace" nostatic_stages3 in
   Printf.printf
     "staticcheck: %d candidates pruned, %d diagnostics; interp runs %d -> %d, \
-     trace %.1fms -> %.1fms; ranked outputs %s\n"
-    pruned diags runs_nostatic runs_static (1e3 *. trace_nostatic)
-    (1e3 *. trace_static)
+     trace best-of-3 %.1fms -> %.1fms; ranked outputs %s\n"
+    pruned diags runs_nostatic runs_static (1e3 *. trace_nostatic3)
+    (1e3 *. trace_static3)
     (if static_identical then "identical" else "DIVERGED");
+  (* Engine comparison (DESIGN.md §14): the same sequential pass under
+     the tree-walking oracle and the bytecode VM must produce
+     byte-identical ranked output with identical step accounting — the
+     engines differ only in wall-clock.  Best-of-3 per engine. *)
+  let with_engine on f =
+    let prev = Minilang.Interp.vm_enabled () in
+    Minilang.Interp.set_vm_enabled on;
+    Fun.protect ~finally:(fun () -> Minilang.Interp.set_vm_enabled prev) f
+  in
+  let tw_fp, _, tw_stages, tw_snap =
+    with_engine false (fun () ->
+        best_pass (fun () -> pipeline_pass ?pool:None type_ids))
+  in
+  let vm_fp, _, vm_stages, vm_snap =
+    with_engine true (fun () ->
+        best_pass (fun () -> pipeline_pass ?pool:None type_ids))
+  in
+  let vm_identical = tw_fp = vm_fp in
+  if not vm_identical then begin
+    List.iter2
+      (fun (id, t) (_, v) ->
+        if t <> v then
+          Printf.eprintf "DIVERGENCE on %s:\n-- tree --\n%s\n-- vm --\n%s\n" id
+            t v)
+      tw_fp vm_fp;
+    prerr_endline "bytecode VM diverged from the tree-walking oracle"
+  end;
+  let tw_trace = stage_total "pipeline.trace" tw_stages in
+  let vm_trace = stage_total "pipeline.trace" vm_stages in
+  let tw_steps = Telemetry.find_counter tw_snap "interp.steps" in
+  let vm_steps = Telemetry.find_counter vm_snap "interp.steps" in
+  let steps_identical = tw_steps = vm_steps in
+  let vm_trace_speedup = speedup tw_trace vm_trace in
+  let per_sec steps s = if s > 0.0 then float_of_int steps /. s else 0.0 in
+  let compile_s =
+    float_of_int (Telemetry.find_counter seq_snap "vm.compile_ns") /. 1e9
+  in
+  Printf.printf
+    "vm: trace best-of-3 %.1fms (tree) vs %.1fms (vm), %.1fx; %.2fM vs \
+     %.2fM steps/s; steps %s; ranked outputs %s\n"
+    (1e3 *. tw_trace) (1e3 *. vm_trace) vm_trace_speedup
+    (per_sec tw_steps tw_trace /. 1e6)
+    (per_sec vm_steps vm_trace /. 1e6)
+    (if steps_identical then "identical" else "DIVERGED")
+    (if vm_identical then "identical" else "DIVERGED");
   print_serve_report serve;
   (* Serving must never touch the pipeline's search/analyze stages,
      must cut interpreter work by at least an order of magnitude (to
@@ -1212,10 +1286,28 @@ let pipeline_bench () =
                  ("diagnostics", J_int diags);
                  ("interp_runs_static", J_int runs_static);
                  ("interp_runs_nostatic", J_int runs_nostatic);
-                 ("trace_s_static", J_float trace_static);
-                 ("trace_s_nostatic", J_float trace_nostatic);
-                 ("trace_delta_s", J_float (trace_nostatic -. trace_static));
+                 ("interp_runs_avoided", J_int (runs_nostatic - runs_static));
+                 ("trace_s_static_best3", J_float trace_static3);
+                 ("trace_s_nostatic_best3", J_float trace_nostatic3);
                  ("ranked_identical", J_bool static_identical) ] );
+           ( "vm",
+             J_obj
+               [ ("trace_s_tree_best3", J_float tw_trace);
+                 ("trace_s_vm_best3", J_float vm_trace);
+                 ("trace_speedup", J_float vm_trace_speedup);
+                 ("steps_per_sec_tree", J_float (per_sec tw_steps tw_trace));
+                 ("steps_per_sec_vm", J_float (per_sec vm_steps vm_trace));
+                 ("interp_steps_tree", J_int tw_steps);
+                 ("interp_steps_vm", J_int vm_steps);
+                 ("steps_identical", J_bool steps_identical);
+                 ("compiles", J_int (Telemetry.find_counter seq_snap "vm.compiles"));
+                 ("compile_s", J_float compile_s);
+                 ( "compile_cache_hits",
+                   J_int (Telemetry.find_counter vm_snap "vm.compile_cache_hits") );
+                 ( "scope_cache_hits",
+                   J_int
+                     (Telemetry.find_counter vm_snap "driver.scope_cache_hits") );
+                 ("ranked_identical", J_bool vm_identical) ] );
            ("serve", serve_json serve) ])
     ^ "\n"
   in
@@ -1232,7 +1324,11 @@ let pipeline_bench () =
     "wrote BENCH_pipeline.json + BENCH_telemetry.json (%d types, seq %.1fs \
      / par %.1fs)\n"
     (List.length type_ids) seq_elapsed par_elapsed;
-  if not (identical && static_identical && serve_ok) then exit 1
+  if
+    not
+      (identical && static_identical && serve_ok && vm_identical
+     && steps_identical)
+  then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                               *)

@@ -104,3 +104,14 @@ val call_callable : ctx -> Value.t -> Value.t list -> Value.t
 
 val call_method : ctx -> Value.t -> string -> Value.t list -> Ast.pos -> Value.t
 (** Call a method on any value (string/list/dict methods included). *)
+
+val set_vm_enabled : bool -> unit
+(** Select the execution engine: [true] (default) runs the bytecode VM
+    ({!Compile} + {!Vm}); [false] runs the tree-walking oracle.  The
+    initial value honours [AUTOTYPE_VM] ([off]/[0]/[false] disable the
+    VM).  Both engines are observationally identical — same trace
+    events, outcomes, step counts and error messages. *)
+
+val vm_enabled : unit -> bool
+(** Which engine {!exec_program}, {!call_callable} and {!call_method}
+    currently dispatch to. *)

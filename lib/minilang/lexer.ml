@@ -29,6 +29,29 @@ let keywords =
 
 let is_keyword s = List.mem s keywords
 
+(* Identifier interning (domain-local, so lexing in the Exec pool never
+   contends on a shared table).  Every occurrence of a name across every
+   candidate file maps to one canonical string, so downstream consumers
+   that hash identifiers per candidate — Staticcheck name resolution,
+   the VM compiler's slot assignment — hash each distinct spelling once
+   and get physical equality on the hot comparison path. *)
+let intern_table : (string, string) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
+
+let intern s =
+  let tbl = Domain.DLS.get intern_table in
+  match Hashtbl.find_opt tbl s with
+  | Some canon -> canon
+  | None ->
+    Hashtbl.add tbl s s;
+    s
+
+(* Canonical keyword spellings come straight from [keywords]. *)
+let keyword_canonical s =
+  match List.find_opt (String.equal s) keywords with
+  | Some canon -> canon
+  | None -> s
+
 let is_ident_start c =
   (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
 
@@ -175,7 +198,8 @@ let tokenize ~file:_ (src : string) : loc_token list =
         let start = !i in
         while !i < n && is_ident_char src.[!i] do incr i done;
         let s = String.sub src start (!i - start) in
-        if is_keyword s then emit (KEYWORD s) !line else emit (NAME s) !line
+        if is_keyword s then emit (KEYWORD (keyword_canonical s)) !line
+        else emit (NAME (intern s)) !line
       end
       else begin
         let matched =

@@ -1,0 +1,34 @@
+(** Indentation-sensitive lexer for MiniScript (Python-style physical
+    lines, INDENT/DEDENT from a leading-whitespace stack, newlines
+    suppressed inside brackets). *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | NAME of string
+  | KEYWORD of string
+  | OP of string
+  | NEWLINE
+  | INDENT
+  | DEDENT
+  | EOF
+
+type loc_token = { tok : token; tline : int }
+
+exception Lex_error of string * int  (** message, line *)
+
+val keywords : string list
+val is_keyword : string -> bool
+
+val intern : string -> string
+(** Domain-local identifier interning: every occurrence of the same
+    spelling returns one canonical string, so consumers hashing
+    identifiers (Staticcheck, the VM compiler's slot maps) re-hash each
+    distinct name once per domain and get physical equality on hits.
+    All [NAME] tokens are emitted pre-interned. *)
+
+val tokenize : file:string -> string -> loc_token list
+(** @raise Lex_error on malformed input. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,8 @@
+(** Recursive-descent parser for MiniScript over {!Lexer} tokens. *)
+
+exception Parse_error of string * int  (** message, line *)
+
+val parse : file:string -> string -> Ast.program
+(** Parse one source file.
+    @raise Parse_error on syntax errors
+    @raise Lexer.Lex_error on tokenization errors *)

@@ -16,4 +16,5 @@ let () =
       ("exec", Test_exec.suite);
       ("model", Test_model.suite);
       ("absint", Test_absint.suite);
-      ("absint_fuzz", Test_absint_fuzz.suite) ]
+      ("absint_fuzz", Test_absint_fuzz.suite);
+      ("vm", Test_vm.suite) ]
