@@ -1,4 +1,4 @@
-.PHONY: all build test lint absint models faults vm-diff check bench bench-compare clean
+.PHONY: all build test lint absint models faults vm-diff serve-smoke check bench bench-compare clean
 
 all: build
 
@@ -34,6 +34,7 @@ absint: build
 # the Prometheus exposition rendered from that snapshot.
 bench: build
 	dune exec bench/main.exe -- pipeline
+	dune exec bench/main.exe -- serve
 	dune exec bin/autotype_cli.exe -- stats --snapshot BENCH_telemetry.json --prom --lint > /dev/null
 
 # Sequential-vs-parallel pipeline comparison: runs the same synthesis
@@ -67,6 +68,36 @@ faults: build
 	@AUTOTYPE_FAULTS="p_corrupt=1,seed=7" dune exec bin/autotype_cli.exe -- validate --model $(FAULTS_DIR)/ipv4.model 192.168.0.1 && { echo "corrupted artifact was served"; exit 1; } || true
 	@echo "faults: OK"
 
+# Daemon smoke (DESIGN.md §15): compile a model, run `autotype serve`
+# over stdio, and push three framed requests plus one malformed frame
+# through the wire protocol.  Asserts the bad frame is surfaced (not
+# fatal), health and shutdown round-trip, and — the real contract —
+# the daemon's verdict words are byte-identical to the one-shot
+# `validate` CLI on the same values.
+SERVE_DIR ?= _build/serve_smoke
+serve-smoke: build
+	@rm -rf $(SERVE_DIR)
+	dune exec bin/autotype_cli.exe -- compile --type ipv4 --out $(SERVE_DIR)
+	@req1='{"id":1,"op":"validate","type":"ipv4","values":["192.168.0.1","notanip"]}'; \
+	req2='{"id":2,"op":"health"}'; \
+	req3='{"id":3,"op":"shutdown"}'; \
+	{ printf '%s\n%s\n' "$${#req1}" "$$req1"; \
+	  printf 'XX\n'; \
+	  printf '%s\n%s\n' "$${#req2}" "$$req2"; \
+	  printf '%s\n%s\n' "$${#req3}" "$$req3"; } > $(SERVE_DIR)/frames.bin
+	dune exec bin/autotype_cli.exe -- serve --models $(SERVE_DIR) --stdio \
+	  < $(SERVE_DIR)/frames.bin > $(SERVE_DIR)/replies.bin
+	@grep -q '"error":"bad_frame"' $(SERVE_DIR)/replies.bin || { echo "serve-smoke: malformed frame not surfaced"; exit 1; }
+	@grep -q '"id":2,"ok":true' $(SERVE_DIR)/replies.bin || { echo "serve-smoke: health reply missing"; exit 1; }
+	@grep -q '"bye":true' $(SERVE_DIR)/replies.bin || { echo "serve-smoke: shutdown not acknowledged"; exit 1; }
+	dune exec bin/autotype_cli.exe -- validate --model $(SERVE_DIR)/ipv4.model \
+	  192.168.0.1 notanip > $(SERVE_DIR)/oneshot.out
+	@exp=$$(awk 'NF==2 && ($$2=="VALID" || $$2=="invalid" || $$2=="DEADLINE") \
+	               {printf("%s\"%s\"", (n++?",":""), $$2)}' $(SERVE_DIR)/oneshot.out); \
+	grep -q "\"verdicts\":\[$$exp\]" $(SERVE_DIR)/replies.bin \
+	  || { echo "serve-smoke: daemon verdicts drifted from the one-shot CLI"; exit 1; }
+	@echo "serve-smoke: OK"
+
 # Engine-parity smoke (DESIGN.md §14): the 4-type synthesis workload
 # run under the tree-walker (AUTOTYPE_VM=off) and the bytecode VM must
 # produce byte-identical ranked output, exercising the AUTOTYPE_VM
@@ -84,10 +115,10 @@ vm-diff: build
 	@echo "vm-diff: OK"
 
 # Full gate: build, test suites, the compile/serve smoke, the
-# fault-injection smoke, the engine-parity smoke, and the observability
-# paths (CLI --stats and the machine-readable bench JSON).  Opt into the
-# parallel-determinism gate with BENCH=1.
-check: build test lint absint models faults vm-diff $(if $(BENCH),bench-compare)
+# fault-injection smoke, the engine-parity smoke, the daemon smoke, and
+# the observability paths (CLI --stats and the machine-readable bench
+# JSON).  Opt into the parallel-determinism gate with BENCH=1.
+check: build test lint absint models faults vm-diff serve-smoke $(if $(BENCH),bench-compare)
 	dune exec bin/autotype_cli.exe -- synth --type credit-card --stats
 	dune exec bench/main.exe -- pipeline
 	@test -s BENCH_pipeline.json || { echo "BENCH_pipeline.json missing or empty"; exit 1; }

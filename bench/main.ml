@@ -1115,6 +1115,484 @@ let serve_json (s : serve_stats) =
             ("interp_p99_ms", J_float s.sv_interp_p99_ms) ] );
       ("slo", J_raw (Telemetry.Slo.report_to_json s.sv_slo)) ]
 
+(* ------------------------------------------------------------------ *)
+(* Serving daemon under open-loop load (BENCH_serve.json)               *)
+(* ------------------------------------------------------------------ *)
+
+(* The daemon bench drives `autotype serve`'s engine (Serve.Daemon over
+   a socketpair) with open-loop traffic: requests are dispatched at
+   scheduled instants t0 + i/rate regardless of completions, so a slow
+   server accumulates queueing delay instead of silently slowing the
+   generator — latency is measured from the scheduled send time, the
+   honest open-loop definition. *)
+
+let serve_daemon_types = [ "ipv4"; "credit-card" ]
+
+(* Build a registry of compiled models for the daemon to serve; the
+   caller removes it. *)
+let build_serve_registry type_ids dir =
+  let fail msg = prerr_endline ("serve-daemon bench: " ^ msg); exit 1 in
+  let registry =
+    match Model.Registry.create_dir dir with Ok r -> r | Error m -> fail m
+  in
+  List.iter
+    (fun id ->
+      let ty = Semtypes.Registry.find_exn id in
+      let positives = Semtypes.Registry.positive_examples ~n:20 ~seed:11 ty in
+      let compiled =
+        Autotype_core.Pipeline.compile ~index:(Corpus.search_index ())
+          ~query:ty.Semtypes.Registry.name ~positives ()
+      in
+      match Model.Artifact.of_compiled compiled with
+      | None -> fail ("no function synthesized for " ^ id)
+      | Some a ->
+        (match Model.Registry.save registry (Model.Artifact.with_type_id id a)
+         with
+         | Ok _ -> ()
+         | Error m -> fail m))
+    type_ids;
+  registry
+
+let json_str_list vs =
+  Model.Jsonx.List (List.map (fun v -> Model.Jsonx.Str v) vs)
+
+(* Deterministic mixed traffic: 3 validates (8 values) to 1 detect (24
+   values), round-robin over the types, values sliced from the same
+   ~250-value workload the compile/serve bench uses.  [budgeted]
+   attaches wall-clock budgets, which routes validation through the
+   interpreter — where the fault layer's delay/kill probes live — so
+   the chaos pass actually exercises degradation. *)
+let make_requests ~budgeted ~n workloads =
+  let n_types = Array.length workloads in
+  List.init n (fun i ->
+      let id = i + 1 in
+      let ty, wl = workloads.(i mod n_types) in
+      let take off k =
+        List.filteri (fun j _ -> j >= off mod 200 && j < (off mod 200) + k) wl
+      in
+      let base =
+        if i mod 4 < 3 then
+          [ ("id", Model.Jsonx.Int id); ("op", Model.Jsonx.Str "validate");
+            ("type", Model.Jsonx.Str ty);
+            ("values", json_str_list (take (7 * i) 8)) ]
+        else
+          [ ("id", Model.Jsonx.Int id); ("op", Model.Jsonx.Str "detect");
+            ("type", Model.Jsonx.Str ty);
+            ("values", json_str_list (take (13 * i) 24)) ]
+      in
+      let fields =
+        if budgeted then
+          base
+          @ [ ("deadline_ms", Model.Jsonx.Float 30.0);
+              ("value_budget_ms", Model.Jsonx.Float 2.0) ]
+        else base
+      in
+      (id, Model.Jsonx.to_string (Model.Jsonx.Obj fields)))
+
+type rate_result = {
+  rr_target_qps : int;
+  rr_offered : int;
+  rr_completed : int;
+  rr_sustained_qps : float;
+  rr_p50_ms : float;
+  rr_p95_ms : float;
+  rr_p99_ms : float;
+  rr_rejected : int;  (** [overloaded] answers (admission or injected) *)
+  rr_degraded : int;  (** degraded detect columns *)
+  rr_deadline_verdicts : int;  (** DEADLINE/SKIPPED value verdicts *)
+  rr_errors : int;  (** any other [ok:false] answer *)
+}
+
+(* Drive one arrival rate through an already-running daemon on [sock]
+   (non-blocking).  Every request receives exactly one response —
+   rejections included — so the loop ends when all [n] came back. *)
+let drive_rate ~rate ~requests sock =
+  let n = List.length requests in
+  let frames =
+    Array.of_list
+      (List.map (fun (id, payload) -> (id, Serve.Frame.encode payload)) requests)
+  in
+  let sched_ns = Array.make (n + 1) 0L in
+  let done_ns = Array.make (n + 1) 0L in
+  let rejected = ref 0 and degraded = ref 0 and deadline_verdicts = ref 0 in
+  let errors = ref 0 and completed = ref 0 in
+  let dec = Serve.Frame.decoder () in
+  let chunk = Bytes.create 65536 in
+  let out = Buffer.create 65536 in
+  let out_off = ref 0 in
+  let t0 = Telemetry.now_ns () in
+  let gap_ns = Int64.of_float (1e9 /. float_of_int rate) in
+  let next_sent = ref 0 in
+  let classify (r : Serve.Protocol.reply) =
+    let j = r.Serve.Protocol.rp_body in
+    if not r.Serve.Protocol.rp_ok then begin
+      match Model.Jsonx.member_opt "error" j with
+      | Some (Model.Jsonx.Str "overloaded") -> incr rejected
+      | _ -> incr errors
+    end
+    else begin
+      (match Model.Jsonx.member_opt "degraded" j with
+       | Some (Model.Jsonx.Bool true) -> incr degraded
+       | _ -> ());
+      match Model.Jsonx.member_opt "verdicts" j with
+      | Some (Model.Jsonx.List vs) ->
+        List.iter
+          (function
+            | Model.Jsonx.Str ("DEADLINE" | "SKIPPED") ->
+              incr deadline_verdicts
+            | _ -> ())
+          vs
+      | _ -> ()
+    end
+  in
+  let on_reply now payload =
+    match Serve.Protocol.reply_of_json payload with
+    | Error m ->
+      prerr_endline ("serve-daemon bench: unparsable reply: " ^ m);
+      exit 1
+    | Ok r ->
+      let id = r.Serve.Protocol.rp_id in
+      if id >= 1 && id <= n && done_ns.(id) = 0L then begin
+        done_ns.(id) <- now;
+        incr completed
+      end;
+      classify r
+  in
+  while !completed < n do
+    let now = Telemetry.now_ns () in
+    (* Enqueue every frame whose scheduled instant has arrived. *)
+    while
+      !next_sent < n
+      && Int64.compare
+           (Int64.add t0 (Int64.mul (Int64.of_int !next_sent) gap_ns))
+           now
+         <= 0
+    do
+      let id, frame = frames.(!next_sent) in
+      sched_ns.(id) <- Int64.add t0 (Int64.mul (Int64.of_int !next_sent) gap_ns);
+      Buffer.add_string out frame;
+      incr next_sent
+    done;
+    let want_write = Buffer.length out > !out_off in
+    let timeout =
+      if !next_sent >= n then 0.05
+      else
+        let next_at =
+          Int64.add t0 (Int64.mul (Int64.of_int !next_sent) gap_ns)
+        in
+        Float.max 0.0
+          (Int64.to_float (Int64.sub next_at (Telemetry.now_ns ())) /. 1e9)
+    in
+    (match
+       Unix.select [ sock ] (if want_write then [ sock ] else []) [] timeout
+     with
+     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+     | readable, writable, _ ->
+       if writable <> [] then begin
+         let pending = Buffer.length out - !out_off in
+         let b = Bytes.unsafe_of_string (Buffer.contents out) in
+         (match Unix.write sock b !out_off pending with
+          | w ->
+            out_off := !out_off + w;
+            if !out_off = Buffer.length out then begin
+              Buffer.clear out;
+              out_off := 0
+            end
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+            -> ())
+       end;
+       if readable <> [] then begin
+         match Unix.read sock chunk 0 65536 with
+         | 0 ->
+           prerr_endline "serve-daemon bench: daemon closed the connection";
+           exit 1
+         | nread ->
+           let now = Telemetry.now_ns () in
+           Serve.Frame.feed dec (Bytes.sub_string chunk 0 nread);
+           let rec drain () =
+             match Serve.Frame.next dec with
+             | Some (Serve.Frame.Payload p) -> on_reply now p; drain ()
+             | Some _ ->
+               prerr_endline "serve-daemon bench: malformed frame from daemon";
+               exit 1
+             | None -> ()
+           in
+           drain ()
+         | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+           -> ()
+       end)
+  done;
+  let last = Array.fold_left (fun acc t -> Int64.max acc t) 0L done_ns in
+  let lats =
+    Array.of_list
+      (List.filter_map
+         (fun id ->
+           if done_ns.(id) = 0L then None
+           else
+             Some
+               (Int64.to_float (Int64.sub done_ns.(id) sched_ns.(id)) /. 1e6))
+         (List.init n (fun i -> i + 1)))
+  in
+  let span_s = Int64.to_float (Int64.sub last t0) /. 1e9 in
+  {
+    rr_target_qps = rate;
+    rr_offered = n;
+    rr_completed = !completed;
+    rr_sustained_qps =
+      (if span_s > 0.0 then float_of_int !completed /. span_s else 0.0);
+    rr_p50_ms = percentile 50.0 lats;
+    rr_p95_ms = percentile 95.0 lats;
+    rr_p99_ms = percentile 99.0 lats;
+    rr_rejected = !rejected;
+    rr_degraded = !degraded;
+    rr_deadline_verdicts = !deadline_verdicts;
+    rr_errors = !errors;
+  }
+
+(* One daemon lifetime: spawn over a socketpair, run [f] against the
+   client end, then shut down cleanly and join.  Returns [f]'s result
+   plus the daemon's own (served, rejected) accounting; any daemon
+   crash surfaces as the Domain.join exception. *)
+let with_daemon registry f =
+  let client, server =
+    Unix.socketpair ~cloexec:false Unix.PF_UNIX Unix.SOCK_STREAM 0
+  in
+  let cfg = Serve.Daemon.config registry in
+  let daemon =
+    Domain.spawn (fun () ->
+        Serve.Daemon.run_fds cfg ~in_fd:server ~out_fd:server)
+  in
+  Unix.set_nonblock client;
+  let result = f client in
+  (* Blocking shutdown exchange on the now-quiet connection. *)
+  Unix.clear_nonblock client;
+  let bye = Serve.Frame.encode {|{"id":999999,"op":"shutdown"}|} in
+  let b = Bytes.of_string bye in
+  ignore (Unix.write client b 0 (Bytes.length b));
+  let dec = Serve.Frame.decoder () in
+  let chunk = Bytes.create 4096 in
+  let rec await () =
+    match Serve.Frame.next dec with
+    | Some (Serve.Frame.Payload _) -> ()
+    | Some _ -> ()
+    | None ->
+      (match Unix.read client chunk 0 4096 with
+       | 0 -> ()
+       | nread ->
+         Serve.Frame.feed dec (Bytes.sub_string chunk 0 nread);
+         await ())
+  in
+  await ();
+  let served, rejected = Domain.join daemon in
+  Unix.close client;
+  Unix.close server;
+  (result, served, rejected)
+
+(* Byte-parity probe: the daemon's verdict words for a type's full
+   workload must equal what the one-shot CLI prints (both sides call
+   Tablecorpus.Detect.serve_values / the same detector route). *)
+let parity_probe registry workloads =
+  let ok = ref true in
+  let _, _, _ =
+    with_daemon registry (fun sock ->
+        Unix.clear_nonblock sock;
+        Array.iteri
+          (fun i (ty, wl) ->
+            let payload =
+              Model.Jsonx.to_string
+                (Model.Jsonx.Obj
+                   [ ("id", Model.Jsonx.Int (i + 1));
+                     ("op", Model.Jsonx.Str "validate");
+                     ("type", Model.Jsonx.Str ty);
+                     ("values", json_str_list wl) ])
+            in
+            let frame = Serve.Frame.encode payload in
+            let b = Bytes.of_string frame in
+            ignore (Unix.write sock b 0 (Bytes.length b));
+            let dec = Serve.Frame.decoder () in
+            let chunk = Bytes.create 65536 in
+            let rec await () =
+              match Serve.Frame.next dec with
+              | Some (Serve.Frame.Payload p) -> p
+              | Some _ ->
+                prerr_endline "serve-daemon bench: malformed parity frame";
+                exit 1
+              | None ->
+                (match Unix.read sock chunk 0 65536 with
+                 | 0 ->
+                   prerr_endline "serve-daemon bench: daemon closed mid-parity";
+                   exit 1
+                 | nread ->
+                   Serve.Frame.feed dec (Bytes.sub_string chunk 0 nread);
+                   await ())
+            in
+            let payload = await () in
+            let daemon_verdicts =
+              match Serve.Protocol.reply_of_json payload with
+              | Ok r ->
+                (match
+                   Model.Jsonx.member_opt "verdicts" r.Serve.Protocol.rp_body
+                 with
+                 | Some (Model.Jsonx.List vs) ->
+                   List.map Model.Jsonx.to_str vs
+                 | _ ->
+                   prerr_endline "serve-daemon bench: parity reply not ok";
+                   exit 1)
+              | Error m ->
+                prerr_endline ("serve-daemon bench: parity reply: " ^ m);
+                exit 1
+            in
+            let entry =
+              match Model.Registry.find registry ty with
+              | Ok e -> e
+              | Error e ->
+                prerr_endline (Model.Artifact.load_error_to_string e);
+                exit 1
+            in
+            let cli_verdicts =
+              List.map Tablecorpus.Detect.value_verdict_to_string
+                (Tablecorpus.Detect.serve_values
+                   entry.Model.Registry.synthesis wl)
+            in
+            if daemon_verdicts <> cli_verdicts then begin
+              ok := false;
+              Printf.eprintf "PARITY DRIFT on %s: daemon and CLI disagree\n"
+                ty
+            end)
+          workloads;
+        ())
+  in
+  !ok
+
+let rate_json (r : rate_result) =
+  J_obj
+    [ ("target_qps", J_int r.rr_target_qps);
+      ("offered", J_int r.rr_offered);
+      ("completed", J_int r.rr_completed);
+      ("sustained_qps", J_float r.rr_sustained_qps);
+      ("p50_ms", J_float r.rr_p50_ms);
+      ("p95_ms", J_float r.rr_p95_ms);
+      ("p99_ms", J_float r.rr_p99_ms);
+      ("rejected", J_int r.rr_rejected);
+      ("degraded_columns", J_int r.rr_degraded);
+      ("deadline_verdicts", J_int r.rr_deadline_verdicts);
+      ("errors", J_int r.rr_errors) ]
+
+let print_rate_report label results =
+  Printf.printf "\n-- %s --\n" label;
+  print_table
+    [ "target qps"; "offered"; "done"; "sustained"; "p50"; "p95"; "p99";
+      "rejected"; "degraded"; "deadline" ]
+    (List.map
+       (fun r ->
+         [ string_of_int r.rr_target_qps; string_of_int r.rr_offered;
+           string_of_int r.rr_completed;
+           Printf.sprintf "%.0f/s" r.rr_sustained_qps;
+           Printf.sprintf "%.2fms" r.rr_p50_ms;
+           Printf.sprintf "%.2fms" r.rr_p95_ms;
+           Printf.sprintf "%.2fms" r.rr_p99_ms;
+           string_of_int r.rr_rejected; string_of_int r.rr_degraded;
+           string_of_int r.rr_deadline_verdicts ])
+       results)
+
+let serve_daemon_bench () =
+  section "Serving daemon under open-loop load (BENCH_serve.json)";
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "autotype-bench-daemon-%d" (Unix.getpid ()))
+  in
+  let registry = build_serve_registry serve_daemon_types dir in
+  Fun.protect ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+  @@ fun () ->
+  let workloads =
+    Array.of_list
+      (List.map
+         (fun id ->
+           (id, serve_workload (Semtypes.Registry.find_exn id)))
+         serve_daemon_types)
+  in
+  let rates = [ 500; 1500; 4000 ] in
+  let run_pass ~budgeted =
+    List.map
+      (fun rate ->
+        let n = max 100 (rate / 2) in
+        let requests = make_requests ~budgeted ~n workloads in
+        let result, _, _ =
+          with_daemon registry (fun sock -> drive_rate ~rate ~requests sock)
+        in
+        result)
+      rates
+  in
+  let crashed = ref false in
+  let guard label f =
+    try f ()
+    with exn ->
+      crashed := true;
+      Printf.eprintf "serve-daemon bench: %s pass crashed: %s\n" label
+        (Printexc.to_string exn);
+      []
+  in
+  let clean = guard "clean" (fun () -> run_pass ~budgeted:false) in
+  let chaos_spec = "delay_ms=1,p_kill=0.05,p_reject=0.05,seed=7" in
+  let chaos =
+    let cfg =
+      match Faults.parse chaos_spec with
+      | Ok c -> c
+      | Error m -> prerr_endline ("bad chaos spec: " ^ m); exit 1
+    in
+    Faults.set (Some cfg);
+    Fun.protect ~finally:(fun () -> Faults.set None) @@ fun () ->
+    guard "chaos" (fun () -> run_pass ~budgeted:true)
+  in
+  let parity = parity_probe registry workloads in
+  print_rate_report "clean (unbudgeted, no faults)" clean;
+  print_rate_report
+    (Printf.sprintf "chaos (%s; 30ms deadline, 2ms value budget)" chaos_spec)
+    chaos;
+  Printf.printf "\nverdict parity with the one-shot CLI: %s\n"
+    (if parity then "identical" else "DRIFTED");
+  let chaos_rejected = List.fold_left (fun a r -> a + r.rr_rejected) 0 chaos in
+  let chaos_degraded =
+    List.fold_left
+      (fun a r -> a + r.rr_degraded + r.rr_deadline_verdicts)
+      0 chaos
+  in
+  Printf.printf
+    "chaos accounting: %d rejections, %d degraded columns or cut verdicts \
+     across %d requests\n"
+    chaos_rejected chaos_degraded
+    (List.fold_left (fun a r -> a + r.rr_offered) 0 chaos);
+  let json =
+    jv_to_string
+      (J_obj
+         [ ("types", J_list (List.map (fun t -> J_str t) serve_daemon_types));
+           ("rates", J_list (List.map (fun r -> J_int r) rates));
+           ("clean", J_list (List.map rate_json clean));
+           ( "chaos",
+             J_obj
+               [ ("spec", J_str chaos_spec);
+                 ("deadline_ms", J_float 30.0);
+                 ("value_budget_ms", J_float 2.0);
+                 ("rates", J_list (List.map rate_json chaos));
+                 ("rejected_total", J_int chaos_rejected);
+                 ("degraded_total", J_int chaos_degraded) ] );
+           ("parity", J_bool parity);
+           ("crashed", J_bool !crashed) ])
+    ^ "\n"
+  in
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_serve.json (%d rates x 2 passes)\n"
+    (List.length rates);
+  if (not parity) || !crashed then exit 1
+
 let pipeline_bench () =
   section "Pipeline stage timings (BENCH_pipeline.json)";
   let type_ids = [ "credit-card"; "ipv4"; "email"; "isbn" ] in
@@ -1362,7 +1840,8 @@ let targets : (string * (unit -> unit)) list =
     ("fig10c", fig10c); ("fig11", fig11); ("table2", table2);
     ("table3", table3); ("fig12", fig12); ("fig13", fig13); ("fig14", fig14);
     ("sec83", sec83); ("subtypes", subtypes); ("ablation", ablation);
-    ("micro", micro); ("pipeline", pipeline_bench) ]
+    ("micro", micro); ("pipeline", pipeline_bench);
+    ("serve", serve_daemon_bench) ]
 
 let () =
   let args =

@@ -14,6 +14,10 @@
     - [autotype detect --column file.txt] reads one column of values and
       reports which benchmark types match; with [--models DIR] it serves
       every compiled model in the registry instead of re-synthesizing;
+    - [autotype serve --models DIR] runs the persistent serving daemon:
+      framed JSONL requests (validate/detect/stats/health/shutdown) over
+      stdio or [--socket PATH], with per-cycle admission control and
+      same-type request batching (DESIGN.md §15);
     - [autotype lint] runs the static analyzer over corpus MiniScript
       sources ([--repo NAME], [--query KW], or the whole corpus;
       [--strict] exits non-zero on errors);
@@ -23,23 +27,11 @@
 
 open Cmdliner
 
-(** Read non-empty trimmed lines; [Error] on unreadable/missing files
-    instead of an uncaught [Sys_error] backtrace. *)
-let read_lines path : (string list, string) result =
-  match open_in path with
-  | exception Sys_error msg -> Error msg
-  | ic ->
-    let rec go acc =
-      match input_line ic with
-      | line ->
-        let line = String.trim line in
-        go (if line = "" then acc else line :: acc)
-      | exception End_of_file -> close_in ic; List.rev acc
-      | exception Sys_error msg -> close_in_noerr ic; failwith msg
-    in
-    (match go [] with
-     | lines -> Ok lines
-     | exception Failure msg -> Error msg)
+(* File ingestion lives in Serve.Ingest, shared with the daemon:
+   [read_examples] trims and drops blank lines (an examples file),
+   [read_column] preserves empty lines as real values (a data column),
+   [read_file] closes its channel on every path and turns truncation
+   into [Error] instead of an escaped [End_of_file]. *)
 
 (* ------------------------------ telemetry --------------------------- *)
 
@@ -131,7 +123,7 @@ let print_stage_summary () =
 let positives_for ~type_id ~examples_file ~query =
   match (examples_file, type_id) with
   | Some path, _ ->
-    (match read_lines path with
+    (match Serve.Ingest.read_examples path with
      | Ok lines -> Ok (lines, Option.value query ~default:"data value")
      | Error msg -> Error (Printf.sprintf "cannot read %s: %s" path msg))
   | None, Some id ->
@@ -331,38 +323,23 @@ let value_budget_arg =
 (** Print VALID/invalid per value.  Unbudgeted callers get the exact
     historical output; with budgets, a value cut by its own budget
     prints DEADLINE and a batch-deadline cut skips the tail — the
-    request still exits 0 (degradation, not failure). *)
+    request still exits 0 (degradation, not failure).  Verdicts come
+    from {!Tablecorpus.Detect.serve_values}, the same routine the
+    serving daemon answers with, so the two paths cannot diverge. *)
 let validate_values ?value_budget_ms ?deadline_ms syn values =
   Printf.printf "using %s\n"
     (Repolib.Candidate.describe syn.Autotype_core.Synthesis.candidate);
   let budgets = Tablecorpus.Detect.budgets ?value_budget_ms ?deadline_ms () in
-  let rec go = function
-    | [] -> ()
-    | v :: rest ->
-      (match budgets.Tablecorpus.Detect.batch_deadline with
-       | Some d when Exec.Deadline.expired d ->
-         Telemetry.incr (Telemetry.counter "serve.degraded");
-         List.iter
-           (fun v -> Printf.printf "%-30s SKIPPED (batch deadline)\n" v)
-           (v :: rest)
-       | _ ->
-         let deadline_ns =
-           Option.map Exec.Deadline.to_ns
-             (Exec.Deadline.min_opt
-                (Option.map Exec.Deadline.after_ms
-                   budgets.Tablecorpus.Detect.value_budget_ms)
-                budgets.Tablecorpus.Detect.batch_deadline)
-         in
-         (match Autotype_core.Synthesis.validate_v ?deadline_ns syn v with
-          | Autotype_core.Synthesis.Valid -> Printf.printf "%-30s VALID\n" v
-          | Autotype_core.Synthesis.Invalid ->
-            Printf.printf "%-30s invalid\n" v
-          | Autotype_core.Synthesis.Deadline ->
-            Telemetry.incr (Telemetry.counter "serve.deadline_hits");
-            Printf.printf "%-30s DEADLINE\n" v);
-         go rest)
-  in
-  go values;
+  let verdicts = Tablecorpus.Detect.serve_values ~budgets syn values in
+  List.iter2
+    (fun v verdict ->
+      match verdict with
+      | Tablecorpus.Detect.V_skipped ->
+        Printf.printf "%-30s SKIPPED (batch deadline)\n" v
+      | _ ->
+        Printf.printf "%-30s %s\n" v
+          (Tablecorpus.Detect.value_verdict_to_string verdict))
+    values verdicts;
   0
 
 let validate_cmd =
@@ -486,7 +463,9 @@ let scan_with_detectors detectors values =
 let detect_cmd =
   let run column models deadline_ms value_budget_ms stats trace_file jobs =
     with_telemetry ~stats ~trace_file @@ fun () ->
-    match read_lines column with
+    (* A column is data, not formatting: empty lines are real (empty)
+       values and count in the detection denominator. *)
+    match Serve.Ingest.read_column column with
     | Error msg ->
       Printf.eprintf "cannot read %s: %s\n" column msg;
       1
@@ -554,15 +533,6 @@ let detect_cmd =
           $ value_budget_arg $ stats_arg $ trace_arg $ jobs_arg)
 
 (* -------------------------------- stats ---------------------------- *)
-
-let read_file path : (string, string) result =
-  match open_in_bin path with
-  | exception Sys_error msg -> Error msg
-  | ic ->
-    let n = in_channel_length ic in
-    let s = really_input_string ic n in
-    close_in ic;
-    Ok s
 
 (** Decode a snapshot dumped by [Telemetry.Expose.render_json] (the
     format BENCH_telemetry.json and [--snapshot] files use). *)
@@ -641,12 +611,21 @@ let stats_cmd =
       prerr_endline "--prom and --json are exclusive";
       2
     end
+    else if watch && not (Float.is_finite interval && interval > 0.0) then begin
+      Printf.eprintf "--interval must be a positive number of seconds (got %g)\n"
+        interval;
+      2
+    end
     else begin
       let load () : (Telemetry.snapshot, string) result =
         match snapshot_file with
         | None -> Ok (Telemetry.snapshot ())
         | Some path ->
-          (match read_file path with
+          (* Serve.Ingest.read_file: the channel is closed on every
+             path and a snapshot truncated by a concurrent rewrite
+             (the --watch race) comes back as Error, not an escaped
+             End_of_file. *)
+          (match Serve.Ingest.read_file path with
            | Error msg -> Error (Printf.sprintf "cannot read %s: %s" path msg)
            | Ok text ->
              (match Model.Jsonx.parse text with
@@ -686,14 +665,27 @@ let stats_cmd =
       in
       if not watch then render_once ()
       else begin
-        let interval = Float.max 0.1 interval in
+        (* Interruptible watch: SIGINT stops the loop cleanly and the
+           worst render's exit code — accumulated across iterations —
+           actually reaches the shell instead of dying with the
+           process. *)
+        let stop = ref false in
+        let prev =
+          Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true))
+        in
+        Fun.protect ~finally:(fun () -> Sys.set_signal Sys.sigint prev)
+        @@ fun () ->
         let rec loop code =
-          (* Clear screen + home, like a minimal [watch(1)]. *)
-          print_string "\027[2J\027[H";
-          let code' = render_once () in
-          flush stdout;
-          Unix.sleepf interval;
-          loop (max code code')
+          if !stop then code
+          else begin
+            (* Clear screen + home, like a minimal [watch(1)]. *)
+            print_string "\027[2J\027[H";
+            let code' = render_once () in
+            flush stdout;
+            (try Unix.sleepf interval
+             with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+            loop (max code code')
+          end
         in
         loop 0
       end
@@ -704,6 +696,75 @@ let stats_cmd =
        ~doc:"Show telemetry metrics (live registry or a snapshot file)")
     Term.(const run $ snapshot_arg $ prom_arg $ json_arg $ lint_flag_arg
           $ watch_arg $ interval_arg)
+
+(* -------------------------------- serve ---------------------------- *)
+
+let serve_models_arg =
+  Arg.(required & opt (some string) None
+       & info [ "models" ] ~docv:"DIR"
+           ~doc:"Model registry directory to serve compiled artifacts \
+                 from.")
+
+let socket_path_arg =
+  Arg.(value & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Listen on a Unix domain socket at $(docv) (any number \
+                 of concurrent connections).  Without it the daemon \
+                 speaks the protocol on stdin/stdout.")
+
+let stdio_flag_arg =
+  Arg.(value & flag
+       & info [ "stdio" ]
+           ~doc:"Serve one connection on stdin/stdout (the default; \
+                 exclusive with $(b,--socket)).")
+
+let max_inflight_arg =
+  Arg.(value & opt int Serve.Daemon.default_max_inflight
+       & info [ "max-inflight" ] ~docv:"K"
+           ~doc:"Admission budget: at most $(docv) requests are \
+                 admitted per drain cycle, the rest are answered \
+                 $(i,overloaded) instead of queueing.")
+
+let serve_cmd =
+  let run models socket stdio max_inflight stats trace_file jobs =
+    with_telemetry ~stats ~trace_file @@ fun () ->
+    if socket <> None && stdio then begin
+      prerr_endline "--socket and --stdio are exclusive";
+      2
+    end
+    else if max_inflight < 1 then begin
+      Printf.eprintf "--max-inflight must be at least 1 (got %d)\n"
+        max_inflight;
+      2
+    end
+    else
+      match Model.Registry.open_dir models with
+      | Error msg -> Printf.eprintf "cannot open registry: %s\n" msg; 1
+      | Ok registry ->
+        with_jobs jobs @@ fun pool ->
+        let cfg = Serve.Daemon.config ?pool ~max_inflight registry in
+        (* All diagnostics go to stderr: in stdio mode stdout is the
+           protocol channel. *)
+        let models_n = List.length (Model.Registry.keys registry) in
+        let served, rejected =
+          match socket with
+          | Some path ->
+            Printf.eprintf "serving %d model(s) on %s\n%!" models_n path;
+            Serve.Daemon.run_socket cfg ~path
+          | None ->
+            Printf.eprintf "serving %d model(s) on stdio\n%!" models_n;
+            Serve.Daemon.run_fds cfg ~in_fd:Unix.stdin ~out_fd:Unix.stdout
+        in
+        Printf.eprintf "daemon exit: %d request(s) served, %d rejected\n%!"
+          served rejected;
+        0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the persistent serving daemon (framed JSONL over stdio \
+             or a Unix socket)")
+    Term.(const run $ serve_models_arg $ socket_path_arg $ stdio_flag_arg
+          $ max_inflight_arg $ stats_arg $ trace_arg $ jobs_arg)
 
 (* -------------------------------- lint ----------------------------- *)
 
@@ -922,7 +983,7 @@ let main_cmd =
       ~doc:"Synthesize type-detection logic from open-source code"
   in
   Cmd.group info
-    [ synth_cmd; compile_cmd; validate_cmd; detect_cmd; stats_cmd; lint_cmd;
-      types_cmd; transforms_cmd ]
+    [ synth_cmd; compile_cmd; validate_cmd; detect_cmd; serve_cmd; stats_cmd;
+      lint_cmd; types_cmd; transforms_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

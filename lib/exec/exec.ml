@@ -25,6 +25,22 @@ module Deadline = struct
     match (a, b) with
     | None, d | d, None -> d
     | Some x, Some y -> Some (Int64.min x y)
+
+  (* Sleep until an absolute monotonic instant.  [Unix.sleepf] takes a
+     relative duration on the realtime clock, so a single call can wake
+     early (EINTR, clock slew); re-checking against the monotonic
+     deadline makes the wake-up instant exact to scheduler granularity.
+     The open-loop load generator paces arrivals with this so request
+     schedules do not drift with response times. *)
+  let sleep_until t =
+    let rec go () =
+      let rem = remaining_ns t in
+      if Int64.compare rem 0L > 0 then begin
+        Unix.sleepf (Int64.to_float rem /. 1e9);
+        go ()
+      end
+    in
+    go ()
 end
 
 let m_deadline_skipped = Telemetry.counter "exec.deadline_skipped"

@@ -47,6 +47,13 @@ module Deadline : sig
   val min_opt : t option -> t option -> t option
   (** Effective deadline of a nested scope: whichever cuts first
       ([None] = unbounded on that side). *)
+
+  val sleep_until : t -> unit
+  (** Block the calling domain until the instant has passed (returns
+      immediately if it already has).  Early wake-ups are retried
+      against the monotonic clock, so the target is exact to scheduler
+      granularity — the pacing primitive for open-loop load
+      generation. *)
 end
 
 module Pool : sig

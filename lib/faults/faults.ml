@@ -4,14 +4,17 @@ type config = {
   delay_ms : float;
   p_kill : float;
   p_corrupt : float;
+  p_reject : float;
   seed : int;
 }
 
-let default = { delay_ms = 0.0; p_kill = 0.0; p_corrupt = 0.0; seed = 0 }
+let default =
+  { delay_ms = 0.0; p_kill = 0.0; p_corrupt = 0.0; p_reject = 0.0; seed = 0 }
 
 let m_delays = Telemetry.counter "faults.delays"
 let m_kills = Telemetry.counter "faults.kills"
 let m_corruptions = Telemetry.counter "faults.corruptions"
+let m_rejects = Telemetry.counter "faults.rejects"
 
 (* ------------------------------------------------------------------ *)
 (* Spec parsing                                                        *)
@@ -39,6 +42,7 @@ let parse (spec : string) : (config, string) result =
              | _ -> Error (Printf.sprintf "delay_ms must be >= 0, got %S" v))
           | "p_kill" -> prob (fun p -> { cfg with p_kill = p })
           | "p_corrupt" -> prob (fun p -> { cfg with p_corrupt = p })
+          | "p_reject" -> prob (fun p -> { cfg with p_reject = p })
           | "seed" ->
             (match int_of_string_opt v with
              | Some s -> Ok { cfg with seed = s }
@@ -109,6 +113,14 @@ let should_kill () =
   | Some cfg when roll cfg.p_kill cfg ->
     Telemetry.incr m_kills;
     Telemetry.Flight.record ~kind:"fault" "kill";
+    true
+  | _ -> false
+
+let should_reject () =
+  match Atomic.get state with
+  | Some cfg when roll cfg.p_reject cfg ->
+    Telemetry.incr m_rejects;
+    Telemetry.Flight.record ~kind:"fault" "reject";
     true
   | _ -> false
 

@@ -14,6 +14,9 @@
     - [p_corrupt]: probability that a registry artifact read returns
       corrupted bytes (exercises checksum rejection, retry and
       degradation paths);
+    - [p_reject]: probability that the serving daemon spuriously
+      rejects an admitted request as [overloaded] (exercises client
+      retry/rejection accounting under chaos);
     - [seed]: PRNG seed — the decision sequence is deterministic per
       seed, so failures reproduce.
 
@@ -24,6 +27,7 @@ type config = {
   delay_ms : float;  (** sleep before each interpreter run; 0 = none *)
   p_kill : float;  (** probability of killing an interpreter run *)
   p_corrupt : float;  (** probability of corrupting an artifact read *)
+  p_reject : float;  (** probability the daemon rejects a request *)
   seed : int;
 }
 
@@ -48,6 +52,11 @@ val delay_run : unit -> unit
 
 val should_kill : unit -> bool
 (** Roll the dice for killing the current interpreter run. *)
+
+val should_reject : unit -> bool
+(** Roll the dice for spuriously rejecting an admitted serve request
+    ([faults.rejects]); the daemon answers [overloaded] as if the
+    admission queue were full. *)
 
 val corrupt : string -> string option
 (** With probability [p_corrupt], return a corrupted copy of the bytes

@@ -1,0 +1,54 @@
+(** Value ingestion shared by the CLI and the serving daemon (see
+    ingest.mli for the contracts). *)
+
+let m_empty_values = Telemetry.counter "detect.empty_values"
+
+(* Strip one trailing '\r' so CRLF input reads like LF input; interior
+   characters are untouched — a column value is served verbatim. *)
+let chomp_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+let fold_lines path (f : string -> string option) :
+    (string list, string) result =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+    let rec go acc =
+      match input_line ic with
+      | line -> go (match f line with Some v -> v :: acc | None -> acc)
+      | exception End_of_file -> Ok (List.rev acc)
+      | exception Sys_error msg -> Error msg
+    in
+    go []
+
+let read_column path =
+  fold_lines path (fun line ->
+      let v = chomp_cr line in
+      if v = "" then Telemetry.incr m_empty_values;
+      Some v)
+
+let read_examples path =
+  fold_lines path (fun line ->
+      let v = String.trim line in
+      if v = "" then None else Some v)
+
+let read_channel ic ~len =
+  if len < 0 then Error (Printf.sprintf "negative length %d" len)
+  else
+    match really_input_string ic len with
+    | s -> Ok s
+    | exception End_of_file ->
+      Error
+        (Printf.sprintf
+           "truncated read: wanted %d bytes (file shrank mid-read?)" len)
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+    (match read_channel ic ~len:(in_channel_length ic) with
+     | (Ok _ | Error _) as r -> r
+     | exception Sys_error msg -> Error msg)

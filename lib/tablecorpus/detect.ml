@@ -147,6 +147,51 @@ let serve_column ?(budgets = no_budgets)
         verdict)
   else go 0 0 values
 
+type value_verdict = V_valid | V_invalid | V_deadline | V_skipped
+
+let value_verdict_to_string = function
+  | V_valid -> "VALID"
+  | V_invalid -> "invalid"
+  | V_deadline -> "DEADLINE"
+  | V_skipped -> "SKIPPED"
+
+(** Serve a list of values under budgets, one verdict per value — the
+    value-level twin of {!serve_column}, shared by [autotype validate]
+    and the serving daemon so their degradation behavior cannot drift.
+    Each value runs under the tighter of its own budget and the batch
+    deadline ([V_deadline], [serve.deadline_hits]); once the batch
+    deadline has passed, the remaining tail is answered [V_skipped]
+    without running ([serve.degraded], counted once per cut batch). *)
+let serve_values ?(budgets = no_budgets) (syn : Autotype_core.Synthesis.t)
+    (values : string list) : value_verdict list =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | v :: rest ->
+      (match budgets.batch_deadline with
+       | Some d when Exec.Deadline.expired d ->
+         Telemetry.incr m_degraded;
+         Telemetry.mark r_degraded;
+         List.rev_append acc (List.map (fun _ -> V_skipped) (v :: rest))
+       | _ ->
+         let deadline_ns =
+           Option.map Exec.Deadline.to_ns
+             (Exec.Deadline.min_opt
+                (Option.map Exec.Deadline.after_ms budgets.value_budget_ms)
+                budgets.batch_deadline)
+         in
+         let verdict =
+           match Autotype_core.Synthesis.validate_v ?deadline_ns syn v with
+           | Autotype_core.Synthesis.Valid -> V_valid
+           | Autotype_core.Synthesis.Invalid -> V_invalid
+           | Autotype_core.Synthesis.Deadline ->
+             Telemetry.incr m_deadline_hits;
+             Telemetry.mark r_deadline_hits;
+             V_deadline
+         in
+         go (verdict :: acc) rest)
+  in
+  go [] values
+
 (* Values longer than this take the interpreter route even when a
    compiled summary exists: the fast path is proven equivalent at any
    length, but capping it bounds the cost of a single regexlite guard

@@ -57,6 +57,26 @@ val serve_column :
     batch deadline degrades to [Column_degraded] ([serve.degraded])
     instead of failing the batch. *)
 
+type value_verdict =
+  | V_valid
+  | V_invalid
+  | V_deadline  (** cut by its own wall-clock budget; no claim made *)
+  | V_skipped  (** the batch deadline had already passed; never ran *)
+
+val value_verdict_to_string : value_verdict -> string
+(** The CLI's historical verdict words: "VALID", "invalid", "DEADLINE",
+    "SKIPPED" — also the wire-protocol encoding, so daemon responses
+    are byte-comparable with one-shot CLI output. *)
+
+val serve_values :
+  ?budgets:budgets -> Autotype_core.Synthesis.t -> string list ->
+  value_verdict list
+(** One verdict per value — the value-level twin of {!serve_column},
+    shared by [autotype validate] and the serving daemon.  A value cut
+    by its own budget reports [V_deadline] ([serve.deadline_hits]);
+    once the batch deadline passes, the remaining tail reports
+    [V_skipped] without running ([serve.degraded]). *)
+
 val fastpath_max_len : int
 (** Longest value served by the compiled fast path (4096); longer
     values take the interpreter route and are flight-recorded. *)

@@ -125,6 +125,26 @@ module Context = struct
 
   let id_to_hex id = Printf.sprintf "%016Lx" id
   let trace_id_hex ctx = id_to_hex ctx.trace_id
+
+  (* Inverse of [id_to_hex], for trace ids arriving over the wire: the
+     serving daemon installs the client's id so daemon-side spans and
+     flight events join the client's trace.  Strict: exactly 16 hex
+     digits and never 0 (0 means "no context" everywhere else). *)
+  let id_of_hex s =
+    if String.length s <> 16 then None
+    else if
+      String.exists
+        (fun c ->
+          not
+            ((c >= '0' && c <= '9')
+            || (c >= 'a' && c <= 'f')
+            || (c >= 'A' && c <= 'F')))
+        s
+    then None
+    else
+      match Int64.of_string_opt ("0x" ^ s) with
+      | Some id when id <> 0L -> Some id
+      | _ -> None
 end
 
 (* ------------------------------------------------------------------ *)

@@ -91,6 +91,11 @@ module Context : sig
   val id_to_hex : int64 -> string
   (** 16-digit lowercase hex, e.g. ["00c3f2a9b1d40e77"]. *)
 
+  val id_of_hex : string -> int64 option
+  (** Strict inverse of {!id_to_hex}: exactly 16 hex digits, and never
+      the all-zero id (which means "no context").  Used to adopt trace
+      ids that arrive over the serving wire protocol. *)
+
   val trace_id_hex : t -> string
 end
 

@@ -15,6 +15,7 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("exec", Test_exec.suite);
       ("model", Test_model.suite);
+      ("serve", Test_serve.suite);
       ("absint", Test_absint.suite);
       ("absint_fuzz", Test_absint_fuzz.suite);
       ("vm", Test_vm.suite) ]

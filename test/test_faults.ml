@@ -4,15 +4,18 @@
 let config_testable =
   Alcotest.testable
     (fun fmt (c : Faults.config) ->
-      Format.fprintf fmt "{delay_ms=%g; p_kill=%g; p_corrupt=%g; seed=%d}"
-        c.Faults.delay_ms c.Faults.p_kill c.Faults.p_corrupt c.Faults.seed)
+      Format.fprintf fmt
+        "{delay_ms=%g; p_kill=%g; p_corrupt=%g; p_reject=%g; seed=%d}"
+        c.Faults.delay_ms c.Faults.p_kill c.Faults.p_corrupt c.Faults.p_reject
+        c.Faults.seed)
     ( = )
 
 let test_parse_ok () =
   (match Faults.parse "delay_ms=5,p_kill=0.25,p_corrupt=0.5,seed=42" with
    | Ok c ->
      Alcotest.check config_testable "full spec"
-       { Faults.delay_ms = 5.0; p_kill = 0.25; p_corrupt = 0.5; seed = 42 }
+       { Faults.default with
+         Faults.delay_ms = 5.0; p_kill = 0.25; p_corrupt = 0.5; seed = 42 }
        c
    | Error e -> Alcotest.fail e);
   (match Faults.parse "p_kill=1" with

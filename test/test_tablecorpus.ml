@@ -339,7 +339,7 @@ let test_degraded_flight_dump () =
   (* A 3ms injected delay per run against a 1ms batch budget: the first
      value burns the deadline, the second degrades the column. *)
   Faults.set
-    (Some { Faults.delay_ms = 3.0; p_kill = 0.0; p_corrupt = 0.0; seed = 1 });
+    (Some { Faults.default with Faults.delay_ms = 3.0; seed = 1 });
   Telemetry.enable ();
   let ctx = Telemetry.Context.root () in
   let verdict =
